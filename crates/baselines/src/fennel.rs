@@ -1,0 +1,112 @@
+//! Fennel: one-pass streaming edge-cut partitioning (Tsourakakis et al.,
+//! WSDM '14 [5]). Referenced by the paper as the archetypal "assign
+//! on-the-fly, never revisit" method whose solutions dynamic partitioners
+//! improve upon; included as an extra reference baseline.
+
+use geograph::fxhash::mix64;
+use geograph::{GeoGraph, VertexId};
+use geopart::{DcId, EdgeCutState, TrafficProfile};
+use geosim::CloudEnv;
+
+/// Tuning knobs for Fennel.
+#[derive(Clone, Copy, Debug)]
+pub struct FennelConfig {
+    /// Balance exponent γ (paper default 1.5).
+    pub gamma: f64,
+    pub seed: u64,
+}
+
+impl Default for FennelConfig {
+    fn default() -> Self {
+        FennelConfig { gamma: 1.5, seed: 42 }
+    }
+}
+
+/// Streams vertices once (hash-shuffled order) assigning each to the DC
+/// maximizing `|N(v) ∩ V_d| − α·γ·|V_d|^(γ−1)`.
+pub fn fennel(
+    geo: &GeoGraph,
+    env: &CloudEnv,
+    config: FennelConfig,
+    profile: TrafficProfile,
+    num_iterations: f64,
+) -> EdgeCutState {
+    let n = geo.num_vertices();
+    let m = env.num_dcs();
+    let e = geo.num_edges().max(1) as f64;
+    // The paper's α = √m · |E| / |V|^γ.
+    let alpha = (m as f64).sqrt() * e / (n as f64).powf(config.gamma);
+
+    let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+    order.sort_unstable_by_key(|&v| mix64(v as u64 ^ config.seed));
+
+    let mut assignment: Vec<Option<DcId>> = vec![None; n];
+    let mut sizes = vec![0f64; m];
+    for &v in &order {
+        let mut best = (0usize, f64::NEG_INFINITY);
+        #[allow(clippy::needless_range_loop)] // d is a DC id, not just an index
+        for d in 0..m {
+            let mut neighbors = 0.0;
+            for &u in geo.graph.out_neighbors(v) {
+                if assignment[u as usize] == Some(d as DcId) {
+                    neighbors += 1.0;
+                }
+            }
+            for &u in geo.graph.in_neighbors(v) {
+                if assignment[u as usize] == Some(d as DcId) {
+                    neighbors += 1.0;
+                }
+            }
+            let score = neighbors - alpha * config.gamma * sizes[d].powf(config.gamma - 1.0);
+            if score > best.1 {
+                best = (d, score);
+            }
+        }
+        assignment[v as usize] = Some(best.0 as DcId);
+        sizes[best.0] += 1.0;
+    }
+    let assignment: Vec<DcId> = assignment.into_iter().map(|d| d.unwrap()).collect();
+    EdgeCutState::from_assignment(geo, env, assignment, &profile, num_iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geograph::generators::{rmat, RmatConfig};
+    use geograph::locality::LocalityConfig;
+    use geosim::regions::ec2_eight_regions;
+
+    fn setup() -> (GeoGraph, CloudEnv) {
+        let g = rmat(&RmatConfig::social(1024, 8192), 8);
+        (GeoGraph::from_graph(g, &LocalityConfig::paper_default(8)), ec2_eight_regions())
+    }
+
+    #[test]
+    fn beats_hash_assignment_on_locality() {
+        let (geo, env) = setup();
+        let p = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let f = fennel(&geo, &env, FennelConfig::default(), p.clone(), 10.0);
+        let hashed: Vec<DcId> = (0..geo.num_vertices() as u64)
+            .map(|v| (mix64(v) % env.num_dcs() as u64) as DcId)
+            .collect();
+        let h = EdgeCutState::from_assignment(&geo, &env, hashed, &p, 10.0);
+        assert!(f.internal_edge_fraction() > h.internal_edge_fraction());
+    }
+
+    #[test]
+    fn populates_all_partitions() {
+        let (geo, env) = setup();
+        let p = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let f = fennel(&geo, &env, FennelConfig::default(), p, 10.0);
+        assert!(f.vertices_per_dc().iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn deterministic() {
+        let (geo, env) = setup();
+        let p = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let a = fennel(&geo, &env, FennelConfig::default(), p.clone(), 10.0);
+        let b = fennel(&geo, &env, FennelConfig::default(), p, 10.0);
+        assert_eq!(a.assignment(), b.assignment());
+    }
+}

@@ -1,0 +1,276 @@
+//! Geo-Cut: heterogeneity-aware heuristic vertex-cut under a WAN budget
+//! (Zhou, Ibrahim & He, ICDCS '17 [1]).
+//!
+//! Reimplementation of the two-phase structure: edges start at their
+//! destination's natural DC (zero movement), then several greedy
+//! refinement passes move individual edges to the DC that most reduces the
+//! bandwidth-weighted bottleneck transfer time, subject to the budget.
+//! Masters stay at natural locations (Geo-Cut's budget is about WAN usage,
+//! not data relocation). Each candidate move is evaluated *exactly* via
+//! per-(vertex, DC) edge counts — O(1) per candidate — so accepted moves
+//! monotonically improve the true Eq 1 objective.
+//!
+//! Geo-Cut remains greedy and edge-local: it cannot group a low-degree
+//! vertex's in-edges the way hybrid-cut does, which is why the paper's
+//! Exp#1/Exp#2 show it satisfying budgets yet trailing RLCut badly on
+//! transfer time, at much higher overhead than the hash/greedy baselines.
+
+use geograph::fxhash::mix64;
+use geograph::GeoGraph;
+use geopart::vertexcut::{MasterRule, VertexCutState};
+use geopart::{DcId, TrafficProfile};
+use geosim::CloudEnv;
+
+/// Tuning knobs for Geo-Cut.
+#[derive(Clone, Copy, Debug)]
+pub struct GeoCutConfig {
+    /// Budget on inter-DC communication cost (dollars), charged through
+    /// the same Eq 5 pricing as every other method.
+    pub budget: f64,
+    /// Number of refinement passes over all edges.
+    pub refinement_passes: usize,
+    pub seed: u64,
+}
+
+impl GeoCutConfig {
+    pub fn new(budget: f64) -> Self {
+        GeoCutConfig { budget, refinement_passes: 3, seed: 42 }
+    }
+}
+
+/// Incrementally maintained vertex-cut loads under natural masters.
+struct Refiner<'a> {
+    m: usize,
+    env: &'a CloudEnv,
+    masters: &'a [DcId],
+    /// gather/apply per-vertex message sizes.
+    g: Vec<f64>,
+    a: Vec<f64>,
+    /// Per-(vertex, DC) incident-edge counts, in/out separated.
+    in_cnt: Vec<u32>,
+    out_cnt: Vec<u32>,
+    gu: Vec<f64>,
+    gd: Vec<f64>,
+    au: Vec<f64>,
+    ad: Vec<f64>,
+    /// Total runtime upload cost (Eq 5 over the whole job).
+    cost: f64,
+    num_iterations: f64,
+}
+
+impl<'a> Refiner<'a> {
+    /// Applies the count delta of one edge endpoint side and adjusts loads
+    /// on message-count threshold transitions. `d_in`/`d_out` are ±1/0.
+    fn touch(&mut self, x: u32, dc: usize, d_in: i32, d_out: i32) {
+        let master = self.masters[x as usize] as usize;
+        let idx = x as usize * self.m + dc;
+        let in_old = self.in_cnt[idx] as i32;
+        let out_old = self.out_cnt[idx] as i32;
+        self.in_cnt[idx] = (in_old + d_in) as u32;
+        self.out_cnt[idx] = (out_old + d_out) as u32;
+        if dc == master {
+            return;
+        }
+        let in_new = in_old + d_in;
+        let tot_old = in_old + out_old;
+        let tot_new = in_new + out_old + d_out;
+        let price = self.env.price(dc as DcId);
+        let master_price = self.env.price(master as DcId);
+        // Gather: one g_x message from dc to master while in-edges remain.
+        match (in_old > 0, in_new > 0) {
+            (false, true) => {
+                self.gu[dc] += self.g[x as usize];
+                self.gd[master] += self.g[x as usize];
+                self.cost += self.g[x as usize] * price * self.num_iterations;
+            }
+            (true, false) => {
+                self.gu[dc] -= self.g[x as usize];
+                self.gd[master] -= self.g[x as usize];
+                self.cost -= self.g[x as usize] * price * self.num_iterations;
+            }
+            _ => {}
+        }
+        // Apply: one a_x message from master to dc while a mirror remains.
+        match (tot_old > 0, tot_new > 0) {
+            (false, true) => {
+                self.au[master] += self.a[x as usize];
+                self.ad[dc] += self.a[x as usize];
+                self.cost += self.a[x as usize] * master_price * self.num_iterations;
+            }
+            (true, false) => {
+                self.au[master] -= self.a[x as usize];
+                self.ad[dc] -= self.a[x as usize];
+                self.cost -= self.a[x as usize] * master_price * self.num_iterations;
+            }
+            _ => {}
+        }
+    }
+
+    fn move_edge(&mut self, u: u32, v: u32, from: usize, to: usize) {
+        self.touch(v, from, -1, 0);
+        self.touch(v, to, 1, 0);
+        self.touch(u, from, 0, -1);
+        self.touch(u, to, 0, 1);
+    }
+
+    fn transfer_time(&self) -> f64 {
+        let mut gather = 0.0f64;
+        let mut apply = 0.0f64;
+        for d in 0..self.m {
+            let dc = d as DcId;
+            gather = gather.max((self.gu[d] / self.env.uplink(dc)).max(self.gd[d] / self.env.downlink(dc)));
+            apply = apply.max((self.au[d] / self.env.uplink(dc)).max(self.ad[d] / self.env.downlink(dc)));
+        }
+        gather + apply
+    }
+}
+
+/// Runs Geo-Cut and returns the resulting vertex-cut plan.
+pub fn geocut(
+    geo: &GeoGraph,
+    env: &CloudEnv,
+    config: GeoCutConfig,
+    profile: TrafficProfile,
+    num_iterations: f64,
+) -> VertexCutState {
+    let m = env.num_dcs();
+    let n = geo.num_vertices();
+    let edges: Vec<(u32, u32)> = geo.graph.edges().collect();
+    let mut assignment: Vec<DcId> =
+        edges.iter().map(|&(_, v)| geo.locations[v as usize]).collect();
+
+    let mut refiner = Refiner {
+        m,
+        env,
+        masters: &geo.locations,
+        g: (0..n as u32).map(|v| profile.g(v)).collect(),
+        a: (0..n as u32).map(|v| profile.a(v)).collect(),
+        in_cnt: vec![0; n * m],
+        out_cnt: vec![0; n * m],
+        gu: vec![0.0; m],
+        gd: vec![0.0; m],
+        au: vec![0.0; m],
+        ad: vec![0.0; m],
+        cost: 0.0,
+        num_iterations,
+    };
+    for (&(u, v), &d) in edges.iter().zip(&assignment) {
+        refiner.touch(v, d as usize, 1, 0);
+        refiner.touch(u, d as usize, 0, 1);
+    }
+
+    let mut order: Vec<usize> = (0..edges.len()).collect();
+    order.sort_unstable_by_key(|&i| mix64(i as u64 ^ config.seed));
+    for _ in 0..config.refinement_passes {
+        let mut improved = false;
+        for &i in &order {
+            let (u, v) = edges[i];
+            let current = assignment[i] as usize;
+            let base_time = refiner.transfer_time();
+            let mut best = (current, base_time);
+            for d in 0..m {
+                if d == current {
+                    continue;
+                }
+                refiner.move_edge(u, v, current, d);
+                let t = refiner.transfer_time();
+                let feasible = refiner.cost <= config.budget;
+                refiner.move_edge(u, v, d, current);
+                if feasible && t < best.1 {
+                    best = (d, t);
+                }
+            }
+            if best.0 != current {
+                refiner.move_edge(u, v, current, best.0);
+                assignment[i] = best.0 as DcId;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    VertexCutState::from_edge_assignment(
+        geo,
+        env,
+        &assignment,
+        MasterRule::Natural,
+        profile,
+        num_iterations,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geograph::generators::{rmat, RmatConfig};
+    use geograph::locality::LocalityConfig;
+    use geosim::regions::ec2_eight_regions;
+
+    fn setup() -> (GeoGraph, CloudEnv) {
+        let g = rmat(&RmatConfig::social(1024, 8192), 5);
+        (GeoGraph::from_graph(g, &LocalityConfig::paper_default(5)), ec2_eight_regions())
+    }
+
+    fn natural_plan(geo: &GeoGraph, env: &CloudEnv, p: &TrafficProfile) -> VertexCutState {
+        let natural: Vec<DcId> =
+            geo.graph.edges().map(|(_, v)| geo.locations[v as usize]).collect();
+        VertexCutState::from_edge_assignment(
+            geo, env, &natural, MasterRule::Natural, p.clone(), 10.0,
+        )
+    }
+
+    #[test]
+    fn improves_over_natural_placement() {
+        let (geo, env) = setup();
+        let p = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let budget = geosim::cost::default_budget(&env, &geo.locations, &geo.data_sizes, 0.4);
+        let refined = geocut(&geo, &env, GeoCutConfig::new(budget), p.clone(), 10.0);
+        let base = natural_plan(&geo, &env, &p);
+        // Acceptance is exact and monotone: refined must not be worse, and
+        // on a heterogeneous environment it should find real improvements.
+        assert!(
+            refined.objective(&env).transfer_time < base.objective(&env).transfer_time,
+            "refined {} vs natural {}",
+            refined.objective(&env).transfer_time,
+            base.objective(&env).transfer_time
+        );
+    }
+
+    #[test]
+    fn respects_budget() {
+        let (geo, env) = setup();
+        let p = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let budget = geosim::cost::default_budget(&env, &geo.locations, &geo.data_sizes, 0.4);
+        let s = geocut(&geo, &env, GeoCutConfig::new(budget), p, 10.0);
+        let obj = s.objective(&env);
+        assert!(
+            obj.total_cost() <= budget * (1.0 + 1e-9),
+            "cost {} budget {budget}",
+            obj.total_cost()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let (geo, env) = setup();
+        let p = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let budget = geosim::cost::default_budget(&env, &geo.locations, &geo.data_sizes, 0.4);
+        let a = geocut(&geo, &env, GeoCutConfig::new(budget), p.clone(), 10.0);
+        let b = geocut(&geo, &env, GeoCutConfig::new(budget), p, 10.0);
+        assert_eq!(a.edge_dcs(), b.edge_dcs());
+    }
+
+    #[test]
+    fn tight_budget_stays_near_natural() {
+        // With a near-zero budget, barely any move is feasible; the result
+        // must still be valid and within budget.
+        let (geo, env) = setup();
+        let p = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let base = natural_plan(&geo, &env, &p);
+        let tight = base.objective(&env).total_cost(); // natural's own cost
+        let s = geocut(&geo, &env, GeoCutConfig::new(tight), p, 10.0);
+        assert!(s.objective(&env).total_cost() <= tight * (1.0 + 1e-9));
+    }
+}

@@ -1,0 +1,88 @@
+//! HashPL: hash-based hybrid-cut (PowerLyra's default placement [6]).
+//!
+//! Every vertex's master is `hash(v) mod M`; edge placement then follows
+//! the hybrid-cut rules. Balanced and cheap, but blind to both geography
+//! and bandwidth heterogeneity — exactly the blind spot the paper's Fig 10
+//! exposes.
+
+use geograph::fxhash::mix64;
+use geograph::{GeoGraph, VertexId};
+use geopart::{DcId, HybridState, TrafficProfile};
+use geosim::CloudEnv;
+
+/// Hash-partitions masters over the DCs.
+pub fn hashpl<'g>(
+    geo: &'g GeoGraph,
+    env: &CloudEnv,
+    theta: usize,
+    profile: TrafficProfile,
+    num_iterations: f64,
+    seed: u64,
+) -> HybridState<'g> {
+    let m = env.num_dcs() as u64;
+    let masters: Vec<DcId> = (0..geo.num_vertices() as VertexId)
+        .map(|v| (mix64(v as u64 ^ seed.rotate_left(17)) % m) as DcId)
+        .collect();
+    HybridState::from_masters(geo, env, masters, theta, profile, num_iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geograph::generators::{rmat, RmatConfig};
+    use geograph::locality::LocalityConfig;
+    use geosim::regions::ec2_eight_regions;
+
+    fn setup() -> (GeoGraph, CloudEnv) {
+        let g = rmat(&RmatConfig::social(1024, 8192), 3);
+        (GeoGraph::from_graph(g, &LocalityConfig::paper_default(3)), ec2_eight_regions())
+    }
+
+    #[test]
+    fn lower_replication_than_random_vertex_cut() {
+        // The Fig 2 comparison: hybrid-cut HashPL vs vertex-cut RandPG.
+        let (geo, env) = setup();
+        let theta = geograph::degree::suggest_theta(&geo.graph, 0.05);
+        let p = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let hybrid = hashpl(&geo, &env, theta, p.clone(), 10.0, 1);
+        let vertex = crate::randpg(&geo, &env, p, 10.0, 1);
+        assert!(
+            hybrid.core().replication_factor() < vertex.replication_factor(),
+            "hybrid λ {} vs vertex λ {}",
+            hybrid.core().replication_factor(),
+            vertex.replication_factor()
+        );
+    }
+
+    #[test]
+    fn lower_wan_usage_than_random_vertex_cut() {
+        let (geo, env) = setup();
+        let theta = geograph::degree::suggest_theta(&geo.graph, 0.05);
+        let p = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let hybrid = hashpl(&geo, &env, theta, p.clone(), 10.0, 1);
+        let vertex = crate::randpg(&geo, &env, p, 10.0, 1);
+        assert!(
+            hybrid.core().wan_bytes_per_iteration() < vertex.core().wan_bytes_per_iteration()
+        );
+    }
+
+    #[test]
+    fn balanced_masters() {
+        let (geo, env) = setup();
+        let theta = geograph::degree::suggest_theta(&geo.graph, 0.05);
+        let p = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let s = hashpl(&geo, &env, theta, p, 10.0, 1);
+        let mut per_dc = vec![0u64; env.num_dcs()];
+        for &d in s.core().masters() {
+            per_dc[d as usize] += 1;
+        }
+        assert!(geopart::metrics::imbalance(&per_dc) < 1.2);
+    }
+
+    #[test]
+    fn consistent_state() {
+        let (geo, env) = setup();
+        let p = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        hashpl(&geo, &env, 8, p, 10.0, 5).check_consistency(&env);
+    }
+}

@@ -1,0 +1,72 @@
+//! RandPG: balanced p-way vertex-cut by random edge assignment
+//! (the PowerGraph default [3] — the paper's normalization baseline).
+
+use geograph::fxhash::mix64;
+use geograph::GeoGraph;
+use geopart::vertexcut::{MasterRule, VertexCutState};
+use geopart::{DcId, TrafficProfile};
+use geosim::CloudEnv;
+
+/// Randomly assigns every edge to one of the `env.num_dcs()` partitions.
+/// Deterministic for a fixed `seed` (hash-based, so per-edge independent).
+pub fn randpg(
+    geo: &GeoGraph,
+    env: &CloudEnv,
+    profile: TrafficProfile,
+    num_iterations: f64,
+    seed: u64,
+) -> VertexCutState {
+    let m = env.num_dcs() as u64;
+    let edge_dcs: Vec<DcId> =
+        (0..geo.num_edges() as u64).map(|i| (mix64(i ^ seed) % m) as DcId).collect();
+    VertexCutState::from_edge_assignment(
+        geo,
+        env,
+        &edge_dcs,
+        MasterRule::PreferNatural,
+        profile,
+        num_iterations,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geograph::generators::{rmat, RmatConfig};
+    use geograph::locality::LocalityConfig;
+    use geosim::regions::ec2_eight_regions;
+
+    fn setup() -> (GeoGraph, CloudEnv) {
+        let g = rmat(&RmatConfig::social(1024, 8192), 2);
+        (GeoGraph::from_graph(g, &LocalityConfig::paper_default(2)), ec2_eight_regions())
+    }
+
+    #[test]
+    fn balanced_edges() {
+        let (geo, env) = setup();
+        let p = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let s = randpg(&geo, &env, p, 10.0, 1);
+        let imb = geopart::metrics::imbalance(s.core().edges_per_dc());
+        assert!(imb < 1.2, "random assignment should balance edges: {imb}");
+    }
+
+    #[test]
+    fn high_replication_factor() {
+        // Random vertex-cut scatters each vertex's edges over all DCs —
+        // the paper reports λ ≈ 4.4 on Twitter with 8 partitions.
+        let (geo, env) = setup();
+        let p = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let s = randpg(&geo, &env, p, 10.0, 1);
+        assert!(s.replication_factor() > 2.0, "λ = {}", s.replication_factor());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (geo, env) = setup();
+        let p = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let a = randpg(&geo, &env, p.clone(), 10.0, 7);
+        let b = randpg(&geo, &env, p, 10.0, 7);
+        assert_eq!(a.core().masters(), b.core().masters());
+        assert_eq!(a.objective(&env).transfer_time, b.objective(&env).transfer_time);
+    }
+}

@@ -1,0 +1,167 @@
+//! Revolver: learning-automata edge-cut partitioning (Mofrad, Melhem &
+//! Hammoud, IEEE CLOUD '18 [37]).
+//!
+//! Like RLCut it drives per-vertex learning automata, but over the plain
+//! edge-cut model with a locality+balance utility and *no* awareness of
+//! bandwidth heterogeneity, prices or budgets — the paper's Fig 10 shows it
+//! losing 43–82 % to RLCut at two orders of magnitude more overhead than
+//! the hash baselines (Table III).
+
+use geograph::{GeoGraph, VertexId};
+use geopart::{DcId, EdgeCutState, TrafficProfile};
+use geosim::CloudEnv;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Tuning knobs for Revolver.
+#[derive(Clone, Copy, Debug)]
+pub struct RevolverConfig {
+    /// LA training iterations (Revolver needs many to converge; its large
+    /// overhead in Table III comes from here).
+    pub iterations: usize,
+    /// Reward learning rate (L_RP scheme).
+    pub alpha: f64,
+    /// Penalty learning rate.
+    pub beta: f64,
+    /// Weight of the balance term in the utility.
+    pub balance_weight: f64,
+    pub seed: u64,
+}
+
+impl Default for RevolverConfig {
+    fn default() -> Self {
+        RevolverConfig { iterations: 100, alpha: 0.2, beta: 0.05, balance_weight: 0.5, seed: 42 }
+    }
+}
+
+/// Runs Revolver and returns the resulting edge-cut plan.
+pub fn revolver(
+    geo: &GeoGraph,
+    env: &CloudEnv,
+    config: RevolverConfig,
+    profile: TrafficProfile,
+    num_iterations: f64,
+) -> EdgeCutState {
+    let n = geo.num_vertices();
+    let m = env.num_dcs();
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x8a5c_d789_635d_2dff);
+    // Per-vertex action probabilities, initialized uniform.
+    let mut probs = vec![1.0f64 / m as f64; n * m];
+    let mut assignment: Vec<DcId> = geo.locations.clone();
+    let mut loads = vec![0f64; m];
+    for &d in &assignment {
+        loads[d as usize] += 1.0;
+    }
+    let capacity = n as f64 / m as f64;
+
+    for _ in 0..config.iterations {
+        // Sample an action per vertex from its automaton.
+        let snapshot = assignment.clone();
+        for v in 0..n {
+            let roll = rng.gen::<f64>();
+            let mut acc = 0.0;
+            let mut chosen = m - 1;
+            for d in 0..m {
+                acc += probs[v * m + d];
+                if roll < acc {
+                    chosen = d;
+                    break;
+                }
+            }
+            loads[assignment[v] as usize] -= 1.0;
+            loads[chosen] += 1.0;
+            assignment[v] = chosen as DcId;
+        }
+        // Reinforce: reward the utility-maximizing partition of each vertex
+        // (computed against the pre-step snapshot), penalize the rest.
+        for v in 0..n as VertexId {
+            let mut counts = vec![0f64; m];
+            for &u in geo.graph.out_neighbors(v) {
+                counts[snapshot[u as usize] as usize] += 1.0;
+            }
+            for &u in geo.graph.in_neighbors(v) {
+                counts[snapshot[u as usize] as usize] += 1.0;
+            }
+            let deg = geo.graph.degree(v).max(1) as f64;
+            let mut best = (0usize, f64::NEG_INFINITY);
+            for d in 0..m {
+                let utility = counts[d] / deg
+                    + config.balance_weight * (1.0 - loads[d] / capacity).max(-1.0);
+                if utility > best.1 {
+                    best = (d, utility);
+                }
+            }
+            let row = &mut probs[v as usize * m..(v as usize + 1) * m];
+            for (d, p) in row.iter_mut().enumerate() {
+                if d == best.0 {
+                    *p += config.alpha * (1.0 - *p);
+                } else {
+                    *p *= 1.0 - config.alpha;
+                    *p = *p * (1.0 - config.beta) + config.beta / (m - 1) as f64;
+                }
+            }
+            // Renormalize against drift.
+            let sum: f64 = row.iter().sum();
+            row.iter_mut().for_each(|p| *p /= sum);
+        }
+    }
+
+    // Final assignment: each automaton's most probable action.
+    for v in 0..n {
+        let row = &probs[v * m..(v + 1) * m];
+        let best = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(d, _)| d)
+            .unwrap_or(0);
+        assignment[v] = best as DcId;
+    }
+    EdgeCutState::from_assignment(geo, env, assignment, &profile, num_iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geograph::generators::{rmat, RmatConfig};
+    use geograph::locality::LocalityConfig;
+    use geosim::regions::ec2_eight_regions;
+
+    fn setup() -> (GeoGraph, CloudEnv) {
+        let g = rmat(&RmatConfig::social(512, 4096), 6);
+        (GeoGraph::from_graph(g, &LocalityConfig::paper_default(6)), ec2_eight_regions())
+    }
+
+    #[test]
+    fn improves_locality_over_random_start() {
+        let (geo, env) = setup();
+        let p = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let trained = revolver(&geo, &env, RevolverConfig::default(), p.clone(), 10.0);
+        let natural = EdgeCutState::from_assignment(&geo, &env, geo.locations.clone(), &p, 10.0);
+        assert!(
+            trained.internal_edge_fraction() > natural.internal_edge_fraction(),
+            "trained {} vs natural {}",
+            trained.internal_edge_fraction(),
+            natural.internal_edge_fraction()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let (geo, env) = setup();
+        let p = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let a = revolver(&geo, &env, RevolverConfig::default(), p.clone(), 10.0);
+        let b = revolver(&geo, &env, RevolverConfig::default(), p, 10.0);
+        assert_eq!(a.assignment(), b.assignment());
+    }
+
+    #[test]
+    fn balance_term_prevents_collapse() {
+        let (geo, env) = setup();
+        let p = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let s = revolver(&geo, &env, RevolverConfig::default(), p, 10.0);
+        let max_share = s.vertices_per_dc().iter().copied().max().unwrap() as f64
+            / geo.num_vertices() as f64;
+        assert!(max_share < 0.9, "one DC swallowed {max_share} of the graph");
+    }
+}

@@ -1,0 +1,94 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! migration batching (§V-A), straggler mitigation (§V-B), degree-aware
+//! sampling (§V-C), and penalty-signal updates (Fig 6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geograph::generators::{rmat, RmatConfig};
+use geograph::locality::LocalityConfig;
+use geograph::GeoGraph;
+use geopart::TrafficProfile;
+use geosim::regions::ec2_eight_regions;
+use rlcut::RlCutConfig;
+
+fn setup() -> (GeoGraph, geosim::CloudEnv, f64) {
+    let g = rmat(&RmatConfig::social(1 << 12, 1 << 16), 42);
+    let geo = GeoGraph::from_graph(g, &LocalityConfig::paper_default(42));
+    let env = ec2_eight_regions();
+    let budget = geosim::cost::default_budget(&env, &geo.locations, &geo.data_sizes, 0.4);
+    (geo, env, budget)
+}
+
+fn base_config(budget: f64) -> RlCutConfig {
+    RlCutConfig::new(budget).with_max_steps(3).with_threads(4)
+}
+
+fn bench_batching(c: &mut Criterion) {
+    let (geo, env, budget) = setup();
+    let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+    let mut group = c.benchmark_group("ablation_batch_size");
+    group.sample_size(10);
+    for batch in [1usize, 8, 48] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            let config = base_config(budget).with_batch_size(batch);
+            b.iter(|| rlcut::partition(&geo, &env, profile.clone(), 10.0, &config))
+        });
+    }
+    group.finish();
+}
+
+fn bench_straggler_mitigation(c: &mut Criterion) {
+    let (geo, env, budget) = setup();
+    let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+    let mut group = c.benchmark_group("ablation_straggler");
+    group.sample_size(10);
+    for (name, disable) in [("lpt", false), ("round_robin", true)] {
+        group.bench_function(name, |b| {
+            let mut config = base_config(budget);
+            config.disable_straggler_mitigation = disable;
+            b.iter(|| rlcut::partition(&geo, &env, profile.clone(), 10.0, &config))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let (geo, env, budget) = setup();
+    let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+    let mut group = c.benchmark_group("ablation_sample_rate");
+    group.sample_size(10);
+    for rate in [0.1f64, 1.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{:.0}pct", rate * 100.0)),
+            &rate,
+            |b, &rate| {
+                let config = base_config(budget).with_fixed_sample_rate(rate);
+                b.iter(|| rlcut::partition(&geo, &env, profile.clone(), 10.0, &config))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_penalty(c: &mut Criterion) {
+    let (geo, env, budget) = setup();
+    let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+    let mut group = c.benchmark_group("ablation_penalty_updates");
+    group.sample_size(10);
+    for (name, penalty) in [("reward_only", false), ("with_penalty", true)] {
+        group.bench_function(name, |b| {
+            let mut config = base_config(budget);
+            config.use_penalty = penalty;
+            b.iter(|| rlcut::partition(&geo, &env, profile.clone(), 10.0, &config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_batching,
+    bench_straggler_mitigation,
+    bench_sampling,
+    bench_penalty
+);
+criterion_main!(benches);

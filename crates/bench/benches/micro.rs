@@ -1,0 +1,93 @@
+//! Micro-benchmarks of the hot paths: graph generation, plan
+//! construction, the incremental move evaluator (the score-function
+//! workhorse), move application, and one full RLCut training step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geograph::generators::{rmat, RmatConfig};
+use geograph::locality::LocalityConfig;
+use geograph::GeoGraph;
+use geopart::{HybridState, TrafficProfile};
+use geosim::regions::ec2_eight_regions;
+use rlcut::RlCutConfig;
+use std::hint::black_box;
+
+fn setup(n: usize) -> (GeoGraph, geosim::CloudEnv) {
+    let g = rmat(&RmatConfig::social(n, n * 16), 42);
+    (GeoGraph::from_graph(g, &LocalityConfig::paper_default(42)), ec2_eight_regions())
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate");
+    group.sample_size(10);
+    for n in [1usize << 12, 1 << 14] {
+        group.bench_with_input(BenchmarkId::new("rmat", n), &n, |b, &n| {
+            b.iter(|| rmat(&RmatConfig::social(n, n * 16), black_box(7)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_plan_construction(c: &mut Criterion) {
+    let (geo, env) = setup(1 << 13);
+    let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+    c.bench_function("hybrid_state_build_8k_vertices", |b| {
+        b.iter(|| HybridState::natural(&geo, &env, 16, profile.clone(), 10.0))
+    });
+}
+
+fn bench_move_evaluation(c: &mut Criterion) {
+    let (geo, env) = setup(1 << 13);
+    let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+    let state = HybridState::natural(&geo, &env, 16, profile, 10.0);
+    c.bench_function("evaluate_move", |b| {
+        let mut v = 0u32;
+        b.iter(|| {
+            v = (v + 1) % geo.num_vertices() as u32;
+            black_box(state.evaluate_move(&env, v, (v % 8) as u8))
+        })
+    });
+}
+
+fn bench_move_application(c: &mut Criterion) {
+    let (geo, env) = setup(1 << 13);
+    let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+    let mut state = HybridState::natural(&geo, &env, 16, profile, 10.0);
+    c.bench_function("apply_move", |b| {
+        let mut v = 0u32;
+        b.iter(|| {
+            v = (v + 1) % geo.num_vertices() as u32;
+            state.apply_move(&env, v, (v % 8) as u8);
+        })
+    });
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let (geo, env) = setup(1 << 12);
+    let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+    let budget = geosim::cost::default_budget(&env, &geo.locations, &geo.data_sizes, 0.4);
+    let mut group = c.benchmark_group("train_one_step_4k_vertices");
+    group.sample_size(10);
+    group.bench_function("full_sampling", |b| {
+        let config = RlCutConfig::new(budget).with_max_steps(1).with_threads(2);
+        b.iter(|| rlcut::partition(&geo, &env, profile.clone(), 10.0, &config))
+    });
+    group.finish();
+}
+
+fn bench_pagerank(c: &mut Criterion) {
+    let (geo, _) = setup(1 << 13);
+    c.bench_function("pagerank_10_iters_8k", |b| {
+        b.iter(|| geoengine::algorithms::pagerank(&geo.graph, 10, 0.85))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_plan_construction,
+    bench_move_evaluation,
+    bench_move_application,
+    bench_training_step,
+    bench_pagerank
+);
+criterion_main!(benches);

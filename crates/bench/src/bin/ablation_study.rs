@@ -1,0 +1,6 @@
+//! Ablation of RLCut's design choices; see `geobench::experiments::ablation`.
+
+fn main() {
+    let ctx = geobench::ExpContext::from_args(0.001);
+    geobench::experiments::ablation::run(&ctx);
+}

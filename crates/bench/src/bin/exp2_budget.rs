@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact; see `geobench::experiments::exp2_budget`.
+
+fn main() {
+    let ctx = geobench::ExpContext::from_args(0.001);
+    geobench::experiments::exp2_budget::run(&ctx);
+}

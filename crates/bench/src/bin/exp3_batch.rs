@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact; see `geobench::experiments::exp3_batch`.
+
+fn main() {
+    let ctx = geobench::ExpContext::from_args(0.001);
+    geobench::experiments::exp3_batch::run(&ctx);
+}

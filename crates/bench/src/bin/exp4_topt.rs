@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact; see `geobench::experiments::exp4_topt`.
+
+fn main() {
+    let ctx = geobench::ExpContext::from_args(0.001);
+    geobench::experiments::exp4_topt::run(&ctx);
+}

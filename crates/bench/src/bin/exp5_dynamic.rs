@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact; see `geobench::experiments::exp5_dynamic`.
+
+fn main() {
+    let ctx = geobench::ExpContext::from_args(0.001);
+    geobench::experiments::exp5_dynamic::run(&ctx);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact; see `geobench::experiments::fig2_hybrid_vs_vertex`.
+
+fn main() {
+    let ctx = geobench::ExpContext::from_args(0.001);
+    geobench::experiments::fig2_hybrid_vs_vertex::run(&ctx);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact; see `geobench::experiments::fig3_heterogeneity`.
+
+fn main() {
+    let ctx = geobench::ExpContext::from_args(0.001);
+    geobench::experiments::fig3_heterogeneity::run(&ctx);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact; see `geobench::experiments::fig8_agent_overhead`.
+
+fn main() {
+    let ctx = geobench::ExpContext::from_args(0.001);
+    geobench::experiments::fig8_agent_overhead::run(&ctx);
+}

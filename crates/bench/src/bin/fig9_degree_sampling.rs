@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact; see `geobench::experiments::fig9_degree_sampling`.
+
+fn main() {
+    let ctx = geobench::ExpContext::from_args(0.001);
+    geobench::experiments::fig9_degree_sampling::run(&ctx);
+}

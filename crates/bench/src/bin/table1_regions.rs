@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact; see `geobench::experiments::table1_regions`.
+
+fn main() {
+    let ctx = geobench::ExpContext::from_args(0.001);
+    geobench::experiments::table1_regions::run(&ctx);
+}

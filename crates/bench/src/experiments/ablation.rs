@@ -1,0 +1,75 @@
+//! Ablation study of RLCut's §IV/§V design choices: each row disables or
+//! swaps one technique and reports quality + overhead against the full
+//! configuration.
+
+use crate::{f3, secs, ExpContext, Table};
+use geoengine::Algorithm;
+use geograph::Dataset;
+use geosim::regions::ec2_eight_regions;
+use rlcut::config::SampleStrategy;
+use rlcut::RlCutConfig;
+
+pub fn run(ctx: &ExpContext) {
+    let env = ec2_eight_regions();
+    let geo = ctx.build_geo(Dataset::Orkut);
+    let algo = Algorithm::pagerank();
+    let profile = algo.profile(&geo);
+    let budget = geosim::cost::default_budget(&env, &geo.locations, &geo.data_sizes, 0.4);
+    let base = RlCutConfig::new(budget).with_seed(ctx.seed).with_threads(ctx.threads);
+
+    let variants: Vec<(&str, RlCutConfig)> = vec![
+        ("full RLCut (defaults)", base.clone()),
+        ("batch size 1 (strict Fig 7)", base.clone().with_batch_size(1)),
+        ("no straggler mitigation", {
+            let mut c = base.clone();
+            c.disable_straggler_mitigation = true;
+            c
+        }),
+        ("penalty updates on (Eq 9)", {
+            let mut c = base.clone();
+            c.use_penalty = true;
+            c
+        }),
+        ("random agent sampling", {
+            let mut c = base.clone();
+            c.sample_strategy = SampleStrategy::Random;
+            c
+        }),
+        ("recency-weighted Eq 14 (λ=0.5)", {
+            let mut c = base.clone().with_t_opt(std::time::Duration::from_millis(500));
+            c.sampling_recency = Some(0.5);
+            c
+        }),
+        ("T_opt 500ms, plain Eq 14", base.clone().with_t_opt(std::time::Duration::from_millis(500))),
+        ("single thread", base.clone().with_threads(1)),
+    ];
+
+    let mut t = Table::new(
+        &format!(
+            "Ablation — RLCut design choices (OT-analog, PR, {} vertices, {} edges)",
+            geo.num_vertices(),
+            geo.num_edges()
+        ),
+        &["Variant", "Transfer time", "Norm.", "Cost/budget", "Overhead (s)", "Migrations"],
+    );
+    let mut reference = None;
+    for (name, config) in variants {
+        let result = rlcut::partition(&geo, &env, profile.clone(), 10.0, &config);
+        let obj = result.final_objective(&env);
+        let base_time = *reference.get_or_insert(obj.transfer_time);
+        t.row(vec![
+            name.to_string(),
+            f3(obj.transfer_time),
+            f3(obj.transfer_time / base_time.max(1e-12)),
+            f3(obj.total_cost() / budget),
+            secs(result.total_duration),
+            result.total_migrations().to_string(),
+        ]);
+    }
+    t.print();
+    println!("Reading: quality differences are within a few percent at this scale — the");
+    println!("§V techniques are about *overhead* (batching, LPT, sampling) or robustness");
+    println!("(reward-only converging within the 10-step horizon where penalty updates");
+    println!("lag slightly). Thread count and straggler policy never change the plan");
+    println!("(determinism), only the wall clock.");
+}

@@ -1,0 +1,62 @@
+//! Exp#3 (Table IV): migration batch size vs optimization overhead and
+//! result stability (TW-analog, PR, sampling rate pinned at 10%).
+
+use crate::{f3, ExpContext, Table};
+use geoengine::Algorithm;
+use geograph::Dataset;
+use geosim::regions::ec2_eight_regions;
+use rlcut::RlCutConfig;
+
+pub fn run(ctx: &ExpContext) {
+    let env = ec2_eight_regions();
+    let geo = ctx.build_geo(Dataset::Twitter);
+    let algo = Algorithm::pagerank();
+    let profile = algo.profile(&geo);
+    let budget = geosim::cost::default_budget(&env, &geo.locations, &geo.data_sizes, 0.4);
+
+    let mut t = Table::new(
+        "Table IV — RLCut overhead vs batch size (TW-analog, PR, SR fixed 10%)",
+        &[
+            "Batch size",
+            "Overhead (s)",
+            "Migration phase (s)",
+            "Migration speedup vs 1",
+            "Transfer time",
+            "Norm. time",
+        ],
+    );
+    let mut rows = Vec::new();
+    for batch in [1usize, 2, 4, 8, 16, 32, 48] {
+        let config = RlCutConfig::new(budget)
+            .with_seed(ctx.seed)
+            .with_threads(ctx.threads)
+            .with_fixed_sample_rate(0.10)
+            .with_batch_size(batch);
+        let result = rlcut::partition(&geo, &env, profile.clone(), 10.0, &config);
+        let migrate: f64 =
+            result.steps.iter().map(|s| s.migrate_duration.as_secs_f64()).sum();
+        rows.push((
+            batch,
+            result.total_duration.as_secs_f64(),
+            migrate,
+            result.final_objective(&env).transfer_time,
+        ));
+    }
+    let (base_migrate, base_time) = (rows[0].2, rows[0].3);
+    for &(batch, overhead, migrate, time) in &rows {
+        t.row(vec![
+            batch.to_string(),
+            f3(overhead),
+            f3(migrate),
+            format!("{:.1}x", base_migrate / migrate.max(1e-9)),
+            f3(time),
+            f3(time / base_time.max(1e-12)),
+        ]);
+    }
+    t.print();
+    println!("Paper reference: Table IV — overhead 271s at batch 1 down to 16s at batch");
+    println!("48; transfer-time variance across batch sizes below 1%. Note: in this");
+    println!("implementation the O(deg) incremental evaluator removes the migration");
+    println!("bottleneck the paper's batching addresses, so the speedup concentrates in");
+    println!("the (much smaller) migration phase.");
+}

@@ -1,0 +1,43 @@
+//! Fig 3: Ginger's inter-DC data transfer time normalized to RLCut's under
+//! Low/Medium/High network heterogeneity (PR, five graphs).
+
+use crate::{f3, timed, ExpContext, Table};
+use geobase::ginger::GingerConfig;
+use geoengine::Algorithm;
+use geograph::Dataset;
+use geosim::Heterogeneity;
+use rlcut::RlCutConfig;
+
+pub fn run(ctx: &ExpContext) {
+    let algo = Algorithm::pagerank();
+    let mut t = Table::new(
+        "Fig 3 — Ginger transfer time normalized to RLCut (PR)",
+        &["Graph", "Low", "Medium", "High"],
+    );
+    for ds in Dataset::ALL {
+        let geo = ctx.build_geo(ds);
+        let profile = algo.profile(&geo);
+        let theta = geograph::degree::suggest_theta(&geo.graph, 0.05);
+        let mut cells = vec![ds.notation().to_string()];
+        for level in Heterogeneity::ALL {
+            let env = level.ec2_environment();
+            let budget =
+                geosim::cost::default_budget(&env, &geo.locations, &geo.data_sizes, 0.4);
+            let (ginger, ginger_overhead) = timed(|| {
+                geobase::ginger(&geo, &env, GingerConfig::new(theta, ctx.seed), profile.clone(), 10.0)
+            });
+            let config = RlCutConfig::new(budget)
+                .with_seed(ctx.seed)
+                .with_threads(ctx.threads)
+                .with_t_opt(crate::default_t_opt(ginger_overhead));
+            let ours = rlcut::partition(&geo, &env, profile.clone(), 10.0, &config);
+            let ratio = ginger.objective(&env).transfer_time
+                / ours.final_objective(&env).transfer_time.max(1e-12);
+            cells.push(f3(ratio));
+        }
+        t.row(cells);
+    }
+    t.print();
+    println!("Paper reference: Fig 3 — Ginger's normalized time grows with heterogeneity");
+    println!("and graph size (worse relative to RLCut when the network is more skewed).");
+}

@@ -1,0 +1,43 @@
+//! Fig 6: penalty-signal probability updates need ~30x more training
+//! iterations to reach the quality reward-only updates get in 10.
+
+use crate::{f3, ExpContext, Table};
+use geoengine::Algorithm;
+use geograph::Dataset;
+use geosim::regions::ec2_eight_regions;
+use rlcut::RlCutConfig;
+
+pub fn run(ctx: &ExpContext) {
+    let env = ec2_eight_regions();
+    let geo = ctx.build_geo(Dataset::Orkut);
+    let algo = Algorithm::pagerank();
+    let profile = algo.profile(&geo);
+    let budget = geosim::cost::default_budget(&env, &geo.locations, &geo.data_sizes, 0.4);
+
+    // Reference: reward-only ("without penalty") trained for 10 steps.
+    let base_cfg = RlCutConfig::new(budget).with_seed(ctx.seed).with_threads(ctx.threads);
+    let reference = rlcut::partition(&geo, &env, profile.clone(), 10.0, &base_cfg);
+    let reference_time = reference.final_objective(&env).transfer_time;
+
+    let mut t = Table::new(
+        "Fig 6 — penalty-update training normalized to no-penalty @ 10 steps (OT, PR)",
+        &["Training steps", "Transfer time (penalty)", "Normalized to no-penalty@10"],
+    );
+    for steps in [10usize, 25, 50, 100, 200, 300] {
+        let mut cfg = base_cfg.clone().with_max_steps(steps);
+        cfg.use_penalty = true;
+        // Disable convergence cut-off so longer horizons actually train.
+        cfg.convergence_fraction = 0.0;
+        let result = rlcut::partition(&geo, &env, profile.clone(), 10.0, &cfg);
+        let time = result.final_objective(&env).transfer_time;
+        t.row(vec![
+            steps.to_string(),
+            f3(time),
+            f3(time / reference_time.max(1e-12)),
+        ]);
+    }
+    t.print();
+    println!("No-penalty reference @ 10 steps: transfer time {}", f3(reference_time));
+    println!("Paper reference: Fig 6 — with-penalty converges to the no-penalty result");
+    println!("only at ~300 iterations; without penalty 10 iterations suffice.");
+}

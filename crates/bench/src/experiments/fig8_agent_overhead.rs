@@ -1,0 +1,53 @@
+//! Fig 8: training overhead is near-linear in the number of agents
+//! participating (TW-analog, PageRank).
+
+use crate::{f3, secs, ExpContext, Table};
+use geoengine::Algorithm;
+use geograph::Dataset;
+use geosim::regions::ec2_eight_regions;
+use rlcut::RlCutConfig;
+
+pub fn run(ctx: &ExpContext) {
+    let env = ec2_eight_regions();
+    let geo = ctx.build_geo(Dataset::Twitter);
+    let algo = Algorithm::pagerank();
+    let profile = algo.profile(&geo);
+    let budget = geosim::cost::default_budget(&env, &geo.locations, &geo.data_sizes, 0.4);
+
+    let mut t = Table::new(
+        &format!(
+            "Fig 8 — training overhead vs participating agents (TW-analog, {} vertices)",
+            geo.num_vertices()
+        ),
+        &["Agent fraction", "Agents", "Overhead (s)", "Overhead per step (s)"],
+    );
+    let mut series = Vec::new();
+    for fraction in [0.1, 0.25, 0.5, 0.75, 1.0] {
+        // Fig 8 predates the degree-importance heuristic: agents are
+        // sampled uniformly, so overhead tracks agent *count*.
+        let mut config = RlCutConfig::new(budget)
+            .with_seed(ctx.seed)
+            .with_threads(ctx.threads)
+            .with_fixed_sample_rate(fraction);
+        config.sample_strategy = rlcut::config::SampleStrategy::Random;
+        let result = rlcut::partition(&geo, &env, profile.clone(), 10.0, &config);
+        let total: f64 = result.steps.iter().map(|s| s.duration.as_secs_f64()).sum();
+        let per_step = total / result.steps.len().max(1) as f64;
+        series.push((fraction, per_step));
+        t.row(vec![
+            format!("{:.0}%", fraction * 100.0),
+            result.steps.first().map(|s| s.num_agents).unwrap_or(0).to_string(),
+            secs(result.total_duration),
+            f3(per_step),
+        ]);
+    }
+    t.print();
+    let slope_low = series[1].1 / series[0].1;
+    let slope_high = series.last().unwrap().1 / series[0].1;
+    println!(
+        "Per-step overhead grows {:.1}x from 10%->25% and {:.1}x from 10%->100% of agents.",
+        slope_low, slope_high
+    );
+    println!("Paper reference: Fig 8 — overhead is almost linearly related to the number");
+    println!("of agents participating in training.");
+}

@@ -1,0 +1,48 @@
+//! Fig 9: training only the lowest-k%-degree agents — transfer time drops
+//! sharply up to k≈10 and flattens; overhead keeps growing with k.
+
+use crate::{f3, ExpContext, Table};
+use geoengine::Algorithm;
+use geograph::Dataset;
+use geosim::regions::ec2_eight_regions;
+use rlcut::RlCutConfig;
+
+pub fn run(ctx: &ExpContext) {
+    let env = ec2_eight_regions();
+    let geo = ctx.build_geo(Dataset::Twitter);
+    let algo = Algorithm::pagerank();
+    let profile = algo.profile(&geo);
+    let budget = geosim::cost::default_budget(&env, &geo.locations, &geo.data_sizes, 0.4);
+
+    let mut t = Table::new(
+        "Fig 9 — lowest-k%-degree sampling (TW-analog, PR); normalized to k=100%",
+        &["k (%)", "Transfer time", "Normalized time", "Overhead (s)", "Normalized overhead"],
+    );
+    let ks = [1.0, 5.0, 10.0, 20.0, 40.0, 60.0, 80.0, 100.0];
+    let mut rows = Vec::new();
+    for &k in &ks {
+        let config = RlCutConfig::new(budget)
+            .with_seed(ctx.seed)
+            .with_threads(ctx.threads)
+            .with_fixed_sample_rate(k / 100.0);
+        let result = rlcut::partition(&geo, &env, profile.clone(), 10.0, &config);
+        rows.push((
+            k,
+            result.final_objective(&env).transfer_time,
+            result.total_duration.as_secs_f64(),
+        ));
+    }
+    let (ref_time, ref_overhead) = (rows.last().unwrap().1, rows.last().unwrap().2);
+    for &(k, time, overhead) in &rows {
+        t.row(vec![
+            format!("{k:.0}"),
+            f3(time),
+            f3(time / ref_time.max(1e-12)),
+            f3(overhead),
+            f3(overhead / ref_overhead.max(1e-12)),
+        ]);
+    }
+    t.print();
+    println!("Paper reference: Fig 9 — transfer time drops sharply as k goes 0->10% and");
+    println!("is almost stable after; high-degree agents contribute little optimization.");
+}

@@ -1,0 +1,37 @@
+//! Table I: uplink/downlink bandwidths and upload prices of EC2 regions.
+
+use crate::{f3, ExpContext, Table};
+use geosim::regions::{ec2_eight_regions, table1_regions};
+use geosim::BYTES_PER_GB;
+
+pub fn run(_ctx: &ExpContext) {
+    let mut t = Table::new(
+        "Table I — measured EC2 regions (paper: US East / AP Singapore / AP Sydney)",
+        &["Region", "Uplink (GB/s)", "Downlink (GB/s)", "Price ($/GB)"],
+    );
+    for dc in table1_regions().dcs() {
+        t.row(vec![
+            dc.name.clone(),
+            f3(dc.uplink_bps / BYTES_PER_GB),
+            f3(dc.downlink_bps / BYTES_PER_GB),
+            f3(dc.upload_price_per_byte * BYTES_PER_GB),
+        ]);
+    }
+    t.print();
+
+    let mut t8 = Table::new(
+        "Full 8-region environment used by Exp#1 (interpolated where unmeasured)",
+        &["Region", "Uplink (GB/s)", "Downlink (GB/s)", "Price ($/GB)"],
+    );
+    for dc in ec2_eight_regions().dcs() {
+        t8.row(vec![
+            dc.name.clone(),
+            f3(dc.uplink_bps / BYTES_PER_GB),
+            f3(dc.downlink_bps / BYTES_PER_GB),
+            f3(dc.upload_price_per_byte * BYTES_PER_GB),
+        ]);
+    }
+    t8.print();
+    println!("Paper reference: Table I — uplinks 0.48-0.55 GB/s, downlinks 2.5-3.5 GB/s,");
+    println!("prices $0.09-0.14/GB; downlinks several times uplinks; SIN > SYD by 17%/40%.");
+}

@@ -1,0 +1,379 @@
+//! # rlcut-cli — command-line driver
+//!
+//! ```text
+//! rlcut info      <edge-list>
+//! rlcut partition <edge-list> --out <plan> [options]
+//! rlcut evaluate  <edge-list> --plan <plan> [options]
+//! ```
+//!
+//! Works on plain SNAP/LAW-style edge lists. `partition` geo-distributes
+//! the graph over the 8-region EC2 environment (or a uniform `--dcs N`
+//! one), runs the chosen method, prints the objective, and persists the
+//! master assignment with `geopart::plan_io`. `evaluate` re-loads a plan
+//! and scores it, so plans can be compared across runs and methods.
+//!
+//! Logic lives here (string-in/string-out) so it is unit-testable; the
+//! binary in `main.rs` is a thin shell.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use geobase::ginger::GingerConfig;
+use geograph::locality::LocalityConfig;
+use geograph::GeoGraph;
+use geopart::{HybridState, TrafficProfile};
+use geosim::{CloudEnv, Datacenter};
+use rlcut::RlCutConfig;
+
+/// A parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    Info { graph: PathBuf },
+    Partition { graph: PathBuf, out: Option<PathBuf>, options: Options },
+    Evaluate { graph: PathBuf, plan: PathBuf, options: Options },
+}
+
+/// Options shared by `partition` and `evaluate`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Options {
+    /// Partitioning method (partition only).
+    pub method: Method,
+    /// Custom environment file (overrides --dcs and the EC2 preset).
+    pub env_file: Option<PathBuf>,
+    /// Number of DCs; 0 = the 8-region EC2 preset.
+    pub dcs: usize,
+    /// Budget as a fraction of the centralization cost.
+    pub budget_frac: f64,
+    /// Required optimization overhead in milliseconds (0 = unconstrained).
+    pub topt_ms: u64,
+    pub threads: usize,
+    pub seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            method: Method::RlCut,
+            env_file: None,
+            dcs: 0,
+            budget_frac: 0.4,
+            topt_ms: 0,
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            seed: 42,
+        }
+    }
+}
+
+/// Supported partitioning methods.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    RlCut,
+    Ginger,
+    HashPl,
+    Natural,
+}
+
+impl Method {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "rlcut" => Ok(Method::RlCut),
+            "ginger" => Ok(Method::Ginger),
+            "hashpl" => Ok(Method::HashPl),
+            "natural" => Ok(Method::Natural),
+            other => Err(format!("unknown method {other:?} (rlcut|ginger|hashpl|natural)")),
+        }
+    }
+}
+
+pub const USAGE: &str = "\
+usage:
+  rlcut info      <edge-list>
+  rlcut partition <edge-list> [--out plan.txt] [--method rlcut|ginger|hashpl|natural]
+                  [--dcs N | --env dcs.txt] [--budget-frac F] [--topt-ms N]
+                  [--threads N] [--seed N]
+  rlcut evaluate  <edge-list> --plan plan.txt [--dcs N | --env dcs.txt] [--seed N]";
+
+/// Parses the argument vector (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut iter = args.iter();
+    let sub = iter.next().ok_or_else(|| USAGE.to_string())?;
+    let graph = PathBuf::from(iter.next().ok_or("missing <edge-list> argument")?.clone());
+    let mut out = None;
+    let mut plan = None;
+    let mut options = Options::default();
+    while let Some(flag) = iter.next() {
+        let mut value = || -> Result<&String, String> {
+            iter.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--out" => out = Some(PathBuf::from(value()?.clone())),
+            "--plan" => plan = Some(PathBuf::from(value()?.clone())),
+            "--method" => options.method = Method::parse(value()?)?,
+            "--dcs" => options.dcs = value()?.parse().map_err(|e| format!("--dcs: {e}"))?,
+            "--env" => options.env_file = Some(PathBuf::from(value()?.clone())),
+            "--budget-frac" => {
+                options.budget_frac =
+                    value()?.parse().map_err(|e| format!("--budget-frac: {e}"))?
+            }
+            "--topt-ms" => {
+                options.topt_ms = value()?.parse().map_err(|e| format!("--topt-ms: {e}"))?
+            }
+            "--threads" => {
+                options.threads = value()?.parse().map_err(|e| format!("--threads: {e}"))?
+            }
+            "--seed" => options.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    match sub.as_str() {
+        "info" => Ok(Command::Info { graph }),
+        "partition" => Ok(Command::Partition { graph, out, options }),
+        "evaluate" => {
+            let plan = plan.ok_or("evaluate needs --plan <file>")?;
+            Ok(Command::Evaluate { graph, plan, options })
+        }
+        other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+    }
+}
+
+fn build_env(options: &Options) -> Result<CloudEnv, String> {
+    if let Some(path) = &options.env_file {
+        return geosim::env_io::read_env(path).map_err(|e| e.to_string());
+    }
+    Ok(if options.dcs == 0 {
+        geosim::regions::ec2_eight_regions()
+    } else {
+        CloudEnv::new(
+            (0..options.dcs)
+                .map(|i| Datacenter::from_gb_units(&format!("dc{i}"), 0.5, 2.5, 0.10))
+                .collect(),
+        )
+    })
+}
+
+fn load_geo(path: &std::path::Path, env: &CloudEnv, seed: u64) -> Result<GeoGraph, String> {
+    let graph = geograph::io::read_edge_list(path).map_err(|e| e.to_string())?;
+    let mut locality = LocalityConfig::paper_default(seed);
+    if env.num_dcs() != 8 {
+        locality = LocalityConfig::uniform(env.num_dcs(), seed);
+    }
+    Ok(GeoGraph::from_graph(graph, &locality))
+}
+
+/// Runs a command, returning the report text.
+pub fn run(command: Command) -> Result<String, String> {
+    match command {
+        Command::Info { graph } => {
+            let g = geograph::io::read_edge_list(&graph).map_err(|e| e.to_string())?;
+            let stats = geograph::degree::DegreeStats::compute(&g);
+            let theta = geograph::degree::suggest_theta(&g, 0.05);
+            Ok(format!(
+                "graph      : {:?}\nvertices   : {}\nedges      : {}\nmax in/out : {} / {}\n\
+                 mean in    : {:.2}\np99 in     : {}\ntop-1% edge share: {:.1}%\n\
+                 suggested θ (5% high-degree): {theta}",
+                graph,
+                g.num_vertices(),
+                g.num_edges(),
+                stats.max_in,
+                stats.max_out,
+                stats.mean_in,
+                stats.p99_in,
+                stats.top1pct_edge_share * 100.0,
+            ))
+        }
+        Command::Partition { graph, out, options } => {
+            let env = build_env(&options)?;
+            let geo = load_geo(&graph, &env, options.seed)?;
+            let budget = geosim::cost::default_budget(
+                &env,
+                &geo.locations,
+                &geo.data_sizes,
+                options.budget_frac,
+            );
+            let theta = geograph::degree::suggest_theta(&geo.graph, 0.05);
+            let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+            let start = std::time::Instant::now();
+            let masters: Vec<geograph::DcId> = match options.method {
+                Method::Natural => geo.locations.clone(),
+                Method::HashPl => geobase::hashpl(&geo, &env, theta, profile.clone(), 10.0, options.seed)
+                    .core()
+                    .masters()
+                    .to_vec(),
+                Method::Ginger => geobase::ginger(
+                    &geo,
+                    &env,
+                    GingerConfig::new(theta, options.seed),
+                    profile.clone(),
+                    10.0,
+                )
+                .core()
+                .masters()
+                .to_vec(),
+                Method::RlCut => {
+                    let mut config = RlCutConfig::new(budget)
+                        .with_seed(options.seed)
+                        .with_threads(options.threads);
+                    if options.topt_ms > 0 {
+                        config = config.with_t_opt(Duration::from_millis(options.topt_ms));
+                    }
+                    rlcut::partition(&geo, &env, profile.clone(), 10.0, &config)
+                        .state
+                        .core()
+                        .masters()
+                        .to_vec()
+                }
+            };
+            let overhead = start.elapsed();
+            let state = HybridState::from_masters(&geo, &env, masters, theta, profile, 10.0);
+            let obj = state.objective(&env);
+            let mut report = format!(
+                "method        : {:?}\nvertices/edges: {} / {}\nDCs           : {}\n\
+                 transfer time : {:.6e} s/iteration\ntotal cost    : ${:.6} (budget ${budget:.6}, {})\n\
+                 replication λ : {:.2}\noverhead      : {:?}",
+                options.method,
+                geo.num_vertices(),
+                geo.num_edges(),
+                env.num_dcs(),
+                obj.transfer_time,
+                obj.total_cost(),
+                if obj.total_cost() <= budget { "OK" } else { "EXCEEDED" },
+                state.core().replication_factor(),
+                overhead,
+            );
+            if let Some(path) = out {
+                geopart::plan_io::save_assignment(state.core().masters(), &path)
+                    .map_err(|e| e.to_string())?;
+                report.push_str(&format!("\nplan written  : {path:?}"));
+            }
+            Ok(report)
+        }
+        Command::Evaluate { graph, plan, options } => {
+            let env = build_env(&options)?;
+            let geo = load_geo(&graph, &env, options.seed)?;
+            let masters = geopart::plan_io::load_assignment(&plan).map_err(|e| e.to_string())?;
+            if masters.len() != geo.num_vertices() {
+                return Err(format!(
+                    "plan has {} masters but the graph has {} vertices",
+                    masters.len(),
+                    geo.num_vertices()
+                ));
+            }
+            let theta = geograph::degree::suggest_theta(&geo.graph, 0.05);
+            let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+            let state = HybridState::from_masters(&geo, &env, masters, theta, profile, 10.0);
+            let obj = state.objective(&env);
+            let algo = geoengine::Algorithm::pagerank();
+            let report = geoengine::execute_plan(&geo, &env, state.core(), None, &algo);
+            Ok(format!(
+                "plan          : {plan:?}\ntransfer time : {:.6e} s/iteration (static model)\n\
+                 PR execution  : {:.6e} s total over {} iterations\nmovement cost : ${:.6}\n\
+                 runtime cost  : ${:.6}\nreplication λ : {:.2}\nWAN/iteration : {:.1} KB",
+                obj.transfer_time,
+                report.transfer_time,
+                report.iterations,
+                obj.movement_cost,
+                obj.runtime_cost,
+                state.core().replication_factor(),
+                state.core().wan_bytes_per_iteration() / 1024.0,
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_info() {
+        let cmd = parse_args(&args(&["info", "g.txt"])).unwrap();
+        assert_eq!(cmd, Command::Info { graph: PathBuf::from("g.txt") });
+    }
+
+    #[test]
+    fn parse_partition_with_flags() {
+        let cmd = parse_args(&args(&[
+            "partition", "g.txt", "--out", "p.txt", "--method", "ginger", "--dcs", "4",
+            "--budget-frac", "0.2", "--threads", "2", "--seed", "7",
+        ]))
+        .unwrap();
+        let Command::Partition { graph, out, options } = cmd else { panic!() };
+        assert_eq!(graph, PathBuf::from("g.txt"));
+        assert_eq!(out, Some(PathBuf::from("p.txt")));
+        assert_eq!(options.method, Method::Ginger);
+        assert_eq!(options.dcs, 4);
+        assert_eq!(options.budget_frac, 0.2);
+        assert_eq!(options.threads, 2);
+        assert_eq!(options.seed, 7);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_args(&args(&[])).is_err());
+        assert!(parse_args(&args(&["bogus", "g.txt"])).is_err());
+        assert!(parse_args(&args(&["evaluate", "g.txt"])).is_err(), "evaluate needs --plan");
+        assert!(parse_args(&args(&["partition", "g.txt", "--method", "magic"])).is_err());
+        assert!(parse_args(&args(&["partition", "g.txt", "--seed"])).is_err());
+    }
+
+    fn demo_graph_file(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("rlcut_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let g = geograph::generators::erdos_renyi(300, 2400, 3);
+        geograph::io::write_edge_list(&g, &path).unwrap();
+        path
+    }
+
+    #[test]
+    fn info_runs() {
+        let path = demo_graph_file("info.txt");
+        let report = run(Command::Info { graph: path }).unwrap();
+        assert!(report.contains("vertices   : 300"));
+        assert!(report.contains("suggested θ"));
+    }
+
+    #[test]
+    fn partition_and_evaluate_round_trip() {
+        let graph = demo_graph_file("pipeline.txt");
+        let plan = std::env::temp_dir().join("rlcut_cli_tests/pipeline.plan");
+        let mut options = Options { topt_ms: 100, threads: 2, ..Default::default() };
+        options.method = Method::RlCut;
+        let report = run(Command::Partition {
+            graph: graph.clone(),
+            out: Some(plan.clone()),
+            options: options.clone(),
+        })
+        .unwrap();
+        assert!(report.contains("OK"), "partition over budget?\n{report}");
+        let eval = run(Command::Evaluate { graph, plan, options }).unwrap();
+        assert!(eval.contains("replication λ"));
+        assert!(eval.contains("PR execution"));
+    }
+
+    #[test]
+    fn evaluate_rejects_mismatched_plan() {
+        let graph = demo_graph_file("mismatch.txt");
+        let plan = std::env::temp_dir().join("rlcut_cli_tests/short.plan");
+        geopart::plan_io::save_assignment(&[0, 1, 2], &plan).unwrap();
+        let err = run(Command::Evaluate {
+            graph,
+            plan,
+            options: Options::default(),
+        })
+        .unwrap_err();
+        assert!(err.contains("3 masters"), "{err}");
+    }
+
+    #[test]
+    fn natural_method_has_zero_movement() {
+        let graph = demo_graph_file("natural.txt");
+        let options = Options { method: Method::Natural, ..Default::default() };
+        let report = run(Command::Partition { graph, out: None, options }).unwrap();
+        assert!(report.contains("OK"));
+    }
+}

@@ -1,0 +1,12 @@
+//! The `rlcut` binary — see [`rlcut_cli`] for the command grammar.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match rlcut_cli::parse_args(&args).and_then(rlcut_cli::run) {
+        Ok(report) => println!("{report}"),
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Adaptive re-partitioning for dynamic graphs (§V-C, Exp#5).
+//!
+//! The paper's dynamic model: a base graph plus windows of inserted
+//! vertices/edges; each window must be re-partitioned within the required
+//! optimization overhead `T_opt` (60 s in Exp#5). [`AdaptiveRlCut`] keeps
+//! the trained master vector across windows: new vertices start at their
+//! natural location and the sampler decides how many agents the time
+//! budget affords — *this* is what makes RLCut adaptive where Spinner is
+//! best-effort (it converges regardless of `T_opt`, overshooting it under
+//! fast updates and wasting effort under slow ones, Fig 15b).
+
+use std::time::Duration;
+
+use geograph::{DcId, GeoGraph};
+use geopart::TrafficProfile;
+use geosim::CloudEnv;
+
+use crate::config::RlCutConfig;
+use crate::trainer::partition_from;
+
+/// Telemetry of one (re-)partitioning window.
+#[derive(Clone, Copy, Debug)]
+pub struct WindowReport {
+    /// Wall-clock partitioning overhead of the window.
+    pub overhead: Duration,
+    /// Transfer time (Eq 1) of the plan after the window.
+    pub transfer_time: f64,
+    /// Total cost of the plan after the window.
+    pub total_cost: f64,
+    /// Accepted migrations during the window.
+    pub migrations: usize,
+}
+
+/// RLCut across a stream of graph-growth windows.
+#[derive(Clone, Debug)]
+pub struct AdaptiveRlCut {
+    config: RlCutConfig,
+    /// Recompute the budget each window as this fraction of the current
+    /// graph's centralization cost (`None` keeps `config.budget` fixed).
+    budget_fraction: Option<f64>,
+    masters: Vec<DcId>,
+}
+
+impl AdaptiveRlCut {
+    /// Creates the adapter. `budget_fraction = Some(0.4)` reproduces the
+    /// paper's default budget policy as the graph grows.
+    pub fn new(config: RlCutConfig, budget_fraction: Option<f64>) -> Self {
+        AdaptiveRlCut { config, budget_fraction, masters: Vec::new() }
+    }
+
+    /// The current master assignment (empty before the first window).
+    pub fn masters(&self) -> &[DcId] {
+        &self.masters
+    }
+
+    /// Partitions the current snapshot within `t_opt`, seeding from the
+    /// previous window's masters (new vertices start at their natural
+    /// DC). Call with the initial graph first, then once per window.
+    pub fn on_window(
+        &mut self,
+        geo: &GeoGraph,
+        env: &CloudEnv,
+        profile: TrafficProfile,
+        num_iterations: f64,
+        t_opt: Duration,
+    ) -> WindowReport {
+        assert!(geo.num_vertices() >= self.masters.len(), "graphs only grow across windows");
+        let mut masters = std::mem::take(&mut self.masters);
+        masters.extend_from_slice(&geo.locations[masters.len()..]);
+
+        let mut config = self.config.clone().with_t_opt(t_opt);
+        if let Some(fraction) = self.budget_fraction {
+            config.budget =
+                geosim::cost::default_budget(env, &geo.locations, &geo.data_sizes, fraction);
+        }
+        let result = partition_from(geo, env, masters, profile, num_iterations, &config);
+        let objective = result.final_objective(env);
+        self.masters = result.state.core().masters().to_vec();
+        WindowReport {
+            overhead: result.total_duration,
+            transfer_time: objective.transfer_time,
+            total_cost: objective.total_cost(),
+            migrations: result.total_migrations(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geograph::dynamic::{apply_events, split_for_dynamic};
+    use geograph::generators::preferential::preferential_attachment_edges;
+    use geograph::locality::{assign_locations, LocalityConfig};
+    use geograph::{GeoGraph, GraphBuilder};
+    use geosim::regions::ec2_eight_regions;
+
+    /// Builds the Exp#5-style workload: 70 % of edges as the base graph,
+    /// the rest arriving in one window.
+    fn dynamic_workload() -> (GeoGraph, GeoGraph, Vec<geograph::VertexId>) {
+        let n = 1000;
+        let edges = preferential_attachment_edges(n, 4, 17);
+        let (initial, stream) = split_for_dynamic(&edges, n, 0.7, 60_000);
+        let full = {
+            let mut b = GraphBuilder::new(n);
+            b.add_edges(initial.edges());
+            let new_vertices = apply_events(&mut b, stream.events());
+            (b.build(), new_vertices)
+        };
+        let cfg = LocalityConfig::paper_default(17);
+        let locations = assign_locations(&full.0, &cfg);
+        let sizes: Vec<u64> = (0..n).map(|_| 2048).collect();
+        let geo_initial =
+            GeoGraph::new(initial, locations.clone(), sizes.clone(), cfg.num_dcs);
+        let geo_full = GeoGraph::new(full.0, locations, sizes, cfg.num_dcs);
+        (geo_initial, geo_full, full.1)
+    }
+
+    #[test]
+    fn windows_carry_state_forward() {
+        let (geo_initial, geo_full, _) = dynamic_workload();
+        let env = ec2_eight_regions();
+        let config = RlCutConfig::new(1.0).with_seed(3).with_threads(2);
+        let mut adaptive = AdaptiveRlCut::new(config, Some(0.4));
+        let t_opt = Duration::from_millis(500);
+
+        let p0 = TrafficProfile::uniform(geo_initial.num_vertices(), 8.0);
+        let w0 = adaptive.on_window(&geo_initial, &env, p0, 10.0, t_opt);
+        assert_eq!(adaptive.masters().len(), geo_initial.num_vertices());
+
+        let p1 = TrafficProfile::uniform(geo_full.num_vertices(), 8.0);
+        let w1 = adaptive.on_window(&geo_full, &env, p1, 10.0, t_opt);
+        assert_eq!(adaptive.masters().len(), geo_full.num_vertices());
+        assert!(w0.overhead.as_nanos() > 0);
+        assert!(w1.transfer_time > 0.0);
+    }
+
+    #[test]
+    fn window_overhead_respects_t_opt_roughly() {
+        let (geo_initial, _, _) = dynamic_workload();
+        let env = ec2_eight_regions();
+        let config = RlCutConfig::new(1.0).with_seed(4).with_threads(2);
+        let mut adaptive = AdaptiveRlCut::new(config, Some(0.4));
+        let t_opt = Duration::from_millis(100);
+        let p = TrafficProfile::uniform(geo_initial.num_vertices(), 8.0);
+        let report = adaptive.on_window(&geo_initial, &env, p, 10.0, t_opt);
+        assert!(
+            report.overhead < t_opt * 5,
+            "window took {:?} against T_opt {:?}",
+            report.overhead,
+            t_opt
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "grow")]
+    fn shrinking_graph_rejected() {
+        let (_, geo_full, _) = dynamic_workload();
+        let env = ec2_eight_regions();
+        let config = RlCutConfig::new(1.0).with_seed(5);
+        let mut adaptive = AdaptiveRlCut::new(config, Some(0.4));
+        let p1 = TrafficProfile::uniform(geo_full.num_vertices(), 8.0);
+        adaptive.on_window(&geo_full, &env, p1, 10.0, Duration::from_millis(50));
+        // A snapshot with fewer vertices must be rejected.
+        let small = GeoGraph::new(
+            geograph::Graph::empty(10),
+            vec![0; 10],
+            vec![2048; 10],
+            geo_full.num_dcs,
+        );
+        let p0 = TrafficProfile::uniform(10, 8.0);
+        adaptive.on_window(&small, &env, p0, 10.0, Duration::from_millis(50));
+    }
+}

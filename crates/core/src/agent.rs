@@ -1,0 +1,241 @@
+//! Per-vertex learning automata: action probabilities (Eq 8/9/12) and UCB
+//! statistics (Eq 13).
+//!
+//! State is stored in flat `n × M` arrays (struct-of-arrays) — the pool is
+//! touched for every sampled agent every step, and row-contiguous layout
+//! keeps that pass cache-friendly.
+
+use geograph::{DcId, VertexId};
+
+/// The pool of all agents' LA state.
+#[derive(Clone, Debug)]
+pub struct AgentPool {
+    num_actions: usize,
+    /// Action probabilities, row per agent, initialized uniform (§IV-B).
+    probs: Vec<f32>,
+    /// Times each action was selected (UCB `N_n(a)`).
+    plays: Vec<u32>,
+    /// Mean realized reward of each action when selected (UCB `Q_n(a)`);
+    /// the reward is the binary reinforcement signal inverted (1 = the
+    /// selected action was the score-optimal DC ρ_v).
+    mean_reward: Vec<f32>,
+    /// Per-agent total selections (the `n` in Eq 13).
+    total_plays: Vec<u32>,
+}
+
+impl AgentPool {
+    /// Uniform-initialized pool for `num_agents` agents over `num_actions`
+    /// DCs.
+    pub fn new(num_agents: usize, num_actions: usize) -> Self {
+        assert!(num_actions >= 1);
+        AgentPool {
+            num_actions,
+            probs: vec![1.0 / num_actions as f32; num_agents * num_actions],
+            plays: vec![0; num_agents * num_actions],
+            mean_reward: vec![0.0; num_agents * num_actions],
+            total_plays: vec![0; num_agents],
+        }
+    }
+
+    /// Number of agents in the pool.
+    pub fn num_agents(&self) -> usize {
+        self.total_plays.len()
+    }
+
+    /// Grows the pool for dynamic graphs: new agents start uniform.
+    pub fn grow(&mut self, num_agents: usize) {
+        let old = self.num_agents();
+        if num_agents <= old {
+            return;
+        }
+        self.probs.resize(num_agents * self.num_actions, 1.0 / self.num_actions as f32);
+        self.plays.resize(num_agents * self.num_actions, 0);
+        self.mean_reward.resize(num_agents * self.num_actions, 0.0);
+        self.total_plays.resize(num_agents, 0);
+    }
+
+    /// The probability row of agent `v`.
+    pub fn probabilities(&self, v: VertexId) -> &[f32] {
+        let base = v as usize * self.num_actions;
+        &self.probs[base..base + self.num_actions]
+    }
+
+    /// Reward update (Eq 12 / Eq 8): boost `rewarded`, shrink the rest.
+    pub fn reward(&mut self, v: VertexId, rewarded: DcId, alpha: f64) {
+        let base = v as usize * self.num_actions;
+        let row = &mut self.probs[base..base + self.num_actions];
+        for (j, p) in row.iter_mut().enumerate() {
+            if j == rewarded as usize {
+                *p += (alpha * (1.0 - *p as f64)) as f32;
+            } else {
+                *p *= (1.0 - alpha) as f32;
+            }
+        }
+    }
+
+    /// Penalty update (Eq 9) for one punished action: shrink it and
+    /// redistribute β to the others. The paper disables this by default
+    /// (Fig 6: ~30× slower convergence for the same final quality).
+    pub fn penalize(&mut self, v: VertexId, punished: DcId, beta: f64) {
+        let m = self.num_actions;
+        if m == 1 {
+            return;
+        }
+        let base = v as usize * m;
+        let row = &mut self.probs[base..base + m];
+        for (j, p) in row.iter_mut().enumerate() {
+            if j == punished as usize {
+                *p *= (1.0 - beta) as f32;
+            } else {
+                *p = (*p as f64 * (1.0 - beta) + beta / (m - 1) as f64) as f32;
+            }
+        }
+    }
+
+    /// UCB action selection (Eq 13): the LA action probability plus a
+    /// decaying exploration bonus, `P_v(a) + c·√(ln(n+1)/(N_n(a)+1))`.
+    ///
+    /// The probability vector learned by Eq 12 is the exploitation term —
+    /// so reward/penalty dynamics (Fig 6) directly shape which actions get
+    /// proposed — while the visit-count bonus restores the exploration the
+    /// reward-only update sacrifices (§IV-C.4). The `+1` smoothing avoids
+    /// the cold-start infinities of textbook UCB1, which would waste `M`
+    /// of the paper's 10-step horizon on forced exploration.
+    pub fn select_ucb(&self, v: VertexId, c: f64) -> DcId {
+        let m = self.num_actions;
+        let base = v as usize * m;
+        let n = self.total_plays[v as usize] as f64;
+        let ln_n = (n + 1.0).ln();
+        let mut best: (DcId, f64) = (0, f64::NEG_INFINITY);
+        for a in 0..m {
+            let plays = self.plays[base + a] as f64;
+            let value = self.probs[base + a] as f64 + c * (ln_n / (plays + 1.0)).sqrt();
+            if value > best.1 {
+                best = (a as DcId, value);
+            }
+        }
+        best.0
+    }
+
+    /// Mean realized reward of `(v, action)` across its selections — a
+    /// diagnostic for how often the automaton's choices matched ρ_v.
+    pub fn mean_reward(&self, v: VertexId, action: DcId) -> f32 {
+        self.mean_reward[v as usize * self.num_actions + action as usize]
+    }
+
+    /// Records that agent `v` selected `action` and observed `reward`
+    /// (running-mean update of `Q_n(a)`).
+    pub fn record_play(&mut self, v: VertexId, action: DcId, reward: f64) {
+        let idx = v as usize * self.num_actions + action as usize;
+        self.plays[idx] += 1;
+        self.total_plays[v as usize] += 1;
+        let n = self.plays[idx] as f64;
+        let q = self.mean_reward[idx] as f64;
+        self.mean_reward[idx] = (q + (reward - q) / n) as f32;
+    }
+
+    /// The most probable action of agent `v` — the converged policy.
+    pub fn best_action(&self, v: VertexId) -> DcId {
+        let row = self.probabilities(v);
+        row.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(d, _)| d as DcId)
+            .unwrap_or(0)
+    }
+
+    /// Maximum probability of agent `v` — a convergence indicator.
+    pub fn confidence(&self, v: VertexId) -> f32 {
+        self.probabilities(v).iter().copied().fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_initialization() {
+        let pool = AgentPool::new(3, 4);
+        for p in pool.probabilities(1) {
+            assert!((p - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn reward_concentrates_probability() {
+        let mut pool = AgentPool::new(1, 4);
+        for _ in 0..20 {
+            pool.reward(0, 2, 0.3);
+        }
+        assert_eq!(pool.best_action(0), 2);
+        assert!(pool.confidence(0) > 0.99);
+        let sum: f32 = pool.probabilities(0).iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "probabilities drifted: {sum}");
+    }
+
+    #[test]
+    fn penalty_redistributes() {
+        let mut pool = AgentPool::new(1, 4);
+        pool.penalize(0, 0, 0.2);
+        let row = pool.probabilities(0);
+        assert!(row[0] < 0.25);
+        assert!(row[1] > 0.25);
+        let sum: f32 = row.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exploration_bonus_rotates_unplayed_actions() {
+        let mut pool = AgentPool::new(1, 3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..3 {
+            let a = pool.select_ucb(0, 1.0);
+            seen.insert(a);
+            pool.record_play(0, a, 0.0);
+        }
+        assert_eq!(seen.len(), 3, "with uniform P the bonus must rotate actions");
+    }
+
+    #[test]
+    fn concentrated_probability_dominates_selection() {
+        let mut pool = AgentPool::new(1, 3);
+        for _ in 0..10 {
+            pool.reward(0, 2, 0.3);
+        }
+        // Even with a fresh (unplayed) alternative, the near-1.0
+        // probability of action 2 wins under a modest bonus.
+        pool.record_play(0, 2, 1.0);
+        assert_eq!(pool.select_ucb(0, 0.3), 2);
+    }
+
+    #[test]
+    fn played_actions_lose_exploration_bonus() {
+        let mut pool = AgentPool::new(1, 2);
+        // Equal probabilities; action 0 played many times.
+        for _ in 0..10 {
+            pool.record_play(0, 0, 0.0);
+        }
+        assert_eq!(pool.select_ucb(0, 1.0), 1);
+    }
+
+    #[test]
+    fn mean_reward_tracked() {
+        let mut pool = AgentPool::new(1, 2);
+        pool.record_play(0, 1, 1.0);
+        pool.record_play(0, 1, 0.0);
+        assert!((pool.mean_reward(0, 1) - 0.5).abs() < 1e-6);
+        assert_eq!(pool.mean_reward(0, 0), 0.0);
+    }
+
+    #[test]
+    fn grow_preserves_existing_state() {
+        let mut pool = AgentPool::new(1, 2);
+        pool.reward(0, 1, 0.5);
+        let before = pool.probabilities(0).to_vec();
+        pool.grow(3);
+        assert_eq!(pool.num_agents(), 3);
+        assert_eq!(pool.probabilities(0), &before[..]);
+        assert!((pool.probabilities(2)[0] - 0.5).abs() < 1e-6);
+    }
+}

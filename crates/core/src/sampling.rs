@@ -1,0 +1,234 @@
+//! Degree-aware agent sampling and the adaptive rate schedule (§V-C,
+//! Eq 14).
+//!
+//! The paper's two observations: (1) training overhead is near-linear in
+//! the number of participating agents (Fig 8); (2) low-degree agents
+//! contribute most of the optimization benefit — high-degree vertices have
+//! replicas everywhere no matter where their master sits (Fig 9). So the
+//! sampler orders agents by ascending degree and each step trains a prefix
+//! whose length the Eq 14 schedule retunes from the remaining time budget.
+
+use geograph::{Graph, VertexId};
+
+/// Vertices ordered by ascending total degree (ties by id) — the sampling
+/// priority order.
+pub fn degree_ascending_order(graph: &Graph) -> Vec<VertexId> {
+    let mut order: Vec<VertexId> = (0..graph.num_vertices() as VertexId).collect();
+    order.sort_by_key(|&v| (graph.degree(v), v));
+    order
+}
+
+/// The Eq 14 sampling-rate schedule.
+///
+/// Starts at `SR_0` and, per step `i`, extrapolates the affordable rate
+/// from the remaining budget and the observed rate-per-second of past
+/// steps:
+///
+/// ```text
+/// SR_i = (T_opt − Σ t_k) / (Iter_max − i) · (1/i) Σ_j SR_j / t_j
+/// ```
+#[derive(Clone, Debug)]
+pub struct SampleScheduler {
+    /// Required optimization overhead, seconds. `None` = unconstrained
+    /// (rate 1.0 every step).
+    t_opt: Option<f64>,
+    /// Pinned rate (overrides the schedule).
+    fixed: Option<f64>,
+    initial_rate: f64,
+    max_steps: usize,
+    /// Recency weight λ for the rate-per-second estimate. `None` uses the
+    /// paper's uniform mean (Eq 14 verbatim). The paper observes (Fig 14b)
+    /// that overhead-per-rate *shrinks* near convergence — fewer vertices
+    /// migrate, so each agent gets cheaper — and flags exploiting this as
+    /// future work; `Some(λ)` implements it: step `j`'s observation is
+    /// weighted `λ^(age)`, so the schedule trusts recent, cheaper steps
+    /// and affords higher rates late in training.
+    recency: Option<f64>,
+    /// `(rate, seconds)` of completed steps.
+    history: Vec<(f64, f64)>,
+}
+
+impl SampleScheduler {
+    pub fn new(
+        t_opt: Option<f64>,
+        fixed: Option<f64>,
+        initial_rate: f64,
+        max_steps: usize,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&initial_rate));
+        SampleScheduler { t_opt, fixed, initial_rate, max_steps, recency: None, history: Vec::new() }
+    }
+
+    /// Enables the recency-weighted rate-per-second estimate (see the
+    /// `recency` field). `lambda` in `(0, 1]`; 1.0 degenerates to Eq 14.
+    pub fn with_recency(mut self, lambda: f64) -> Self {
+        assert!(lambda > 0.0 && lambda <= 1.0);
+        self.recency = Some(lambda);
+        self
+    }
+
+    /// The rate for the next step, or `None` when the time budget is
+    /// exhausted.
+    pub fn next_rate(&self) -> Option<f64> {
+        if let Some(fixed) = self.fixed {
+            return Some(fixed);
+        }
+        let Some(t_opt) = self.t_opt else {
+            return Some(1.0);
+        };
+        let step = self.history.len();
+        if step == 0 {
+            return Some(self.initial_rate.min(1.0));
+        }
+        let spent: f64 = self.history.iter().map(|&(_, t)| t).sum();
+        let remaining = t_opt - spent;
+        if remaining <= 0.0 || step >= self.max_steps {
+            return None;
+        }
+        // Mean achievable rate per second, from history (Eq 14's second
+        // factor); guard against clock-resolution zeros. With recency
+        // weighting, later observations dominate (Fig 14b future work).
+        let rate_per_sec = match self.recency {
+            None => {
+                self.history.iter().map(|&(sr, t)| sr / t.max(1e-6)).sum::<f64>() / step as f64
+            }
+            Some(lambda) => {
+                let mut weighted = 0.0;
+                let mut weight_sum = 0.0;
+                for (j, &(sr, t)) in self.history.iter().enumerate() {
+                    let w = lambda.powi((step - 1 - j) as i32);
+                    weighted += w * sr / t.max(1e-6);
+                    weight_sum += w;
+                }
+                weighted / weight_sum
+            }
+        };
+        let sr = remaining / (self.max_steps - step) as f64 * rate_per_sec;
+        Some(sr.clamp(0.0, 1.0))
+    }
+
+    /// Records a completed step.
+    pub fn record(&mut self, rate: f64, seconds: f64) {
+        self.history.push((rate, seconds));
+    }
+
+    /// The recorded `(rate, seconds)` history (Fig 14 plots this).
+    pub fn history(&self) -> &[(f64, f64)] {
+        &self.history
+    }
+}
+
+/// The sampled agent set for a rate: the lowest-degree `rate` fraction
+/// (at least one agent while the graph is non-empty and rate > 0).
+pub fn sample_prefix(order: &[VertexId], rate: f64) -> &[VertexId] {
+    if order.is_empty() || rate <= 0.0 {
+        return &[];
+    }
+    let k = ((order.len() as f64 * rate).ceil() as usize).clamp(1, order.len());
+    &order[..k]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geograph::Graph;
+
+    #[test]
+    fn order_is_by_degree() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2)]);
+        let order = degree_ascending_order(&g);
+        assert_eq!(*order.last().unwrap(), 0); // degree 3
+        assert_eq!(order[0], 3); // degree 1
+    }
+
+    #[test]
+    fn prefix_sampling() {
+        let order = vec![5, 3, 1, 2, 4];
+        assert_eq!(sample_prefix(&order, 0.4), &[5, 3]);
+        assert_eq!(sample_prefix(&order, 1.0).len(), 5);
+        assert_eq!(sample_prefix(&order, 0.0).len(), 0);
+        assert_eq!(sample_prefix(&order, 0.01), &[5]); // at least one
+    }
+
+    #[test]
+    fn unconstrained_scheduler_full_rate() {
+        let s = SampleScheduler::new(None, None, 0.01, 10);
+        assert_eq!(s.next_rate(), Some(1.0));
+    }
+
+    #[test]
+    fn fixed_rate_pins() {
+        let mut s = SampleScheduler::new(Some(1.0), Some(0.1), 0.01, 10);
+        assert_eq!(s.next_rate(), Some(0.1));
+        s.record(0.1, 100.0); // even absurd overheads don't change it
+        assert_eq!(s.next_rate(), Some(0.1));
+    }
+
+    #[test]
+    fn adaptive_starts_at_initial_rate() {
+        let s = SampleScheduler::new(Some(10.0), None, 0.01, 10);
+        assert_eq!(s.next_rate(), Some(0.01));
+    }
+
+    #[test]
+    fn adaptive_rate_scales_with_remaining_budget() {
+        // First step: 1 % of agents took 0.01 s => 1.0 rate/sec. With 9.99s
+        // left over 9 steps, the schedule affords ~1.0 rate... clamped.
+        let mut s = SampleScheduler::new(Some(10.0), None, 0.01, 10);
+        s.record(0.01, 0.01);
+        let r1 = s.next_rate().unwrap();
+        assert!(r1 > 0.5, "plenty of budget should raise the rate: {r1}");
+
+        // Tight budget: almost no time left => tiny rate.
+        let mut s = SampleScheduler::new(Some(0.02), None, 0.01, 10);
+        s.record(0.01, 0.019);
+        let r2 = s.next_rate().unwrap();
+        assert!(r2 < 0.1, "nearly exhausted budget must shrink the rate: {r2}");
+    }
+
+    #[test]
+    fn exhausted_budget_stops() {
+        let mut s = SampleScheduler::new(Some(1.0), None, 0.01, 10);
+        s.record(0.01, 2.0);
+        assert_eq!(s.next_rate(), None);
+    }
+
+    #[test]
+    fn recency_trusts_recent_cheaper_steps() {
+        // Overhead-per-rate shrinking over time (the Fig 14b pattern):
+        // step 0 was expensive (0.1 rate in 1 s), step 1 cheap (0.1 rate
+        // in 0.1 s). The recency-weighted schedule affords a higher next
+        // rate than the uniform Eq 14 mean.
+        let history = [(0.1, 1.0), (0.1, 0.1)];
+        let mut uniform = SampleScheduler::new(Some(10.0), None, 0.01, 10);
+        let mut recent = SampleScheduler::new(Some(10.0), None, 0.01, 10).with_recency(0.3);
+        for &(sr, t) in &history {
+            uniform.record(sr, t);
+            recent.record(sr, t);
+        }
+        let (u, r) = (uniform.next_rate().unwrap(), recent.next_rate().unwrap());
+        assert!(r >= u, "recency {r} should not trail uniform {u}");
+    }
+
+    #[test]
+    fn recency_one_matches_uniform() {
+        let mut a = SampleScheduler::new(Some(5.0), None, 0.01, 10);
+        let mut b = SampleScheduler::new(Some(5.0), None, 0.01, 10).with_recency(1.0);
+        for &(sr, t) in &[(0.01, 0.2), (0.3, 0.5), (0.5, 0.9)] {
+            a.record(sr, t);
+            b.record(sr, t);
+        }
+        let (ra, rb) = (a.next_rate().unwrap(), b.next_rate().unwrap());
+        assert!((ra - rb).abs() < 1e-12, "{ra} vs {rb}");
+    }
+
+    #[test]
+    fn larger_t_opt_gives_larger_rates() {
+        // The Fig 13/14 mechanism: more allowed overhead => more agents.
+        let mut small = SampleScheduler::new(Some(1.0), None, 0.01, 10);
+        let mut large = SampleScheduler::new(Some(50.0), None, 0.01, 10);
+        small.record(0.01, 0.5);
+        large.record(0.01, 0.5);
+        assert!(large.next_rate().unwrap() > small.next_rate().unwrap());
+    }
+}

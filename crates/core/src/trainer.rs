@@ -1,0 +1,568 @@
+//! The RLCut training loop (Fig 5) with batched global migration (Fig 7,
+//! §V-A) and degree-balanced parallel scoring (§V-B).
+//!
+//! ## Parallel architecture
+//!
+//! The environment ([`HybridState`]) sits behind a `parking_lot::RwLock`.
+//! Each training step has two phases:
+//!
+//! * **Scoring** — sampled agents are spread over worker threads by the
+//!   straggler-mitigating LPT assignment; each worker evaluates all `M`
+//!   candidate moves of its agents against the frozen step-start state
+//!   (read locks only). LA probability/UCB updates then run serially (they
+//!   are `O(M)` per agent — noise next to the `O(deg · M)` scoring).
+//! * **Migration** — move proposals are shuffled (the paper batches
+//!   randomly) and processed batch-by-batch: workers evaluate a batch's
+//!   members in parallel against the frozen batch-start state, a barrier
+//!   separates them from the leader applying the accepted moves under the
+//!   write lock, and a second barrier keeps later readers from observing a
+//!   half-applied batch. `batch_size = 1` degenerates to the strictly
+//!   sequential global optimization of Fig 7.
+//!
+//! Everything is deterministic for a fixed seed, independent of thread
+//! count: accept decisions depend only on frozen snapshots and the apply
+//! order is the shuffled proposal order.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Barrier;
+use std::time::Instant;
+
+use geograph::{DcId, GeoGraph, VertexId};
+use geopart::{HybridState, Objective, TrafficProfile};
+use geosim::CloudEnv;
+use parking_lot::RwLock;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::agent::AgentPool;
+use crate::config::{RlCutConfig, SampleStrategy};
+use crate::sampling::{degree_ascending_order, sample_prefix, SampleScheduler};
+use crate::score::{score, Weights};
+use crate::stats::{RlCutResult, StepStats};
+use crate::straggler;
+
+/// Partitions `geo` starting from its natural locations (the paper's
+/// initial state).
+pub fn partition<'g>(
+    geo: &'g GeoGraph,
+    env: &CloudEnv,
+    profile: TrafficProfile,
+    num_iterations: f64,
+    config: &RlCutConfig,
+) -> RlCutResult<'g> {
+    partition_from(geo, env, geo.locations.clone(), profile, num_iterations, config)
+}
+
+/// [`partition`] with a [`crate::observer::TrainingObserver`] attached.
+pub fn partition_with_observer<'g>(
+    geo: &'g GeoGraph,
+    env: &CloudEnv,
+    profile: TrafficProfile,
+    num_iterations: f64,
+    config: &RlCutConfig,
+    observer: &mut dyn crate::observer::TrainingObserver,
+) -> RlCutResult<'g> {
+    let theta = config
+        .theta
+        .unwrap_or_else(|| geograph::degree::suggest_theta(&geo.graph, 0.05));
+    let state = HybridState::from_masters(
+        geo,
+        env,
+        geo.locations.clone(),
+        theta,
+        profile,
+        num_iterations,
+    );
+    train_observed(geo, env, state, config, observer)
+}
+
+/// Partitions `geo` starting from explicit master locations — the entry
+/// point for dynamic re-partitioning, where the previous window's plan
+/// seeds the next.
+pub fn partition_from<'g>(
+    geo: &'g GeoGraph,
+    env: &CloudEnv,
+    initial_masters: Vec<DcId>,
+    profile: TrafficProfile,
+    num_iterations: f64,
+    config: &RlCutConfig,
+) -> RlCutResult<'g> {
+    let theta = config
+        .theta
+        .unwrap_or_else(|| geograph::degree::suggest_theta(&geo.graph, 0.05));
+    let state =
+        HybridState::from_masters(geo, env, initial_masters, theta, profile, num_iterations);
+    train(geo, env, state, config)
+}
+
+/// Runs the training loop on an existing state.
+pub fn train<'g>(
+    geo: &'g GeoGraph,
+    env: &CloudEnv,
+    state: HybridState<'g>,
+    config: &RlCutConfig,
+) -> RlCutResult<'g> {
+    train_observed(geo, env, state, config, &mut crate::observer::NoopObserver)
+}
+
+/// [`train`] reporting progress to `observer`.
+pub fn train_observed<'g>(
+    geo: &'g GeoGraph,
+    env: &CloudEnv,
+    state: HybridState<'g>,
+    config: &RlCutConfig,
+    observer: &mut dyn crate::observer::TrainingObserver,
+) -> RlCutResult<'g> {
+    let start = Instant::now();
+    let m = env.num_dcs();
+    let threads = config.threads();
+    // Isolated vertices generate no traffic wherever their master sits —
+    // training them wastes the sampled-agent budget, so they are excluded
+    // (they keep their initial master).
+    let mut order = match config.sample_strategy {
+        SampleStrategy::LowestDegree => degree_ascending_order(&geo.graph),
+        SampleStrategy::Random => {
+            let mut all: Vec<VertexId> = (0..geo.num_vertices() as VertexId).collect();
+            all.shuffle(&mut SmallRng::seed_from_u64(config.seed ^ 0x5a17_a8e2));
+            all
+        }
+    };
+    order.retain(|&v| geo.graph.degree(v) > 0);
+    let mut agents = AgentPool::new(geo.num_vertices(), m);
+    let mut scheduler = SampleScheduler::new(
+        config.t_opt.map(|d| d.as_secs_f64()),
+        config.fixed_sample_rate,
+        config.initial_sample_rate,
+        config.max_steps,
+    );
+    if let Some(lambda) = config.sampling_recency {
+        scheduler = scheduler.with_recency(lambda);
+    }
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x0ddb_1a5e_5bad_5eed);
+    let theta = state.theta();
+    let state = RwLock::new(state);
+    let mut steps: Vec<StepStats> = Vec::with_capacity(config.max_steps);
+    let mut converged = false;
+    observer.on_start(order.len(), config.max_steps);
+
+    // Track the best plan seen: a feasible (within-budget) plan beats any
+    // infeasible one, then lower transfer time wins. Batched migration can
+    // regress individual steps (jointly-applied moves interact, §V-A), so
+    // the trainer returns the best plan rather than the last.
+    let beats = |candidate: &Objective, incumbent: &Objective, budget: f64| -> bool {
+        let cand_ok = candidate.total_cost() <= budget;
+        let inc_ok = incumbent.total_cost() <= budget;
+        match (cand_ok, inc_ok) {
+            (true, false) => true,
+            (false, true) => false,
+            (true, true) => candidate.transfer_time < incumbent.transfer_time,
+            (false, false) => candidate.total_cost() < incumbent.total_cost(),
+        }
+    };
+    let mut best: (Vec<DcId>, Objective) = {
+        let st = state.read();
+        (st.core().masters().to_vec(), st.objective(env))
+    };
+
+    for step in 0..config.max_steps {
+        let Some(rate) = scheduler.next_rate() else { break };
+        let sampled = sample_prefix(&order, rate);
+        if sampled.is_empty() {
+            break;
+        }
+        let step_start = Instant::now();
+        let step_obj = state.read().objective(env);
+        if step_obj.transfer_time == 0.0 && step_obj.total_cost() <= config.budget {
+            converged = true;
+            break;
+        }
+        let over_budget = step_obj.total_cost() > config.budget;
+        let weights = Weights::at(step, config.max_steps, over_budget);
+
+        // Phase 1+2 — score function & reinforcement signal (parallel).
+        let score_start = Instant::now();
+        let rho = score_phase(geo, env, &state, sampled, &step_obj, weights, threads, config);
+        let score_duration = score_start.elapsed();
+
+        // Phase 3+4 — probability update & UCB action selection (serial;
+        // deterministic sampled order).
+        let mut proposals: Vec<(VertexId, DcId)> = Vec::new();
+        {
+            let st = state.read();
+            for (&v, &best_dc) in sampled.iter().zip(&rho) {
+                agents.reward(v, best_dc, config.alpha);
+                if config.use_penalty {
+                    for d in 0..m as DcId {
+                        if d != best_dc {
+                            agents.penalize(v, d, config.beta);
+                        }
+                    }
+                }
+                let selected = agents.select_ucb(v, config.ucb_c);
+                agents.record_play(v, selected, if selected == best_dc { 1.0 } else { 0.0 });
+                if selected != st.master(v) {
+                    proposals.push((v, selected));
+                }
+            }
+        }
+
+        // Phase 5 — batched vertex migration with rollback (the paper
+        // batches agents randomly, §V-A).
+        proposals.shuffle(&mut rng);
+        let migrate_start = Instant::now();
+        let migrations = migration_phase(env, &state, &proposals, weights, threads, config);
+        let migrate_duration = migrate_start.elapsed();
+
+        let duration = step_start.elapsed();
+        scheduler.record(rate, duration.as_secs_f64());
+        let obj = state.read().objective(env);
+        if beats(&obj, &best.1, config.budget) {
+            best = (state.read().core().masters().to_vec(), obj);
+        }
+        steps.push(StepStats {
+            duration,
+            score_duration,
+            migrate_duration,
+            sample_rate: rate,
+            num_agents: sampled.len(),
+            migrations,
+            transfer_time: obj.transfer_time,
+            total_cost: obj.total_cost(),
+        });
+        observer.on_step(step, steps.last().unwrap());
+        // Convergence is only meaningful when (nearly) all agents took
+        // part — a tiny early sample moving nothing says nothing about the
+        // full solution space.
+        if rate >= 0.999 && (migrations as f64) < config.convergence_fraction * sampled.len() as f64
+        {
+            converged = true;
+            break;
+        }
+    }
+
+    observer.on_finish(converged);
+    let mut final_state = state.into_inner();
+    if final_state.core().masters() != best.0.as_slice() {
+        let profile = final_state.core().profile().clone();
+        let num_iterations = final_state.core().num_iterations();
+        final_state = HybridState::from_masters(geo, env, best.0, theta, profile, num_iterations);
+    }
+    RlCutResult { state: final_state, steps, total_duration: start.elapsed(), converged }
+}
+
+/// Computes ρ_v (the score-optimal DC, Eq 10/11) for every sampled agent.
+/// Returns one entry per agent, aligned with `sampled`.
+#[allow(clippy::too_many_arguments)]
+fn score_phase(
+    geo: &GeoGraph,
+    env: &CloudEnv,
+    state: &RwLock<HybridState<'_>>,
+    sampled: &[VertexId],
+    step_obj: &Objective,
+    weights: Weights,
+    threads: usize,
+    config: &RlCutConfig,
+) -> Vec<DcId> {
+    let m = env.num_dcs();
+    let best_of = |st: &HybridState<'_>, v: VertexId| -> DcId {
+        let mut best = (0 as DcId, f64::NEG_INFINITY);
+        for d in 0..m as DcId {
+            let candidate = if d == st.master(v) {
+                *step_obj
+            } else {
+                st.evaluate_move(env, v, d)
+            };
+            let s = score(step_obj, &candidate, weights);
+            if s > best.1 {
+                best = (d, s);
+            }
+        }
+        best.0
+    };
+
+    if threads <= 1 || sampled.len() < 64 {
+        let st = state.read();
+        return sampled.iter().map(|&v| best_of(&st, v)).collect();
+    }
+
+    let groups = if config.disable_straggler_mitigation {
+        straggler::round_robin_assignment(sampled, threads)
+    } else {
+        straggler::balanced_assignment(&geo.graph, sampled, threads)
+    };
+    let mut rho_by_vertex: Vec<DcId> = vec![0; geo.num_vertices()];
+    let chunks: Vec<Vec<(VertexId, DcId)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = groups
+            .iter()
+            .map(|group| {
+                s.spawn(|| {
+                    let st = state.read();
+                    group.iter().map(|&v| (v, best_of(&st, v))).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("scoring worker panicked")).collect()
+    });
+    for (v, d) in chunks.into_iter().flatten() {
+        rho_by_vertex[v as usize] = d;
+    }
+    sampled.iter().map(|&v| rho_by_vertex[v as usize]).collect()
+}
+
+/// Applies move proposals batch-by-batch (§V-A): batch members are
+/// evaluated in parallel against the frozen batch-start state and accepted
+/// iff their Eq 10 score is positive; accepted moves apply atomically
+/// before the next batch. Returns the number of applied migrations.
+fn migration_phase(
+    env: &CloudEnv,
+    state: &RwLock<HybridState<'_>>,
+    proposals: &[(VertexId, DcId)],
+    weights: Weights,
+    threads: usize,
+    config: &RlCutConfig,
+) -> usize {
+    if proposals.is_empty() {
+        return 0;
+    }
+    let batch = config.batch_size.max(1);
+
+    if threads <= 1 || batch == 1 {
+        // Strictly sequential Fig 7 flow (also the batch=1 semantics: the
+        // "frozen" state is simply the live state).
+        let mut st = state.write();
+        let mut applied = 0usize;
+        for chunk in proposals.chunks(batch) {
+            let obj = st.objective(env);
+            let accepts: Vec<bool> = chunk
+                .iter()
+                .map(|&(v, to)| score(&obj, &st.evaluate_move(env, v, to), weights) > 0.0)
+                .collect();
+            for (&(v, to), ok) in chunk.iter().zip(accepts) {
+                if ok {
+                    st.apply_move(env, v, to);
+                    applied += 1;
+                }
+            }
+        }
+        return applied;
+    }
+
+    let accept: Vec<AtomicBool> =
+        (0..proposals.len()).map(|_| AtomicBool::new(false)).collect();
+    let applied = AtomicUsize::new(0);
+    let barrier = Barrier::new(threads);
+    std::thread::scope(|s| {
+        for worker in 0..threads {
+            let accept = &accept;
+            let applied = &applied;
+            let barrier = &barrier;
+            s.spawn(move || {
+                for (bi, chunk) in proposals.chunks(batch).enumerate() {
+                    {
+                        let st = state.read();
+                        let obj = st.objective(env);
+                        for (j, &(v, to)) in chunk.iter().enumerate() {
+                            if j % threads != worker {
+                                continue;
+                            }
+                            let ok = score(&obj, &st.evaluate_move(env, v, to), weights) > 0.0;
+                            accept[bi * batch + j].store(ok, Ordering::Relaxed);
+                        }
+                    }
+                    barrier.wait();
+                    if worker == 0 {
+                        let mut st = state.write();
+                        for (j, &(v, to)) in chunk.iter().enumerate() {
+                            if accept[bi * batch + j].load(Ordering::Relaxed) {
+                                st.apply_move(env, v, to);
+                                applied.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    // Keep later batches from reading a half-applied state.
+                    barrier.wait();
+                }
+            });
+        }
+    });
+    applied.into_inner()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geograph::generators::{rmat, RmatConfig};
+    use geograph::locality::LocalityConfig;
+    use geosim::regions::ec2_eight_regions;
+    use geosim::Heterogeneity;
+
+    fn setup(seed: u64) -> (GeoGraph, CloudEnv) {
+        let g = rmat(&RmatConfig::social(1024, 8192), seed);
+        (GeoGraph::from_graph(g, &LocalityConfig::paper_default(seed)), ec2_eight_regions())
+    }
+
+    fn default_config(geo: &GeoGraph, env: &CloudEnv) -> RlCutConfig {
+        let budget = geosim::cost::default_budget(env, &geo.locations, &geo.data_sizes, 0.4);
+        RlCutConfig::new(budget).with_seed(1).with_threads(2)
+    }
+
+    #[test]
+    fn improves_transfer_time_over_natural() {
+        let (geo, env) = setup(1);
+        let config = default_config(&geo, &env);
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let natural =
+            HybridState::natural(&geo, &env, 8, profile.clone(), 10.0).objective(&env);
+        let result = partition(&geo, &env, profile, 10.0, &config);
+        let trained = result.final_objective(&env);
+        assert!(
+            trained.transfer_time < natural.transfer_time * 0.9,
+            "trained {} vs natural {}",
+            trained.transfer_time,
+            natural.transfer_time
+        );
+        assert!(result.total_migrations() > 0);
+    }
+
+    #[test]
+    fn respects_budget() {
+        let (geo, env) = setup(2);
+        let config = default_config(&geo, &env);
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let result = partition(&geo, &env, profile, 10.0, &config);
+        assert!(
+            result.final_objective(&env).total_cost() <= config.budget,
+            "cost {} budget {}",
+            result.final_objective(&env).total_cost(),
+            config.budget
+        );
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let (geo, env) = setup(3);
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let c1 = default_config(&geo, &env).with_threads(1);
+        let c4 = default_config(&geo, &env).with_threads(4);
+        let r1 = partition(&geo, &env, profile.clone(), 10.0, &c1);
+        let r4 = partition(&geo, &env, profile, 10.0, &c4);
+        assert_eq!(r1.state.core().masters(), r4.state.core().masters());
+    }
+
+    #[test]
+    fn incremental_state_stays_consistent() {
+        let (geo, env) = setup(4);
+        let config = default_config(&geo, &env);
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let result = partition(&geo, &env, profile, 10.0, &config);
+        result.state.check_consistency(&env);
+    }
+
+    #[test]
+    fn fixed_sample_rate_trains_prefix_only() {
+        let (geo, env) = setup(5);
+        let config = default_config(&geo, &env).with_fixed_sample_rate(0.1);
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let result = partition(&geo, &env, profile, 10.0, &config);
+        let trainable = (0..geo.num_vertices() as VertexId)
+            .filter(|&v| geo.graph.degree(v) > 0)
+            .count();
+        for s in &result.steps {
+            assert_eq!(s.num_agents, (trainable as f64 * 0.1).ceil() as usize);
+        }
+    }
+
+    #[test]
+    fn more_agents_more_overhead() {
+        // The Fig 8 mechanism: overhead grows with participating agents.
+        let (geo, env) = setup(6);
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let small = partition(
+            &geo,
+            &env,
+            profile.clone(),
+            10.0,
+            &default_config(&geo, &env).with_fixed_sample_rate(0.05).with_threads(1),
+        );
+        let large = partition(
+            &geo,
+            &env,
+            profile,
+            10.0,
+            &default_config(&geo, &env).with_fixed_sample_rate(1.0).with_threads(1),
+        );
+        let t_small: f64 = small.steps.iter().map(|s| s.duration.as_secs_f64()).sum();
+        let t_large: f64 = large.steps.iter().map(|s| s.duration.as_secs_f64()).sum();
+        let per_step_small = t_small / small.steps.len() as f64;
+        let per_step_large = t_large / large.steps.len() as f64;
+        assert!(
+            per_step_large > 2.0 * per_step_small,
+            "full sampling {per_step_large}s/step vs 5% {per_step_small}s/step"
+        );
+    }
+
+    #[test]
+    fn beats_natural_under_high_heterogeneity() {
+        // The Fig 3 setting: more heterogeneity, more to win.
+        let (geo, _) = setup(7);
+        let env = Heterogeneity::High.ec2_environment();
+        let config = {
+            let budget =
+                geosim::cost::default_budget(&env, &geo.locations, &geo.data_sizes, 0.4);
+            RlCutConfig::new(budget).with_seed(7).with_threads(2)
+        };
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let natural =
+            HybridState::natural(&geo, &env, 8, profile.clone(), 10.0).objective(&env);
+        let result = partition(&geo, &env, profile, 10.0, &config);
+        assert!(result.final_objective(&env).transfer_time < natural.transfer_time);
+    }
+
+    #[test]
+    fn transfer_time_monotone_under_pure_performance_weights() {
+        // While under budget every accepted move strictly improved the
+        // frozen-state score; with batch_size 1 that means monotone
+        // per-step transfer time.
+        let (geo, env) = setup(8);
+        let config = default_config(&geo, &env).with_batch_size(1).with_threads(1);
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let result = partition(&geo, &env, profile, 10.0, &config);
+        for w in result.steps.windows(2) {
+            assert!(
+                w[1].transfer_time <= w[0].transfer_time * (1.0 + 1e-9),
+                "step regressed: {} -> {}",
+                w[0].transfer_time,
+                w[1].transfer_time
+            );
+        }
+    }
+
+    #[test]
+    fn t_opt_bounds_overhead() {
+        let (geo, env) = setup(9);
+        let t_opt = std::time::Duration::from_millis(200);
+        let config = default_config(&geo, &env).with_t_opt(t_opt);
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let result = partition(&geo, &env, profile, 10.0, &config);
+        // The schedule may overshoot by at most ~one step's duration.
+        let total: f64 = result.steps.iter().map(|s| s.duration.as_secs_f64()).sum();
+        assert!(total < 3.0 * t_opt.as_secs_f64(), "overhead {total}s vs T_opt 0.2s");
+    }
+
+    #[test]
+    fn penalty_mode_runs_and_converges_slower_or_equal() {
+        let (geo, env) = setup(10);
+        let mut config = default_config(&geo, &env);
+        config.use_penalty = true;
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let with_penalty = partition(&geo, &env, profile.clone(), 10.0, &config);
+        config.use_penalty = false;
+        let without = partition(&geo, &env, profile, 10.0, &config);
+        // Same 10-step horizon: no-penalty must do at least as well (Fig 6).
+        assert!(
+            without.final_objective(&env).transfer_time
+                <= with_penalty.final_objective(&env).transfer_time * 1.05
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Weighted SSSP (Dijkstra) with distance-bucketed activation rounds.
+//!
+//! The paper's SSSP uses unit weights (parallel label-correcting [35]);
+//! real deployments also need weighted paths. To keep the traffic model
+//! applicable, settles are grouped into Δ-bucketed rounds (the
+//! delta-stepping view): vertices settled in bucket `i` are the round-`i`
+//! changed set.
+
+use std::collections::BinaryHeap;
+
+use geograph::weights::EdgeWeights;
+use geograph::{Graph, VertexId};
+
+/// Distance for unreachable vertices.
+pub const UNREACHABLE: u64 = u64::MAX;
+
+/// Result of a weighted SSSP run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DijkstraResult {
+    pub distances: Vec<u64>,
+    /// Vertices grouped by settle bucket (`dist / delta`) — the per-round
+    /// changed sets for the traffic model.
+    pub rounds: Vec<Vec<VertexId>>,
+}
+
+/// Runs Dijkstra from `source`, bucketing settles by `delta`.
+pub fn dijkstra(
+    graph: &Graph,
+    weights: &EdgeWeights,
+    source: VertexId,
+    delta: u64,
+) -> DijkstraResult {
+    assert!((source as usize) < graph.num_vertices());
+    assert!(delta > 0);
+    let n = graph.num_vertices();
+    let mut distances = vec![UNREACHABLE; n];
+    distances[source as usize] = 0;
+    // Max-heap of (Reverse(dist), vertex).
+    let mut heap: BinaryHeap<(std::cmp::Reverse<u64>, VertexId)> = BinaryHeap::new();
+    heap.push((std::cmp::Reverse(0), source));
+    let mut settled = vec![false; n];
+    let mut settles: Vec<(u64, VertexId)> = Vec::new();
+    while let Some((std::cmp::Reverse(dist), v)) = heap.pop() {
+        if settled[v as usize] {
+            continue;
+        }
+        settled[v as usize] = true;
+        settles.push((dist, v));
+        for (k, &u) in graph.out_neighbors(v).iter().enumerate() {
+            let next = dist + weights.of(graph, v, k) as u64;
+            if next < distances[u as usize] {
+                distances[u as usize] = next;
+                heap.push((std::cmp::Reverse(next), u));
+            }
+        }
+    }
+    // Bucket settles by distance band.
+    let mut rounds: Vec<Vec<VertexId>> = Vec::new();
+    for (dist, v) in settles {
+        let bucket = (dist / delta) as usize;
+        if rounds.len() <= bucket {
+            rounds.resize_with(bucket + 1, Vec::new);
+        }
+        rounds[bucket].push(v);
+    }
+    DijkstraResult { distances, rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weighted_diamond() -> (Graph, EdgeWeights) {
+        // 0 ->(1) 1 ->(1) 3 ; 0 ->(5) 2 ->(1) 3
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        // edges() order: (0,1), (0,2), (1,3), (2,3)
+        let w = EdgeWeights::from_vec(&g, vec![1, 5, 1, 1]);
+        (g, w)
+    }
+
+    #[test]
+    fn shortest_paths() {
+        let (g, w) = weighted_diamond();
+        let r = dijkstra(&g, &w, 0, 1);
+        assert_eq!(r.distances, vec![0, 1, 5, 2]);
+    }
+
+    #[test]
+    fn unit_weights_match_bfs() {
+        let g = geograph::generators::erdos_renyi(300, 1500, 4);
+        let w = EdgeWeights::uniform(&g, 1);
+        let source = crate::algorithms::sssp::default_source(&g);
+        let d = dijkstra(&g, &w, source, 1);
+        let bfs = crate::algorithms::bfs_levels(&g, source);
+        for v in 0..300 {
+            let expected = if bfs.distances[v] == crate::algorithms::sssp::UNREACHABLE {
+                UNREACHABLE
+            } else {
+                bfs.distances[v] as u64
+            };
+            assert_eq!(d.distances[v], expected, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn rounds_partition_reachable_vertices() {
+        let (g, w) = weighted_diamond();
+        let r = dijkstra(&g, &w, 0, 2);
+        let total: usize = r.rounds.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 4);
+        // Bucket index = dist / delta.
+        assert!(r.rounds[0].contains(&0) && r.rounds[0].contains(&1));
+        assert!(r.rounds[1].contains(&3));
+        assert!(r.rounds[2].contains(&2));
+    }
+
+    #[test]
+    fn unreachable_excluded_from_rounds() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let w = EdgeWeights::uniform(&g, 2);
+        let r = dijkstra(&g, &w, 0, 1);
+        assert_eq!(r.distances[2], UNREACHABLE);
+        let total: usize = r.rounds.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 2);
+    }
+}

@@ -1,0 +1,86 @@
+//! PageRank (Brin & Page '98): the all-active workload.
+
+use geograph::Graph;
+use geograph::VertexId;
+
+/// Computes PageRank with the standard power iteration.
+///
+/// Dangling mass is redistributed uniformly so ranks always sum to 1 —
+/// the invariant the tests (and proptest) check.
+pub fn pagerank(graph: &Graph, iterations: usize, damping: f64) -> Vec<f64> {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!((0.0..=1.0).contains(&damping));
+    let uniform = 1.0 / n as f64;
+    let mut ranks = vec![uniform; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..iterations {
+        next.iter_mut().for_each(|r| *r = 0.0);
+        let mut dangling = 0.0f64;
+        for u in 0..n as VertexId {
+            let out = graph.out_degree(u);
+            if out == 0 {
+                dangling += ranks[u as usize];
+            } else {
+                let share = ranks[u as usize] / out as f64;
+                for &v in graph.out_neighbors(u) {
+                    next[v as usize] += share;
+                }
+            }
+        }
+        let dangling_share = dangling / n as f64;
+        for r in next.iter_mut() {
+            *r = (1.0 - damping) * uniform + damping * (*r + dangling_share);
+        }
+        std::mem::swap(&mut ranks, &mut next);
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_sum_to_one() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let ranks = pagerank(&g, 20, 0.85);
+        let sum: f64 = ranks.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+    }
+
+    #[test]
+    fn sink_vertex_accumulates_rank() {
+        // 0 -> 2, 1 -> 2: vertex 2 should outrank the sources.
+        let g = Graph::from_edges(3, &[(0, 2), (1, 2)]);
+        let ranks = pagerank(&g, 30, 0.85);
+        assert!(ranks[2] > ranks[0] && ranks[2] > ranks[1]);
+    }
+
+    #[test]
+    fn symmetric_cycle_is_uniform() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let ranks = pagerank(&g, 50, 0.85);
+        for r in &ranks {
+            assert!((r - 1.0 / 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_iterations_returns_uniform() {
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        assert_eq!(pagerank(&g, 0, 0.85), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn dangling_mass_preserved() {
+        // 0 -> 1, vertex 1 dangles.
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let ranks = pagerank(&g, 40, 0.85);
+        let sum: f64 = ranks.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(ranks[1] > ranks[0]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Weakly connected components via min-label propagation — a fourth
+//! workload beyond the paper's three, with naturally *shrinking* per-round
+//! activity (the mirror image of SSSP's expanding frontiers).
+
+use geograph::Graph;
+use geograph::VertexId;
+
+/// Result of a WCC execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WccResult {
+    /// Component label per vertex (the smallest vertex id in the
+    /// component).
+    pub labels: Vec<VertexId>,
+    /// Vertices whose label changed in each round (round 0 = everyone
+    /// initializing).
+    pub changed_per_round: Vec<Vec<VertexId>>,
+}
+
+/// Min-label propagation over the undirected view of the graph.
+pub fn wcc(graph: &Graph) -> WccResult {
+    let n = graph.num_vertices();
+    let mut labels: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut changed_per_round = vec![(0..n as VertexId).collect::<Vec<_>>()];
+    loop {
+        let mut changed = Vec::new();
+        for v in 0..n as VertexId {
+            let mut best = labels[v as usize];
+            for &u in graph.out_neighbors(v).iter().chain(graph.in_neighbors(v)) {
+                best = best.min(labels[u as usize]);
+            }
+            if best < labels[v as usize] {
+                labels[v as usize] = best;
+                changed.push(v);
+            }
+        }
+        if changed.is_empty() {
+            break;
+        }
+        changed_per_round.push(changed);
+    }
+    WccResult { labels, changed_per_round }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_components() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let r = wcc(&g);
+        assert_eq!(r.labels, vec![0, 0, 0, 3, 3]);
+    }
+
+    #[test]
+    fn direction_ignored() {
+        let g = Graph::from_edges(3, &[(2, 1), (1, 0)]);
+        let r = wcc(&g);
+        assert!(r.labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn matches_transform_wcc_up_to_relabeling() {
+        let g = geograph::generators::erdos_renyi(200, 300, 5);
+        let ours = wcc(&g).labels;
+        let reference = geograph::transform::weakly_connected_components(&g);
+        // Same partition of vertices: equal labels iff equal reference labels.
+        for i in 0..200 {
+            for j in (i + 1)..200 {
+                assert_eq!(
+                    ours[i] == ours[j],
+                    reference[i] == reference[j],
+                    "vertices {i},{j} disagree"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn activity_shrinks_over_rounds() {
+        let g = geograph::generators::preferential_attachment(500, 3, 2);
+        let r = wcc(&g);
+        assert!(r.changed_per_round.len() >= 2);
+        let first = r.changed_per_round[0].len();
+        let last = r.changed_per_round.last().unwrap().len();
+        assert!(last < first, "activity should shrink: {first} -> {last}");
+    }
+
+    #[test]
+    fn isolated_vertices_keep_own_label() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        assert_eq!(wcc(&g).labels[2], 2);
+    }
+}

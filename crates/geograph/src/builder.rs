@@ -1,0 +1,146 @@
+//! Mutable edge accumulation with cleaning, producing [`Graph`] snapshots.
+
+use crate::csr::Graph;
+use crate::VertexId;
+
+/// Accumulates directed edges and builds CSR [`Graph`] snapshots.
+///
+/// The builder is the mutation point of the crate: generators, dataset
+/// loaders and dynamic streams all funnel through it. It optionally removes
+/// self-loops and duplicate edges at build time — real-world partitioning
+/// papers (including RLCut's evaluation graphs) work on simple digraphs.
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    edges: Vec<(VertexId, VertexId)>,
+    dedup: bool,
+    drop_self_loops: bool,
+}
+
+impl GraphBuilder {
+    /// New builder for a graph with `n` vertices. Deduplication and
+    /// self-loop removal are on by default.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { num_vertices: n, edges: Vec::new(), dedup: true, drop_self_loops: true }
+    }
+
+    /// Pre-allocates space for `m` edges.
+    pub fn with_edge_capacity(mut self, m: usize) -> Self {
+        self.edges.reserve(m);
+        self
+    }
+
+    /// Keep duplicate edges instead of deduplicating at build time.
+    pub fn keep_duplicates(mut self) -> Self {
+        self.dedup = false;
+        self
+    }
+
+    /// Keep self-loops instead of dropping them at build time.
+    pub fn keep_self_loops(mut self) -> Self {
+        self.drop_self_loops = false;
+        self
+    }
+
+    /// Adds a directed edge. Ids must be `< n`.
+    #[inline]
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        debug_assert!((u as usize) < self.num_vertices && (v as usize) < self.num_vertices);
+        self.edges.push((u, v));
+    }
+
+    /// Adds many edges.
+    pub fn add_edges<I: IntoIterator<Item = (VertexId, VertexId)>>(&mut self, iter: I) {
+        self.edges.extend(iter);
+    }
+
+    /// Grows the vertex set (new vertices are isolated until edges arrive).
+    /// Used by dynamic streams when inserted edges reference new vertices.
+    pub fn grow_vertices(&mut self, n: usize) {
+        if n > self.num_vertices {
+            self.num_vertices = n;
+        }
+    }
+
+    /// Number of vertices the built graph will have.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of raw (pre-cleaning) edges currently accumulated.
+    pub fn num_raw_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Builds an immutable CSR snapshot, applying the configured cleaning.
+    /// The builder keeps its edges, so further additions and rebuilds are
+    /// possible (dynamic-graph windows rebuild per window).
+    pub fn build(&self) -> Graph {
+        let mut edges = self.edges.clone();
+        if self.drop_self_loops {
+            edges.retain(|&(u, v)| u != v);
+        }
+        if self.dedup {
+            edges.sort_unstable();
+            edges.dedup();
+        }
+        Graph::from_edges(self.num_vertices, &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_self_loop_removal() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        b.add_edge(1, 1);
+        b.add_edge(1, 2);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(1, 1));
+    }
+
+    #[test]
+    fn keep_duplicates_and_loops() {
+        let mut b = GraphBuilder::new(2).keep_duplicates().keep_self_loops();
+        b.add_edge(0, 0);
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        assert_eq!(b.build().num_edges(), 3);
+    }
+
+    #[test]
+    fn grow_vertices_allows_new_ids() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1);
+        b.grow_vertices(4);
+        b.add_edge(3, 0);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn rebuild_after_additions() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        let g1 = b.build();
+        b.add_edge(1, 2);
+        let g2 = b.build();
+        assert_eq!(g1.num_edges(), 1);
+        assert_eq!(g2.num_edges(), 2);
+    }
+
+    #[test]
+    fn grow_never_shrinks() {
+        let mut b = GraphBuilder::new(5);
+        b.grow_vertices(2);
+        assert_eq!(b.num_vertices(), 5);
+    }
+}

@@ -1,0 +1,243 @@
+//! Immutable compressed-sparse-row graph with both adjacency directions.
+
+use crate::VertexId;
+
+/// A directed graph in CSR form, storing both out-edges (`v -> ?`) and
+/// in-edges (`? -> v`).
+///
+/// The hybrid-cut model (PowerLyra, adopted by RLCut §III-B) places each
+/// edge according to the *in*-degree class of its destination, so in-edge
+/// iteration must be as cheap as out-edge iteration; we pay the memory to
+/// store both directions.
+///
+/// Construction is via [`Graph::from_edges`] or [`crate::GraphBuilder`];
+/// once built the structure is immutable. Dynamic workloads rebuild
+/// snapshots per time window (see [`crate::dynamic`]), matching the paper's
+/// window-batched update model (§VI-A, Exp#5).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    out_offsets: Vec<usize>,
+    out_targets: Vec<VertexId>,
+    in_offsets: Vec<usize>,
+    in_sources: Vec<VertexId>,
+}
+
+impl Graph {
+    /// Builds a graph with `n` vertices from a list of directed edges.
+    ///
+    /// Edges referencing vertices `>= n` are rejected with a panic — this is
+    /// a programming error, not a data error (callers validate input data in
+    /// [`crate::io`]). Duplicate edges and self-loops are kept verbatim;
+    /// use [`crate::GraphBuilder`] for cleaning.
+    pub fn from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        assert!(n < VertexId::MAX as usize, "vertex count exceeds VertexId range");
+        let mut out_degree = vec![0usize; n];
+        let mut in_degree = vec![0usize; n];
+        for &(u, v) in edges {
+            assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range for n={n}");
+            out_degree[u as usize] += 1;
+            in_degree[v as usize] += 1;
+        }
+        let out_offsets = prefix_sum(&out_degree);
+        let in_offsets = prefix_sum(&in_degree);
+        let mut out_targets = vec![0 as VertexId; edges.len()];
+        let mut in_sources = vec![0 as VertexId; edges.len()];
+        let mut out_cursor = out_offsets.clone();
+        let mut in_cursor = in_offsets.clone();
+        for &(u, v) in edges {
+            out_targets[out_cursor[u as usize]] = v;
+            out_cursor[u as usize] += 1;
+            in_sources[in_cursor[v as usize]] = u;
+            in_cursor[v as usize] += 1;
+        }
+        // Sort each adjacency run so neighbor slices are deterministic and
+        // binary-searchable regardless of input edge order.
+        for v in 0..n {
+            out_targets[out_offsets[v]..out_offsets[v + 1]].sort_unstable();
+            in_sources[in_offsets[v]..in_offsets[v + 1]].sort_unstable();
+        }
+        Graph { n, out_offsets, out_targets, in_offsets, in_sources }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Out-neighbors of `v` (sorted).
+    #[inline]
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.out_targets[self.out_offsets[v]..self.out_offsets[v + 1]]
+    }
+
+    /// In-neighbors of `v` (sorted). These are the sources of `v`'s
+    /// in-edges — the edges hybrid-cut assigns by `v`'s degree class.
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.in_sources[self.in_offsets[v]..self.in_offsets[v + 1]]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.out_offsets[v + 1] - self.out_offsets[v]
+    }
+
+    /// In-degree of `v`. Hybrid-cut classifies `v` as high-degree when this
+    /// is at least the threshold θ (paper §III-B).
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.in_offsets[v + 1] - self.in_offsets[v]
+    }
+
+    /// Total degree (in + out) of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.in_degree(v) + self.out_degree(v)
+    }
+
+    /// Iterates all vertices `0..n`.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.n as VertexId
+    }
+
+    /// Iterates all directed edges `(src, dst)` in source order.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.n).flat_map(move |u| {
+            self.out_targets[self.out_offsets[u]..self.out_offsets[u + 1]]
+                .iter()
+                .map(move |&v| (u as VertexId, v))
+        })
+    }
+
+    /// Offset of `v`'s first out-edge in the flat out-edge array. Together
+    /// with [`Graph::out_neighbors`] this gives every out-edge `(v, k)` a
+    /// stable flat index `out_edge_offset(v) + k` (matching the
+    /// [`Graph::edges`] iteration order), which per-edge metadata such as
+    /// [`crate::weights::EdgeWeights`] is keyed by.
+    #[inline]
+    pub fn out_edge_offset(&self, v: VertexId) -> usize {
+        self.out_offsets[v as usize]
+    }
+
+    /// Offset of `v`'s first in-edge in the flat in-edge array. Together
+    /// with [`Graph::in_neighbors`] this gives every in-edge `(v, k)` a
+    /// stable flat index `in_edge_offset(v) + k`, which per-edge metadata
+    /// (e.g. vertex-cut DC assignments) can be keyed by.
+    #[inline]
+    pub fn in_edge_offset(&self, v: VertexId) -> usize {
+        self.in_offsets[v as usize]
+    }
+
+    /// True if the directed edge `(u, v)` exists (binary search).
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// An empty graph with `n` isolated vertices.
+    pub fn empty(n: usize) -> Self {
+        Graph::from_edges(n, &[])
+    }
+}
+
+fn prefix_sum(counts: &[usize]) -> Vec<usize> {
+    let mut offsets = Vec::with_capacity(counts.len() + 1);
+    let mut acc = 0usize;
+    offsets.push(0);
+    for &c in counts {
+        acc += c;
+        offsets.push(acc);
+    }
+    offsets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        Graph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn counts() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn adjacency_both_directions() {
+        let g = diamond();
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.in_neighbors(3), &[1, 2]);
+        assert_eq!(g.in_neighbors(0), &[] as &[VertexId]);
+        assert_eq!(g.out_neighbors(3), &[] as &[VertexId]);
+    }
+
+    #[test]
+    fn degrees() {
+        let g = diamond();
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn edges_iterator_round_trips() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let g2 = Graph::from_edges(4, &edges);
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn neighbor_slices_sorted_regardless_of_input_order() {
+        let g = Graph::from_edges(4, &[(0, 3), (0, 1), (0, 2)]);
+        assert_eq!(g.out_neighbors(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn has_edge() {
+        let g = diamond();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(3);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.out_neighbors(2), &[] as &[VertexId]);
+    }
+
+    #[test]
+    fn duplicate_edges_preserved() {
+        let g = Graph::from_edges(2, &[(0, 1), (0, 1)]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        Graph::from_edges(2, &[(0, 2)]);
+    }
+}

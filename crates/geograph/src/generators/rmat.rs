@@ -1,0 +1,139 @@
+//! R-MAT (recursive matrix) power-law graph generator.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::Graph;
+use crate::GraphBuilder;
+use crate::VertexId;
+
+/// Parameters of the R-MAT model.
+///
+/// The four quadrant probabilities `(a, b, c, d)` must sum to 1. Larger `a`
+/// concentrates edges among low-id vertices, producing heavier degree skew —
+/// web graphs (uk-2005, it-2004) use a more skewed preset than social graphs
+/// (LiveJournal, Orkut) in [`crate::datasets`].
+#[derive(Clone, Copy, Debug)]
+pub struct RmatConfig {
+    /// Number of vertices in the output graph (not required to be a power
+    /// of two; generation runs on the next power of two and folds ids back).
+    pub num_vertices: usize,
+    /// Number of edges to *attempt*; self-loops and duplicates are removed,
+    /// so the output has at most this many.
+    pub num_edges: usize,
+    /// Quadrant probabilities.
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+    /// Per-level noise added to the quadrant probabilities, which avoids the
+    /// unrealistically regular structure of noiseless R-MAT.
+    pub noise: f64,
+}
+
+impl RmatConfig {
+    /// A social-network-like preset (moderate skew).
+    pub fn social(num_vertices: usize, num_edges: usize) -> Self {
+        RmatConfig { num_vertices, num_edges, a: 0.57, b: 0.19, c: 0.19, noise: 0.1 }
+    }
+
+    /// A web-graph-like preset (heavy skew).
+    pub fn web(num_vertices: usize, num_edges: usize) -> Self {
+        RmatConfig { num_vertices, num_edges, a: 0.65, b: 0.15, c: 0.15, noise: 0.1 }
+    }
+
+    fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+}
+
+/// Generates an R-MAT graph. Deterministic for a fixed `(config, seed)`.
+pub fn rmat(config: &RmatConfig, seed: u64) -> Graph {
+    assert!(config.num_vertices >= 2, "R-MAT needs at least 2 vertices");
+    let d = config.d();
+    assert!(d >= 0.0 && config.a > 0.0, "quadrant probabilities must sum to 1");
+    let levels = (usize::BITS - (config.num_vertices - 1).leading_zeros()) as usize;
+    let n = config.num_vertices;
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut builder = GraphBuilder::new(n).with_edge_capacity(config.num_edges);
+    for _ in 0..config.num_edges {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..levels {
+            // Perturb the quadrant probabilities a little per level.
+            let jitter = |p: f64, r: &mut SmallRng| {
+                (p * (1.0 - config.noise + 2.0 * config.noise * r.gen::<f64>())).max(1e-9)
+            };
+            let (pa, pb, pc, pd) = (
+                jitter(config.a, &mut rng),
+                jitter(config.b, &mut rng),
+                jitter(config.c, &mut rng),
+                jitter(d, &mut rng),
+            );
+            let total = pa + pb + pc + pd;
+            let roll = rng.gen::<f64>() * total;
+            u <<= 1;
+            v <<= 1;
+            if roll < pa {
+                // top-left: neither bit set
+            } else if roll < pa + pb {
+                v |= 1;
+            } else if roll < pa + pb + pc {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        // Fold ids generated on the 2^levels grid back into [0, n).
+        builder.add_edge((u % n) as VertexId, (v % n) as VertexId);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let cfg = RmatConfig::social(1 << 10, 8 << 10);
+        assert_eq!(rmat(&cfg, 7), rmat(&cfg, 7));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = RmatConfig::social(1 << 10, 8 << 10);
+        assert_ne!(rmat(&cfg, 7), rmat(&cfg, 8));
+    }
+
+    #[test]
+    fn respects_vertex_bound_for_non_power_of_two() {
+        let cfg = RmatConfig::social(1000, 5000);
+        let g = rmat(&cfg, 1);
+        assert_eq!(g.num_vertices(), 1000);
+        assert!(g.num_edges() > 0);
+        assert!(g.num_edges() <= 5000);
+    }
+
+    #[test]
+    fn produces_skewed_degrees() {
+        let cfg = RmatConfig::web(1 << 12, 32 << 12);
+        let g = rmat(&cfg, 42);
+        let max_in = g.vertices().map(|v| g.in_degree(v)).max().unwrap();
+        let mean = g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(
+            max_in as f64 > 10.0 * mean,
+            "expected heavy skew: max_in={max_in} mean={mean:.1}"
+        );
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates() {
+        let cfg = RmatConfig::social(256, 2048);
+        let g = rmat(&cfg, 3);
+        let mut seen = std::collections::HashSet::new();
+        for (u, v) in g.edges() {
+            assert_ne!(u, v);
+            assert!(seen.insert((u, v)));
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Geo-location assignment: mapping vertices to home data centers.
+//!
+//! The paper's graphs come with natural geo-distribution (Twitter user
+//! locations clustered into eight DCs, Fig 1); the key empirical facts are
+//! (a) the regional population is *skewed* and (b) edges show *homophily*
+//! (users follow nearby users more) yet **most edges still cross DCs** —
+//! the paper measures >75 % inter-DC edges. This module reproduces that.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::Graph;
+use crate::{DcId, VertexId, MAX_DCS};
+
+/// Configuration for geo-location assignment.
+#[derive(Clone, Debug)]
+pub struct LocalityConfig {
+    /// Number of data centers (≤ [`MAX_DCS`]).
+    pub num_dcs: usize,
+    /// Relative population of each region. Empty = uniform.
+    pub region_weights: Vec<f64>,
+    /// Probability that a vertex is re-homed to the region of one of its
+    /// neighbors (one smoothing pass). 0 = independent placement,
+    /// 1 = strong clustering. The paper's Twitter measurement corresponds to
+    /// mild homophily (inter-DC edge share stays above 70 %).
+    pub homophily: f64,
+    pub seed: u64,
+}
+
+impl LocalityConfig {
+    /// Default 8-DC setup matching the paper's Twitter study: skewed
+    /// populations (USA/Europe/Asia heavy) and mild homophily.
+    pub fn paper_default(seed: u64) -> Self {
+        LocalityConfig {
+            num_dcs: 8,
+            // South America, USA West, USA East, Africa, Oceania,
+            // North America (other), Asia, Europe — loosely matching the
+            // population shares visible in the paper's Fig 1 row sums.
+            region_weights: vec![0.06, 0.13, 0.20, 0.04, 0.05, 0.10, 0.18, 0.24],
+            homophily: 0.25,
+            seed,
+        }
+    }
+
+    /// Uniform placement over `num_dcs` regions, no homophily.
+    pub fn uniform(num_dcs: usize, seed: u64) -> Self {
+        LocalityConfig { num_dcs, region_weights: Vec::new(), homophily: 0.0, seed }
+    }
+}
+
+/// Assigns a home DC to every vertex.
+pub fn assign_locations(graph: &Graph, config: &LocalityConfig) -> Vec<DcId> {
+    assert!(config.num_dcs >= 1 && config.num_dcs <= MAX_DCS);
+    assert!(
+        config.region_weights.is_empty() || config.region_weights.len() == config.num_dcs,
+        "region_weights must be empty or one per DC"
+    );
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x6a09_e667_f3bc_c909);
+    let cumulative = cumulative_weights(config);
+    let n = graph.num_vertices();
+    let mut locations: Vec<DcId> = (0..n)
+        .map(|_| sample_region(&cumulative, &mut rng))
+        .collect();
+    if config.homophily > 0.0 {
+        // One smoothing pass: each vertex may adopt a random neighbor's
+        // region. Processing against the pre-pass snapshot keeps the result
+        // order-independent and deterministic.
+        let snapshot = locations.clone();
+        for v in 0..n as VertexId {
+            if rng.gen::<f64>() >= config.homophily {
+                continue;
+            }
+            let outs = graph.out_neighbors(v);
+            let ins = graph.in_neighbors(v);
+            let total = outs.len() + ins.len();
+            if total == 0 {
+                continue;
+            }
+            let pick = rng.gen_range(0..total);
+            let neighbor = if pick < outs.len() { outs[pick] } else { ins[pick - outs.len()] };
+            locations[v as usize] = snapshot[neighbor as usize];
+        }
+    }
+    locations
+}
+
+/// The `num_dcs × num_dcs` matrix of edge counts between home DCs —
+/// the quantity plotted in the paper's Fig 1. `matrix[s][d]` counts edges
+/// whose source lives in DC `s` and destination in DC `d`.
+pub fn inter_dc_edge_matrix(graph: &Graph, locations: &[DcId], num_dcs: usize) -> Vec<Vec<u64>> {
+    let mut matrix = vec![vec![0u64; num_dcs]; num_dcs];
+    for (u, v) in graph.edges() {
+        matrix[locations[u as usize] as usize][locations[v as usize] as usize] += 1;
+    }
+    matrix
+}
+
+/// Fraction of edges whose endpoints live in different DCs.
+pub fn inter_dc_edge_fraction(graph: &Graph, locations: &[DcId]) -> f64 {
+    let m = graph.num_edges();
+    if m == 0 {
+        return 0.0;
+    }
+    let cross = graph
+        .edges()
+        .filter(|&(u, v)| locations[u as usize] != locations[v as usize])
+        .count();
+    cross as f64 / m as f64
+}
+
+fn cumulative_weights(config: &LocalityConfig) -> Vec<f64> {
+    let weights: Vec<f64> = if config.region_weights.is_empty() {
+        vec![1.0; config.num_dcs]
+    } else {
+        config.region_weights.clone()
+    };
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "region weights must be positive");
+    let mut acc = 0.0;
+    weights
+        .iter()
+        .map(|w| {
+            acc += w / total;
+            acc
+        })
+        .collect()
+}
+
+fn sample_region(cumulative: &[f64], rng: &mut SmallRng) -> DcId {
+    let roll = rng.gen::<f64>();
+    cumulative.iter().position(|&c| roll < c).unwrap_or(cumulative.len() - 1) as DcId
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{rmat, RmatConfig};
+
+    fn test_graph() -> Graph {
+        rmat(&RmatConfig::social(4096, 32_768), 77)
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = test_graph();
+        let cfg = LocalityConfig::paper_default(5);
+        assert_eq!(assign_locations(&g, &cfg), assign_locations(&g, &cfg));
+    }
+
+    #[test]
+    fn respects_dc_range() {
+        let g = test_graph();
+        let cfg = LocalityConfig::paper_default(5);
+        let locs = assign_locations(&g, &cfg);
+        assert!(locs.iter().all(|&d| (d as usize) < cfg.num_dcs));
+        assert_eq!(locs.len(), g.num_vertices());
+    }
+
+    #[test]
+    fn skewed_weights_produce_skewed_populations() {
+        let g = test_graph();
+        let cfg = LocalityConfig {
+            num_dcs: 4,
+            region_weights: vec![0.7, 0.1, 0.1, 0.1],
+            homophily: 0.0,
+            seed: 1,
+        };
+        let locs = assign_locations(&g, &cfg);
+        let big = locs.iter().filter(|&&d| d == 0).count() as f64 / locs.len() as f64;
+        assert!(big > 0.6, "expected ~0.7 share, got {big}");
+    }
+
+    #[test]
+    fn paper_default_keeps_most_edges_inter_dc() {
+        // The headline observation behind Fig 1: >75 % of edges cross DCs.
+        let g = test_graph();
+        let cfg = LocalityConfig::paper_default(9);
+        let locs = assign_locations(&g, &cfg);
+        let frac = inter_dc_edge_fraction(&g, &locs);
+        assert!(frac > 0.7, "inter-DC fraction {frac}");
+    }
+
+    #[test]
+    fn homophily_reduces_inter_dc_edges() {
+        let g = test_graph();
+        let mut low = LocalityConfig::paper_default(3);
+        low.homophily = 0.0;
+        let mut high = LocalityConfig::paper_default(3);
+        high.homophily = 0.9;
+        let f_low = inter_dc_edge_fraction(&g, &assign_locations(&g, &low));
+        let f_high = inter_dc_edge_fraction(&g, &assign_locations(&g, &high));
+        assert!(f_high < f_low, "homophily 0.9 gave {f_high}, 0.0 gave {f_low}");
+    }
+
+    #[test]
+    fn edge_matrix_sums_to_edge_count() {
+        let g = test_graph();
+        let cfg = LocalityConfig::paper_default(2);
+        let locs = assign_locations(&g, &cfg);
+        let matrix = inter_dc_edge_matrix(&g, &locs, cfg.num_dcs);
+        let total: u64 = matrix.iter().flatten().sum();
+        assert_eq!(total, g.num_edges() as u64);
+    }
+
+    #[test]
+    fn uniform_config() {
+        let g = test_graph();
+        let locs = assign_locations(&g, &LocalityConfig::uniform(5, 2));
+        for dc in 0..5u8 {
+            let share = locs.iter().filter(|&&d| d == dc).count() as f64 / locs.len() as f64;
+            assert!((share - 0.2).abs() < 0.05, "dc {dc} share {share}");
+        }
+    }
+}

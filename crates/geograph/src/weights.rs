@@ -1,0 +1,104 @@
+//! Per-edge weights, stored flat against the out-CSR layout.
+//!
+//! The partitioning models are weight-agnostic (hybrid-cut places edges by
+//! degree class, not cost), but analytics like weighted SSSP need edge
+//! weights; this keeps them out of [`crate::Graph`] so unweighted users
+//! pay nothing.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::Graph;
+use crate::VertexId;
+
+/// Edge weights aligned with [`Graph::edges`] order: the weight of the
+/// `k`-th out-edge of `v` lives at `graph.out_edge_offset(v) + k`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EdgeWeights {
+    weights: Vec<u32>,
+}
+
+impl EdgeWeights {
+    /// All edges weigh `w`.
+    pub fn uniform(graph: &Graph, w: u32) -> Self {
+        EdgeWeights { weights: vec![w; graph.num_edges()] }
+    }
+
+    /// Weights drawn uniformly from `min..=max` (deterministic per seed).
+    pub fn random(graph: &Graph, min: u32, max: u32, seed: u64) -> Self {
+        assert!(min <= max && min > 0, "weights must be positive");
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x1f83_d9ab_fb41_bd6b);
+        EdgeWeights {
+            weights: (0..graph.num_edges()).map(|_| rng.gen_range(min..=max)).collect(),
+        }
+    }
+
+    /// From an explicit vector aligned with `graph.edges()` order.
+    pub fn from_vec(graph: &Graph, weights: Vec<u32>) -> Self {
+        assert_eq!(weights.len(), graph.num_edges());
+        assert!(weights.iter().all(|&w| w > 0), "weights must be positive");
+        EdgeWeights { weights }
+    }
+
+    /// Weight of the `k`-th out-edge of `v`.
+    #[inline]
+    pub fn of(&self, graph: &Graph, v: VertexId, k: usize) -> u32 {
+        self.weights[graph.out_edge_offset(v) + k]
+    }
+
+    /// Number of weighted edges.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (0, 2), (1, 2)])
+    }
+
+    #[test]
+    fn uniform_weights() {
+        let g = g();
+        let w = EdgeWeights::uniform(&g, 5);
+        assert_eq!(w.of(&g, 0, 0), 5);
+        assert_eq!(w.of(&g, 1, 0), 5);
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn random_in_range_and_deterministic() {
+        let g = g();
+        let a = EdgeWeights::random(&g, 2, 9, 7);
+        let b = EdgeWeights::random(&g, 2, 9, 7);
+        assert_eq!(a, b);
+        for k in 0..2 {
+            let w = a.of(&g, 0, k);
+            assert!((2..=9).contains(&w));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_rejected() {
+        let g = g();
+        EdgeWeights::from_vec(&g, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn indexing_matches_edges_order() {
+        let g = g();
+        let w = EdgeWeights::from_vec(&g, vec![10, 20, 30]);
+        // edges() order: (0,1), (0,2), (1,2)
+        assert_eq!(w.of(&g, 0, 0), 10);
+        assert_eq!(w.of(&g, 0, 1), 20);
+        assert_eq!(w.of(&g, 1, 0), 30);
+    }
+}

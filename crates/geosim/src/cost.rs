@@ -1,0 +1,118 @@
+//! Monetary-cost model: input-data movement (Eq 4) and budgets.
+//!
+//! Runtime upload cost (Eq 5) lives with [`crate::StageLoads::upload_cost`];
+//! this module covers the one-time cost of moving vertex input data when a
+//! partitioner places a master away from its natural location, and the
+//! budget calibration used throughout the evaluation (the budget is a
+//! fraction of the cost of centralizing the whole graph).
+
+use crate::datacenter::CloudEnv;
+use crate::DcId;
+
+/// Cost of moving one vertex's input data from its natural DC to its master
+/// DC (zero when they coincide): `M_v · d_v · P_{L_v}` (Eq 4).
+#[inline]
+pub fn vertex_move_cost(env: &CloudEnv, natural: DcId, master: DcId, data_bytes: u64) -> f64 {
+    if natural == master {
+        0.0
+    } else {
+        data_bytes as f64 * env.price(natural)
+    }
+}
+
+/// Total movement cost of a full assignment (Eq 4 summed).
+pub fn movement_cost(env: &CloudEnv, natural: &[DcId], masters: &[DcId], data_sizes: &[u64]) -> f64 {
+    debug_assert_eq!(natural.len(), masters.len());
+    debug_assert_eq!(natural.len(), data_sizes.len());
+    natural
+        .iter()
+        .zip(masters)
+        .zip(data_sizes)
+        .map(|((&l, &m), &d)| vertex_move_cost(env, l, m, d))
+        .sum()
+}
+
+/// The cost of the *centralized* strategy: move every vertex's data into
+/// the single DC that minimizes the total (§VI-A.4). Returns
+/// `(best_dc, cost)`.
+///
+/// Only vertices outside the destination pay (uploads are charged at the
+/// source), so the best destination is the one hosting the most expensive
+/// data to move out of.
+pub fn centralization_cost(env: &CloudEnv, natural: &[DcId], data_sizes: &[u64]) -> (DcId, f64) {
+    let m = env.num_dcs();
+    // upload_cost_from[r] = cost of uploading all of r's data to the WAN.
+    let mut upload_cost_from = vec![0.0f64; m];
+    for (&loc, &size) in natural.iter().zip(data_sizes) {
+        upload_cost_from[loc as usize] += size as f64 * env.price(loc);
+    }
+    let total: f64 = upload_cost_from.iter().sum();
+    let mut best = (0 as DcId, f64::INFINITY);
+    #[allow(clippy::needless_range_loop)] // dest is a DC id, not just an index
+    for dest in 0..m {
+        let cost = total - upload_cost_from[dest];
+        if cost < best.1 {
+            best = (dest as DcId, cost);
+        }
+    }
+    best
+}
+
+/// The paper's default budget: `fraction` (default 0.4) of the lowest
+/// centralization cost.
+pub fn default_budget(env: &CloudEnv, natural: &[DcId], data_sizes: &[u64], fraction: f64) -> f64 {
+    centralization_cost(env, natural, data_sizes).1 * fraction
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datacenter::Datacenter;
+
+    fn env() -> CloudEnv {
+        CloudEnv::new(vec![
+            Datacenter::from_gb_units("cheap", 1.0, 2.0, 0.01),
+            Datacenter::from_gb_units("pricey", 1.0, 2.0, 1.00),
+        ])
+    }
+
+    #[test]
+    fn move_cost_zero_when_home() {
+        let e = env();
+        assert_eq!(vertex_move_cost(&e, 0, 0, 1_000_000), 0.0);
+        assert!(vertex_move_cost(&e, 0, 1, 1_000_000) > 0.0);
+    }
+
+    #[test]
+    fn movement_cost_sums() {
+        let e = env();
+        let natural = vec![0, 1, 1];
+        let masters = vec![1, 1, 0];
+        let sizes = vec![1_000_000_000, 1_000_000_000, 2_000_000_000];
+        // v0: 1GB from DC0 at $0.01 = 0.01; v1 stays; v2: 2GB from DC1 at $1 = 2.0
+        let c = movement_cost(&e, &natural, &masters, &sizes);
+        assert!((c - 2.01).abs() < 1e-9, "{c}");
+    }
+
+    #[test]
+    fn centralization_picks_data_gravity() {
+        let e = env();
+        // Most data (by upload cost) sits in the pricey DC, so centralizing
+        // *into* the pricey DC is cheaper (its data never moves).
+        let natural = vec![0, 1, 1, 1];
+        let sizes = vec![1_000_000_000; 4];
+        let (dest, cost) = centralization_cost(&e, &natural, &sizes);
+        assert_eq!(dest, 1);
+        assert!((cost - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_budget_fraction() {
+        let e = env();
+        let natural = vec![0, 1];
+        let sizes = vec![1_000_000_000, 1_000_000_000];
+        let full = centralization_cost(&e, &natural, &sizes).1;
+        let b = default_budget(&e, &natural, &sizes, 0.4);
+        assert!((b - 0.4 * full).abs() < 1e-12);
+    }
+}

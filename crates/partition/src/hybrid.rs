@@ -1,0 +1,563 @@
+//! Hybrid-cut placement: the model RLCut trains over (§III-B, §IV-B).
+//!
+//! The *state* is the master-location vector. Edge placement is fully
+//! derived from it (paper §IV-B):
+//!
+//! * in-edges of a **low-degree** vertex `v` are placed at `v`'s master;
+//! * each in-edge `(u, v)` of a **high-degree** `v` is placed at `u`'s
+//!   master;
+//! * mirrors exist wherever a vertex's incident edges land.
+//!
+//! [`HybridState::evaluate_move`] projects "move vertex `v` to DC `i`" onto
+//! the objective in `O(deg(v) + M)` without mutating the state — it is
+//! called `M` times per agent per training iteration and dominates RLCut's
+//! training cost, which is why the paper's straggler mitigation (§V-B)
+//! schedules agents by vertex degree.
+
+use geograph::fxhash::FxHashMap;
+use geograph::{GeoGraph, MAX_DCS};
+use geosim::CloudEnv;
+
+use crate::profile::TrafficProfile;
+use crate::state::{Objective, PlacementState};
+use crate::{DcId, VertexId};
+
+/// Hybrid-cut placement state over a borrowed [`GeoGraph`].
+#[derive(Clone, Debug)]
+pub struct HybridState<'g> {
+    geo: &'g GeoGraph,
+    core: PlacementState,
+    theta: usize,
+}
+
+/// Count deltas at the move's source/destination DCs for one vertex.
+#[derive(Clone, Copy, Debug, Default)]
+struct CntDelta {
+    in_a: i64,
+    in_b: i64,
+    out_a: i64,
+    out_b: i64,
+}
+
+impl<'g> HybridState<'g> {
+    /// Builds hybrid-cut state from explicit master locations.
+    pub fn from_masters(
+        geo: &'g GeoGraph,
+        env: &CloudEnv,
+        masters: Vec<DcId>,
+        theta: usize,
+        profile: TrafficProfile,
+        num_iterations: f64,
+    ) -> Self {
+        assert_eq!(masters.len(), geo.num_vertices());
+        assert_eq!(env.num_dcs(), geo.num_dcs);
+        let is_high = geograph::degree::classify_high_degree(&geo.graph, theta);
+        let edge_dc = |u: VertexId, v: VertexId| -> DcId {
+            if is_high[v as usize] {
+                masters[u as usize]
+            } else {
+                masters[v as usize]
+            }
+        };
+        let core = PlacementState::from_edge_placement(
+            env,
+            geo.num_vertices(),
+            geo.graph.edges().map(|(u, v)| (u, v, edge_dc(u, v))),
+            masters.clone(),
+            is_high.clone(),
+            &geo.locations,
+            &geo.data_sizes,
+            profile,
+            num_iterations,
+        );
+        HybridState { geo, core, theta }
+    }
+
+    /// The *natural* partitioning: every master at its data's home DC —
+    /// the paper's initial state before (re)partitioning (§II-B).
+    pub fn natural(
+        geo: &'g GeoGraph,
+        env: &CloudEnv,
+        theta: usize,
+        profile: TrafficProfile,
+        num_iterations: f64,
+    ) -> Self {
+        Self::from_masters(geo, env, geo.locations.clone(), theta, profile, num_iterations)
+    }
+
+    /// The underlying placement state (counts, loads, metrics).
+    pub fn core(&self) -> &PlacementState {
+        &self.core
+    }
+
+    /// The graph this plan partitions.
+    pub fn geo(&self) -> &'g GeoGraph {
+        self.geo
+    }
+
+    /// The hybrid-cut degree threshold θ.
+    pub fn theta(&self) -> usize {
+        self.theta
+    }
+
+    /// Current master of `v`.
+    #[inline]
+    pub fn master(&self, v: VertexId) -> DcId {
+        self.core.master(v)
+    }
+
+    /// Current objective (Eq 1 + Eq 4/5).
+    pub fn objective(&self, env: &CloudEnv) -> Objective {
+        self.core.objective(env)
+    }
+
+    /// Evaluates moving `v`'s master to `to` without mutating the state.
+    /// Cost: `O(deg(v) + M)`.
+    pub fn evaluate_move(&self, env: &CloudEnv, v: VertexId, to: DcId) -> Objective {
+        let a = self.core.master(v);
+        if a == to {
+            return self.core.objective(env);
+        }
+        let m = self.core.num_dcs;
+        let (self_delta, neighbor_deltas) = self.collect_deltas(v, to);
+
+        // Stack scratch copies of the per-DC loads (M <= 64).
+        let mut gu = [0.0f64; MAX_DCS];
+        let mut gd = [0.0f64; MAX_DCS];
+        let mut au = [0.0f64; MAX_DCS];
+        let mut ad = [0.0f64; MAX_DCS];
+        gu[..m].copy_from_slice(self.core.gather.up_slice());
+        gd[..m].copy_from_slice(self.core.gather.down_slice());
+        au[..m].copy_from_slice(self.core.apply.up_slice());
+        ad[..m].copy_from_slice(self.core.apply.down_slice());
+
+        // 1. Remove v's entire current contribution.
+        self.project_vertex(v, a, CntDelta::default(), a, to, -1.0, &mut gu, &mut gd, &mut au, &mut ad);
+        // 2. Neighbor presence/in-edge transitions at DCs a and b.
+        for (&x, &delta) in &neighbor_deltas {
+            self.project_neighbor(x, delta, a, to, &mut gu, &mut gd, &mut au, &mut ad);
+        }
+        // 3. Re-add v with adjusted counts and master `to`.
+        self.project_vertex(v, to, self_delta, a, to, 1.0, &mut gu, &mut gd, &mut au, &mut ad);
+
+        let transfer_time = stage_time(&gu[..m], &gd[..m], env) + stage_time(&au[..m], &ad[..m], env);
+        let mut upload_cost = 0.0;
+        for d in 0..m {
+            upload_cost += (gu[d] + au[d]) * env.price(d as DcId);
+        }
+        let movement_cost = self.core.movement_cost
+            + geosim::cost::vertex_move_cost(env, self.geo.locations[v as usize], to, self.geo.data_sizes[v as usize])
+            - geosim::cost::vertex_move_cost(env, self.geo.locations[v as usize], a, self.geo.data_sizes[v as usize]);
+        Objective {
+            transfer_time,
+            movement_cost,
+            runtime_cost: self.core.num_iterations * upload_cost,
+        }
+    }
+
+    /// Moves `v`'s master to `to`, updating counts, loads, balance and cost
+    /// incrementally. Cost: `O(deg(v) · M)` (moves are far rarer than
+    /// evaluations — only accepted migrations pay this).
+    pub fn apply_move(&mut self, env: &CloudEnv, v: VertexId, to: DcId) {
+        let a = self.core.master(v);
+        if a == to {
+            return;
+        }
+        let m = self.core.num_dcs;
+        let (self_delta, neighbor_deltas) = self.collect_deltas(v, to);
+
+        // Remove the old contributions of every affected vertex.
+        self.core.remove_vertex_loads(v);
+        for &x in neighbor_deltas.keys() {
+            self.core.remove_vertex_loads(x);
+        }
+
+        // Mutate the count rows.
+        let apply_delta = |cnt: &mut Vec<u32>, row: usize, dc: usize, delta: i64| {
+            if delta != 0 {
+                let cell = &mut cnt[row * m + dc];
+                *cell = (*cell as i64 + delta) as u32;
+            }
+        };
+        apply_delta(&mut self.core.in_cnt, v as usize, a as usize, self_delta.in_a);
+        apply_delta(&mut self.core.in_cnt, v as usize, to as usize, self_delta.in_b);
+        apply_delta(&mut self.core.out_cnt, v as usize, a as usize, self_delta.out_a);
+        apply_delta(&mut self.core.out_cnt, v as usize, to as usize, self_delta.out_b);
+        for (&x, &d) in &neighbor_deltas {
+            apply_delta(&mut self.core.in_cnt, x as usize, a as usize, d.in_a);
+            apply_delta(&mut self.core.in_cnt, x as usize, to as usize, d.in_b);
+            apply_delta(&mut self.core.out_cnt, x as usize, a as usize, d.out_a);
+            apply_delta(&mut self.core.out_cnt, x as usize, to as usize, d.out_b);
+        }
+
+        // Moved edges change the per-DC balance. Every edge that moved is
+        // one of v's in-edges (low v) or an out-edge to a high destination
+        // (or a self-loop); `-self_delta.out_a - ...` counts them exactly
+        // once via the out side for out-moves plus the in side for in-moves
+        // of *other* sources. Count directly instead:
+        let moved_edges = (-self_delta.in_a).max(0) as u64
+            + neighbor_deltas.values().map(|d| (-d.in_a).max(0) as u64).sum::<u64>();
+        self.core.edges_per_dc[a as usize] -= moved_edges;
+        self.core.edges_per_dc[to as usize] += moved_edges;
+
+        // Master move + movement cost.
+        self.core.movement_cost += geosim::cost::vertex_move_cost(
+            env,
+            self.geo.locations[v as usize],
+            to,
+            self.geo.data_sizes[v as usize],
+        ) - geosim::cost::vertex_move_cost(
+            env,
+            self.geo.locations[v as usize],
+            a,
+            self.geo.data_sizes[v as usize],
+        );
+        self.core.masters[v as usize] = to;
+
+        // Re-add contributions under the new placement.
+        self.core.add_vertex_loads(v);
+        for &x in neighbor_deltas.keys() {
+            self.core.add_vertex_loads(x);
+        }
+    }
+
+    /// Collects the in/out count deltas a move of `v` from its current
+    /// master `a` to `b` causes, for `v` itself and for each affected
+    /// neighbor. Self-loops fold into the self delta.
+    fn collect_deltas(&self, v: VertexId, _to: DcId) -> (CntDelta, FxHashMap<VertexId, CntDelta>) {
+        let mut self_delta = CntDelta::default();
+        let mut neighbors: FxHashMap<VertexId, CntDelta> = FxHashMap::default();
+        if !self.core.is_high[v as usize] {
+            // All in-edges of v are placed at v's master and move with it.
+            for &u in self.geo.graph.in_neighbors(v) {
+                self_delta.in_a -= 1;
+                self_delta.in_b += 1;
+                if u == v {
+                    self_delta.out_a -= 1;
+                    self_delta.out_b += 1;
+                } else {
+                    let e = neighbors.entry(u).or_default();
+                    e.out_a -= 1;
+                    e.out_b += 1;
+                }
+            }
+        }
+        // Out-edges (v, w) with high-degree w are placed at v's master and
+        // move with it. (A self-loop on a high v is covered here.)
+        for &w in self.geo.graph.out_neighbors(v) {
+            if !self.core.is_high[w as usize] {
+                continue;
+            }
+            self_delta.out_a -= 1;
+            self_delta.out_b += 1;
+            if w == v {
+                self_delta.in_a -= 1;
+                self_delta.in_b += 1;
+            } else {
+                let e = neighbors.entry(w).or_default();
+                e.in_a -= 1;
+                e.in_b += 1;
+            }
+        }
+        (self_delta, neighbors)
+    }
+
+    /// Projects adding (`sign = 1`) or removing (`sign = -1`) vertex `v`'s
+    /// full traffic contribution onto scratch loads, with its count rows
+    /// adjusted by `delta` at DCs `a`/`b` and master at `master`.
+    #[allow(clippy::too_many_arguments)]
+    fn project_vertex(
+        &self,
+        v: VertexId,
+        master: DcId,
+        delta: CntDelta,
+        a: DcId,
+        b: DcId,
+        sign: f64,
+        gu: &mut [f64],
+        gd: &mut [f64],
+        au: &mut [f64],
+        ad: &mut [f64],
+    ) {
+        let m = self.core.num_dcs;
+        let base = v as usize * m;
+        let g = self.core.profile.g(v) * sign;
+        let a_bytes = self.core.profile.a(v) * sign;
+        let high = self.core.is_high[v as usize];
+        let master = master as usize;
+        for d in 0..m {
+            if d == master {
+                continue;
+            }
+            let mut in_c = self.core.in_cnt[base + d] as i64;
+            let mut out_c = self.core.out_cnt[base + d] as i64;
+            if d == a as usize {
+                in_c += delta.in_a;
+                out_c += delta.out_a;
+            } else if d == b as usize {
+                in_c += delta.in_b;
+                out_c += delta.out_b;
+            }
+            debug_assert!(in_c >= 0 && out_c >= 0);
+            if high && in_c > 0 {
+                gu[d] += g;
+                gd[master] += g;
+            }
+            if in_c + out_c > 0 {
+                au[master] += a_bytes;
+                ad[d] += a_bytes;
+            }
+        }
+    }
+
+    /// Projects a neighbor's presence/in-edge threshold transitions at DCs
+    /// `a` and `b` onto scratch loads (O(1): only those two DCs change).
+    #[allow(clippy::too_many_arguments)]
+    fn project_neighbor(
+        &self,
+        x: VertexId,
+        delta: CntDelta,
+        a: DcId,
+        b: DcId,
+        gu: &mut [f64],
+        gd: &mut [f64],
+        au: &mut [f64],
+        ad: &mut [f64],
+    ) {
+        let m = self.core.num_dcs;
+        let base = x as usize * m;
+        let master = self.core.masters[x as usize] as usize;
+        let g = self.core.profile.g(x);
+        let a_bytes = self.core.profile.a(x);
+        let high = self.core.is_high[x as usize];
+        for (dc, d_in, d_out) in [(a as usize, delta.in_a, delta.out_a), (b as usize, delta.in_b, delta.out_b)] {
+            if dc == master || (d_in == 0 && d_out == 0) {
+                continue;
+            }
+            let in_old = self.core.in_cnt[base + dc] as i64;
+            let out_old = self.core.out_cnt[base + dc] as i64;
+            let in_new = in_old + d_in;
+            let tot_old = in_old + out_old;
+            let tot_new = in_new + out_old + d_out;
+            debug_assert!(in_new >= 0 && tot_new >= 0);
+            if high {
+                match (in_old > 0, in_new > 0) {
+                    (true, false) => {
+                        gu[dc] -= g;
+                        gd[master] -= g;
+                    }
+                    (false, true) => {
+                        gu[dc] += g;
+                        gd[master] += g;
+                    }
+                    _ => {}
+                }
+            }
+            match (tot_old > 0, tot_new > 0) {
+                (true, false) => {
+                    au[master] -= a_bytes;
+                    ad[dc] -= a_bytes;
+                }
+                (false, true) => {
+                    au[master] += a_bytes;
+                    ad[dc] += a_bytes;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Rebuilds the state from scratch and asserts the incremental
+    /// bookkeeping matches — a test/debug aid.
+    pub fn check_consistency(&self, env: &CloudEnv) {
+        let fresh = HybridState::from_masters(
+            self.geo,
+            env,
+            self.core.masters.clone(),
+            self.theta,
+            self.core.profile.clone(),
+            self.core.num_iterations,
+        );
+        assert_eq!(self.core.in_cnt, fresh.core.in_cnt, "in_cnt diverged");
+        assert_eq!(self.core.out_cnt, fresh.core.out_cnt, "out_cnt diverged");
+        assert_eq!(self.core.edges_per_dc, fresh.core.edges_per_dc, "edge balance diverged");
+        let m = self.core.num_dcs;
+        for d in 0..m as DcId {
+            for (ours, theirs, what) in [
+                (self.core.gather.up(d), fresh.core.gather.up(d), "gather.up"),
+                (self.core.gather.down(d), fresh.core.gather.down(d), "gather.down"),
+                (self.core.apply.up(d), fresh.core.apply.up(d), "apply.up"),
+                (self.core.apply.down(d), fresh.core.apply.down(d), "apply.down"),
+            ] {
+                assert!(
+                    (ours - theirs).abs() <= 1e-6 * theirs.abs().max(1.0),
+                    "{what}[{d}] diverged: incremental {ours} vs fresh {theirs}"
+                );
+            }
+        }
+        let mc = fresh.core.movement_cost;
+        assert!(
+            (self.core.movement_cost - mc).abs() <= 1e-9 * mc.abs().max(1.0),
+            "movement cost diverged: {} vs {}",
+            self.core.movement_cost,
+            mc
+        );
+    }
+}
+
+fn stage_time(up: &[f64], down: &[f64], env: &CloudEnv) -> f64 {
+    let mut worst = 0.0f64;
+    for d in 0..up.len() {
+        let t = (up[d] / env.uplink(d as DcId)).max(down[d] / env.downlink(d as DcId));
+        worst = worst.max(t);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geograph::generators::{rmat, RmatConfig};
+    use geograph::locality::LocalityConfig;
+    use geosim::regions::ec2_eight_regions;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup(seed: u64) -> (GeoGraph, CloudEnv) {
+        let g = rmat(&RmatConfig::social(512, 4096), seed);
+        let geo = GeoGraph::from_graph(g, &LocalityConfig::paper_default(seed));
+        (geo, ec2_eight_regions())
+    }
+
+    fn state<'g>(geo: &'g GeoGraph, env: &CloudEnv) -> HybridState<'g> {
+        let theta = geograph::degree::suggest_theta(&geo.graph, 0.05);
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        HybridState::natural(geo, env, theta, profile, 10.0)
+    }
+
+    #[test]
+    fn natural_state_is_consistent() {
+        let (geo, env) = setup(1);
+        state(&geo, &env).check_consistency(&env);
+    }
+
+    #[test]
+    fn evaluate_move_matches_apply_move() {
+        let (geo, env) = setup(2);
+        let mut s = state(&geo, &env);
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let v = rng.gen_range(0..geo.num_vertices()) as VertexId;
+            let to = rng.gen_range(0..geo.num_dcs) as DcId;
+            let predicted = s.evaluate_move(&env, v, to);
+            s.apply_move(&env, v, to);
+            let actual = s.objective(&env);
+            assert!(
+                (predicted.transfer_time - actual.transfer_time).abs()
+                    <= 1e-9 * actual.transfer_time.max(1e-12),
+                "time: predicted {} vs actual {}",
+                predicted.transfer_time,
+                actual.transfer_time
+            );
+            assert!(
+                (predicted.total_cost() - actual.total_cost()).abs()
+                    <= 1e-9 * actual.total_cost().max(1e-12),
+                "cost: predicted {} vs actual {}",
+                predicted.total_cost(),
+                actual.total_cost()
+            );
+        }
+        s.check_consistency(&env);
+    }
+
+    #[test]
+    fn incremental_stays_consistent_over_many_moves() {
+        let (geo, env) = setup(3);
+        let mut s = state(&geo, &env);
+        let mut rng = SmallRng::seed_from_u64(4);
+        for step in 0..500 {
+            let v = rng.gen_range(0..geo.num_vertices()) as VertexId;
+            let to = rng.gen_range(0..geo.num_dcs) as DcId;
+            s.apply_move(&env, v, to);
+            if step % 100 == 99 {
+                s.check_consistency(&env);
+            }
+        }
+    }
+
+    #[test]
+    fn move_and_return_restores_objective() {
+        let (geo, env) = setup(5);
+        let mut s = state(&geo, &env);
+        let before = s.objective(&env);
+        let v = 7;
+        let home = s.master(v);
+        let to = (home + 1) % geo.num_dcs as DcId;
+        s.apply_move(&env, v, to);
+        s.apply_move(&env, v, home);
+        let after = s.objective(&env);
+        assert!((before.transfer_time - after.transfer_time).abs() < 1e-12);
+        assert!((before.total_cost() - after.total_cost()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noop_move_is_identity() {
+        let (geo, env) = setup(6);
+        let mut s = state(&geo, &env);
+        let before = s.objective(&env);
+        let v = 3;
+        let home = s.master(v);
+        assert_eq!(s.evaluate_move(&env, v, home).transfer_time, before.transfer_time);
+        s.apply_move(&env, v, home);
+        assert_eq!(s.objective(&env).transfer_time, before.transfer_time);
+    }
+
+    #[test]
+    fn natural_plan_has_zero_movement_cost() {
+        let (geo, env) = setup(7);
+        let s = state(&geo, &env);
+        assert_eq!(s.objective(&env).movement_cost, 0.0);
+    }
+
+    #[test]
+    fn moving_master_away_from_home_costs_money() {
+        let (geo, env) = setup(8);
+        let mut s = state(&geo, &env);
+        let v = 11;
+        let to = (s.master(v) + 1) % geo.num_dcs as DcId;
+        s.apply_move(&env, v, to);
+        assert!(s.objective(&env).movement_cost > 0.0);
+    }
+
+    #[test]
+    fn centralizing_all_masters_removes_runtime_traffic() {
+        let (geo, env) = setup(9);
+        let mut s = state(&geo, &env);
+        for v in 0..geo.num_vertices() as VertexId {
+            s.apply_move(&env, v, 0);
+        }
+        // Everything co-located: no mirrors, no inter-DC traffic.
+        let obj = s.objective(&env);
+        assert_eq!(obj.transfer_time, 0.0);
+        assert_eq!(obj.runtime_cost, 0.0);
+        assert!((s.core().replication_factor() - 1.0).abs() < 1e-12);
+        s.check_consistency(&env);
+    }
+
+    #[test]
+    fn hybrid_beats_all_high_on_replication() {
+        // The Fig 2 claim: differentiated placement lowers λ versus treating
+        // everything as high-degree (vertex-cut-like hashing).
+        let (geo, env) = setup(10);
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let theta = geograph::degree::suggest_theta(&geo.graph, 0.05);
+        let hybrid = HybridState::from_masters(&geo, &env, geo.locations.clone(), theta, profile.clone(), 10.0);
+        let all_high = HybridState::from_masters(&geo, &env, geo.locations.clone(), 1, profile, 10.0);
+        assert!(
+            hybrid.core().replication_factor() <= all_high.core().replication_factor(),
+            "hybrid λ {} vs all-high λ {}",
+            hybrid.core().replication_factor(),
+            all_high.core().replication_factor()
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Expected per-iteration traffic of the analytics job.
+
+/// Expected message sizes per vertex per iteration.
+///
+/// The paper's performance model (Eq 1–3) is parameterized by `g_v^r(i)`
+/// (bytes a mirror DC sends the master in the gather stage) and `a_v(i)`
+/// (bytes the master sends each mirror in the apply stage). When the
+/// partitioner optimizes offline it cannot know the exact per-iteration
+/// values, so it works from an *expected* profile: uniform for PageRank
+/// (every vertex active every iteration), activity-weighted for SSSP/SI
+/// (derived by `geoengine` from a reference execution).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrafficProfile {
+    /// Expected gather bytes per mirror-DC per iteration (`g_v`).
+    pub gather_bytes: Vec<f32>,
+    /// Expected apply bytes per mirror per iteration (`a_v`).
+    pub apply_bytes: Vec<f32>,
+}
+
+impl TrafficProfile {
+    /// Uniform profile: every vertex exchanges `bytes` in both stages each
+    /// iteration — the PageRank-style workload.
+    pub fn uniform(num_vertices: usize, bytes: f32) -> Self {
+        TrafficProfile {
+            gather_bytes: vec![bytes; num_vertices],
+            apply_bytes: vec![bytes; num_vertices],
+        }
+    }
+
+    /// A profile from explicit per-vertex activity weights in `[0, 1]`
+    /// scaled by a base message size (SSSP/SI-style workloads).
+    pub fn weighted(weights: &[f32], bytes: f32) -> Self {
+        TrafficProfile {
+            gather_bytes: weights.iter().map(|w| w * bytes).collect(),
+            apply_bytes: weights.iter().map(|w| w * bytes).collect(),
+        }
+    }
+
+    /// Number of vertices the profile covers.
+    pub fn len(&self) -> usize {
+        self.gather_bytes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.gather_bytes.is_empty()
+    }
+
+    /// Gather bytes of vertex `v` as f64 (the load accumulators are f64).
+    #[inline]
+    pub fn g(&self, v: geograph::VertexId) -> f64 {
+        self.gather_bytes[v as usize] as f64
+    }
+
+    /// Apply bytes of vertex `v` as f64.
+    #[inline]
+    pub fn a(&self, v: geograph::VertexId) -> f64 {
+        self.apply_bytes[v as usize] as f64
+    }
+
+    /// Grows the profile to cover `n` vertices, filling new entries with
+    /// `bytes` (dynamic graphs add vertices between windows).
+    pub fn grow(&mut self, n: usize, bytes: f32) {
+        if n > self.gather_bytes.len() {
+            self.gather_bytes.resize(n, bytes);
+            self.apply_bytes.resize(n, bytes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform() {
+        let p = TrafficProfile::uniform(3, 8.0);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.g(0), 8.0);
+        assert_eq!(p.a(2), 8.0);
+    }
+
+    #[test]
+    fn weighted() {
+        let p = TrafficProfile::weighted(&[0.0, 0.5, 1.0], 8.0);
+        assert_eq!(p.g(0), 0.0);
+        assert_eq!(p.a(1), 4.0);
+        assert_eq!(p.g(2), 8.0);
+    }
+
+    #[test]
+    fn grow_extends_only_forward() {
+        let mut p = TrafficProfile::uniform(2, 8.0);
+        p.grow(4, 2.0);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.g(3), 2.0);
+        p.grow(1, 99.0);
+        assert_eq!(p.len(), 4);
+    }
+}

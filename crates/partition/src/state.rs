@@ -1,0 +1,417 @@
+//! Shared placement state for the replica-based models (hybrid- and
+//! vertex-cut): per-vertex edge-location counts, mirror sets, and the
+//! per-DC load accumulators behind the Eq 1–5 objective.
+
+use geosim::{CloudEnv, StageLoads};
+
+use crate::profile::TrafficProfile;
+use crate::{DcId, VertexId};
+
+/// The optimization objective of a partitioning plan (Eq 6–7).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Objective {
+    /// Inter-DC data transfer time of one iteration, seconds (Eq 1).
+    pub transfer_time: f64,
+    /// One-time input-data movement cost, dollars (Eq 4).
+    pub movement_cost: f64,
+    /// Runtime upload cost over the whole job (all iterations), dollars
+    /// (Eq 5 summed).
+    pub runtime_cost: f64,
+}
+
+impl Objective {
+    /// Total inter-DC communication cost, the left side of the budget
+    /// constraint (Eq 7).
+    pub fn total_cost(&self) -> f64 {
+        self.movement_cost + self.runtime_cost
+    }
+}
+
+/// Replica-based placement state shared by hybrid-cut and vertex-cut.
+///
+/// For every vertex `v` and DC `d` it tracks how many of `v`'s in-edges and
+/// out-edges are placed at `d` (flat `n × M` count arrays). From those
+/// counts the model derives:
+///
+/// * **mirrors** — `v` is replicated at `d ≠ master(v)` iff any incident
+///   edge lives at `d`;
+/// * **gather traffic** — a high-degree `v` receives one aggregated message
+///   of `g_v` bytes from every non-master DC holding ≥ 1 of its in-edges;
+/// * **apply traffic** — every vertex's master sends `a_v` bytes to each
+///   mirror (this is also how low-degree synchronization is modeled, per
+///   the paper's unified representation §III-B).
+///
+/// The per-DC gather/apply [`StageLoads`] are maintained incrementally so a
+/// candidate move is evaluated in `O(deg(v) + M)`.
+#[derive(Clone, Debug)]
+pub struct PlacementState {
+    pub(crate) num_dcs: usize,
+    pub(crate) masters: Vec<DcId>,
+    pub(crate) is_high: Vec<bool>,
+    /// `in_cnt[v * num_dcs + d]` = number of in-edges of `v` placed at `d`.
+    pub(crate) in_cnt: Vec<u32>,
+    /// `out_cnt[v * num_dcs + d]` = number of out-edges of `v` placed at `d`.
+    pub(crate) out_cnt: Vec<u32>,
+    /// Edges placed per DC (load-balance metric).
+    pub(crate) edges_per_dc: Vec<u64>,
+    pub(crate) gather: StageLoads,
+    pub(crate) apply: StageLoads,
+    pub(crate) movement_cost: f64,
+    pub(crate) profile: TrafficProfile,
+    pub(crate) num_iterations: f64,
+}
+
+impl PlacementState {
+    /// Builds state from an explicit per-edge placement.
+    ///
+    /// `edges` yields `(src, dst, dc)` triples; `masters` and `is_high`
+    /// define the computation model (vertex-cut passes all-high).
+    /// `natural`/`data_sizes` come from the [`geograph::GeoGraph`] and give
+    /// the movement cost baseline.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_edge_placement(
+        env: &CloudEnv,
+        num_vertices: usize,
+        edges: impl Iterator<Item = (VertexId, VertexId, DcId)>,
+        masters: Vec<DcId>,
+        is_high: Vec<bool>,
+        natural: &[DcId],
+        data_sizes: &[u64],
+        profile: TrafficProfile,
+        num_iterations: f64,
+    ) -> Self {
+        let m = env.num_dcs();
+        assert_eq!(masters.len(), num_vertices);
+        assert_eq!(is_high.len(), num_vertices);
+        assert_eq!(profile.len(), num_vertices);
+        let mut state = PlacementState {
+            num_dcs: m,
+            masters,
+            is_high,
+            in_cnt: vec![0; num_vertices * m],
+            out_cnt: vec![0; num_vertices * m],
+            edges_per_dc: vec![0; m],
+            gather: StageLoads::new(m),
+            apply: StageLoads::new(m),
+            movement_cost: 0.0,
+            profile,
+            num_iterations,
+        };
+        for (u, v, d) in edges {
+            state.out_cnt[u as usize * m + d as usize] += 1;
+            state.in_cnt[v as usize * m + d as usize] += 1;
+            state.edges_per_dc[d as usize] += 1;
+        }
+        state.rebuild_loads();
+        state.movement_cost =
+            geosim::cost::movement_cost(env, natural, &state.masters, data_sizes);
+        state
+    }
+
+    /// Recomputes the gather/apply load accumulators from the count arrays.
+    pub(crate) fn rebuild_loads(&mut self) {
+        self.gather.clear();
+        self.apply.clear();
+        for v in 0..self.masters.len() as VertexId {
+            self.add_vertex_loads(v);
+        }
+    }
+
+    /// Adds vertex `v`'s traffic contribution into the live accumulators.
+    pub(crate) fn add_vertex_loads(&mut self, v: VertexId) {
+        let m = self.num_dcs;
+        let master = self.masters[v as usize] as usize;
+        let base = v as usize * m;
+        let g = self.profile.g(v);
+        let a = self.profile.a(v);
+        for d in 0..m {
+            if d == master {
+                continue;
+            }
+            if self.is_high[v as usize] && self.in_cnt[base + d] > 0 {
+                self.gather.add_up(d as DcId, g);
+                self.gather.add_down(master as DcId, g);
+            }
+            if self.in_cnt[base + d] + self.out_cnt[base + d] > 0 {
+                self.apply.add_up(master as DcId, a);
+                self.apply.add_down(d as DcId, a);
+            }
+        }
+    }
+
+    /// Removes vertex `v`'s traffic contribution from the live accumulators.
+    pub(crate) fn remove_vertex_loads(&mut self, v: VertexId) {
+        let m = self.num_dcs;
+        let master = self.masters[v as usize] as usize;
+        let base = v as usize * m;
+        let g = self.profile.g(v);
+        let a = self.profile.a(v);
+        for d in 0..m {
+            if d == master {
+                continue;
+            }
+            if self.is_high[v as usize] && self.in_cnt[base + d] > 0 {
+                self.gather.add_up(d as DcId, -g);
+                self.gather.add_down(master as DcId, -g);
+            }
+            if self.in_cnt[base + d] + self.out_cnt[base + d] > 0 {
+                self.apply.add_up(master as DcId, -a);
+                self.apply.add_down(d as DcId, -a);
+            }
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.masters.len()
+    }
+
+    /// Number of data centers.
+    pub fn num_dcs(&self) -> usize {
+        self.num_dcs
+    }
+
+    /// Master location of every vertex — the RL *state* (§IV-B).
+    pub fn masters(&self) -> &[DcId] {
+        &self.masters
+    }
+
+    /// Master location of `v`.
+    #[inline]
+    pub fn master(&self, v: VertexId) -> DcId {
+        self.masters[v as usize]
+    }
+
+    /// Whether `v` is high-degree under the hybrid-cut threshold.
+    #[inline]
+    pub fn is_high(&self, v: VertexId) -> bool {
+        self.is_high[v as usize]
+    }
+
+    /// Number of in-edges of `v` placed at `d`.
+    #[inline]
+    pub fn in_count(&self, v: VertexId, d: DcId) -> u32 {
+        self.in_cnt[v as usize * self.num_dcs + d as usize]
+    }
+
+    /// Number of out-edges of `v` placed at `d`.
+    #[inline]
+    pub fn out_count(&self, v: VertexId, d: DcId) -> u32 {
+        self.out_cnt[v as usize * self.num_dcs + d as usize]
+    }
+
+    /// Bitmask of DCs where `v` has a mirror (master excluded).
+    pub fn mirror_mask(&self, v: VertexId) -> u64 {
+        let m = self.num_dcs;
+        let base = v as usize * m;
+        let master = self.masters[v as usize] as usize;
+        let mut mask = 0u64;
+        for d in 0..m {
+            if d != master && self.in_cnt[base + d] + self.out_cnt[base + d] > 0 {
+                mask |= 1 << d;
+            }
+        }
+        mask
+    }
+
+    /// Number of mirrors of `v`.
+    pub fn num_mirrors(&self, v: VertexId) -> u32 {
+        self.mirror_mask(v).count_ones()
+    }
+
+    /// Average number of replicas (master + mirrors) per vertex — the
+    /// replication factor λ of Fig 2.
+    pub fn replication_factor(&self) -> f64 {
+        let n = self.num_vertices().max(1);
+        let replicas: u64 = (0..n as VertexId).map(|v| 1 + self.num_mirrors(v) as u64).sum();
+        replicas as f64 / n as f64
+    }
+
+    /// Edges placed per DC.
+    pub fn edges_per_dc(&self) -> &[u64] {
+        &self.edges_per_dc
+    }
+
+    /// Per-iteration WAN usage in bytes (total uploads of both stages) —
+    /// the Fig 2 "WAN usage" metric.
+    pub fn wan_bytes_per_iteration(&self) -> f64 {
+        self.gather.total_up() + self.apply.total_up()
+    }
+
+    /// Gather-stage loads (Eq 2 numerators).
+    pub fn gather_loads(&self) -> &StageLoads {
+        &self.gather
+    }
+
+    /// Apply-stage loads (Eq 3 numerators).
+    pub fn apply_loads(&self) -> &StageLoads {
+        &self.apply
+    }
+
+    /// One-time movement cost of the current masters (Eq 4).
+    pub fn movement_cost(&self) -> f64 {
+        self.movement_cost
+    }
+
+    /// Number of analytics iterations the cost model charges for.
+    pub fn num_iterations(&self) -> f64 {
+        self.num_iterations
+    }
+
+    /// The traffic profile the state is weighted with.
+    pub fn profile(&self) -> &TrafficProfile {
+        &self.profile
+    }
+
+    /// Evaluates the current plan under `env` (Eq 1 + Eq 4/5).
+    pub fn objective(&self, env: &CloudEnv) -> Objective {
+        debug_assert_eq!(env.num_dcs(), self.num_dcs);
+        Objective {
+            transfer_time: self.gather.transfer_time(env) + self.apply.transfer_time(env),
+            movement_cost: self.movement_cost,
+            runtime_cost: self.num_iterations
+                * (self.gather.upload_cost(env) + self.apply.upload_cost(env)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geosim::Datacenter;
+
+    fn env2() -> CloudEnv {
+        CloudEnv::new(vec![
+            Datacenter::from_gb_units("a", 1.0, 2.0, 0.10),
+            Datacenter::from_gb_units("b", 1.0, 2.0, 0.10),
+        ])
+    }
+
+    /// Two vertices, edge 0->1 placed at DC 1; vertex 0 mastered at DC 0.
+    fn simple_state(env: &CloudEnv) -> PlacementState {
+        PlacementState::from_edge_placement(
+            env,
+            2,
+            [(0u32, 1u32, 1u8)].into_iter(),
+            vec![0, 1],
+            vec![false, true],
+            &[0, 1],
+            &[100, 100],
+            TrafficProfile::uniform(2, 8.0),
+            10.0,
+        )
+    }
+
+    #[test]
+    fn counts_and_mirrors() {
+        let env = env2();
+        let s = simple_state(&env);
+        assert_eq!(s.out_count(0, 1), 1);
+        assert_eq!(s.in_count(1, 1), 1);
+        // Vertex 0's edge lives at DC 1 but its master is DC 0 => mirror at 1.
+        assert_eq!(s.mirror_mask(0), 0b10);
+        // Vertex 1's only edge is at its master DC => no mirrors.
+        assert_eq!(s.mirror_mask(1), 0);
+        assert!((s.replication_factor() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_traffic_only_for_mirrored_vertex() {
+        let env = env2();
+        let s = simple_state(&env);
+        // Vertex 0 master at DC0 sends 8 bytes to its mirror at DC1.
+        assert_eq!(s.apply_loads().up(0), 8.0);
+        assert_eq!(s.apply_loads().down(1), 8.0);
+        // Vertex 1 is high-degree but its in-edge is at its master: no gather.
+        assert_eq!(s.gather_loads().up(0), 0.0);
+        assert_eq!(s.gather_loads().up(1), 0.0);
+    }
+
+    #[test]
+    fn gather_traffic_for_remote_in_edges() {
+        let env = env2();
+        // Edge 0->1 placed at DC 0, vertex 1 (high) mastered at DC 1.
+        let s = PlacementState::from_edge_placement(
+            &env,
+            2,
+            [(0u32, 1u32, 0u8)].into_iter(),
+            vec![0, 1],
+            vec![false, true],
+            &[0, 1],
+            &[100, 100],
+            TrafficProfile::uniform(2, 8.0),
+            10.0,
+        );
+        assert_eq!(s.gather_loads().up(0), 8.0);
+        assert_eq!(s.gather_loads().down(1), 8.0);
+        // Vertex 1 also has a mirror at DC 0 (its in-edge lives there):
+        assert_eq!(s.apply_loads().up(1), 8.0);
+        assert_eq!(s.apply_loads().down(0), 8.0);
+    }
+
+    #[test]
+    fn low_degree_vertex_has_no_gather() {
+        let env = env2();
+        let s = PlacementState::from_edge_placement(
+            &env,
+            2,
+            [(0u32, 1u32, 0u8)].into_iter(),
+            vec![0, 1],
+            vec![false, false], // vertex 1 low-degree now
+            &[0, 1],
+            &[100, 100],
+            TrafficProfile::uniform(2, 8.0),
+            10.0,
+        );
+        assert_eq!(s.gather_loads().total_up(), 0.0);
+        // Synchronization still happens at apply.
+        assert_eq!(s.apply_loads().up(1), 8.0);
+    }
+
+    #[test]
+    fn objective_combines_time_and_cost() {
+        let env = env2();
+        let s = simple_state(&env);
+        let obj = s.objective(&env);
+        // 8 bytes over a 1 GB/s uplink.
+        assert!((obj.transfer_time - 8.0e-9).abs() < 1e-15);
+        assert_eq!(obj.movement_cost, 0.0);
+        // 10 iterations * 8 bytes * $0.10/GB.
+        assert!((obj.runtime_cost - 10.0 * 8.0 * 0.10e-9).abs() < 1e-18);
+        assert!(obj.total_cost() > 0.0);
+    }
+
+    #[test]
+    fn movement_cost_counts_displaced_masters() {
+        let env = env2();
+        let s = PlacementState::from_edge_placement(
+            &env,
+            2,
+            std::iter::empty(),
+            vec![1, 1],       // vertex 0 displaced from natural DC 0
+            vec![false, false],
+            &[0, 1],
+            &[1_000_000_000, 100],
+            TrafficProfile::uniform(2, 8.0),
+            1.0,
+        );
+        assert!((s.movement_cost() - 0.10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wan_bytes_matches_loads() {
+        let env = env2();
+        let s = simple_state(&env);
+        assert_eq!(
+            s.wan_bytes_per_iteration(),
+            s.gather_loads().total_up() + s.apply_loads().total_up()
+        );
+    }
+
+    #[test]
+    fn edges_per_dc_tracked() {
+        let env = env2();
+        let s = simple_state(&env);
+        assert_eq!(s.edges_per_dc(), &[0, 1]);
+    }
+}

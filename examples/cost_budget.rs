@@ -1,0 +1,54 @@
+//! Cost-budget trade-off exploration: sweep the WAN budget from 1 % to
+//! 100 % of the centralization cost and watch RLCut trade transfer time
+//! against spend (the Exp#2 mechanism, on a uk-2005-style web graph).
+//!
+//! ```sh
+//! cargo run -p rlcut-examples --release --bin cost_budget
+//! ```
+
+use geograph::locality::LocalityConfig;
+use geograph::{Dataset, GeoGraph};
+use geopart::{HybridState, TrafficProfile};
+use geosim::regions::ec2_eight_regions;
+use rlcut::RlCutConfig;
+
+fn main() {
+    let env = ec2_eight_regions();
+    let geo = GeoGraph::from_graph(
+        Dataset::Uk2005.generate(0.0005, 11),
+        &LocalityConfig::paper_default(11),
+    );
+    let centralization =
+        geosim::cost::centralization_cost(&env, &geo.locations, &geo.data_sizes).1;
+    println!(
+        "UK-analog: {} vertices / {} edges; centralization would cost ${centralization:.4}\n",
+        geo.num_vertices(),
+        geo.num_edges()
+    );
+
+    let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+    let natural = HybridState::natural(&geo, &env, 16, profile.clone(), 10.0).objective(&env);
+    println!("natural placement: transfer {:.6} s/iter, cost $0\n", natural.transfer_time);
+
+    println!(
+        "{:>8}  {:>12}  {:>12}  {:>10}  {:>10}",
+        "budget", "transfer (s)", "vs natural", "cost ($)", "cost/budget"
+    );
+    for pct in [0.01, 0.05, 0.10, 0.20, 0.40, 0.60, 1.00] {
+        let budget = centralization * pct;
+        let config = RlCutConfig::new(budget).with_seed(11);
+        let result = rlcut::partition(&geo, &env, profile.clone(), 10.0, &config);
+        let obj = result.final_objective(&env);
+        println!(
+            "{:>7.0}%  {:>12.6}  {:>11.1}%  {:>10.4}  {:>10.2}",
+            pct * 100.0,
+            obj.transfer_time,
+            (1.0 - obj.transfer_time / natural.transfer_time) * 100.0,
+            obj.total_cost(),
+            obj.total_cost() / budget,
+        );
+        assert!(obj.total_cost() <= budget * (1.0 + 1e-9), "budget violated");
+    }
+    println!("\nLooser budgets buy more master migrations and lower transfer time, with");
+    println!("diminishing returns past ~40% — the paper's Exp#2 observation.");
+}

@@ -1,0 +1,58 @@
+//! Quickstart: partition a synthetic geo-distributed social graph with
+//! RLCut and compare the inter-DC transfer time against the natural
+//! (no re-partitioning) placement.
+//!
+//! ```sh
+//! cargo run -p rlcut-examples --release --bin quickstart
+//! ```
+
+use geograph::generators::{rmat, RmatConfig};
+use geograph::locality::LocalityConfig;
+use geograph::GeoGraph;
+use geopart::{HybridState, TrafficProfile};
+use geosim::regions::ec2_eight_regions;
+use rlcut::RlCutConfig;
+
+fn main() {
+    // 1. A power-law graph whose vertices live in eight EC2 regions.
+    let graph = rmat(&RmatConfig::social(20_000, 160_000), 7);
+    let geo = GeoGraph::from_graph(graph, &LocalityConfig::paper_default(7));
+    let env = ec2_eight_regions();
+    println!(
+        "graph: {} vertices, {} edges across {} DCs",
+        geo.num_vertices(),
+        geo.num_edges(),
+        geo.num_dcs
+    );
+
+    // 2. The paper's default budget: 40 % of the cost of centralizing all
+    //    input data in one DC.
+    let budget = geosim::cost::default_budget(&env, &geo.locations, &geo.data_sizes, 0.4);
+    println!("budget: ${budget:.4} (40% of centralization cost)");
+
+    // 3. Partition with RLCut. PageRank-style traffic: 8 bytes per vertex
+    //    per iteration, 10 iterations.
+    let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+    let config = RlCutConfig::new(budget).with_seed(7);
+    let result = rlcut::partition(&geo, &env, profile.clone(), 10.0, &config);
+
+    // 4. Compare against the natural placement.
+    let natural = HybridState::natural(&geo, &env, result.state.theta(), profile, 10.0);
+    let before = natural.objective(&env);
+    let after = result.final_objective(&env);
+    println!("\nnatural placement : transfer time {:.6} s/iter", before.transfer_time);
+    println!("RLCut plan        : transfer time {:.6} s/iter", after.transfer_time);
+    println!(
+        "improvement       : {:.1}%  (cost ${:.4} of ${budget:.4} budget)",
+        (1.0 - after.transfer_time / before.transfer_time) * 100.0,
+        after.total_cost()
+    );
+    println!(
+        "training          : {} steps, {} migrations, {:?} overhead",
+        result.steps.len(),
+        result.total_migrations(),
+        result.total_duration
+    );
+    assert!(after.transfer_time <= before.transfer_time);
+    assert!(after.total_cost() <= budget);
+}

@@ -1,0 +1,78 @@
+//! Geo-distributed social-network analytics: run PageRank, SSSP and
+//! subgraph isomorphism over a Twitter-like graph under several
+//! partitioners, and report the paper's metrics (transfer time, cost,
+//! replication factor) for each.
+//!
+//! ```sh
+//! cargo run -p rlcut-examples --release --bin social_network
+//! ```
+
+use geobase::ginger::GingerConfig;
+use geobase::PlanKind;
+use geoengine::Algorithm;
+use geograph::locality::LocalityConfig;
+use geograph::{Dataset, GeoGraph};
+use geosim::regions::ec2_eight_regions;
+use rlcut::RlCutConfig;
+
+fn main() {
+    // A 0.05 %-scale Twitter analog (the full graph has 1.47 B edges).
+    let geo = GeoGraph::from_graph(
+        Dataset::Twitter.generate(0.0005, 42),
+        &LocalityConfig::paper_default(42),
+    );
+    let env = ec2_eight_regions();
+    let budget = geosim::cost::default_budget(&env, &geo.locations, &geo.data_sizes, 0.4);
+    println!(
+        "TW-analog: {} vertices, {} edges; budget ${budget:.4}\n",
+        geo.num_vertices(),
+        geo.num_edges()
+    );
+
+    for algo in [Algorithm::pagerank(), Algorithm::sssp(&geo), Algorithm::subgraph_iso()] {
+        let profile = algo.profile(&geo);
+        let iters = algo.expected_iterations();
+        let theta = geograph::degree::suggest_theta(&geo.graph, 0.05);
+
+        let plans: Vec<(&str, PlanKind)> = vec![
+            ("HashPL", PlanKind::Hybrid(geobase::hashpl(&geo, &env, theta, profile.clone(), iters, 42))),
+            (
+                "Ginger",
+                PlanKind::Hybrid(geobase::ginger(
+                    &geo,
+                    &env,
+                    GingerConfig::new(theta, 42),
+                    profile.clone(),
+                    iters,
+                )),
+            ),
+            (
+                "RLCut",
+                PlanKind::Hybrid(
+                    rlcut::partition(
+                        &geo,
+                        &env,
+                        profile.clone(),
+                        iters,
+                        &RlCutConfig::new(budget).with_seed(42),
+                    )
+                    .state,
+                ),
+            ),
+        ];
+
+        println!("--- {} ---", algo.name());
+        for (name, plan) in &plans {
+            let report = plan.execute(&geo, &env, &algo);
+            let obj = plan.objective(&env);
+            println!(
+                "{name:8} transfer {:.5}s  cost/budget {:.2}  λ {:.2}  WAN {:.1} KB",
+                report.transfer_time,
+                obj.total_cost() / budget,
+                plan.replication_factor(),
+                report.wan_bytes / 1024.0,
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,1 @@
+//! Integration test crate for the RLCut workspace (tests live in `tests/tests/`).

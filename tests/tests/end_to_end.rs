@@ -1,0 +1,161 @@
+//! End-to-end pipeline: dataset analog → geo assignment → every
+//! partitioner → analytics execution → paper invariants.
+
+use geobase::ginger::GingerConfig;
+use geobase::PlanKind;
+use geoengine::runner::AlgoOutput;
+use geoengine::Algorithm;
+use geograph::locality::LocalityConfig;
+use geograph::{Dataset, GeoGraph};
+use geosim::regions::ec2_eight_regions;
+use geosim::CloudEnv;
+use rlcut::RlCutConfig;
+
+fn setup() -> (GeoGraph, CloudEnv, f64) {
+    let geo = GeoGraph::from_graph(
+        Dataset::Orkut.generate(0.001, 5),
+        &LocalityConfig::paper_default(5),
+    );
+    let env = ec2_eight_regions();
+    let budget = geosim::cost::default_budget(&env, &geo.locations, &geo.data_sizes, 0.4);
+    (geo, env, budget)
+}
+
+fn all_plans<'g>(geo: &'g GeoGraph, env: &CloudEnv, budget: f64) -> Vec<(&'static str, PlanKind<'g>)> {
+    let algo = Algorithm::pagerank();
+    let profile = algo.profile(geo);
+    let theta = geograph::degree::suggest_theta(&geo.graph, 0.05);
+    vec![
+        ("RandPG", PlanKind::Vertex(geobase::randpg(geo, env, profile.clone(), 10.0, 5))),
+        (
+            "Geo-Cut",
+            PlanKind::Vertex(geobase::geocut(
+                geo,
+                env,
+                geobase::geocut::GeoCutConfig::new(budget),
+                profile.clone(),
+                10.0,
+            )),
+        ),
+        ("HashPL", PlanKind::Hybrid(geobase::hashpl(geo, env, theta, profile.clone(), 10.0, 5))),
+        (
+            "Ginger",
+            PlanKind::Hybrid(geobase::ginger(
+                geo,
+                env,
+                GingerConfig::new(theta, 5),
+                profile.clone(),
+                10.0,
+            )),
+        ),
+        (
+            "Revolver",
+            PlanKind::Edge(geobase::revolver(
+                geo,
+                env,
+                geobase::revolver::RevolverConfig::default(),
+                profile.clone(),
+                10.0,
+            )),
+        ),
+        (
+            "Spinner",
+            PlanKind::Edge(
+                geobase::Spinner::partition(geo, geobase::spinner::SpinnerConfig::default())
+                    .state(geo, env, &profile, 10.0),
+            ),
+        ),
+        (
+            "RLCut",
+            PlanKind::Hybrid(
+                rlcut::partition(
+                    geo,
+                    env,
+                    profile,
+                    10.0,
+                    &RlCutConfig::new(budget).with_seed(5).with_threads(2),
+                )
+                .state,
+            ),
+        ),
+    ]
+}
+
+#[test]
+fn analytics_results_identical_across_all_plans() {
+    // Partitioning changes where data lives, never what is computed.
+    let (geo, env, budget) = setup();
+    let plans = all_plans(&geo, &env, budget);
+    for algo in [Algorithm::pagerank(), Algorithm::sssp(&geo), Algorithm::subgraph_iso()] {
+        let reference = plans[0].1.execute(&geo, &env, &algo).output;
+        for (name, plan) in &plans[1..] {
+            let output = plan.execute(&geo, &env, &algo).output;
+            assert_eq!(output, reference, "{name} changed the {} result", algo.name());
+        }
+    }
+}
+
+#[test]
+fn rlcut_beats_every_feasible_method_on_transfer_time() {
+    let (geo, env, budget) = setup();
+    let plans = all_plans(&geo, &env, budget);
+    let rlcut = plans.last().unwrap().1.objective(&env);
+    assert!(rlcut.total_cost() <= budget);
+    for (name, plan) in &plans[..plans.len() - 1] {
+        let obj = plan.objective(&env);
+        if obj.total_cost() <= budget {
+            assert!(
+                rlcut.transfer_time <= obj.transfer_time * 1.05,
+                "{name} (feasible, {}) beat RLCut ({})",
+                obj.transfer_time,
+                rlcut.transfer_time
+            );
+        }
+    }
+}
+
+#[test]
+fn hybrid_cut_methods_have_lowest_replication() {
+    let (geo, env, budget) = setup();
+    let plans = all_plans(&geo, &env, budget);
+    let randpg_lambda = plans[0].1.replication_factor();
+    for (name, plan) in &plans {
+        if matches!(plan, PlanKind::Hybrid(_)) {
+            assert!(
+                plan.replication_factor() < randpg_lambda,
+                "{name} λ {} vs RandPG λ {randpg_lambda}",
+                plan.replication_factor()
+            );
+        }
+    }
+}
+
+#[test]
+fn pagerank_output_is_a_probability_distribution() {
+    let (geo, env, budget) = setup();
+    let plans = all_plans(&geo, &env, budget);
+    let algo = Algorithm::pagerank();
+    let AlgoOutput::Ranks(ranks) = plans.last().unwrap().1.execute(&geo, &env, &algo).output
+    else {
+        panic!("expected ranks")
+    };
+    let sum: f64 = ranks.iter().sum();
+    assert!((sum - 1.0).abs() < 1e-6, "ranks sum to {sum}");
+    assert!(ranks.iter().all(|&r| r >= 0.0));
+}
+
+#[test]
+fn per_iteration_times_sum_to_report_total() {
+    let (geo, env, budget) = setup();
+    let plans = all_plans(&geo, &env, budget);
+    let algo = Algorithm::pagerank();
+    for (name, plan) in &plans {
+        let report = plan.execute(&geo, &env, &algo);
+        let sum: f64 = report.per_iteration_time.iter().sum();
+        assert!(
+            (sum - report.transfer_time).abs() <= 1e-9 * report.transfer_time.max(1e-12),
+            "{name}: per-iteration sum {sum} vs total {}",
+            report.transfer_time
+        );
+    }
+}

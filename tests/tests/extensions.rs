@@ -1,0 +1,159 @@
+//! Integration tests for the beyond-the-paper extensions: WCC and weighted
+//! SSSP through the engine, Leopard, plan/env persistence across crates,
+//! and the recency-weighted sampler inside a full training run.
+
+use geoengine::runner::AlgoOutput;
+use geoengine::Algorithm;
+use geograph::generators::{community_graph, CommunityConfig};
+use geograph::locality::LocalityConfig;
+use geograph::weights::EdgeWeights;
+use geograph::{Dataset, GeoGraph};
+use geopart::{HybridState, TrafficProfile};
+use geosim::regions::ec2_eight_regions;
+use rlcut::RlCutConfig;
+
+fn setup() -> (GeoGraph, geosim::CloudEnv) {
+    let geo = GeoGraph::from_graph(
+        Dataset::LiveJournal.generate(0.0005, 21),
+        &LocalityConfig::paper_default(21),
+    );
+    (geo, ec2_eight_regions())
+}
+
+#[test]
+fn wcc_runs_through_the_engine_on_any_plan() {
+    let (geo, env) = setup();
+    let algo = Algorithm::wcc();
+    let plan = HybridState::natural(&geo, &env, 8, algo.profile(&geo), 2.0);
+    let report = geoengine::execute_plan(&geo, &env, plan.core(), None, &algo);
+    let AlgoOutput::ComponentLabels(labels) = &report.output else { panic!() };
+    assert_eq!(labels.len(), geo.num_vertices());
+    // The engine's result must match the transform-crate reference
+    // partition-wise.
+    let reference = geograph::transform::weakly_connected_components(&geo.graph);
+    for (i, j) in [(0usize, 1usize), (1, 2), (5, 17)] {
+        assert_eq!(labels[i] == labels[j], reference[i] == reference[j]);
+    }
+    // Activity shrinks: later iterations cost no more than the first.
+    if report.per_iteration_time.len() > 2 {
+        let first = report.per_iteration_time[1]; // iteration 0 has no senders
+        let last = *report.per_iteration_time.last().unwrap();
+        assert!(last <= first * (1.0 + 1e-9), "WCC activity grew: {first} -> {last}");
+    }
+}
+
+#[test]
+fn weighted_sssp_agrees_with_unit_bfs() {
+    let (geo, _) = setup();
+    let weights = EdgeWeights::uniform(&geo.graph, 1);
+    let source = geoengine::algorithms::sssp::default_source(&geo.graph);
+    let dijkstra = geoengine::algorithms::dijkstra(&geo.graph, &weights, source, 1);
+    let bfs = geoengine::algorithms::bfs_levels(&geo.graph, source);
+    let reachable = bfs
+        .distances
+        .iter()
+        .filter(|&&d| d != geoengine::algorithms::sssp::UNREACHABLE)
+        .count();
+    let settled: usize = dijkstra.rounds.iter().map(|r| r.len()).sum();
+    assert_eq!(settled, reachable);
+}
+
+#[test]
+fn community_labels_seed_locality_that_partitioners_exploit() {
+    // With community == home DC, the natural placement is already good;
+    // RLCut should keep it that way (not regress) while staying in budget.
+    let cg = community_graph(&CommunityConfig {
+        num_vertices: 3000,
+        num_edges: 24_000,
+        num_communities: 8,
+        ..Default::default()
+    });
+    let locations: Vec<geograph::DcId> =
+        cg.communities.iter().map(|&c| c as geograph::DcId).collect();
+    let sizes: Vec<u64> =
+        (0..3000u32).map(|v| 65536 + 256 * cg.graph.out_degree(v) as u64).collect();
+    let geo = GeoGraph::new(cg.graph, locations, sizes, 8);
+    let env = ec2_eight_regions();
+    let budget = geosim::cost::default_budget(&env, &geo.locations, &geo.data_sizes, 0.4);
+    let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+    let natural = HybridState::natural(&geo, &env, 8, profile.clone(), 10.0).objective(&env);
+    let config = RlCutConfig::new(budget).with_seed(21).with_threads(2);
+    let trained = rlcut::partition(&geo, &env, profile, 10.0, &config);
+    let obj = trained.final_objective(&env);
+    assert!(obj.transfer_time <= natural.transfer_time * (1.0 + 1e-9));
+    assert!(obj.total_cost() <= budget);
+}
+
+#[test]
+fn leopard_streams_and_evaluates() {
+    let (geo, env) = setup();
+    let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+    let leopard = geobase::Leopard::new(
+        geo.num_vertices(),
+        &geo.locations,
+        geo.num_dcs,
+        geobase::leopard::LeopardConfig::default(),
+    );
+    let plan = leopard.state(&geo, &env, profile.clone(), 10.0);
+    // Bounded replication by construction.
+    assert!(plan.replication_factor() <= 3.0 + 1e-9);
+    // Better than random vertex-cut, worse than (or equal to) RLCut.
+    let random = geobase::randpg(&geo, &env, profile.clone(), 10.0, 21);
+    assert!(plan.objective(&env).transfer_time < random.objective(&env).transfer_time);
+}
+
+#[test]
+fn plan_and_env_persistence_compose_across_crates() {
+    let (geo, env) = setup();
+    let dir = std::env::temp_dir().join("rlcut_ext_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Save the environment, reload it, and verify objectives agree.
+    let env_path = dir.join("ec2.env");
+    geosim::env_io::write_env(&env, &env_path).unwrap();
+    let env2 = geosim::env_io::read_env(&env_path).unwrap();
+
+    let budget = geosim::cost::default_budget(&env, &geo.locations, &geo.data_sizes, 0.4);
+    let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+    let config = RlCutConfig::new(budget).with_seed(5).with_threads(2);
+    let result = rlcut::partition(&geo, &env, profile.clone(), 10.0, &config);
+
+    let plan_path = dir.join("trained.plan");
+    geopart::plan_io::save_assignment(result.state.core().masters(), &plan_path).unwrap();
+    let masters = geopart::plan_io::load_assignment(&plan_path).unwrap();
+
+    let rebuilt = HybridState::from_masters(&geo, &env2, masters, result.state.theta(), profile, 10.0);
+    let a = result.final_objective(&env);
+    let b = rebuilt.objective(&env2);
+    assert!((a.transfer_time - b.transfer_time).abs() < 1e-12 * a.transfer_time.max(1e-12));
+    assert!((a.total_cost() - b.total_cost()).abs() < 1e-9 * a.total_cost().max(1e-12));
+    std::fs::remove_file(&env_path).ok();
+    std::fs::remove_file(&plan_path).ok();
+}
+
+#[test]
+fn recency_weighted_sampler_stays_within_budget_and_overhead() {
+    let (geo, env) = setup();
+    let budget = geosim::cost::default_budget(&env, &geo.locations, &geo.data_sizes, 0.4);
+    let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+    let t_opt = std::time::Duration::from_millis(300);
+    let mut config = RlCutConfig::new(budget).with_seed(6).with_threads(2).with_t_opt(t_opt);
+    config.sampling_recency = Some(0.5);
+    let result = rlcut::partition(&geo, &env, profile, 10.0, &config);
+    assert!(result.final_objective(&env).total_cost() <= budget);
+    let total: f64 = result.steps.iter().map(|s| s.duration.as_secs_f64()).sum();
+    assert!(total < 3.0 * t_opt.as_secs_f64(), "overhead {total}");
+}
+
+#[test]
+fn pattern_matching_traffic_consistency() {
+    // The general pattern matcher agrees with the triangle specialization
+    // used by the SI workload.
+    let (geo, _) = setup();
+    let triangles = geoengine::algorithms::triangle_count(&geo.graph);
+    let embeddings = geoengine::algorithms::count_embeddings(
+        &geo.graph,
+        &geoengine::algorithms::Pattern::triangle(),
+    );
+    assert_eq!(embeddings, 3 * triangles);
+}

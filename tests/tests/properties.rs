@@ -1,0 +1,139 @@
+//! Property-based tests of the cross-crate invariants the whole
+//! reproduction rests on.
+
+use geograph::locality::LocalityConfig;
+use geograph::{GeoGraph, Graph, GraphBuilder};
+use geopart::{HybridState, TrafficProfile};
+use geosim::regions::ec2_eight_regions;
+use proptest::prelude::*;
+
+/// An arbitrary small digraph: vertex count 2..40, edges as index pairs.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..40).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..120).prop_map(move |edges| {
+            let mut b = GraphBuilder::new(n);
+            b.add_edges(edges);
+            b.build()
+        })
+    })
+}
+
+fn arb_geo() -> impl Strategy<Value = (GeoGraph, u64)> {
+    (arb_graph(), 0u64..1000).prop_map(|(g, seed)| {
+        (GeoGraph::from_graph(g, &LocalityConfig::paper_default(seed)), seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The incremental move evaluator must agree with applying the move —
+    /// for arbitrary graphs, thresholds and move sequences.
+    #[test]
+    fn evaluate_matches_apply_on_arbitrary_graphs(
+        (geo, seed) in arb_geo(),
+        theta in 1usize..6,
+        moves in proptest::collection::vec((0u32..40, 0u8..8), 1..30),
+    ) {
+        let env = ec2_eight_regions();
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let mut state = HybridState::from_masters(
+            &geo, &env, geo.locations.clone(), theta, profile, 10.0,
+        );
+        let _ = seed;
+        for (v, to) in moves {
+            let v = v % geo.num_vertices() as u32;
+            let predicted = state.evaluate_move(&env, v, to);
+            state.apply_move(&env, v, to);
+            let actual = state.objective(&env);
+            prop_assert!(
+                (predicted.transfer_time - actual.transfer_time).abs()
+                    <= 1e-9 * actual.transfer_time.max(1e-12),
+                "time mismatch: {} vs {}", predicted.transfer_time, actual.transfer_time
+            );
+            prop_assert!(
+                (predicted.total_cost() - actual.total_cost()).abs()
+                    <= 1e-9 * actual.total_cost().max(1e-12),
+                "cost mismatch: {} vs {}", predicted.total_cost(), actual.total_cost()
+            );
+        }
+        state.check_consistency(&env);
+    }
+
+    /// Replication factor is always in [1, M] and exactly 1 when all
+    /// masters share one DC.
+    #[test]
+    fn replication_factor_bounds((geo, _) in arb_geo(), theta in 1usize..6) {
+        let env = ec2_eight_regions();
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let natural = HybridState::from_masters(
+            &geo, &env, geo.locations.clone(), theta, profile.clone(), 10.0,
+        );
+        let lambda = natural.core().replication_factor();
+        prop_assert!((1.0..=8.0).contains(&lambda), "λ = {lambda}");
+
+        let centralized = HybridState::from_masters(
+            &geo, &env, vec![3; geo.num_vertices()], theta, profile, 10.0,
+        );
+        prop_assert!((centralized.core().replication_factor() - 1.0).abs() < 1e-12);
+        prop_assert_eq!(centralized.objective(&env).transfer_time, 0.0);
+    }
+
+    /// Round-tripping a move always restores the objective exactly.
+    #[test]
+    fn move_round_trip_is_identity(
+        (geo, _) in arb_geo(),
+        v in 0u32..40,
+        to in 0u8..8,
+    ) {
+        let env = ec2_eight_regions();
+        let v = v % geo.num_vertices() as u32;
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let mut state = HybridState::from_masters(
+            &geo, &env, geo.locations.clone(), 3, profile, 10.0,
+        );
+        let before = state.objective(&env);
+        let home = state.master(v);
+        state.apply_move(&env, v, to);
+        state.apply_move(&env, v, home);
+        let after = state.objective(&env);
+        prop_assert!((before.transfer_time - after.transfer_time).abs() < 1e-12);
+        prop_assert!((before.total_cost() - after.total_cost()).abs() < 1e-12);
+    }
+
+    /// The engine's all-active PageRank traffic equals the static Eq 1
+    /// model for arbitrary graphs and thresholds.
+    #[test]
+    fn engine_matches_static_model((geo, _) in arb_geo(), theta in 1usize..6) {
+        let env = ec2_eight_regions();
+        let algo = geoengine::Algorithm::PageRank { iterations: 3, damping: 0.85 };
+        let profile = algo.profile(&geo);
+        let state = HybridState::from_masters(
+            &geo, &env, geo.locations.clone(), theta, profile, 3.0,
+        );
+        let report = geoengine::execute_plan(&geo, &env, state.core(), None, &algo);
+        let static_time = state.objective(&env).transfer_time;
+        for &t in &report.per_iteration_time {
+            prop_assert!(
+                (t - static_time).abs() <= 1e-9 * static_time.max(1e-12),
+                "engine {t} vs static {static_time}"
+            );
+        }
+    }
+
+    /// Graph structural invariants survive building from arbitrary edges.
+    #[test]
+    fn csr_degree_sums_match_edge_count(g in arb_graph()) {
+        let n = g.num_vertices() as u32;
+        let out_sum: usize = (0..n).map(|v| g.out_degree(v)).sum();
+        let in_sum: usize = (0..n).map(|v| g.in_degree(v)).sum();
+        prop_assert_eq!(out_sum, g.num_edges());
+        prop_assert_eq!(in_sum, g.num_edges());
+        // Builder cleaning: no self loops, no duplicates.
+        let mut seen = std::collections::HashSet::new();
+        for (u, v) in g.edges() {
+            prop_assert_ne!(u, v);
+            prop_assert!(seen.insert((u, v)));
+        }
+    }
+}
