@@ -10,6 +10,14 @@
 //! per-(vertex, DC) edge counts — O(1) per candidate — so accepted moves
 //! monotonically improve the true Eq 1 objective.
 //!
+//! Candidate evaluation follows the batched-kernel structure of
+//! [`geopart::kernel`]: the edge's endpoint cells are probed against the
+//! *frozen* counts/loads (threshold transitions via
+//! [`geopart::kernel::count_transitions`], the same primitive the hybrid-
+//! and vertex-cut evaluators use) into a reusable per-DC delta arena, and
+//! only the accepted move mutates the refiner — no mutate/restore churn
+//! per rejected candidate.
+//!
 //! Geo-Cut remains greedy and edge-local: it cannot group a low-degree
 //! vertex's in-edges the way hybrid-cut does, which is why the paper's
 //! Exp#1/Exp#2 show it satisfying budgets yet trailing RLCut badly on
@@ -17,6 +25,7 @@
 
 use geograph::fxhash::mix64;
 use geograph::GeoGraph;
+use geopart::kernel::count_transitions;
 use geopart::vertexcut::{MasterRule, VertexCutState};
 use geopart::{DcId, TrafficProfile};
 use geosim::CloudEnv;
@@ -58,51 +67,108 @@ struct Refiner<'a> {
     num_iterations: f64,
 }
 
+/// Reusable per-DC load/cost delta arena for frozen-state candidate
+/// evaluation — the Geo-Cut analogue of the geopart kernel's destination
+/// rows.
+#[derive(Default)]
+struct CandidateDeltas {
+    gu: Vec<f64>,
+    gd: Vec<f64>,
+    au: Vec<f64>,
+    ad: Vec<f64>,
+    cost: f64,
+}
+
+impl CandidateDeltas {
+    fn reset(&mut self, m: usize) {
+        for buf in [&mut self.gu, &mut self.gd, &mut self.au, &mut self.ad] {
+            buf.resize(m, 0.0);
+            buf.fill(0.0);
+        }
+        self.cost = 0.0;
+    }
+}
+
 impl<'a> Refiner<'a> {
     /// Applies the count delta of one edge endpoint side and adjusts loads
     /// on message-count threshold transitions. `d_in`/`d_out` are ±1/0.
-    fn touch(&mut self, x: u32, dc: usize, d_in: i32, d_out: i32) {
+    fn touch(&mut self, x: u32, dc: usize, d_in: i64, d_out: i64) {
         let master = self.masters[x as usize] as usize;
         let idx = x as usize * self.m + dc;
-        let in_old = self.in_cnt[idx] as i32;
-        let out_old = self.out_cnt[idx] as i32;
+        let in_old = self.in_cnt[idx] as i64;
+        let out_old = self.out_cnt[idx] as i64;
         self.in_cnt[idx] = (in_old + d_in) as u32;
         self.out_cnt[idx] = (out_old + d_out) as u32;
         if dc == master {
             return;
         }
-        let in_new = in_old + d_in;
-        let tot_old = in_old + out_old;
-        let tot_new = in_new + out_old + d_out;
-        let price = self.env.price(dc as DcId);
-        let master_price = self.env.price(master as DcId);
-        // Gather: one g_x message from dc to master while in-edges remain.
-        match (in_old > 0, in_new > 0) {
-            (false, true) => {
-                self.gu[dc] += self.g[x as usize];
-                self.gd[master] += self.g[x as usize];
-                self.cost += self.g[x as usize] * price * self.num_iterations;
-            }
-            (true, false) => {
-                self.gu[dc] -= self.g[x as usize];
-                self.gd[master] -= self.g[x as usize];
-                self.cost -= self.g[x as usize] * price * self.num_iterations;
-            }
-            _ => {}
+        // All vertices are high under vertex-cut (full GAS): gather is one
+        // g_x message from dc to master while in-edges remain, apply one
+        // a_x message from master to dc while a mirror remains.
+        let (gt, at) = count_transitions(true, in_old, out_old, d_in, d_out);
+        if gt != 0.0 {
+            let gx = gt * self.g[x as usize];
+            self.gu[dc] += gx;
+            self.gd[master] += gx;
+            self.cost += gx * self.env.price(dc as DcId) * self.num_iterations;
         }
-        // Apply: one a_x message from master to dc while a mirror remains.
-        match (tot_old > 0, tot_new > 0) {
-            (false, true) => {
-                self.au[master] += self.a[x as usize];
-                self.ad[dc] += self.a[x as usize];
-                self.cost += self.a[x as usize] * master_price * self.num_iterations;
-            }
-            (true, false) => {
-                self.au[master] -= self.a[x as usize];
-                self.ad[dc] -= self.a[x as usize];
-                self.cost -= self.a[x as usize] * master_price * self.num_iterations;
-            }
-            _ => {}
+        if at != 0.0 {
+            let ax = at * self.a[x as usize];
+            self.au[master] += ax;
+            self.ad[dc] += ax;
+            self.cost += ax * self.env.price(master as DcId) * self.num_iterations;
+        }
+    }
+
+    /// Stages the load/cost delta of changing cell `(x, dc)` by
+    /// `(d_in, d_out)` into `deltas`, against the frozen counts — the
+    /// read-only twin of [`Self::touch`]. A cell touched twice in one
+    /// candidate must be probed once with the combined delta (threshold
+    /// transitions are non-linear), which is why self-loops are combined
+    /// by the caller.
+    fn probe(&self, x: u32, dc: usize, d_in: i64, d_out: i64, deltas: &mut CandidateDeltas) {
+        let master = self.masters[x as usize] as usize;
+        if dc == master {
+            return;
+        }
+        let idx = x as usize * self.m + dc;
+        let (gt, at) =
+            count_transitions(true, self.in_cnt[idx] as i64, self.out_cnt[idx] as i64, d_in, d_out);
+        if gt != 0.0 {
+            let gx = gt * self.g[x as usize];
+            deltas.gu[dc] += gx;
+            deltas.gd[master] += gx;
+            deltas.cost += gx * self.env.price(dc as DcId) * self.num_iterations;
+        }
+        if at != 0.0 {
+            let ax = at * self.a[x as usize];
+            deltas.au[master] += ax;
+            deltas.ad[dc] += ax;
+            deltas.cost += ax * self.env.price(master as DcId) * self.num_iterations;
+        }
+    }
+
+    /// Stages moving edge `(u, v)` from `from` to `to` into `deltas`
+    /// without mutating the refiner. Valid because the `from` and `to`
+    /// cells are disjoint (`from != to`), so every probe reads unchanged
+    /// frozen counts.
+    fn probe_edge_move(
+        &self,
+        u: u32,
+        v: u32,
+        from: usize,
+        to: usize,
+        deltas: &mut CandidateDeltas,
+    ) {
+        deltas.reset(self.m);
+        if u == v {
+            self.probe(v, from, -1, -1, deltas);
+            self.probe(v, to, 1, 1, deltas);
+        } else {
+            self.probe(v, from, -1, 0, deltas);
+            self.probe(v, to, 1, 0, deltas);
+            self.probe(u, from, 0, -1, deltas);
+            self.probe(u, to, 0, 1, deltas);
         }
     }
 
@@ -118,8 +184,28 @@ impl<'a> Refiner<'a> {
         let mut apply = 0.0f64;
         for d in 0..self.m {
             let dc = d as DcId;
-            gather = gather.max((self.gu[d] / self.env.uplink(dc)).max(self.gd[d] / self.env.downlink(dc)));
-            apply = apply.max((self.au[d] / self.env.uplink(dc)).max(self.ad[d] / self.env.downlink(dc)));
+            gather = gather
+                .max((self.gu[d] / self.env.uplink(dc)).max(self.gd[d] / self.env.downlink(dc)));
+            apply = apply
+                .max((self.au[d] / self.env.uplink(dc)).max(self.ad[d] / self.env.downlink(dc)));
+        }
+        gather + apply
+    }
+
+    /// [`Self::transfer_time`] with `deltas` overlaid on the live loads.
+    fn transfer_time_with(&self, deltas: &CandidateDeltas) -> f64 {
+        let mut gather = 0.0f64;
+        let mut apply = 0.0f64;
+        for d in 0..self.m {
+            let dc = d as DcId;
+            gather = gather.max(
+                ((self.gu[d] + deltas.gu[d]) / self.env.uplink(dc))
+                    .max((self.gd[d] + deltas.gd[d]) / self.env.downlink(dc)),
+            );
+            apply = apply.max(
+                ((self.au[d] + deltas.au[d]) / self.env.uplink(dc))
+                    .max((self.ad[d] + deltas.ad[d]) / self.env.downlink(dc)),
+            );
         }
         gather + apply
     }
@@ -136,8 +222,7 @@ pub fn geocut(
     let m = env.num_dcs();
     let n = geo.num_vertices();
     let edges: Vec<(u32, u32)> = geo.graph.edges().collect();
-    let mut assignment: Vec<DcId> =
-        edges.iter().map(|&(_, v)| geo.locations[v as usize]).collect();
+    let mut assignment: Vec<DcId> = edges.iter().map(|&(_, v)| geo.locations[v as usize]).collect();
 
     let mut refiner = Refiner {
         m,
@@ -161,6 +246,10 @@ pub fn geocut(
 
     let mut order: Vec<usize> = (0..edges.len()).collect();
     order.sort_unstable_by_key(|&i| mix64(i as u64 ^ config.seed));
+    // Candidate destinations are evaluated against the *frozen* refiner via
+    // a reusable delta arena — no mutate/restore churn per rejected
+    // candidate. Only the winning move mutates the refiner.
+    let mut deltas = CandidateDeltas::default();
     for _ in 0..config.refinement_passes {
         let mut improved = false;
         for &i in &order {
@@ -172,10 +261,9 @@ pub fn geocut(
                 if d == current {
                     continue;
                 }
-                refiner.move_edge(u, v, current, d);
-                let t = refiner.transfer_time();
-                let feasible = refiner.cost <= config.budget;
-                refiner.move_edge(u, v, d, current);
+                refiner.probe_edge_move(u, v, current, d, &mut deltas);
+                let t = refiner.transfer_time_with(&deltas);
+                let feasible = refiner.cost + deltas.cost <= config.budget;
                 if feasible && t < best.1 {
                     best = (d, t);
                 }
@@ -217,7 +305,12 @@ mod tests {
         let natural: Vec<DcId> =
             geo.graph.edges().map(|(_, v)| geo.locations[v as usize]).collect();
         VertexCutState::from_edge_assignment(
-            geo, env, &natural, MasterRule::Natural, p.clone(), 10.0,
+            geo,
+            env,
+            &natural,
+            MasterRule::Natural,
+            p.clone(),
+            10.0,
         )
     }
 

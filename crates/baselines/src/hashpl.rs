@@ -61,9 +61,7 @@ mod tests {
         let p = TrafficProfile::uniform(geo.num_vertices(), 8.0);
         let hybrid = hashpl(&geo, &env, theta, p.clone(), 10.0, 1);
         let vertex = crate::randpg(&geo, &env, p, 10.0, 1);
-        assert!(
-            hybrid.core().wan_bytes_per_iteration() < vertex.core().wan_bytes_per_iteration()
-        );
+        assert!(hybrid.core().wan_bytes_per_iteration() < vertex.core().wan_bytes_per_iteration());
     }
 
     #[test]

@@ -44,7 +44,12 @@ pub struct Leopard {
 
 impl Leopard {
     /// Initializes from natural vertex locations.
-    pub fn new(num_vertices: usize, locations: &[DcId], num_dcs: usize, config: LeopardConfig) -> Self {
+    pub fn new(
+        num_vertices: usize,
+        locations: &[DcId],
+        num_dcs: usize,
+        config: LeopardConfig,
+    ) -> Self {
         assert_eq!(locations.len(), num_vertices);
         Leopard {
             config,
@@ -58,7 +63,12 @@ impl Leopard {
 
     /// Streams one edge, returning its placement. New vertex ids grow the
     /// replica table with the given natural location.
-    pub fn place_edge(&mut self, u: VertexId, v: VertexId, natural: impl Fn(VertexId) -> DcId) -> DcId {
+    pub fn place_edge(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        natural: impl Fn(VertexId) -> DcId,
+    ) -> DcId {
         let needed = u.max(v) as usize + 1;
         while self.replicas.len() < needed {
             let id = self.replicas.len() as VertexId;
@@ -193,10 +203,12 @@ mod tests {
     fn deterministic() {
         let (geo, env) = setup();
         let p = TrafficProfile::uniform(geo.num_vertices(), 8.0);
-        let a = Leopard::new(geo.num_vertices(), &geo.locations, geo.num_dcs, LeopardConfig::default())
-            .state(&geo, &env, p.clone(), 10.0);
-        let b = Leopard::new(geo.num_vertices(), &geo.locations, geo.num_dcs, LeopardConfig::default())
-            .state(&geo, &env, p, 10.0);
+        let a =
+            Leopard::new(geo.num_vertices(), &geo.locations, geo.num_dcs, LeopardConfig::default())
+                .state(&geo, &env, p.clone(), 10.0);
+        let b =
+            Leopard::new(geo.num_vertices(), &geo.locations, geo.num_dcs, LeopardConfig::default())
+                .state(&geo, &env, p, 10.0);
         assert_eq!(a.edge_dcs(), b.edge_dcs());
     }
 }

@@ -85,8 +85,8 @@ pub fn revolver(
             let deg = geo.graph.degree(v).max(1) as f64;
             let mut best = (0usize, f64::NEG_INFINITY);
             for d in 0..m {
-                let utility = counts[d] / deg
-                    + config.balance_weight * (1.0 - loads[d] / capacity).max(-1.0);
+                let utility =
+                    counts[d] / deg + config.balance_weight * (1.0 - loads[d] / capacity).max(-1.0);
                 if utility > best.1 {
                     best = (d, utility);
                 }
@@ -160,8 +160,8 @@ mod tests {
         let (geo, env) = setup();
         let p = TrafficProfile::uniform(geo.num_vertices(), 8.0);
         let s = revolver(&geo, &env, RevolverConfig::default(), p, 10.0);
-        let max_share = s.vertices_per_dc().iter().copied().max().unwrap() as f64
-            / geo.num_vertices() as f64;
+        let max_share =
+            s.vertices_per_dc().iter().copied().max().unwrap() as f64 / geo.num_vertices() as f64;
         assert!(max_share < 0.9, "one DC swallowed {max_share} of the graph");
     }
 }

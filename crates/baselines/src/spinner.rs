@@ -53,11 +53,8 @@ impl Spinner {
     /// Partitions `geo` from its natural locations and returns the
     /// instance for later incremental adaptation.
     pub fn partition(geo: &GeoGraph, config: SpinnerConfig) -> Self {
-        let mut spinner = Spinner {
-            config,
-            assignment: geo.locations.clone(),
-            num_dcs: geo.num_dcs,
-        };
+        let mut spinner =
+            Spinner { config, assignment: geo.locations.clone(), num_dcs: geo.num_dcs };
         let all: Vec<VertexId> = (0..geo.num_vertices() as VertexId).collect();
         spinner.propagate(geo, &all);
         spinner
@@ -139,8 +136,8 @@ impl Spinner {
                     if d != current && loads[d] + 1.0 > max_load {
                         continue;
                     }
-                    let score = counts[d] / deg
-                        + self.config.balance_factor * (1.0 - loads[d] / capacity);
+                    let score =
+                        counts[d] / deg + self.config.balance_factor * (1.0 - loads[d] / capacity);
                     if score > best.1 + 1e-12 {
                         best = (d, score);
                     }
@@ -222,8 +219,8 @@ mod tests {
         }
         let max_after = *per_dc.iter().max().unwrap();
         let max_before = *initial.iter().max().unwrap();
-        let cap = ((geo.num_vertices() as f64 / geo.num_dcs as f64)
-            * (1.0 + config.capacity_slack)) as u64
+        let cap = ((geo.num_vertices() as f64 / geo.num_dcs as f64) * (1.0 + config.capacity_slack))
+            as u64
             + 1;
         assert!(
             max_after <= max_before.max(cap),
@@ -236,12 +233,8 @@ mod tests {
         let (geo, env) = setup();
         let all_edges: Vec<_> = geo.graph.edges().collect();
         let (initial, stream) = split_for_dynamic(&all_edges, geo.num_vertices(), 0.7, 60_000);
-        let initial_geo = GeoGraph::new(
-            initial,
-            geo.locations.clone(),
-            geo.data_sizes.clone(),
-            geo.num_dcs,
-        );
+        let initial_geo =
+            GeoGraph::new(initial, geo.locations.clone(), geo.data_sizes.clone(), geo.num_dcs);
         let mut spinner = Spinner::partition(&initial_geo, SpinnerConfig::default());
 
         // Apply all remaining events as one window.
@@ -249,12 +242,8 @@ mod tests {
         builder.add_edges(initial_geo.graph.edges());
         let new_vertices = apply_events(&mut builder, stream.events());
         let grown = builder.build();
-        let grown_geo = GeoGraph::new(
-            grown,
-            geo.locations[..].to_vec(),
-            geo.data_sizes.clone(),
-            geo.num_dcs,
-        );
+        let grown_geo =
+            GeoGraph::new(grown, geo.locations[..].to_vec(), geo.data_sizes.clone(), geo.num_dcs);
         spinner.adapt(&grown_geo, &new_vertices);
         assert_eq!(spinner.assignment().len(), grown_geo.num_vertices());
         let p = TrafficProfile::uniform(grown_geo.num_vertices(), 8.0);

@@ -48,6 +48,54 @@ fn bench_move_evaluation(c: &mut Criterion) {
     });
 }
 
+/// Batched one-sweep kernel vs M independent per-candidate evaluations, on
+/// the 8-DC TW-analog (scaled Twitter-shaped R-MAT). Benchmarked both over
+/// a round-robin vertex stream and pinned to the highest-degree vertex —
+/// the regime the batching targets (acceptance: batched ≥ 1.5× there).
+fn bench_batched_evaluation(c: &mut Criterion) {
+    let g = geograph::datasets::Dataset::Twitter.generate(0.0004, 42);
+    let geo = GeoGraph::from_graph(g, &LocalityConfig::paper_default(42));
+    let env = ec2_eight_regions();
+    let m = env.num_dcs();
+    let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+    let state = HybridState::natural(&geo, &env, 16, profile, 10.0);
+    let hub = (0..geo.num_vertices() as u32).max_by_key(|&v| geo.graph.degree(v)).unwrap();
+
+    let mut group = c.benchmark_group("evaluate_all_moves_tw8dc");
+    let mut scratch = geopart::MoveScratch::new();
+    group.bench_function("batched_sweep", |b| {
+        let mut v = 0u32;
+        b.iter(|| {
+            v = (v + 1) % geo.num_vertices() as u32;
+            black_box(state.evaluate_all_moves(&env, v, &mut scratch).last().copied())
+        })
+    });
+    group.bench_function("per_candidate_x8", |b| {
+        let mut v = 0u32;
+        b.iter(|| {
+            v = (v + 1) % geo.num_vertices() as u32;
+            let mut last = None;
+            for d in 0..m as u8 {
+                last = Some(state.evaluate_move_with(&env, v, d, &mut scratch));
+            }
+            black_box(last)
+        })
+    });
+    group.bench_function("batched_sweep_hub_vertex", |b| {
+        b.iter(|| black_box(state.evaluate_all_moves(&env, hub, &mut scratch).last().copied()))
+    });
+    group.bench_function("per_candidate_x8_hub_vertex", |b| {
+        b.iter(|| {
+            let mut last = None;
+            for d in 0..m as u8 {
+                last = Some(state.evaluate_move_with(&env, hub, d, &mut scratch));
+            }
+            black_box(last)
+        })
+    });
+    group.finish();
+}
+
 fn bench_move_application(c: &mut Criterion) {
     let (geo, env) = setup(1 << 13);
     let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
@@ -67,10 +115,16 @@ fn bench_training_step(c: &mut Criterion) {
     let budget = geosim::cost::default_budget(&env, &geo.locations, &geo.data_sizes, 0.4);
     let mut group = c.benchmark_group("train_one_step_4k_vertices");
     group.sample_size(10);
-    group.bench_function("full_sampling", |b| {
-        let config = RlCutConfig::new(budget).with_max_steps(1).with_threads(2);
-        b.iter(|| rlcut::partition(&geo, &env, profile.clone(), 10.0, &config))
-    });
+    for threads in [1usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("full_sampling", threads),
+            &threads,
+            |b, &threads| {
+                let config = RlCutConfig::new(budget).with_max_steps(1).with_threads(threads);
+                b.iter(|| rlcut::partition(&geo, &env, profile.clone(), 10.0, &config))
+            },
+        );
+    }
     group.finish();
 }
 
@@ -86,6 +140,7 @@ criterion_group!(
     bench_generation,
     bench_plan_construction,
     bench_move_evaluation,
+    bench_batched_evaluation,
     bench_move_application,
     bench_training_step,
     bench_pagerank

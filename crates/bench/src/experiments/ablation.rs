@@ -40,7 +40,10 @@ pub fn run(ctx: &ExpContext) {
             c.sampling_recency = Some(0.5);
             c
         }),
-        ("T_opt 500ms, plain Eq 14", base.clone().with_t_opt(std::time::Duration::from_millis(500))),
+        (
+            "T_opt 500ms, plain Eq 14",
+            base.clone().with_t_opt(std::time::Duration::from_millis(500)),
+        ),
         ("single thread", base.clone().with_threads(1)),
     ];
 

@@ -26,14 +26,8 @@ pub fn run(ctx: &ExpContext) {
         let budget = geosim::cost::default_budget(&env, &geo.locations, &geo.data_sizes, 0.4);
 
         for algo in algos(&geo) {
-            let runs = crate::run_all_methods(
-                &geo,
-                &env,
-                &algo,
-                budget,
-                MethodSet { include_slow },
-                ctx,
-            );
+            let runs =
+                crate::run_all_methods(&geo, &env, &algo, budget, MethodSet { include_slow }, ctx);
             let mut t = Table::new(
                 &format!(
                     "Fig 10/11 — {} / {} ({} vertices, {} edges, budget ${:.4})",

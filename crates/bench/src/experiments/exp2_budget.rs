@@ -15,8 +15,7 @@ pub fn run(ctx: &ExpContext) {
     let algo = Algorithm::pagerank();
     let profile = algo.profile(&geo);
     let theta = geograph::degree::suggest_theta(&geo.graph, 0.05);
-    let centralization =
-        geosim::cost::centralization_cost(&env, &geo.locations, &geo.data_sizes).1;
+    let centralization = geosim::cost::centralization_cost(&env, &geo.locations, &geo.data_sizes).1;
 
     // Ginger ignores budgets; run once.
     let (ginger, ginger_overhead) = timed(|| {

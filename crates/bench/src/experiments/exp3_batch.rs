@@ -33,8 +33,7 @@ pub fn run(ctx: &ExpContext) {
             .with_fixed_sample_rate(0.10)
             .with_batch_size(batch);
         let result = rlcut::partition(&geo, &env, profile.clone(), 10.0, &config);
-        let migrate: f64 =
-            result.steps.iter().map(|s| s.migrate_duration.as_secs_f64()).sum();
+        let migrate: f64 = result.steps.iter().map(|s| s.migrate_duration.as_secs_f64()).sum();
         rows.push((
             batch,
             result.total_duration.as_secs_f64(),

@@ -60,13 +60,7 @@ pub fn run(ctx: &ExpContext) {
     );
     for (label, history) in &detail {
         for (i, &(sr, secs)) in history.iter().enumerate() {
-            t14.row(vec![
-                label.clone(),
-                i.to_string(),
-                f3(sr),
-                f3(secs),
-                f3(secs / sr.max(1e-9)),
-            ]);
+            t14.row(vec![label.clone(), i.to_string(), f3(sr), f3(secs), f3(secs / sr.max(1e-9))]);
         }
     }
     t14.print();

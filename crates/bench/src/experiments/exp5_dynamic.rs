@@ -25,9 +25,9 @@ struct Workload {
 /// Builds the LJ-scale dynamic workload for one insert ratio.
 fn workload(ctx: &ExpContext, ratio: f64) -> Workload {
     let n = Dataset::LiveJournal.scaled_vertices(ctx.scale);
-    let epv =
-        (Dataset::LiveJournal.paper_edges() as f64 / Dataset::LiveJournal.paper_vertices() as f64)
-            .round() as usize;
+    let epv = (Dataset::LiveJournal.paper_edges() as f64
+        / Dataset::LiveJournal.paper_vertices() as f64)
+        .round() as usize;
     let edges = preferential_attachment_edges(n, epv, ctx.seed);
     let split = (edges.len() as f64 * 0.7) as usize;
     let inserted = ((edges.len() - split) as f64 * ratio) as usize;
@@ -40,13 +40,10 @@ fn workload(ctx: &ExpContext, ratio: f64) -> Workload {
 
     let cfg = LocalityConfig::paper_default(ctx.seed);
     let locations = assign_locations(&grown_graph, &cfg);
-    let sizes: Vec<u64> = (0..n as VertexId)
-        .map(|v| 65536 + 256 * grown_graph.out_degree(v) as u64)
-        .collect();
-    let mut touched: Vec<VertexId> = edges[split..split + inserted]
-        .iter()
-        .flat_map(|&(u, v)| [u, v])
-        .collect();
+    let sizes: Vec<u64> =
+        (0..n as VertexId).map(|v| 65536 + 256 * grown_graph.out_degree(v) as u64).collect();
+    let mut touched: Vec<VertexId> =
+        edges[split..split + inserted].iter().flat_map(|&(u, v)| [u, v]).collect();
     touched.sort_unstable();
     touched.dedup();
     Workload {
@@ -123,9 +120,7 @@ pub fn run(ctx: &ExpContext) {
     let norm = spinner_runs[0].time.max(1e-12);
     for (i, &ratio) in ratios.iter().enumerate() {
         let w = workload(ctx, ratio);
-        let config = RlCutConfig::new(f64::INFINITY)
-            .with_seed(ctx.seed)
-            .with_threads(ctx.threads);
+        let config = RlCutConfig::new(f64::INFINITY).with_seed(ctx.seed).with_threads(ctx.threads);
         let mut adaptive = AdaptiveRlCut::new(config, Some(0.4));
         let window = std::time::Duration::from_secs_f64(window_secs);
         let p_init = algo.profile(&w.initial);

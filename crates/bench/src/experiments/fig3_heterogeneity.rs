@@ -21,10 +21,15 @@ pub fn run(ctx: &ExpContext) {
         let mut cells = vec![ds.notation().to_string()];
         for level in Heterogeneity::ALL {
             let env = level.ec2_environment();
-            let budget =
-                geosim::cost::default_budget(&env, &geo.locations, &geo.data_sizes, 0.4);
+            let budget = geosim::cost::default_budget(&env, &geo.locations, &geo.data_sizes, 0.4);
             let (ginger, ginger_overhead) = timed(|| {
-                geobase::ginger(&geo, &env, GingerConfig::new(theta, ctx.seed), profile.clone(), 10.0)
+                geobase::ginger(
+                    &geo,
+                    &env,
+                    GingerConfig::new(theta, ctx.seed),
+                    profile.clone(),
+                    10.0,
+                )
             });
             let config = RlCutConfig::new(budget)
                 .with_seed(ctx.seed)

@@ -19,8 +19,7 @@ pub fn run(ctx: &ExpContext) {
     );
     let base_edges = initial.num_edges() as f64;
     let base_nodes = initial.num_vertices() as f64;
-    let mut known: FxHashSet<u32> =
-        (0..initial.num_vertices() as u32).collect();
+    let mut known: FxHashSet<u32> = (0..initial.num_vertices() as u32).collect();
     let mut max_edges = 0u64;
     let mut min_edges = u64::MAX;
     for (hour, window) in windows.iter().enumerate() {

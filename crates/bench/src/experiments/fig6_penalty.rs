@@ -30,11 +30,7 @@ pub fn run(ctx: &ExpContext) {
         cfg.convergence_fraction = 0.0;
         let result = rlcut::partition(&geo, &env, profile.clone(), 10.0, &cfg);
         let time = result.final_objective(&env).transfer_time;
-        t.row(vec![
-            steps.to_string(),
-            f3(time),
-            f3(time / reference_time.max(1e-12)),
-        ]);
+        t.row(vec![steps.to_string(), f3(time), f3(time / reference_time.max(1e-12))]);
     }
     t.print();
     println!("No-penalty reference @ 10 steps: transfer time {}", f3(reference_time));

@@ -149,8 +149,7 @@ pub fn run_all_methods<'g>(
         .with_seed(ctx.seed)
         .with_threads(ctx.threads)
         .with_t_opt(default_t_opt(ginger_overhead));
-    let (result, overhead) =
-        timed(|| rlcut::partition(geo, env, profile.clone(), iters, &config));
+    let (result, overhead) = timed(|| rlcut::partition(geo, env, profile.clone(), iters, &config));
     runs.push(MethodRun { name: "RLCut", plan: PlanKind::Hybrid(result.state), overhead });
 
     runs
@@ -197,12 +196,7 @@ impl Table {
         }
         let mut out = format!("\n== {} ==\n", self.title);
         let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-            cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:>w$}"))
-                .collect::<Vec<_>>()
-                .join("  ")
+            cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}")).collect::<Vec<_>>().join("  ")
         };
         out.push_str(&fmt_row(&self.headers, &widths));
         out.push('\n');

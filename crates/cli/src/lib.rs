@@ -112,8 +112,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             "--dcs" => options.dcs = value()?.parse().map_err(|e| format!("--dcs: {e}"))?,
             "--env" => options.env_file = Some(PathBuf::from(value()?.clone())),
             "--budget-frac" => {
-                options.budget_frac =
-                    value()?.parse().map_err(|e| format!("--budget-frac: {e}"))?
+                options.budget_frac = value()?.parse().map_err(|e| format!("--budget-frac: {e}"))?
             }
             "--topt-ms" => {
                 options.topt_ms = value()?.parse().map_err(|e| format!("--topt-ms: {e}"))?
@@ -195,10 +194,12 @@ pub fn run(command: Command) -> Result<String, String> {
             let start = std::time::Instant::now();
             let masters: Vec<geograph::DcId> = match options.method {
                 Method::Natural => geo.locations.clone(),
-                Method::HashPl => geobase::hashpl(&geo, &env, theta, profile.clone(), 10.0, options.seed)
-                    .core()
-                    .masters()
-                    .to_vec(),
+                Method::HashPl => {
+                    geobase::hashpl(&geo, &env, theta, profile.clone(), 10.0, options.seed)
+                        .core()
+                        .masters()
+                        .to_vec()
+                }
                 Method::Ginger => geobase::ginger(
                     &geo,
                     &env,
@@ -297,8 +298,20 @@ mod tests {
     #[test]
     fn parse_partition_with_flags() {
         let cmd = parse_args(&args(&[
-            "partition", "g.txt", "--out", "p.txt", "--method", "ginger", "--dcs", "4",
-            "--budget-frac", "0.2", "--threads", "2", "--seed", "7",
+            "partition",
+            "g.txt",
+            "--out",
+            "p.txt",
+            "--method",
+            "ginger",
+            "--dcs",
+            "4",
+            "--budget-frac",
+            "0.2",
+            "--threads",
+            "2",
+            "--seed",
+            "7",
         ]))
         .unwrap();
         let Command::Partition { graph, out, options } = cmd else { panic!() };
@@ -360,12 +373,7 @@ mod tests {
         let graph = demo_graph_file("mismatch.txt");
         let plan = std::env::temp_dir().join("rlcut_cli_tests/short.plan");
         geopart::plan_io::save_assignment(&[0, 1, 2], &plan).unwrap();
-        let err = run(Command::Evaluate {
-            graph,
-            plan,
-            options: Options::default(),
-        })
-        .unwrap_err();
+        let err = run(Command::Evaluate { graph, plan, options: Options::default() }).unwrap_err();
         assert!(err.contains("3 masters"), "{err}");
     }
 

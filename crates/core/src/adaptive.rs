@@ -109,8 +109,7 @@ mod tests {
         let cfg = LocalityConfig::paper_default(17);
         let locations = assign_locations(&full.0, &cfg);
         let sizes: Vec<u64> = (0..n).map(|_| 2048).collect();
-        let geo_initial =
-            GeoGraph::new(initial, locations.clone(), sizes.clone(), cfg.num_dcs);
+        let geo_initial = GeoGraph::new(initial, locations.clone(), sizes.clone(), cfg.num_dcs);
         let geo_full = GeoGraph::new(full.0, locations, sizes, cfg.num_dcs);
         (geo_initial, geo_full, full.1)
     }

@@ -134,9 +134,8 @@ impl RlCutConfig {
 
     /// Effective worker-thread count.
     pub fn threads(&self) -> usize {
-        self.num_threads.unwrap_or_else(|| {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-        })
+        self.num_threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4))
     }
 }
 

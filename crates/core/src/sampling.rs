@@ -56,7 +56,14 @@ impl SampleScheduler {
         max_steps: usize,
     ) -> Self {
         assert!((0.0..=1.0).contains(&initial_rate));
-        SampleScheduler { t_opt, fixed, initial_rate, max_steps, recency: None, history: Vec::new() }
+        SampleScheduler {
+            t_opt,
+            fixed,
+            initial_rate,
+            max_steps,
+            recency: None,
+            history: Vec::new(),
+        }
     }
 
     /// Enables the recency-weighted rate-per-second estimate (see the
@@ -89,9 +96,7 @@ impl SampleScheduler {
         // factor); guard against clock-resolution zeros. With recency
         // weighting, later observations dominate (Fig 14b future work).
         let rate_per_sec = match self.recency {
-            None => {
-                self.history.iter().map(|&(sr, t)| sr / t.max(1e-6)).sum::<f64>() / step as f64
-            }
+            None => self.history.iter().map(|&(sr, t)| sr / t.max(1e-6)).sum::<f64>() / step as f64,
             Some(lambda) => {
                 let mut weighted = 0.0;
                 let mut weight_sum = 0.0;

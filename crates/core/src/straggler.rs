@@ -23,12 +23,7 @@ pub fn balanced_assignment(
     let mut groups: Vec<Vec<VertexId>> = vec![Vec::new(); num_threads];
     let mut loads = vec![0u64; num_threads];
     for v in by_weight {
-        let lightest = loads
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &l)| l)
-            .map(|(i, _)| i)
-            .unwrap();
+        let lightest = loads.iter().enumerate().min_by_key(|&(_, &l)| l).map(|(i, _)| i).unwrap();
         // +1 so degree-0 agents still cost something (they run the loop).
         loads[lightest] += graph.degree(v) as u64 + 1;
         groups[lightest].push(v);
@@ -49,10 +44,8 @@ pub fn round_robin_assignment(agents: &[VertexId], num_threads: usize) -> Vec<Ve
 
 /// Max/mean ratio of per-group degree sums — 1.0 is perfect balance.
 pub fn load_imbalance(graph: &Graph, groups: &[Vec<VertexId>]) -> f64 {
-    let loads: Vec<u64> = groups
-        .iter()
-        .map(|g| g.iter().map(|&v| graph.degree(v) as u64 + 1).sum())
-        .collect();
+    let loads: Vec<u64> =
+        groups.iter().map(|g| g.iter().map(|&v| graph.degree(v) as u64 + 1).sum()).collect();
     let total: u64 = loads.iter().sum();
     if total == 0 {
         return 1.0;
@@ -82,10 +75,7 @@ mod tests {
         let agents: Vec<VertexId> = (0..2048).collect();
         let balanced = load_imbalance(&g, &balanced_assignment(&g, &agents, 8));
         let naive = load_imbalance(&g, &round_robin_assignment(&agents, 8));
-        assert!(
-            balanced <= naive,
-            "LPT {balanced} should not lose to round-robin {naive}"
-        );
+        assert!(balanced <= naive, "LPT {balanced} should not lose to round-robin {naive}");
         assert!(balanced < 1.1, "LPT imbalance too high: {balanced}");
     }
 
@@ -111,9 +101,6 @@ mod tests {
     fn deterministic() {
         let g = rmat(&RmatConfig::social(256, 2048), 3);
         let agents: Vec<VertexId> = (0..256).collect();
-        assert_eq!(
-            balanced_assignment(&g, &agents, 4),
-            balanced_assignment(&g, &agents, 4)
-        );
+        assert_eq!(balanced_assignment(&g, &agents, 4), balanced_assignment(&g, &agents, 4));
     }
 }

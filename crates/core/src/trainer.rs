@@ -7,10 +7,12 @@
 //! Each training step has two phases:
 //!
 //! * **Scoring** — sampled agents are spread over worker threads by the
-//!   straggler-mitigating LPT assignment; each worker evaluates all `M`
-//!   candidate moves of its agents against the frozen step-start state
-//!   (read locks only). LA probability/UCB updates then run serially (they
-//!   are `O(M)` per agent — noise next to the `O(deg · M)` scoring).
+//!   straggler-mitigating LPT assignment; each worker carries its own
+//!   [`geopart::MoveScratch`] arena and scores all `M` candidate moves of
+//!   an agent in **one** batched kernel sweep
+//!   ([`HybridState::evaluate_all_moves`]) against the frozen step-start
+//!   state (read locks only). LA probability/UCB updates then run serially
+//!   (they are `O(M)` per agent — noise next to the `O(deg)` scoring).
 //! * **Migration** — move proposals are shuffled (the paper batches
 //!   randomly) and processed batch-by-batch: workers evaluate a batch's
 //!   members in parallel against the frozen batch-start state, a barrier
@@ -28,7 +30,7 @@ use std::sync::Barrier;
 use std::time::Instant;
 
 use geograph::{DcId, GeoGraph, VertexId};
-use geopart::{HybridState, Objective, TrafficProfile};
+use geopart::{HybridState, MoveScratch, Objective, TrafficProfile};
 use geosim::CloudEnv;
 use parking_lot::RwLock;
 use rand::rngs::SmallRng;
@@ -63,17 +65,9 @@ pub fn partition_with_observer<'g>(
     config: &RlCutConfig,
     observer: &mut dyn crate::observer::TrainingObserver,
 ) -> RlCutResult<'g> {
-    let theta = config
-        .theta
-        .unwrap_or_else(|| geograph::degree::suggest_theta(&geo.graph, 0.05));
-    let state = HybridState::from_masters(
-        geo,
-        env,
-        geo.locations.clone(),
-        theta,
-        profile,
-        num_iterations,
-    );
+    let theta = config.theta.unwrap_or_else(|| geograph::degree::suggest_theta(&geo.graph, 0.05));
+    let state =
+        HybridState::from_masters(geo, env, geo.locations.clone(), theta, profile, num_iterations);
     train_observed(geo, env, state, config, observer)
 }
 
@@ -88,9 +82,7 @@ pub fn partition_from<'g>(
     num_iterations: f64,
     config: &RlCutConfig,
 ) -> RlCutResult<'g> {
-    let theta = config
-        .theta
-        .unwrap_or_else(|| geograph::degree::suggest_theta(&geo.graph, 0.05));
+    let theta = config.theta.unwrap_or_else(|| geograph::degree::suggest_theta(&geo.graph, 0.05));
     let state =
         HybridState::from_masters(geo, env, initial_masters, theta, profile, num_iterations);
     train(geo, env, state, config)
@@ -265,15 +257,17 @@ fn score_phase(
     config: &RlCutConfig,
 ) -> Vec<DcId> {
     let m = env.num_dcs();
-    let best_of = |st: &HybridState<'_>, v: VertexId| -> DcId {
+    // One batched kernel sweep scores every destination of an agent; the
+    // per-worker scratch arena makes the hot loop allocation-free.
+    let best_of = |st: &HybridState<'_>, v: VertexId, scratch: &mut MoveScratch| -> DcId {
+        let objs = st.evaluate_all_moves(env, v, scratch);
+        let master = st.master(v);
         let mut best = (0 as DcId, f64::NEG_INFINITY);
         for d in 0..m as DcId {
-            let candidate = if d == st.master(v) {
-                *step_obj
-            } else {
-                st.evaluate_move(env, v, d)
-            };
-            let s = score(step_obj, &candidate, weights);
+            // Keeping the master's candidate pinned to the frozen step
+            // objective preserves the pre-batching scoring semantics.
+            let candidate = if d == master { step_obj } else { &objs[d as usize] };
+            let s = score(step_obj, candidate, weights);
             if s > best.1 {
                 best = (d, s);
             }
@@ -283,7 +277,8 @@ fn score_phase(
 
     if threads <= 1 || sampled.len() < 64 {
         let st = state.read();
-        return sampled.iter().map(|&v| best_of(&st, v)).collect();
+        let mut scratch = MoveScratch::new();
+        return sampled.iter().map(|&v| best_of(&st, v, &mut scratch)).collect();
     }
 
     let groups = if config.disable_straggler_mitigation {
@@ -297,8 +292,9 @@ fn score_phase(
             .iter()
             .map(|group| {
                 s.spawn(|| {
+                    let mut scratch = MoveScratch::new();
                     let st = state.read();
-                    group.iter().map(|&v| (v, best_of(&st, v))).collect::<Vec<_>>()
+                    group.iter().map(|&v| (v, best_of(&st, v, &mut scratch))).collect::<Vec<_>>()
                 })
             })
             .collect();
@@ -331,16 +327,19 @@ fn migration_phase(
         // Strictly sequential Fig 7 flow (also the batch=1 semantics: the
         // "frozen" state is simply the live state).
         let mut st = state.write();
+        let mut scratch = MoveScratch::new();
         let mut applied = 0usize;
         for chunk in proposals.chunks(batch) {
             let obj = st.objective(env);
             let accepts: Vec<bool> = chunk
                 .iter()
-                .map(|&(v, to)| score(&obj, &st.evaluate_move(env, v, to), weights) > 0.0)
+                .map(|&(v, to)| {
+                    score(&obj, &st.evaluate_move_with(env, v, to, &mut scratch), weights) > 0.0
+                })
                 .collect();
             for (&(v, to), ok) in chunk.iter().zip(accepts) {
                 if ok {
-                    st.apply_move(env, v, to);
+                    st.apply_move_with(env, v, to, &mut scratch);
                     applied += 1;
                 }
             }
@@ -348,8 +347,7 @@ fn migration_phase(
         return applied;
     }
 
-    let accept: Vec<AtomicBool> =
-        (0..proposals.len()).map(|_| AtomicBool::new(false)).collect();
+    let accept: Vec<AtomicBool> = (0..proposals.len()).map(|_| AtomicBool::new(false)).collect();
     let applied = AtomicUsize::new(0);
     let barrier = Barrier::new(threads);
     std::thread::scope(|s| {
@@ -358,6 +356,7 @@ fn migration_phase(
             let applied = &applied;
             let barrier = &barrier;
             s.spawn(move || {
+                let mut scratch = MoveScratch::new();
                 for (bi, chunk) in proposals.chunks(batch).enumerate() {
                     {
                         let st = state.read();
@@ -366,7 +365,11 @@ fn migration_phase(
                             if j % threads != worker {
                                 continue;
                             }
-                            let ok = score(&obj, &st.evaluate_move(env, v, to), weights) > 0.0;
+                            let ok = score(
+                                &obj,
+                                &st.evaluate_move_with(env, v, to, &mut scratch),
+                                weights,
+                            ) > 0.0;
                             accept[bi * batch + j].store(ok, Ordering::Relaxed);
                         }
                     }
@@ -375,7 +378,7 @@ fn migration_phase(
                         let mut st = state.write();
                         for (j, &(v, to)) in chunk.iter().enumerate() {
                             if accept[bi * batch + j].load(Ordering::Relaxed) {
-                                st.apply_move(env, v, to);
+                                st.apply_move_with(env, v, to, &mut scratch);
                                 applied.fetch_add(1, Ordering::Relaxed);
                             }
                         }
@@ -412,8 +415,7 @@ mod tests {
         let (geo, env) = setup(1);
         let config = default_config(&geo, &env);
         let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
-        let natural =
-            HybridState::natural(&geo, &env, 8, profile.clone(), 10.0).objective(&env);
+        let natural = HybridState::natural(&geo, &env, 8, profile.clone(), 10.0).objective(&env);
         let result = partition(&geo, &env, profile, 10.0, &config);
         let trained = result.final_objective(&env);
         assert!(
@@ -465,9 +467,8 @@ mod tests {
         let config = default_config(&geo, &env).with_fixed_sample_rate(0.1);
         let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
         let result = partition(&geo, &env, profile, 10.0, &config);
-        let trainable = (0..geo.num_vertices() as VertexId)
-            .filter(|&v| geo.graph.degree(v) > 0)
-            .count();
+        let trainable =
+            (0..geo.num_vertices() as VertexId).filter(|&v| geo.graph.degree(v) > 0).count();
         for s in &result.steps {
             assert_eq!(s.num_agents, (trainable as f64 * 0.1).ceil() as usize);
         }
@@ -508,13 +509,11 @@ mod tests {
         let (geo, _) = setup(7);
         let env = Heterogeneity::High.ec2_environment();
         let config = {
-            let budget =
-                geosim::cost::default_budget(&env, &geo.locations, &geo.data_sizes, 0.4);
+            let budget = geosim::cost::default_budget(&env, &geo.locations, &geo.data_sizes, 0.4);
             RlCutConfig::new(budget).with_seed(7).with_threads(2)
         };
         let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
-        let natural =
-            HybridState::natural(&geo, &env, 8, profile.clone(), 10.0).objective(&env);
+        let natural = HybridState::natural(&geo, &env, 8, profile.clone(), 10.0).objective(&env);
         let result = partition(&geo, &env, profile, 10.0, &config);
         assert!(result.final_objective(&env).transfer_time < natural.transfer_time);
     }

@@ -217,10 +217,7 @@ mod tests {
 
     #[test]
     fn triangle_embeddings_are_three_per_cycle() {
-        let g = geograph::generators::rmat(
-            &geograph::generators::RmatConfig::social(256, 2048),
-            9,
-        );
+        let g = geograph::generators::rmat(&geograph::generators::RmatConfig::social(256, 2048), 9);
         let embeddings = count_embeddings(&g, &Pattern::triangle());
         assert_eq!(embeddings, 3 * triangle_count(&g));
     }

@@ -49,9 +49,7 @@ pub fn bfs_levels(graph: &Graph, source: VertexId) -> BfsResult {
 /// Picks the paper-style default source: the vertex with the highest
 /// out-degree (guarantees a non-trivial traversal on power-law graphs).
 pub fn default_source(graph: &Graph) -> VertexId {
-    (0..graph.num_vertices() as VertexId)
-        .max_by_key(|&v| graph.out_degree(v))
-        .unwrap_or(0)
+    (0..graph.num_vertices() as VertexId).max_by_key(|&v| graph.out_degree(v)).unwrap_or(0)
 }
 
 #[cfg(test)]

@@ -351,9 +351,7 @@ mod tests {
         let plan = EdgeCutState::from_assignment(&geo, &env, geo.locations.clone(), &profile, 10.0);
         let report = execute_edgecut(&geo, &env, &plan, &algo);
         let static_time = plan.objective(&env).transfer_time;
-        assert!(
-            (report.per_iteration_time[0] - static_time).abs() < 1e-9 * static_time.max(1e-12)
-        );
+        assert!((report.per_iteration_time[0] - static_time).abs() < 1e-9 * static_time.max(1e-12));
     }
 
     #[test]
@@ -362,9 +360,8 @@ mod tests {
         let (geo, env) = setup();
         let algo = Algorithm::pagerank();
         let profile = algo.profile(&geo);
-        let edge_dcs: Vec<DcId> = (0..geo.num_edges())
-            .map(|i| (geograph::fxhash::mix64(i as u64) % 8) as DcId)
-            .collect();
+        let edge_dcs: Vec<DcId> =
+            (0..geo.num_edges()).map(|i| (geograph::fxhash::mix64(i as u64) % 8) as DcId).collect();
         let plan = VertexCutState::from_edge_assignment(
             &geo,
             &env,

@@ -81,11 +81,8 @@ impl Dataset {
     pub fn generate(self, scale: f64, seed: u64) -> Graph {
         let n = self.scaled_vertices(scale);
         let m = self.scaled_edges(scale);
-        let config = if self.is_web_graph() {
-            RmatConfig::web(n, m)
-        } else {
-            RmatConfig::social(n, m)
-        };
+        let config =
+            if self.is_web_graph() { RmatConfig::web(n, m) } else { RmatConfig::social(n, m) };
         rmat(&config, seed ^ (self as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15))
     }
 }

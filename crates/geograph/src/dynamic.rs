@@ -207,7 +207,8 @@ impl DiurnalModel {
                 let phase = (h as f64 / 24.0) * std::f64::consts::TAU;
                 // Oscillates in [2/(r+1), 2r/(r+1)] * mean, giving a
                 // peak/trough ratio of exactly `r` before bursts.
-                let base = self.mean_rate * (2.0 / (r + 1.0))
+                let base = self.mean_rate
+                    * (2.0 / (r + 1.0))
                     * (1.0 + (r - 1.0) / 2.0 * (1.0 - phase.cos()));
                 let burst =
                     if rng.gen::<f64>() < self.burst_probability { self.burst_factor } else { 1.0 };
@@ -315,8 +316,7 @@ mod tests {
 
     #[test]
     fn materialize_delete_of_missing_edge_is_noop() {
-        let events =
-            vec![EdgeEvent { src: 0, dst: 1, timestamp_ms: 0, kind: EventKind::Delete }];
+        let events = vec![EdgeEvent { src: 0, dst: 1, timestamp_ms: 0, kind: EventKind::Delete }];
         let g = materialize_with_deletes(2, std::iter::empty(), &events);
         assert_eq!(g.num_edges(), 0);
     }

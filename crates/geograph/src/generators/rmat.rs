@@ -120,10 +120,7 @@ mod tests {
         let g = rmat(&cfg, 42);
         let max_in = g.vertices().map(|v| g.in_degree(v)).max().unwrap();
         let mean = g.num_edges() as f64 / g.num_vertices() as f64;
-        assert!(
-            max_in as f64 > 10.0 * mean,
-            "expected heavy skew: max_in={max_in} mean={mean:.1}"
-        );
+        assert!(max_in as f64 > 10.0 * mean, "expected heavy skew: max_in={max_in} mean={mean:.1}");
     }
 
     #[test]

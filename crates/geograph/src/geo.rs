@@ -70,12 +70,7 @@ impl GeoGraph {
 
     /// Total input bytes initially stored in DC `dc`.
     pub fn data_in_dc(&self, dc: DcId) -> u64 {
-        self.locations
-            .iter()
-            .zip(&self.data_sizes)
-            .filter(|(&l, _)| l == dc)
-            .map(|(_, &s)| s)
-            .sum()
+        self.locations.iter().zip(&self.data_sizes).filter(|(&l, _)| l == dc).map(|(_, &s)| s).sum()
     }
 
     /// Total input bytes across all DCs.

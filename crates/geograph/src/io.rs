@@ -17,7 +17,10 @@ use crate::VertexId;
 pub enum IoError {
     Io(io::Error),
     /// Line number and content of the malformed line.
-    Parse { line: usize, content: String },
+    Parse {
+        line: usize,
+        content: String,
+    },
 }
 
 impl std::fmt::Display for IoError {
@@ -86,7 +89,12 @@ pub fn parse_edge_list<R: BufRead>(mut reader: R) -> Result<Graph, IoError> {
 /// Writes a graph as a `u\tv` edge list with a header comment.
 pub fn write_edge_list(graph: &Graph, path: &Path) -> io::Result<()> {
     let mut writer = BufWriter::new(File::create(path)?);
-    writeln!(writer, "# geograph edge list: {} vertices, {} edges", graph.num_vertices(), graph.num_edges())?;
+    writeln!(
+        writer,
+        "# geograph edge list: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
     for (u, v) in graph.edges() {
         writeln!(writer, "{u}\t{v}")?;
     }

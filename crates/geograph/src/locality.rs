@@ -58,9 +58,7 @@ pub fn assign_locations(graph: &Graph, config: &LocalityConfig) -> Vec<DcId> {
     let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x6a09_e667_f3bc_c909);
     let cumulative = cumulative_weights(config);
     let n = graph.num_vertices();
-    let mut locations: Vec<DcId> = (0..n)
-        .map(|_| sample_region(&cumulative, &mut rng))
-        .collect();
+    let mut locations: Vec<DcId> = (0..n).map(|_| sample_region(&cumulative, &mut rng)).collect();
     if config.homophily > 0.0 {
         // One smoothing pass: each vertex may adopt a random neighbor's
         // region. Processing against the pre-pass snapshot keeps the result
@@ -101,10 +99,8 @@ pub fn inter_dc_edge_fraction(graph: &Graph, locations: &[DcId]) -> f64 {
     if m == 0 {
         return 0.0;
     }
-    let cross = graph
-        .edges()
-        .filter(|&(u, v)| locations[u as usize] != locations[v as usize])
-        .count();
+    let cross =
+        graph.edges().filter(|&(u, v)| locations[u as usize] != locations[v as usize]).count();
     cross as f64 / m as f64
 }
 

@@ -28,9 +28,7 @@ impl EdgeWeights {
     pub fn random(graph: &Graph, min: u32, max: u32, seed: u64) -> Self {
         assert!(min <= max && min > 0, "weights must be positive");
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x1f83_d9ab_fb41_bd6b);
-        EdgeWeights {
-            weights: (0..graph.num_edges()).map(|_| rng.gen_range(min..=max)).collect(),
-        }
+        EdgeWeights { weights: (0..graph.num_edges()).map(|_| rng.gen_range(min..=max)).collect() }
     }
 
     /// From an explicit vector aligned with `graph.edges()` order.

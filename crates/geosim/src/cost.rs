@@ -21,7 +21,12 @@ pub fn vertex_move_cost(env: &CloudEnv, natural: DcId, master: DcId, data_bytes:
 }
 
 /// Total movement cost of a full assignment (Eq 4 summed).
-pub fn movement_cost(env: &CloudEnv, natural: &[DcId], masters: &[DcId], data_sizes: &[u64]) -> f64 {
+pub fn movement_cost(
+    env: &CloudEnv,
+    natural: &[DcId],
+    masters: &[DcId],
+    data_sizes: &[u64],
+) -> f64 {
     debug_assert_eq!(natural.len(), masters.len());
     debug_assert_eq!(natural.len(), data_sizes.len());
     natural

@@ -1,14 +1,12 @@
 //! Data-center and cloud-environment descriptions.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{DcId, BYTES_PER_GB};
 
 /// One data center: its WAN connectivity and upload pricing.
 ///
 /// Bandwidths are stored in bytes/second and the price in dollars/byte;
 /// constructors accept the GB-denominated units of the paper's Table I.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Datacenter {
     pub name: String,
     /// Uplink bandwidth to the WAN, bytes/second.
@@ -21,7 +19,12 @@ pub struct Datacenter {
 
 impl Datacenter {
     /// Builds a DC from Table-I-style units: GB/s bandwidths, $/GB price.
-    pub fn from_gb_units(name: &str, uplink_gbps: f64, downlink_gbps: f64, price_per_gb: f64) -> Self {
+    pub fn from_gb_units(
+        name: &str,
+        uplink_gbps: f64,
+        downlink_gbps: f64,
+        price_per_gb: f64,
+    ) -> Self {
         assert!(uplink_gbps > 0.0 && downlink_gbps > 0.0 && price_per_gb >= 0.0);
         Datacenter {
             name: name.to_string(),
@@ -33,7 +36,7 @@ impl Datacenter {
 }
 
 /// The set of data centers an experiment runs across.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CloudEnv {
     dcs: Vec<Datacenter>,
 }

@@ -73,9 +73,7 @@ pub fn parse_env<R: BufRead>(reader: R) -> Result<CloudEnv, EnvIoError> {
         })();
         match parsed {
             Some(dc) => dcs.push(dc),
-            None => {
-                return Err(EnvIoError::Parse { line: i + 1, content: trimmed.to_string() })
-            }
+            None => return Err(EnvIoError::Parse { line: i + 1, content: trimmed.to_string() }),
         }
     }
     if dcs.is_empty() {

@@ -78,12 +78,8 @@ impl std::fmt::Display for Heterogeneity {
 /// measure used in tests and the Fig 3 harness.
 pub fn uplink_cv(env: &CloudEnv) -> f64 {
     let mean = env.mean_uplink();
-    let var = env
-        .dcs()
-        .iter()
-        .map(|d| (d.uplink_bps - mean).powi(2))
-        .sum::<f64>()
-        / env.num_dcs() as f64;
+    let var =
+        env.dcs().iter().map(|d| (d.uplink_bps - mean).powi(2)).sum::<f64>() / env.num_dcs() as f64;
     var.sqrt() / mean
 }
 

@@ -17,8 +17,8 @@
 //! Low/Medium/High variants of the Fig 3 motivation study.
 
 pub mod cost;
-pub mod env_io;
 pub mod datacenter;
+pub mod env_io;
 pub mod heterogeneity;
 pub mod regions;
 pub mod transfer;

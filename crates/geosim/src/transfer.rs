@@ -72,7 +72,8 @@ impl StageLoads {
         debug_assert_eq!(self.num_dcs(), env.num_dcs());
         let mut worst = 0.0f64;
         for r in 0..self.up.len() {
-            let t = (self.up[r] / env.uplink(r as DcId)).max(self.down[r] / env.downlink(r as DcId));
+            let t =
+                (self.up[r] / env.uplink(r as DcId)).max(self.down[r] / env.downlink(r as DcId));
             worst = worst.max(t);
         }
         worst
@@ -82,11 +83,7 @@ impl StageLoads {
     /// term: only uploads are charged.
     pub fn upload_cost(&self, env: &CloudEnv) -> f64 {
         debug_assert_eq!(self.num_dcs(), env.num_dcs());
-        self.up
-            .iter()
-            .enumerate()
-            .map(|(r, &bytes)| bytes * env.price(r as DcId))
-            .sum()
+        self.up.iter().enumerate().map(|(r, &bytes)| bytes * env.price(r as DcId)).sum()
     }
 
     /// Adds another stage's loads into this one (used to aggregate

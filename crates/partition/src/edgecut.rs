@@ -139,7 +139,8 @@ mod tests {
     fn single_dc_has_no_traffic() {
         let (geo, env) = setup();
         let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
-        let s = EdgeCutState::from_assignment(&geo, &env, vec![2; geo.num_vertices()], &profile, 10.0);
+        let s =
+            EdgeCutState::from_assignment(&geo, &env, vec![2; geo.num_vertices()], &profile, 10.0);
         assert_eq!(s.wan_bytes_per_iteration(), 0.0);
         assert_eq!(s.objective(&env).transfer_time, 0.0);
         assert!((s.internal_edge_fraction() - 1.0).abs() < 1e-12);
@@ -160,10 +161,12 @@ mod tests {
     fn better_locality_less_traffic() {
         let (geo, env) = setup();
         let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
-        let natural = EdgeCutState::from_assignment(&geo, &env, geo.locations.clone(), &profile, 10.0);
+        let natural =
+            EdgeCutState::from_assignment(&geo, &env, geo.locations.clone(), &profile, 10.0);
         // Two-DC split by id parity is worse than... actually compare with
         // an assignment that's strictly coarser: everyone in one DC.
-        let single = EdgeCutState::from_assignment(&geo, &env, vec![0; geo.num_vertices()], &profile, 10.0);
+        let single =
+            EdgeCutState::from_assignment(&geo, &env, vec![0; geo.num_vertices()], &profile, 10.0);
         assert!(single.wan_bytes_per_iteration() < natural.wan_bytes_per_iteration());
     }
 }

@@ -8,16 +8,19 @@
 //!   master;
 //! * mirrors exist wherever a vertex's incident edges land.
 //!
-//! [`HybridState::evaluate_move`] projects "move vertex `v` to DC `i`" onto
-//! the objective in `O(deg(v) + M)` without mutating the state — it is
-//! called `M` times per agent per training iteration and dominates RLCut's
-//! training cost, which is why the paper's straggler mitigation (§V-B)
-//! schedules agents by vertex degree.
+//! [`HybridState::evaluate_all_moves`] projects "move vertex `v` to DC
+//! `i`" for **all** `M` destinations onto the objective from a single
+//! `O(deg(v))` neighborhood sweep (the [`crate::kernel`] batched path) —
+//! move scoring is performed for every sampled agent per training
+//! iteration and dominates RLCut's training cost, which is why the paper's
+//! straggler mitigation (§V-B) schedules agents by vertex degree.
+//! [`HybridState::evaluate_move`] is the single-destination wrapper over
+//! the same kernel and agrees with the batched results bit-for-bit.
 
-use geograph::fxhash::FxHashMap;
-use geograph::{GeoGraph, MAX_DCS};
+use geograph::GeoGraph;
 use geosim::CloudEnv;
 
+use crate::kernel::{self, CntDelta, MoveScratch};
 use crate::profile::TrafficProfile;
 use crate::state::{Objective, PlacementState};
 use crate::{DcId, VertexId};
@@ -28,15 +31,6 @@ pub struct HybridState<'g> {
     geo: &'g GeoGraph,
     core: PlacementState,
     theta: usize,
-}
-
-/// Count deltas at the move's source/destination DCs for one vertex.
-#[derive(Clone, Copy, Debug, Default)]
-struct CntDelta {
-    in_a: i64,
-    in_b: i64,
-    out_a: i64,
-    out_b: i64,
 }
 
 impl<'g> HybridState<'g> {
@@ -111,64 +105,88 @@ impl<'g> HybridState<'g> {
         self.core.objective(env)
     }
 
-    /// Evaluates moving `v`'s master to `to` without mutating the state.
-    /// Cost: `O(deg(v) + M)`.
-    pub fn evaluate_move(&self, env: &CloudEnv, v: VertexId, to: DcId) -> Objective {
+    /// Evaluates moving `v`'s master to **every** DC in one neighborhood
+    /// sweep, without mutating the state. The returned slice lives in
+    /// `scratch`, indexed by destination DC; the slot of the current
+    /// master holds the unchanged current objective.
+    ///
+    /// Cost: one `O(deg(v))` sweep + `O(deg(v) · M + M²)` projection —
+    /// versus `M` independent [`Self::evaluate_move`] calls, which it
+    /// matches bit-for-bit.
+    pub fn evaluate_all_moves<'s>(
+        &self,
+        env: &CloudEnv,
+        v: VertexId,
+        scratch: &'s mut MoveScratch,
+    ) -> &'s [Objective] {
+        self.collect_deltas_into(v, scratch);
+        self.core.evaluate_all_moves(env, v, scratch);
+        // The kernel reports the current plan's movement cost; patch in the
+        // per-destination Eq 4 delta for every actual move.
+        let a = self.core.master(v);
+        let loc = self.geo.locations[v as usize];
+        let size = self.geo.data_sizes[v as usize];
+        let base = self.core.movement_cost - geosim::cost::vertex_move_cost(env, loc, a, size);
+        for (d, obj) in scratch.objectives_mut().iter_mut().enumerate() {
+            if d != a as usize {
+                obj.movement_cost =
+                    base + geosim::cost::vertex_move_cost(env, loc, d as DcId, size);
+            }
+        }
+        scratch.objectives()
+    }
+
+    /// Evaluates moving `v`'s master to `to` without mutating the state,
+    /// using the caller's scratch arena. Cost: `O(deg(v) + M)`.
+    /// Bit-identical to slot `to` of [`Self::evaluate_all_moves`].
+    pub fn evaluate_move_with(
+        &self,
+        env: &CloudEnv,
+        v: VertexId,
+        to: DcId,
+        scratch: &mut MoveScratch,
+    ) -> Objective {
         let a = self.core.master(v);
         if a == to {
             return self.core.objective(env);
         }
-        let m = self.core.num_dcs;
-        let (self_delta, neighbor_deltas) = self.collect_deltas(v, to);
+        self.collect_deltas_into(v, scratch);
+        let mut obj = self.core.evaluate_move_to(env, v, to, scratch);
+        let loc = self.geo.locations[v as usize];
+        let size = self.geo.data_sizes[v as usize];
+        let base = self.core.movement_cost - geosim::cost::vertex_move_cost(env, loc, a, size);
+        obj.movement_cost = base + geosim::cost::vertex_move_cost(env, loc, to, size);
+        obj
+    }
 
-        // Stack scratch copies of the per-DC loads (M <= 64).
-        let mut gu = [0.0f64; MAX_DCS];
-        let mut gd = [0.0f64; MAX_DCS];
-        let mut au = [0.0f64; MAX_DCS];
-        let mut ad = [0.0f64; MAX_DCS];
-        gu[..m].copy_from_slice(self.core.gather.up_slice());
-        gd[..m].copy_from_slice(self.core.gather.down_slice());
-        au[..m].copy_from_slice(self.core.apply.up_slice());
-        ad[..m].copy_from_slice(self.core.apply.down_slice());
-
-        // 1. Remove v's entire current contribution.
-        self.project_vertex(v, a, CntDelta::default(), a, to, -1.0, &mut gu, &mut gd, &mut au, &mut ad);
-        // 2. Neighbor presence/in-edge transitions at DCs a and b.
-        for (&x, &delta) in &neighbor_deltas {
-            self.project_neighbor(x, delta, a, to, &mut gu, &mut gd, &mut au, &mut ad);
-        }
-        // 3. Re-add v with adjusted counts and master `to`.
-        self.project_vertex(v, to, self_delta, a, to, 1.0, &mut gu, &mut gd, &mut au, &mut ad);
-
-        let transfer_time = stage_time(&gu[..m], &gd[..m], env) + stage_time(&au[..m], &ad[..m], env);
-        let mut upload_cost = 0.0;
-        for d in 0..m {
-            upload_cost += (gu[d] + au[d]) * env.price(d as DcId);
-        }
-        let movement_cost = self.core.movement_cost
-            + geosim::cost::vertex_move_cost(env, self.geo.locations[v as usize], to, self.geo.data_sizes[v as usize])
-            - geosim::cost::vertex_move_cost(env, self.geo.locations[v as usize], a, self.geo.data_sizes[v as usize]);
-        Objective {
-            transfer_time,
-            movement_cost,
-            runtime_cost: self.core.num_iterations * upload_cost,
-        }
+    /// [`Self::evaluate_move_with`] over this thread's shared scratch —
+    /// kept for callers that don't manage a per-worker arena.
+    pub fn evaluate_move(&self, env: &CloudEnv, v: VertexId, to: DcId) -> Objective {
+        kernel::with_scratch(|scratch| self.evaluate_move_with(env, v, to, scratch))
     }
 
     /// Moves `v`'s master to `to`, updating counts, loads, balance and cost
-    /// incrementally. Cost: `O(deg(v) · M)` (moves are far rarer than
-    /// evaluations — only accepted migrations pay this).
-    pub fn apply_move(&mut self, env: &CloudEnv, v: VertexId, to: DcId) {
+    /// incrementally through the caller's scratch arena. Cost:
+    /// `O(deg(v) · M)` (moves are far rarer than evaluations — only
+    /// accepted migrations pay this).
+    pub fn apply_move_with(
+        &mut self,
+        env: &CloudEnv,
+        v: VertexId,
+        to: DcId,
+        scratch: &mut MoveScratch,
+    ) {
         let a = self.core.master(v);
         if a == to {
             return;
         }
         let m = self.core.num_dcs;
-        let (self_delta, neighbor_deltas) = self.collect_deltas(v, to);
+        self.collect_deltas_into(v, scratch);
+        let self_delta = scratch.self_delta;
 
         // Remove the old contributions of every affected vertex.
         self.core.remove_vertex_loads(v);
-        for &x in neighbor_deltas.keys() {
+        for &(x, _) in &scratch.neighbors {
             self.core.remove_vertex_loads(x);
         }
 
@@ -183,7 +201,7 @@ impl<'g> HybridState<'g> {
         apply_delta(&mut self.core.in_cnt, v as usize, to as usize, self_delta.in_b);
         apply_delta(&mut self.core.out_cnt, v as usize, a as usize, self_delta.out_a);
         apply_delta(&mut self.core.out_cnt, v as usize, to as usize, self_delta.out_b);
-        for (&x, &d) in &neighbor_deltas {
+        for &(x, d) in &scratch.neighbors {
             apply_delta(&mut self.core.in_cnt, x as usize, a as usize, d.in_a);
             apply_delta(&mut self.core.in_cnt, x as usize, to as usize, d.in_b);
             apply_delta(&mut self.core.out_cnt, x as usize, a as usize, d.out_a);
@@ -196,7 +214,7 @@ impl<'g> HybridState<'g> {
         // once via the out side for out-moves plus the in side for in-moves
         // of *other* sources. Count directly instead:
         let moved_edges = (-self_delta.in_a).max(0) as u64
-            + neighbor_deltas.values().map(|d| (-d.in_a).max(0) as u64).sum::<u64>();
+            + scratch.neighbors.iter().map(|&(_, d)| (-d.in_a).max(0) as u64).sum::<u64>();
         self.core.edges_per_dc[a as usize] -= moved_edges;
         self.core.edges_per_dc[to as usize] += moved_edges;
 
@@ -216,17 +234,24 @@ impl<'g> HybridState<'g> {
 
         // Re-add contributions under the new placement.
         self.core.add_vertex_loads(v);
-        for &x in neighbor_deltas.keys() {
+        for &(x, _) in &scratch.neighbors {
             self.core.add_vertex_loads(x);
         }
     }
 
-    /// Collects the in/out count deltas a move of `v` from its current
-    /// master `a` to `b` causes, for `v` itself and for each affected
-    /// neighbor. Self-loops fold into the self delta.
-    fn collect_deltas(&self, v: VertexId, _to: DcId) -> (CntDelta, FxHashMap<VertexId, CntDelta>) {
+    /// [`Self::apply_move_with`] over this thread's shared scratch.
+    pub fn apply_move(&mut self, env: &CloudEnv, v: VertexId, to: DcId) {
+        kernel::with_scratch(|scratch| self.apply_move_with(env, v, to, scratch))
+    }
+
+    /// Stages into `scratch` the in/out count deltas a move of `v` away
+    /// from its current master causes, for `v` itself and for each
+    /// affected neighbor. Self-loops fold into the self delta. The deltas
+    /// are destination-independent (any `b ≠ a` receives the same counts
+    /// DC `a` loses), which is what makes batched evaluation possible.
+    fn collect_deltas_into(&self, v: VertexId, scratch: &mut MoveScratch) {
+        scratch.begin_stage();
         let mut self_delta = CntDelta::default();
-        let mut neighbors: FxHashMap<VertexId, CntDelta> = FxHashMap::default();
         if !self.core.is_high[v as usize] {
             // All in-edges of v are placed at v's master and move with it.
             for &u in self.geo.graph.in_neighbors(v) {
@@ -236,9 +261,8 @@ impl<'g> HybridState<'g> {
                     self_delta.out_a -= 1;
                     self_delta.out_b += 1;
                 } else {
-                    let e = neighbors.entry(u).or_default();
-                    e.out_a -= 1;
-                    e.out_b += 1;
+                    scratch
+                        .push_neighbor(u, CntDelta { out_a: -1, out_b: 1, ..CntDelta::default() });
                 }
             }
         }
@@ -254,117 +278,11 @@ impl<'g> HybridState<'g> {
                 self_delta.in_a -= 1;
                 self_delta.in_b += 1;
             } else {
-                let e = neighbors.entry(w).or_default();
-                e.in_a -= 1;
-                e.in_b += 1;
+                scratch.push_neighbor(w, CntDelta { in_a: -1, in_b: 1, ..CntDelta::default() });
             }
         }
-        (self_delta, neighbors)
-    }
-
-    /// Projects adding (`sign = 1`) or removing (`sign = -1`) vertex `v`'s
-    /// full traffic contribution onto scratch loads, with its count rows
-    /// adjusted by `delta` at DCs `a`/`b` and master at `master`.
-    #[allow(clippy::too_many_arguments)]
-    fn project_vertex(
-        &self,
-        v: VertexId,
-        master: DcId,
-        delta: CntDelta,
-        a: DcId,
-        b: DcId,
-        sign: f64,
-        gu: &mut [f64],
-        gd: &mut [f64],
-        au: &mut [f64],
-        ad: &mut [f64],
-    ) {
-        let m = self.core.num_dcs;
-        let base = v as usize * m;
-        let g = self.core.profile.g(v) * sign;
-        let a_bytes = self.core.profile.a(v) * sign;
-        let high = self.core.is_high[v as usize];
-        let master = master as usize;
-        for d in 0..m {
-            if d == master {
-                continue;
-            }
-            let mut in_c = self.core.in_cnt[base + d] as i64;
-            let mut out_c = self.core.out_cnt[base + d] as i64;
-            if d == a as usize {
-                in_c += delta.in_a;
-                out_c += delta.out_a;
-            } else if d == b as usize {
-                in_c += delta.in_b;
-                out_c += delta.out_b;
-            }
-            debug_assert!(in_c >= 0 && out_c >= 0);
-            if high && in_c > 0 {
-                gu[d] += g;
-                gd[master] += g;
-            }
-            if in_c + out_c > 0 {
-                au[master] += a_bytes;
-                ad[d] += a_bytes;
-            }
-        }
-    }
-
-    /// Projects a neighbor's presence/in-edge threshold transitions at DCs
-    /// `a` and `b` onto scratch loads (O(1): only those two DCs change).
-    #[allow(clippy::too_many_arguments)]
-    fn project_neighbor(
-        &self,
-        x: VertexId,
-        delta: CntDelta,
-        a: DcId,
-        b: DcId,
-        gu: &mut [f64],
-        gd: &mut [f64],
-        au: &mut [f64],
-        ad: &mut [f64],
-    ) {
-        let m = self.core.num_dcs;
-        let base = x as usize * m;
-        let master = self.core.masters[x as usize] as usize;
-        let g = self.core.profile.g(x);
-        let a_bytes = self.core.profile.a(x);
-        let high = self.core.is_high[x as usize];
-        for (dc, d_in, d_out) in [(a as usize, delta.in_a, delta.out_a), (b as usize, delta.in_b, delta.out_b)] {
-            if dc == master || (d_in == 0 && d_out == 0) {
-                continue;
-            }
-            let in_old = self.core.in_cnt[base + dc] as i64;
-            let out_old = self.core.out_cnt[base + dc] as i64;
-            let in_new = in_old + d_in;
-            let tot_old = in_old + out_old;
-            let tot_new = in_new + out_old + d_out;
-            debug_assert!(in_new >= 0 && tot_new >= 0);
-            if high {
-                match (in_old > 0, in_new > 0) {
-                    (true, false) => {
-                        gu[dc] -= g;
-                        gd[master] -= g;
-                    }
-                    (false, true) => {
-                        gu[dc] += g;
-                        gd[master] += g;
-                    }
-                    _ => {}
-                }
-            }
-            match (tot_old > 0, tot_new > 0) {
-                (true, false) => {
-                    au[master] -= a_bytes;
-                    ad[dc] -= a_bytes;
-                }
-                (false, true) => {
-                    au[master] += a_bytes;
-                    ad[dc] += a_bytes;
-                }
-                _ => {}
-            }
-        }
+        scratch.self_delta = self_delta;
+        scratch.seal();
     }
 
     /// Rebuilds the state from scratch and asserts the incremental
@@ -402,16 +320,27 @@ impl<'g> HybridState<'g> {
             self.core.movement_cost,
             mc
         );
-    }
-}
 
-fn stage_time(up: &[f64], down: &[f64], env: &CloudEnv) -> f64 {
-    let mut worst = 0.0f64;
-    for d in 0..up.len() {
-        let t = (up[d] / env.uplink(d as DcId)).max(down[d] / env.downlink(d as DcId));
-        worst = worst.max(t);
+        // The batched kernel must agree with per-destination evaluation
+        // bit-for-bit on a deterministic sample of vertices.
+        let n = self.core.num_vertices();
+        let mut batch = MoveScratch::new();
+        let mut single = MoveScratch::new();
+        for v in (0..n).step_by((n / 16).max(1)) {
+            let v = v as VertexId;
+            self.evaluate_all_moves(env, v, &mut batch);
+            for d in 0..m as DcId {
+                let b = batch.objectives()[d as usize];
+                let s = self.evaluate_move_with(env, v, d, &mut single);
+                assert!(
+                    b.transfer_time.to_bits() == s.transfer_time.to_bits()
+                        && b.movement_cost.to_bits() == s.movement_cost.to_bits()
+                        && b.runtime_cost.to_bits() == s.runtime_cost.to_bits(),
+                    "batched vs sequential evaluation diverged at v={v} d={d}: {b:?} vs {s:?}"
+                );
+            }
+        }
     }
-    worst
 }
 
 #[cfg(test)]
@@ -545,14 +474,55 @@ mod tests {
     }
 
     #[test]
+    fn batched_matches_sequential_bitwise() {
+        let (geo, env) = setup(11);
+        let mut s = state(&geo, &env);
+        let mut rng = SmallRng::seed_from_u64(12);
+        let mut batch = MoveScratch::new();
+        let mut single = MoveScratch::new();
+        for step in 0..40 {
+            // Interleave applied moves so the comparison covers evolving,
+            // non-natural states too.
+            let mv = rng.gen_range(0..geo.num_vertices()) as VertexId;
+            s.apply_move(&env, mv, rng.gen_range(0..geo.num_dcs) as DcId);
+            let v = rng.gen_range(0..geo.num_vertices()) as VertexId;
+            let objs: Vec<_> = s.evaluate_all_moves(&env, v, &mut batch).to_vec();
+            for (d, b) in objs.iter().enumerate() {
+                let sq = s.evaluate_move_with(&env, v, d as DcId, &mut single);
+                assert_eq!(
+                    (
+                        b.transfer_time.to_bits(),
+                        b.movement_cost.to_bits(),
+                        b.runtime_cost.to_bits()
+                    ),
+                    (
+                        sq.transfer_time.to_bits(),
+                        sq.movement_cost.to_bits(),
+                        sq.runtime_cost.to_bits()
+                    ),
+                    "step {step}: v={v} d={d}: {b:?} vs {sq:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn hybrid_beats_all_high_on_replication() {
         // The Fig 2 claim: differentiated placement lowers λ versus treating
         // everything as high-degree (vertex-cut-like hashing).
         let (geo, env) = setup(10);
         let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
         let theta = geograph::degree::suggest_theta(&geo.graph, 0.05);
-        let hybrid = HybridState::from_masters(&geo, &env, geo.locations.clone(), theta, profile.clone(), 10.0);
-        let all_high = HybridState::from_masters(&geo, &env, geo.locations.clone(), 1, profile, 10.0);
+        let hybrid = HybridState::from_masters(
+            &geo,
+            &env,
+            geo.locations.clone(),
+            theta,
+            profile.clone(),
+            10.0,
+        );
+        let all_high =
+            HybridState::from_masters(&geo, &env, geo.locations.clone(), 1, profile, 10.0);
         assert!(
             hybrid.core().replication_factor() <= all_high.core().replication_factor(),
             "hybrid λ {} vs all-high λ {}",

@@ -1,0 +1,590 @@
+//! One-sweep batched move-evaluation kernel.
+//!
+//! Evaluating "move vertex `v` to DC `b`" is the innermost operation of
+//! every partitioner in this workspace: the RL trainer scores all `M`
+//! destinations for every sampled agent each iteration, and the greedy
+//! baselines scan all `M` DCs per vertex. The naive form repeats an
+//! `O(deg(v))` neighborhood sweep (plus a hash-map allocation) once per
+//! destination, `M` times per vertex.
+//!
+//! The key observation: the count deltas a move causes are
+//! **destination-independent** — moving `v` from its master `a` to *any*
+//! `b ≠ a` removes the same `k` edges from `a` and adds them at `b`. So one
+//! sweep suffices for all `M` candidates:
+//!
+//! 1. **Stage** (`O(deg v)`, model-specific): the owning model records
+//!    `v`'s own count delta and one [`CntDelta`] per affected neighbor into
+//!    a reusable [`MoveScratch`] arena — a flat `Vec`, sorted and
+//!    duplicate-merged in place, replacing the per-call `FxHashMap`.
+//! 2. **Mid** (`O(deg v + M)`): copy the live per-DC stage loads once,
+//!    subtract `v`'s whole contribution and every neighbor's *source-side*
+//!    (DC `a`) threshold transition. This intermediate is shared by all
+//!    destinations.
+//! 3. **Destination deltas** (`O(deg v · M)` adds on an `M × M` arena, tiny
+//!    constants): for each neighbor, its *destination-side* transition
+//!    touches at most 4 cells per destination row.
+//! 4. **Project** (`O(M)` per destination): `row = mid + delta_row`, re-add
+//!    `v` with master `b`, evaluate Eq 1–5.
+//!
+//! Batched and single-destination paths execute the *same* floating-point
+//! operations in the *same* order per destination, so
+//! [`PlacementState::evaluate_all_moves`] equals `M` independent
+//! [`PlacementState::evaluate_move_to`] calls **bit-for-bit** (enforced by
+//! `HybridState::check_consistency` and the property suite).
+
+use std::cell::RefCell;
+
+use geosim::CloudEnv;
+
+use crate::state::{Objective, PlacementState};
+use crate::{DcId, VertexId};
+
+/// Count deltas a move applies to one vertex's rows at the move's source
+/// DC (`*_a`) and destination DC (`*_b`). Destination-independent: the
+/// same delta holds for every candidate destination.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CntDelta {
+    pub in_a: i64,
+    pub in_b: i64,
+    pub out_a: i64,
+    pub out_b: i64,
+}
+
+impl CntDelta {
+    #[inline]
+    fn merge(&mut self, o: CntDelta) {
+        self.in_a += o.in_a;
+        self.in_b += o.in_b;
+        self.out_a += o.out_a;
+        self.out_b += o.out_b;
+    }
+}
+
+/// Reusable arena for batched move evaluation. Create once per worker
+/// thread and pass to every evaluation call; all buffers are retained
+/// between calls so the steady state allocates nothing.
+#[derive(Clone, Debug, Default)]
+pub struct MoveScratch {
+    m: usize,
+    pub(crate) self_delta: CntDelta,
+    /// Per-neighbor deltas; sorted by vertex id and duplicate-merged once
+    /// [`seal`](Self::seal) runs.
+    pub(crate) neighbors: Vec<(VertexId, CntDelta)>,
+    sealed: bool,
+    // Live loads minus v minus neighbor source-side transitions (len M).
+    mid_gu: Vec<f64>,
+    mid_gd: Vec<f64>,
+    mid_au: Vec<f64>,
+    mid_ad: Vec<f64>,
+    // Destination-major M×M neighbor destination-side deltas.
+    dest_gu: Vec<f64>,
+    dest_gd: Vec<f64>,
+    dest_au: Vec<f64>,
+    dest_ad: Vec<f64>,
+    // Single-destination delta row (len M), used by `evaluate_move_to`.
+    one_gu: Vec<f64>,
+    one_gd: Vec<f64>,
+    one_au: Vec<f64>,
+    one_ad: Vec<f64>,
+    // Projection workspace (len M).
+    row_gu: Vec<f64>,
+    row_gd: Vec<f64>,
+    row_au: Vec<f64>,
+    row_ad: Vec<f64>,
+    objectives: Vec<Objective>,
+}
+
+impl MoveScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the staged deltas for a new move. Models call this before
+    /// re-staging; load buffers are reused as-is.
+    pub(crate) fn begin_stage(&mut self) {
+        self.self_delta = CntDelta::default();
+        self.neighbors.clear();
+        self.sealed = false;
+    }
+
+    /// Stages one (possibly repeated) neighbor delta.
+    #[inline]
+    pub(crate) fn push_neighbor(&mut self, x: VertexId, delta: CntDelta) {
+        debug_assert!(!self.sealed);
+        self.neighbors.push((x, delta));
+    }
+
+    /// Sorts the staged neighbor deltas by vertex id and merges duplicates
+    /// in place. Merging is required for correctness: threshold transitions
+    /// are non-linear in the delta, so a neighbor touched by several edges
+    /// must be projected once with its summed delta.
+    pub(crate) fn seal(&mut self) {
+        if self.sealed {
+            return;
+        }
+        self.sealed = true;
+        self.neighbors.sort_unstable_by_key(|&(x, _)| x);
+        let mut w = 0usize;
+        for i in 0..self.neighbors.len() {
+            if w > 0 && self.neighbors[w - 1].0 == self.neighbors[i].0 {
+                let d = self.neighbors[i].1;
+                self.neighbors[w - 1].1.merge(d);
+            } else {
+                self.neighbors.swap(w, i);
+                w += 1;
+            }
+        }
+        self.neighbors.truncate(w);
+    }
+
+    /// Resizes all projection buffers for `m` DCs (no-op when unchanged).
+    fn ensure_m(&mut self, m: usize) {
+        if self.m == m {
+            return;
+        }
+        self.m = m;
+        let zero_obj = Objective { transfer_time: 0.0, movement_cost: 0.0, runtime_cost: 0.0 };
+        for buf in [
+            &mut self.mid_gu,
+            &mut self.mid_gd,
+            &mut self.mid_au,
+            &mut self.mid_ad,
+            &mut self.one_gu,
+            &mut self.one_gd,
+            &mut self.one_au,
+            &mut self.one_ad,
+            &mut self.row_gu,
+            &mut self.row_gd,
+            &mut self.row_au,
+            &mut self.row_ad,
+        ] {
+            buf.resize(m, 0.0);
+        }
+        for buf in [&mut self.dest_gu, &mut self.dest_gd, &mut self.dest_au, &mut self.dest_ad] {
+            buf.resize(m * m, 0.0);
+        }
+        self.objectives.resize(m, zero_obj);
+    }
+
+    /// The per-destination objectives of the last
+    /// [`PlacementState::evaluate_all_moves`] call (index = destination DC).
+    pub fn objectives(&self) -> &[Objective] {
+        &self.objectives[..self.m]
+    }
+
+    pub(crate) fn objectives_mut(&mut self) -> &mut [Objective] {
+        let m = self.m;
+        &mut self.objectives[..m]
+    }
+}
+
+thread_local! {
+    static TLS_SCRATCH: RefCell<MoveScratch> = RefCell::new(MoveScratch::new());
+}
+
+/// Runs `f` with this thread's shared scratch arena — backs the legacy
+/// scratch-less entry points (`HybridState::evaluate_move` etc.).
+/// Callers that hold a scratch should pass their own instead.
+pub(crate) fn with_scratch<R>(f: impl FnOnce(&mut MoveScratch) -> R) -> R {
+    TLS_SCRATCH.with(|cell| f(&mut cell.borrow_mut()))
+}
+
+/// Mirror-threshold transitions of one `(vertex, DC)` count cell whose
+/// in/out counts change by `(d_in, d_out)`.
+///
+/// Returns `(gather, apply)` steps in `{-1.0, 0.0, +1.0}`: whether the
+/// cell's aggregated gather message (in-edges present, high-degree only)
+/// and its mirror's apply message (any edge present) appear (`+1`) or
+/// disappear (`-1`). Callers must skip the vertex's master DC.
+#[inline]
+pub fn count_transitions(
+    high: bool,
+    in_old: i64,
+    out_old: i64,
+    d_in: i64,
+    d_out: i64,
+) -> (f64, f64) {
+    let in_new = in_old + d_in;
+    let tot_old = in_old + out_old;
+    let tot_new = in_new + out_old + d_out;
+    debug_assert!(in_new >= 0 && tot_new >= 0);
+    let gather = if high { step(in_old > 0, in_new > 0) } else { 0.0 };
+    let apply = step(tot_old > 0, tot_new > 0);
+    (gather, apply)
+}
+
+#[inline]
+fn step(old: bool, new: bool) -> f64 {
+    match (old, new) {
+        (true, false) => -1.0,
+        (false, true) => 1.0,
+        _ => 0.0,
+    }
+}
+
+/// `max_r max(up_r/U_r, down_r/D_r)` — Eq 2/3 over scratch rows.
+pub(crate) fn stage_time(up: &[f64], down: &[f64], env: &CloudEnv) -> f64 {
+    let mut worst = 0.0f64;
+    for d in 0..up.len() {
+        let t = (up[d] / env.uplink(d as DcId)).max(down[d] / env.downlink(d as DcId));
+        worst = worst.max(t);
+    }
+    worst
+}
+
+impl PlacementState {
+    /// Evaluates moving `v`'s master to **every** DC in one neighborhood
+    /// sweep. `scratch` must hold the staged (sealed) count deltas of the
+    /// move; the result slice lives in the scratch, indexed by destination
+    /// (`objectives[master(v)]` is the unchanged current objective).
+    ///
+    /// `movement_cost` is reported as the current plan's for every
+    /// destination — per-destination movement pricing is model-specific
+    /// and patched by the owning model (see `HybridState`).
+    ///
+    /// Cost: `O(deg(v) + M)` sweep + `O(deg(v) · M + M²)` tiny-constant
+    /// projection, versus `M` full sweeps (and `M` hash maps) for the
+    /// per-candidate path.
+    pub fn evaluate_all_moves<'s>(
+        &self,
+        env: &CloudEnv,
+        v: VertexId,
+        scratch: &'s mut MoveScratch,
+    ) -> &'s [Objective] {
+        debug_assert_eq!(env.num_dcs(), self.num_dcs);
+        let m = self.num_dcs;
+        scratch.seal();
+        scratch.ensure_m(m);
+        let a = self.masters[v as usize] as usize;
+        self.build_mid(v, a, scratch);
+
+        let sd = scratch.self_delta;
+        let MoveScratch {
+            ref neighbors,
+            ref mid_gu,
+            ref mid_gd,
+            ref mid_au,
+            ref mid_ad,
+            ref mut dest_gu,
+            ref mut dest_gd,
+            ref mut dest_au,
+            ref mut dest_ad,
+            ref mut row_gu,
+            ref mut row_gd,
+            ref mut row_au,
+            ref mut row_ad,
+            ref mut objectives,
+            ..
+        } = *scratch;
+
+        // Destination-side neighbor transitions, accumulated per candidate
+        // row. A neighbor's counts at destination `b` gain (in_b, out_b);
+        // each transition touches ≤ 4 cells of row `b`.
+        dest_gu[..m * m].fill(0.0);
+        dest_gd[..m * m].fill(0.0);
+        dest_au[..m * m].fill(0.0);
+        dest_ad[..m * m].fill(0.0);
+        for &(x, delta) in neighbors {
+            if delta.in_b == 0 && delta.out_b == 0 {
+                continue;
+            }
+            let xb = x as usize * m;
+            let master_x = self.masters[x as usize] as usize;
+            let high = self.is_high[x as usize];
+            let g = self.profile.g(x);
+            let ab = self.profile.a(x);
+            for b in 0..m {
+                if b == a || b == master_x {
+                    continue;
+                }
+                let (gt, at) = count_transitions(
+                    high,
+                    self.in_cnt[xb + b] as i64,
+                    self.out_cnt[xb + b] as i64,
+                    delta.in_b,
+                    delta.out_b,
+                );
+                let row = b * m;
+                if gt != 0.0 {
+                    dest_gu[row + b] += gt * g;
+                    dest_gd[row + master_x] += gt * g;
+                }
+                if at != 0.0 {
+                    dest_au[row + master_x] += at * ab;
+                    dest_ad[row + b] += at * ab;
+                }
+            }
+        }
+
+        // Project every destination: row = mid + delta row, then re-add v
+        // mastered at b (its counts at the old master a adjusted).
+        #[allow(clippy::needless_range_loop)] // b indexes four dest_* arrays too
+        for b in 0..m {
+            if b == a {
+                objectives[b] = self.objective(env);
+                continue;
+            }
+            let r = b * m;
+            for d in 0..m {
+                row_gu[d] = mid_gu[d] + dest_gu[r + d];
+                row_gd[d] = mid_gd[d] + dest_gd[r + d];
+                row_au[d] = mid_au[d] + dest_au[r + d];
+                row_ad[d] = mid_ad[d] + dest_ad[r + d];
+            }
+            self.project_vertex_into(
+                v, b, a, sd.in_a, sd.out_a, 1.0, row_gu, row_gd, row_au, row_ad,
+            );
+            objectives[b] = self.objective_from_rows(env, row_gu, row_gd, row_au, row_ad);
+        }
+        &scratch.objectives[..m]
+    }
+
+    /// Single-destination evaluation through the same kernel: performs the
+    /// identical per-cell floating-point operations (in the identical
+    /// order) as destination `to`'s slot of [`Self::evaluate_all_moves`],
+    /// so the two agree bit-for-bit.
+    pub fn evaluate_move_to(
+        &self,
+        env: &CloudEnv,
+        v: VertexId,
+        to: DcId,
+        scratch: &mut MoveScratch,
+    ) -> Objective {
+        debug_assert_eq!(env.num_dcs(), self.num_dcs);
+        let m = self.num_dcs;
+        let a = self.masters[v as usize] as usize;
+        let b = to as usize;
+        if b == a {
+            return self.objective(env);
+        }
+        scratch.seal();
+        scratch.ensure_m(m);
+        self.build_mid(v, a, scratch);
+
+        let sd = scratch.self_delta;
+        let MoveScratch {
+            ref neighbors,
+            ref mid_gu,
+            ref mid_gd,
+            ref mid_au,
+            ref mid_ad,
+            ref mut one_gu,
+            ref mut one_gd,
+            ref mut one_au,
+            ref mut one_ad,
+            ref mut row_gu,
+            ref mut row_gd,
+            ref mut row_au,
+            ref mut row_ad,
+            ..
+        } = *scratch;
+
+        one_gu[..m].fill(0.0);
+        one_gd[..m].fill(0.0);
+        one_au[..m].fill(0.0);
+        one_ad[..m].fill(0.0);
+        for &(x, delta) in neighbors {
+            if delta.in_b == 0 && delta.out_b == 0 {
+                continue;
+            }
+            let xb = x as usize * m;
+            let master_x = self.masters[x as usize] as usize;
+            if b == master_x {
+                continue;
+            }
+            let (gt, at) = count_transitions(
+                self.is_high[x as usize],
+                self.in_cnt[xb + b] as i64,
+                self.out_cnt[xb + b] as i64,
+                delta.in_b,
+                delta.out_b,
+            );
+            if gt != 0.0 {
+                let g = self.profile.g(x);
+                one_gu[b] += gt * g;
+                one_gd[master_x] += gt * g;
+            }
+            if at != 0.0 {
+                let ab = self.profile.a(x);
+                one_au[master_x] += at * ab;
+                one_ad[b] += at * ab;
+            }
+        }
+
+        for d in 0..m {
+            row_gu[d] = mid_gu[d] + one_gu[d];
+            row_gd[d] = mid_gd[d] + one_gd[d];
+            row_au[d] = mid_au[d] + one_au[d];
+            row_ad[d] = mid_ad[d] + one_ad[d];
+        }
+        self.project_vertex_into(v, b, a, sd.in_a, sd.out_a, 1.0, row_gu, row_gd, row_au, row_ad);
+        self.objective_from_rows(env, row_gu, row_gd, row_au, row_ad)
+    }
+
+    /// Fills `scratch`'s mid buffers: live loads minus `v`'s whole current
+    /// contribution minus every staged neighbor's source-side (DC `a`)
+    /// threshold transition. Shared by every candidate destination.
+    fn build_mid(&self, v: VertexId, a: usize, scratch: &mut MoveScratch) {
+        let m = self.num_dcs;
+        let MoveScratch {
+            ref neighbors,
+            ref mut mid_gu,
+            ref mut mid_gd,
+            ref mut mid_au,
+            ref mut mid_ad,
+            ..
+        } = *scratch;
+        mid_gu[..m].copy_from_slice(self.gather.up_slice());
+        mid_gd[..m].copy_from_slice(self.gather.down_slice());
+        mid_au[..m].copy_from_slice(self.apply.up_slice());
+        mid_ad[..m].copy_from_slice(self.apply.down_slice());
+        self.project_vertex_into(v, a, a, 0, 0, -1.0, mid_gu, mid_gd, mid_au, mid_ad);
+        for &(x, delta) in neighbors {
+            if delta.in_a == 0 && delta.out_a == 0 {
+                continue;
+            }
+            let master_x = self.masters[x as usize] as usize;
+            if a == master_x {
+                continue;
+            }
+            let xb = x as usize * m;
+            let (gt, at) = count_transitions(
+                self.is_high[x as usize],
+                self.in_cnt[xb + a] as i64,
+                self.out_cnt[xb + a] as i64,
+                delta.in_a,
+                delta.out_a,
+            );
+            if gt != 0.0 {
+                let g = self.profile.g(x);
+                mid_gu[a] += gt * g;
+                mid_gd[master_x] += gt * g;
+            }
+            if at != 0.0 {
+                let ab = self.profile.a(x);
+                mid_au[master_x] += at * ab;
+                mid_ad[a] += at * ab;
+            }
+        }
+    }
+
+    /// Projects adding (`sign = 1`) or removing (`sign = -1`) vertex `v`'s
+    /// full traffic contribution onto scratch rows, with its counts at DC
+    /// `adj_dc` adjusted by `(d_in, d_out)` and its master at `master`.
+    #[allow(clippy::too_many_arguments)]
+    fn project_vertex_into(
+        &self,
+        v: VertexId,
+        master: usize,
+        adj_dc: usize,
+        d_in: i64,
+        d_out: i64,
+        sign: f64,
+        gu: &mut [f64],
+        gd: &mut [f64],
+        au: &mut [f64],
+        ad: &mut [f64],
+    ) {
+        let m = self.num_dcs;
+        let base = v as usize * m;
+        let g = self.profile.g(v) * sign;
+        let a_bytes = self.profile.a(v) * sign;
+        let high = self.is_high[v as usize];
+        for d in 0..m {
+            if d == master {
+                continue;
+            }
+            let mut in_c = self.in_cnt[base + d] as i64;
+            let mut out_c = self.out_cnt[base + d] as i64;
+            if d == adj_dc {
+                in_c += d_in;
+                out_c += d_out;
+            }
+            debug_assert!(in_c >= 0 && out_c >= 0);
+            if high && in_c > 0 {
+                gu[d] += g;
+                gd[master] += g;
+            }
+            if in_c + out_c > 0 {
+                au[master] += a_bytes;
+                ad[d] += a_bytes;
+            }
+        }
+    }
+
+    /// Eq 1 + Eq 5 over projected rows; movement cost is the current
+    /// plan's (models patch it per destination).
+    fn objective_from_rows(
+        &self,
+        env: &CloudEnv,
+        gu: &[f64],
+        gd: &[f64],
+        au: &[f64],
+        ad: &[f64],
+    ) -> Objective {
+        let m = self.num_dcs;
+        let transfer_time =
+            stage_time(&gu[..m], &gd[..m], env) + stage_time(&au[..m], &ad[..m], env);
+        let mut upload_cost = 0.0;
+        for d in 0..m {
+            upload_cost += (gu[d] + au[d]) * env.price(d as DcId);
+        }
+        Objective {
+            transfer_time,
+            movement_cost: self.movement_cost,
+            runtime_cost: self.num_iterations * upload_cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seal_merges_duplicates_and_sorts() {
+        let mut s = MoveScratch::new();
+        s.begin_stage();
+        s.push_neighbor(5, CntDelta { in_a: -1, in_b: 1, ..Default::default() });
+        s.push_neighbor(2, CntDelta { out_a: -1, out_b: 1, ..Default::default() });
+        s.push_neighbor(5, CntDelta { out_a: -1, out_b: 1, ..Default::default() });
+        s.seal();
+        assert_eq!(
+            s.neighbors,
+            vec![
+                (2, CntDelta { out_a: -1, out_b: 1, ..Default::default() }),
+                (5, CntDelta { in_a: -1, in_b: 1, out_a: -1, out_b: 1 }),
+            ]
+        );
+        // Idempotent.
+        s.seal();
+        assert_eq!(s.neighbors.len(), 2);
+    }
+
+    #[test]
+    fn transitions_cross_thresholds() {
+        // 1 in-edge leaves: gather message and mirror both disappear.
+        assert_eq!(count_transitions(true, 1, 0, -1, 0), (-1.0, -1.0));
+        // First in-edge arrives at an empty cell.
+        assert_eq!(count_transitions(true, 0, 0, 1, 0), (1.0, 1.0));
+        // 3 -> 2 in-edges: nothing crosses.
+        assert_eq!(count_transitions(true, 3, 0, -1, 0), (0.0, 0.0));
+        // Low-degree vertices never gather.
+        assert_eq!(count_transitions(false, 1, 0, -1, 0), (0.0, -1.0));
+        // Out-edge appears while in-edges stay: mirror already present.
+        assert_eq!(count_transitions(true, 2, 0, 0, 1), (0.0, 0.0));
+        // Last out-edge leaves an out-only cell: mirror disappears.
+        assert_eq!(count_transitions(true, 0, 1, 0, -1), (0.0, -1.0));
+    }
+
+    #[test]
+    fn scratch_resizes_lazily() {
+        let mut s = MoveScratch::new();
+        s.ensure_m(4);
+        assert_eq!(s.objectives().len(), 4);
+        assert_eq!(s.dest_gu.len(), 16);
+        s.ensure_m(8);
+        assert_eq!(s.objectives().len(), 8);
+        assert_eq!(s.dest_gu.len(), 64);
+    }
+}

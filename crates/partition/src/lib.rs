@@ -19,9 +19,16 @@
 //! All models evaluate to an [`Objective`]: per-iteration inter-DC transfer
 //! time (Eq 1–3) plus movement and runtime monetary cost (Eq 4–5), so
 //! partitioners across models are compared on identical terms.
+//!
+//! Move evaluation runs through the batched one-sweep kernel in
+//! [`kernel`]: [`PlacementState::evaluate_all_moves`] scores all `M`
+//! destinations of a vertex from a single neighborhood sweep into a
+//! reusable [`MoveScratch`] arena, bit-identical to `M` independent
+//! single-destination evaluations.
 
 pub mod edgecut;
 pub mod hybrid;
+pub mod kernel;
 pub mod metrics;
 pub mod plan_io;
 pub mod profile;
@@ -30,6 +37,7 @@ pub mod vertexcut;
 
 pub use edgecut::EdgeCutState;
 pub use hybrid::HybridState;
+pub use kernel::MoveScratch;
 pub use profile::TrafficProfile;
 pub use state::{Objective, PlacementState};
 

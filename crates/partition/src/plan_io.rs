@@ -22,7 +22,10 @@ pub enum PlanIoError {
     /// The file is not a plan file or has a corrupt header.
     BadHeader(String),
     /// Element count or checksum mismatch.
-    Corrupt { expected: String, found: String },
+    Corrupt {
+        expected: String,
+        found: String,
+    },
 }
 
 impl std::fmt::Display for PlanIoError {
@@ -153,8 +156,7 @@ mod tests {
         let path = tmp("trunc.plan");
         save_assignment(&[1, 2, 3, 4], &path).unwrap();
         let contents = std::fs::read_to_string(&path).unwrap();
-        let truncated: String =
-            contents.lines().take(3).collect::<Vec<_>>().join("\n");
+        let truncated: String = contents.lines().take(3).collect::<Vec<_>>().join("\n");
         std::fs::write(&path, truncated).unwrap();
         assert!(matches!(load_assignment(&path), Err(PlanIoError::Corrupt { .. })));
         std::fs::remove_file(&path).ok();

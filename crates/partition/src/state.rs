@@ -103,8 +103,7 @@ impl PlacementState {
             state.edges_per_dc[d as usize] += 1;
         }
         state.rebuild_loads();
-        state.movement_cost =
-            geosim::cost::movement_cost(env, natural, &state.masters, data_sizes);
+        state.movement_cost = geosim::cost::movement_cost(env, natural, &state.masters, data_sizes);
         state
     }
 
@@ -388,7 +387,7 @@ mod tests {
             &env,
             2,
             std::iter::empty(),
-            vec![1, 1],       // vertex 0 displaced from natural DC 0
+            vec![1, 1], // vertex 0 displaced from natural DC 0
             vec![false, false],
             &[0, 1],
             &[1_000_000_000, 100],

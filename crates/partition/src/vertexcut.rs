@@ -4,6 +4,7 @@
 use geograph::GeoGraph;
 use geosim::CloudEnv;
 
+use crate::kernel::MoveScratch;
 use crate::profile::TrafficProfile;
 use crate::state::{Objective, PlacementState};
 use crate::{DcId, VertexId};
@@ -128,6 +129,48 @@ impl VertexCutState {
     pub fn master(&self, v: VertexId) -> DcId {
         self.core.master(v)
     }
+
+    /// Evaluates re-homing `v`'s master to **every** DC in one batched
+    /// kernel sweep. Under vertex-cut a master move leaves all edges in
+    /// place, so the staged count deltas are empty — only the gather/apply
+    /// message endpoints and the Eq 4 movement cost change. The result
+    /// slice lives in `scratch`, indexed by destination DC.
+    pub fn evaluate_all_moves<'s>(
+        &self,
+        geo: &GeoGraph,
+        env: &CloudEnv,
+        v: VertexId,
+        scratch: &'s mut MoveScratch,
+    ) -> &'s [Objective] {
+        scratch.begin_stage();
+        self.core.evaluate_all_moves(env, v, scratch);
+        let a = self.core.master(v);
+        let loc = geo.locations[v as usize];
+        let size = geo.data_sizes[v as usize];
+        let base = self.core.movement_cost - geosim::cost::vertex_move_cost(env, loc, a, size);
+        for (d, obj) in scratch.objectives_mut().iter_mut().enumerate() {
+            if d != a as usize {
+                obj.movement_cost =
+                    base + geosim::cost::vertex_move_cost(env, loc, d as DcId, size);
+            }
+        }
+        scratch.objectives()
+    }
+
+    /// Re-homes `v`'s master to `to`, leaving every edge in place.
+    pub fn apply_master_move(&mut self, geo: &GeoGraph, env: &CloudEnv, v: VertexId, to: DcId) {
+        let a = self.core.master(v);
+        if a == to {
+            return;
+        }
+        self.core.remove_vertex_loads(v);
+        let loc = geo.locations[v as usize];
+        let size = geo.data_sizes[v as usize];
+        self.core.movement_cost += geosim::cost::vertex_move_cost(env, loc, to, size)
+            - geosim::cost::vertex_move_cost(env, loc, a, size);
+        self.core.masters[v as usize] = to;
+        self.core.add_vertex_loads(v);
+    }
 }
 
 #[cfg(test)]
@@ -146,12 +189,16 @@ mod tests {
     #[test]
     fn random_assignment_builds() {
         let (geo, env) = setup();
-        let edge_dcs: Vec<DcId> = (0..geo.num_edges())
-            .map(|i| (geograph::fxhash::mix64(i as u64) % 8) as DcId)
-            .collect();
+        let edge_dcs: Vec<DcId> =
+            (0..geo.num_edges()).map(|i| (geograph::fxhash::mix64(i as u64) % 8) as DcId).collect();
         let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
         let s = VertexCutState::from_edge_assignment(
-            &geo, &env, &edge_dcs, MasterRule::HeaviestReplica, profile, 10.0,
+            &geo,
+            &env,
+            &edge_dcs,
+            MasterRule::HeaviestReplica,
+            profile,
+            10.0,
         );
         assert!(s.replication_factor() >= 1.0);
         let obj = s.objective(&env);
@@ -164,7 +211,12 @@ mod tests {
         let edge_dcs = vec![0 as DcId; geo.num_edges()];
         let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
         let s = VertexCutState::from_edge_assignment(
-            &geo, &env, &edge_dcs, MasterRule::HeaviestReplica, profile, 10.0,
+            &geo,
+            &env,
+            &edge_dcs,
+            MasterRule::HeaviestReplica,
+            profile,
+            10.0,
         );
         assert_eq!(s.objective(&env).transfer_time, 0.0);
         assert!((s.replication_factor() - 1.0).abs() < 1e-12);
@@ -178,14 +230,63 @@ mod tests {
             .collect();
         let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
         let heaviest = VertexCutState::from_edge_assignment(
-            &geo, &env, &edge_dcs, MasterRule::HeaviestReplica, profile.clone(), 10.0,
+            &geo,
+            &env,
+            &edge_dcs,
+            MasterRule::HeaviestReplica,
+            profile.clone(),
+            10.0,
         );
         let natural = VertexCutState::from_edge_assignment(
-            &geo, &env, &edge_dcs, MasterRule::PreferNatural, profile, 10.0,
+            &geo,
+            &env,
+            &edge_dcs,
+            MasterRule::PreferNatural,
+            profile,
+            10.0,
         );
-        assert!(
-            natural.objective(&env).movement_cost <= heaviest.objective(&env).movement_cost
+        assert!(natural.objective(&env).movement_cost <= heaviest.objective(&env).movement_cost);
+    }
+
+    #[test]
+    fn master_move_evaluation_matches_application() {
+        let (geo, env) = setup();
+        let edge_dcs: Vec<DcId> = (0..geo.num_edges())
+            .map(|i| (geograph::fxhash::mix64(i as u64 ^ 13) % 8) as DcId)
+            .collect();
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let s = VertexCutState::from_edge_assignment(
+            &geo,
+            &env,
+            &edge_dcs,
+            MasterRule::HeaviestReplica,
+            profile,
+            10.0,
         );
+        let mut scratch = MoveScratch::new();
+        for v in [0 as VertexId, 5, 17, 100, 511] {
+            let objs = s.evaluate_all_moves(&geo, &env, v, &mut scratch).to_vec();
+            for to in 0..env.num_dcs() as DcId {
+                let mut trial = s.clone();
+                trial.apply_master_move(&geo, &env, v, to);
+                let actual = trial.objective(&env);
+                let predicted = objs[to as usize];
+                assert!(
+                    (predicted.transfer_time - actual.transfer_time).abs()
+                        <= 1e-9 * actual.transfer_time.max(1e-12),
+                    "v={v} to={to}: predicted {} vs actual {}",
+                    predicted.transfer_time,
+                    actual.transfer_time
+                );
+                assert!(
+                    (predicted.total_cost() - actual.total_cost()).abs()
+                        <= 1e-9 * actual.total_cost().max(1e-12),
+                    "v={v} to={to}: predicted cost {} vs actual {}",
+                    predicted.total_cost(),
+                    actual.total_cost()
+                );
+            }
+        }
     }
 
     #[test]
@@ -196,7 +297,12 @@ mod tests {
             .collect();
         let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
         let s = VertexCutState::from_edge_assignment(
-            &geo, &env, &edge_dcs, MasterRule::HeaviestReplica, profile, 10.0,
+            &geo,
+            &env,
+            &edge_dcs,
+            MasterRule::HeaviestReplica,
+            profile,
+            10.0,
         );
         for v in 0..geo.num_vertices() as VertexId {
             if geo.graph.degree(v) > 0 {

@@ -18,8 +18,7 @@ fn main() {
         Dataset::Uk2005.generate(0.0005, 11),
         &LocalityConfig::paper_default(11),
     );
-    let centralization =
-        geosim::cost::centralization_cost(&env, &geo.locations, &geo.data_sizes).1;
+    let centralization = geosim::cost::centralization_cost(&env, &geo.locations, &geo.data_sizes).1;
     println!(
         "UK-analog: {} vertices / {} edges; centralization would cost ${centralization:.4}\n",
         geo.num_vertices(),

@@ -46,8 +46,7 @@ fn main() {
         }
         (region_weights.len() - 1) as DcId
     };
-    let mut locations: Vec<DcId> =
-        (0..initial.num_vertices() as VertexId).map(home_of).collect();
+    let mut locations: Vec<DcId> = (0..initial.num_vertices() as VertexId).map(home_of).collect();
     let window_budget = Duration::from_millis(250);
     let mut adaptive = AdaptiveRlCut::new(RlCutConfig::new(1.0).with_seed(9), Some(0.4));
     let mut spinner: Option<Spinner> = None;
@@ -63,9 +62,11 @@ fn main() {
     for (w, events) in stream.windows(4 * 3_600_000).iter().enumerate() {
         let new_vertices: Vec<VertexId> = apply_events(&mut builder, events);
         let graph = builder.build();
-        locations.extend((locations.len() as VertexId..graph.num_vertices() as VertexId).map(home_of));
-        let sizes: Vec<u64> =
-            (0..graph.num_vertices() as VertexId).map(|v| 65536 + 256 * graph.out_degree(v) as u64).collect();
+        locations
+            .extend((locations.len() as VertexId..graph.num_vertices() as VertexId).map(home_of));
+        let sizes: Vec<u64> = (0..graph.num_vertices() as VertexId)
+            .map(|v| 65536 + 256 * graph.out_degree(v) as u64)
+            .collect();
         let geo = GeoGraph::new(graph, locations.clone(), sizes, locality.num_dcs);
         let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
 

@@ -63,12 +63,20 @@ fn main() {
 
     let g_obj = ginger.objective(&env);
     let r_obj = result.final_objective(&env);
-    println!("Ginger: transfer {:.6} s/iter, cost/budget {:.2}, λ {:.2}, overhead {:?}",
-        g_obj.transfer_time, g_obj.total_cost() / budget,
-        ginger.core().replication_factor(), ginger_time);
-    println!("RLCut : transfer {:.6} s/iter, cost/budget {:.2}, λ {:.2}, overhead {:?}",
-        r_obj.transfer_time, r_obj.total_cost() / budget,
-        result.state.core().replication_factor(), result.total_duration);
+    println!(
+        "Ginger: transfer {:.6} s/iter, cost/budget {:.2}, λ {:.2}, overhead {:?}",
+        g_obj.transfer_time,
+        g_obj.total_cost() / budget,
+        ginger.core().replication_factor(),
+        ginger_time
+    );
+    println!(
+        "RLCut : transfer {:.6} s/iter, cost/budget {:.2}, λ {:.2}, overhead {:?}",
+        r_obj.transfer_time,
+        r_obj.total_cost() / budget,
+        result.state.core().replication_factor(),
+        result.total_duration
+    );
     println!(
         "RLCut vs Ginger: {:+.1}% transfer time, and RLCut is the only one inside the budget \
          (Ginger spends {:.1}x it)",
@@ -78,8 +86,7 @@ fn main() {
 
     // 4. Persist the trained plan.
     if let Some(path) = plan_out {
-        geopart::plan_io::save_assignment(result.state.core().masters(), &path)
-            .expect("save plan");
+        geopart::plan_io::save_assignment(result.state.core().masters(), &path).expect("save plan");
         println!("\ntrained master assignment written to {path:?}");
         let reloaded = geopart::plan_io::load_assignment(&path).expect("reload plan");
         assert_eq!(reloaded, result.state.core().masters());

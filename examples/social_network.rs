@@ -35,7 +35,10 @@ fn main() {
         let theta = geograph::degree::suggest_theta(&geo.graph, 0.05);
 
         let plans: Vec<(&str, PlanKind)> = vec![
-            ("HashPL", PlanKind::Hybrid(geobase::hashpl(&geo, &env, theta, profile.clone(), iters, 42))),
+            (
+                "HashPL",
+                PlanKind::Hybrid(geobase::hashpl(&geo, &env, theta, profile.clone(), iters, 42)),
+            ),
             (
                 "Ginger",
                 PlanKind::Hybrid(geobase::ginger(

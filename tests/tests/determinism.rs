@@ -51,11 +51,12 @@ fn different_seeds_differ() {
     let env = ec2_eight_regions();
     let budget = geosim::cost::default_budget(&env, &geo.locations, &geo.data_sizes, 0.4);
     let profile = geopart::TrafficProfile::uniform(geo.num_vertices(), 8.0);
-    let a = rlcut::partition(&geo, &env, profile.clone(), 10.0, &RlCutConfig::new(budget).with_seed(1))
-        .state
-        .core()
-        .masters()
-        .to_vec();
+    let a =
+        rlcut::partition(&geo, &env, profile.clone(), 10.0, &RlCutConfig::new(budget).with_seed(1))
+            .state
+            .core()
+            .masters()
+            .to_vec();
     let b = rlcut::partition(&geo, &env, profile, 10.0, &RlCutConfig::new(budget).with_seed(2))
         .state
         .core()
@@ -88,12 +89,7 @@ fn baselines_deterministic() {
         profile.clone(),
         10.0,
     );
-    let r2 = geobase::revolver(
-        &geo,
-        &env,
-        geobase::revolver::RevolverConfig::default(),
-        profile,
-        10.0,
-    );
+    let r2 =
+        geobase::revolver(&geo, &env, geobase::revolver::RevolverConfig::default(), profile, 10.0);
     assert_eq!(r1.assignment(), r2.assignment());
 }

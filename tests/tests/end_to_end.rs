@@ -12,16 +12,18 @@ use geosim::CloudEnv;
 use rlcut::RlCutConfig;
 
 fn setup() -> (GeoGraph, CloudEnv, f64) {
-    let geo = GeoGraph::from_graph(
-        Dataset::Orkut.generate(0.001, 5),
-        &LocalityConfig::paper_default(5),
-    );
+    let geo =
+        GeoGraph::from_graph(Dataset::Orkut.generate(0.001, 5), &LocalityConfig::paper_default(5));
     let env = ec2_eight_regions();
     let budget = geosim::cost::default_budget(&env, &geo.locations, &geo.data_sizes, 0.4);
     (geo, env, budget)
 }
 
-fn all_plans<'g>(geo: &'g GeoGraph, env: &CloudEnv, budget: f64) -> Vec<(&'static str, PlanKind<'g>)> {
+fn all_plans<'g>(
+    geo: &'g GeoGraph,
+    env: &CloudEnv,
+    budget: f64,
+) -> Vec<(&'static str, PlanKind<'g>)> {
     let algo = Algorithm::pagerank();
     let profile = algo.profile(geo);
     let theta = geograph::degree::suggest_theta(&geo.graph, 0.05);
@@ -135,8 +137,7 @@ fn pagerank_output_is_a_probability_distribution() {
     let (geo, env, budget) = setup();
     let plans = all_plans(&geo, &env, budget);
     let algo = Algorithm::pagerank();
-    let AlgoOutput::Ranks(ranks) = plans.last().unwrap().1.execute(&geo, &env, &algo).output
-    else {
+    let AlgoOutput::Ranks(ranks) = plans.last().unwrap().1.execute(&geo, &env, &algo).output else {
         panic!("expected ranks")
     };
     let sum: f64 = ranks.iter().sum();

@@ -49,11 +49,8 @@ fn weighted_sssp_agrees_with_unit_bfs() {
     let source = geoengine::algorithms::sssp::default_source(&geo.graph);
     let dijkstra = geoengine::algorithms::dijkstra(&geo.graph, &weights, source, 1);
     let bfs = geoengine::algorithms::bfs_levels(&geo.graph, source);
-    let reachable = bfs
-        .distances
-        .iter()
-        .filter(|&&d| d != geoengine::algorithms::sssp::UNREACHABLE)
-        .count();
+    let reachable =
+        bfs.distances.iter().filter(|&&d| d != geoengine::algorithms::sssp::UNREACHABLE).count();
     let settled: usize = dijkstra.rounds.iter().map(|r| r.len()).sum();
     assert_eq!(settled, reachable);
 }
@@ -122,7 +119,8 @@ fn plan_and_env_persistence_compose_across_crates() {
     geopart::plan_io::save_assignment(result.state.core().masters(), &plan_path).unwrap();
     let masters = geopart::plan_io::load_assignment(&plan_path).unwrap();
 
-    let rebuilt = HybridState::from_masters(&geo, &env2, masters, result.state.theta(), profile, 10.0);
+    let rebuilt =
+        HybridState::from_masters(&geo, &env2, masters, result.state.theta(), profile, 10.0);
     let a = result.final_objective(&env);
     let b = rebuilt.objective(&env2);
     assert!((a.transfer_time - b.transfer_time).abs() < 1e-12 * a.transfer_time.max(1e-12));

@@ -55,12 +55,7 @@ fn corrupt_plans_never_load() {
 fn empty_and_singleton_graphs_survive_the_pipeline() {
     let env = ec2_eight_regions();
     for n in [1usize, 2] {
-        let geo = GeoGraph::new(
-            Graph::empty(n),
-            vec![0; n],
-            vec![65536; n],
-            8,
-        );
+        let geo = GeoGraph::new(Graph::empty(n), vec![0; n], vec![65536; n], 8);
         let profile = TrafficProfile::uniform(n, 8.0);
         let state = HybridState::natural(&geo, &env, 8, profile.clone(), 10.0);
         let obj = state.objective(&env);
@@ -86,7 +81,9 @@ fn self_loop_heavy_input_is_cleaned_not_crashed() {
     assert_eq!(g.num_edges(), 16, "self-loops must be dropped");
     let geo = GeoGraph::from_graph(g, &LocalityConfig::uniform(4, 1));
     let env = geosim::CloudEnv::new(
-        (0..4).map(|i| geosim::Datacenter::from_gb_units(&format!("d{i}"), 1.0, 2.0, 0.1)).collect(),
+        (0..4)
+            .map(|i| geosim::Datacenter::from_gb_units(&format!("d{i}"), 1.0, 2.0, 0.1))
+            .collect(),
     );
     let profile = TrafficProfile::uniform(16, 8.0);
     let mut state = HybridState::natural(&geo, &env, 2, profile, 10.0);
@@ -134,6 +131,7 @@ fn env_file_boundary_cases() {
     // 65 DCs exceed the bitmask limit — CloudEnv::new must panic, so the
     // parser's caller sees it immediately rather than corrupting plans.
     let many: String = (0..65).map(|i| format!("dc{i} 1 1 0.1\n")).collect();
-    let result = std::panic::catch_unwind(|| geosim::env_io::parse_env(Cursor::new(many.as_bytes())));
+    let result =
+        std::panic::catch_unwind(|| geosim::env_io::parse_env(Cursor::new(many.as_bytes())));
     assert!(result.is_err(), "65-DC environment must be rejected");
 }

@@ -1,9 +1,10 @@
 //! Property-based tests of the cross-crate invariants the whole
 //! reproduction rests on.
 
+use geograph::generators::{rmat, RmatConfig};
 use geograph::locality::LocalityConfig;
 use geograph::{GeoGraph, Graph, GraphBuilder};
-use geopart::{HybridState, TrafficProfile};
+use geopart::{HybridState, MoveScratch, TrafficProfile};
 use geosim::regions::ec2_eight_regions;
 use proptest::prelude::*;
 
@@ -19,8 +20,17 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
 }
 
 fn arb_geo() -> impl Strategy<Value = (GeoGraph, u64)> {
-    (arb_graph(), 0u64..1000).prop_map(|(g, seed)| {
-        (GeoGraph::from_graph(g, &LocalityConfig::paper_default(seed)), seed)
+    (arb_graph(), 0u64..1000)
+        .prop_map(|(g, seed)| (GeoGraph::from_graph(g, &LocalityConfig::paper_default(seed)), seed))
+}
+
+/// A random skewed R-MAT graph (the regime the batched kernel targets:
+/// power-law degrees with genuine hubs), 256..1024 vertices.
+fn arb_rmat_geo() -> impl Strategy<Value = GeoGraph> {
+    (8usize..32, 4usize..16, 0u64..1000).prop_map(|(n_scale, density, seed)| {
+        let n = n_scale * 32;
+        let g = rmat(&RmatConfig::social(n, n * density), seed);
+        GeoGraph::from_graph(g, &LocalityConfig::paper_default(seed ^ 0xa5a5))
     })
 }
 
@@ -56,6 +66,50 @@ proptest! {
                     <= 1e-9 * actual.total_cost().max(1e-12),
                 "cost mismatch: {} vs {}", predicted.total_cost(), actual.total_cost()
             );
+        }
+        state.check_consistency(&env);
+    }
+
+    /// The batched one-sweep kernel must be **bit-for-bit** identical to M
+    /// independent per-candidate evaluations — every destination, every
+    /// Objective field, `f64::to_bits` equality — on random R-MAT graphs,
+    /// interleaved with applied moves so the live counts keep changing.
+    #[test]
+    fn batched_evaluation_is_bitwise_sequential(
+        geo in arb_rmat_geo(),
+        theta in 2usize..12,
+        moves in proptest::collection::vec((0u32..u32::MAX, 0u8..8), 1..20),
+    ) {
+        let env = ec2_eight_regions();
+        let n = geo.num_vertices() as u32;
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let mut state = HybridState::from_masters(
+            &geo, &env, geo.locations.clone(), theta, profile, 10.0,
+        );
+        let mut batched = MoveScratch::new();
+        let mut single = MoveScratch::new();
+        for (v, to) in moves {
+            let v = v % n;
+            let objs = state.evaluate_all_moves(&env, v, &mut batched).to_vec();
+            for (d, b) in objs.iter().enumerate() {
+                let s = state.evaluate_move_with(&env, v, d as u8, &mut single);
+                prop_assert_eq!(
+                    b.transfer_time.to_bits(), s.transfer_time.to_bits(),
+                    "transfer_time bits differ at v={} d={}: {} vs {}",
+                    v, d, b.transfer_time, s.transfer_time
+                );
+                prop_assert_eq!(
+                    b.movement_cost.to_bits(), s.movement_cost.to_bits(),
+                    "movement_cost bits differ at v={} d={}: {} vs {}",
+                    v, d, b.movement_cost, s.movement_cost
+                );
+                prop_assert_eq!(
+                    b.runtime_cost.to_bits(), s.runtime_cost.to_bits(),
+                    "runtime_cost bits differ at v={} d={}: {} vs {}",
+                    v, d, b.runtime_cost, s.runtime_cost
+                );
+            }
+            state.apply_move(&env, v, to);
         }
         state.check_consistency(&env);
     }
