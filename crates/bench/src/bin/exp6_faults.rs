@@ -1,0 +1,7 @@
+//! Robustness extension (not a paper artifact); see
+//! `geobench::experiments::exp6_faults`.
+
+fn main() {
+    let ctx = geobench::ExpContext::from_args(0.001);
+    geobench::experiments::exp6_faults::run(&ctx);
+}

@@ -18,6 +18,7 @@ fn main() {
         ("Exp#3 (Table IV)", geobench::experiments::exp3_batch::run),
         ("Exp#4 (Fig 13/14)", geobench::experiments::exp4_topt::run),
         ("Exp#5 (Fig 15)", geobench::experiments::exp5_dynamic::run),
+        ("Exp#6 (faults, extension)", geobench::experiments::exp6_faults::run),
         ("Ablation (design choices)", geobench::experiments::ablation::run),
     ];
     for (name, run) in experiments {

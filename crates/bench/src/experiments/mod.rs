@@ -8,6 +8,7 @@ pub mod exp2_budget;
 pub mod exp3_batch;
 pub mod exp4_topt;
 pub mod exp5_dynamic;
+pub mod exp6_faults;
 pub mod fig1_geo_edges;
 pub mod fig2_hybrid_vs_vertex;
 pub mod fig3_heterogeneity;

@@ -137,7 +137,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
 
 fn build_env(options: &Options) -> Result<CloudEnv, String> {
     if let Some(path) = &options.env_file {
-        return geosim::env_io::read_env(path).map_err(|e| e.to_string());
+        return geosim::env_io::read_env(path).map_err(|e| format!("{}: {e}", path.display()));
     }
     Ok(if options.dcs == 0 {
         geosim::regions::ec2_eight_regions()
@@ -243,7 +243,7 @@ pub fn run(command: Command) -> Result<String, String> {
             );
             if let Some(path) = out {
                 geopart::plan_io::save_assignment(state.core().masters(), &path)
-                    .map_err(|e| e.to_string())?;
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
                 report.push_str(&format!("\nplan written  : {path:?}"));
             }
             Ok(report)
@@ -251,7 +251,8 @@ pub fn run(command: Command) -> Result<String, String> {
         Command::Evaluate { graph, plan, options } => {
             let env = build_env(&options)?;
             let geo = load_geo(&graph, &env, options.seed)?;
-            let masters = geopart::plan_io::load_assignment(&plan).map_err(|e| e.to_string())?;
+            let masters = geopart::plan_io::load_assignment(&plan)
+                .map_err(|e| format!("{}: {e}", plan.display()))?;
             if masters.len() != geo.num_vertices() {
                 return Err(format!(
                     "plan has {} masters but the graph has {} vertices",
@@ -331,6 +332,22 @@ mod tests {
         assert!(parse_args(&args(&["evaluate", "g.txt"])).is_err(), "evaluate needs --plan");
         assert!(parse_args(&args(&["partition", "g.txt", "--method", "magic"])).is_err());
         assert!(parse_args(&args(&["partition", "g.txt", "--seed"])).is_err());
+    }
+
+    #[test]
+    fn file_errors_name_the_offending_file() {
+        let err = run(Command::Info { graph: PathBuf::from("/no/such/graph.txt") }).unwrap_err();
+        assert!(err.contains("graph.txt"), "error must name the file: {err}");
+
+        let dir = std::env::temp_dir().join("rlcut_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let env_path = dir.join("bad_env.txt");
+        std::fs::write(&env_path, "us-east NaN 2.5 0.1\n").unwrap();
+        let options = Options { env_file: Some(env_path), ..Options::default() };
+        let err =
+            run(Command::Partition { graph: PathBuf::from("unused.txt"), out: None, options })
+                .unwrap_err();
+        assert!(err.contains("bad_env.txt") && err.contains("line 1"), "{err}");
     }
 
     fn demo_graph_file(name: &str) -> PathBuf {

@@ -39,18 +39,32 @@ pub struct AdaptiveRlCut {
     /// graph's centralization cost (`None` keeps `config.budget` fixed).
     budget_fraction: Option<f64>,
     masters: Vec<DcId>,
+    /// Dead-DC flags of a fault observed since the last window, if any.
+    pending_fault: Option<Vec<bool>>,
 }
 
 impl AdaptiveRlCut {
     /// Creates the adapter. `budget_fraction = Some(0.4)` reproduces the
     /// paper's default budget policy as the graph grows.
     pub fn new(config: RlCutConfig, budget_fraction: Option<f64>) -> Self {
-        AdaptiveRlCut { config, budget_fraction, masters: Vec::new() }
+        AdaptiveRlCut { config, budget_fraction, masters: Vec::new(), pending_fault: None }
     }
 
     /// The current master assignment (empty before the first window).
     pub fn masters(&self) -> &[DcId] {
         &self.masters
+    }
+
+    /// Notes a WAN fault (dead-DC flags) observed between windows. The next
+    /// [`Self::on_window`] treats it as a dynamicity spike: masters
+    /// stranded on dead DCs are re-seeded to a live location and the
+    /// initial sample rate is boosted so the Eq 14 schedule re-trains the
+    /// perturbed region aggressively instead of coasting on the converged
+    /// schedule.
+    pub fn note_fault(&mut self, dead: &[bool]) {
+        if dead.iter().any(|&d| d) {
+            self.pending_fault = Some(dead.to_vec());
+        }
     }
 
     /// Partitions the current snapshot within `t_opt`, seeding from the
@@ -69,6 +83,19 @@ impl AdaptiveRlCut {
         masters.extend_from_slice(&geo.locations[masters.len()..]);
 
         let mut config = self.config.clone().with_t_opt(t_opt);
+        if let Some(dead) = self.pending_fault.take() {
+            // A fault is a dynamicity spike (§V-C): re-seed stranded
+            // masters onto a live DC and widen the first sample so the
+            // perturbed neighborhoods are re-trained this window.
+            let fallback = dead.iter().position(|&d| !d).expect("at least one live DC") as DcId;
+            for (v, m) in masters.iter_mut().enumerate() {
+                if dead[*m as usize] {
+                    let home = geo.locations[v];
+                    *m = if dead[home as usize] { fallback } else { home };
+                }
+            }
+            config.initial_sample_rate = (config.initial_sample_rate * 8.0).min(1.0);
+        }
         if let Some(fraction) = self.budget_fraction {
             config.budget =
                 geosim::cost::default_budget(env, &geo.locations, &geo.data_sizes, fraction);
@@ -147,6 +174,28 @@ mod tests {
             "window took {:?} against T_opt {:?}",
             report.overhead,
             t_opt
+        );
+    }
+
+    #[test]
+    fn noted_fault_reseeds_stranded_masters() {
+        let (geo_initial, _, _) = dynamic_workload();
+        let env = ec2_eight_regions();
+        // A zero sample rate isolates the fault-reseed path: the window
+        // performs no training moves, so the final masters are the seeds.
+        let config = RlCutConfig::new(1.0).with_seed(6).with_fixed_sample_rate(0.0);
+        let mut adaptive = AdaptiveRlCut::new(config, Some(0.4));
+        let p = TrafficProfile::uniform(geo_initial.num_vertices(), 8.0);
+        adaptive.on_window(&geo_initial, &env, p.clone(), 10.0, Duration::from_millis(200));
+        let victim: DcId = adaptive.masters()[0];
+
+        let mut dead = vec![false; env.num_dcs()];
+        dead[victim as usize] = true;
+        adaptive.note_fault(&dead);
+        adaptive.on_window(&geo_initial, &env, p, 10.0, Duration::from_millis(200));
+        assert!(
+            adaptive.masters().iter().all(|&m| m != victim),
+            "seeds after a noted fault must avoid the dead DC"
         );
     }
 

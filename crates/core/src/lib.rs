@@ -51,8 +51,10 @@
 
 pub mod adaptive;
 pub mod agent;
+pub mod checkpoint;
 pub mod config;
 pub mod observer;
+pub mod recovery;
 pub mod sampling;
 pub mod score;
 pub mod stats;
@@ -60,6 +62,8 @@ pub mod straggler;
 pub mod trainer;
 
 pub use adaptive::AdaptiveRlCut;
+pub use checkpoint::{CheckpointError, TrainerCheckpoint};
 pub use config::RlCutConfig;
+pub use recovery::{train_under_faults, FaultTrainReport};
 pub use stats::{RlCutResult, StepStats};
-pub use trainer::{partition, partition_from};
+pub use trainer::{partition, partition_from, TrainerSession};

@@ -27,10 +27,11 @@
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Barrier;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use geograph::{DcId, GeoGraph, VertexId};
-use geopart::{HybridState, MoveScratch, Objective, TrafficProfile};
+use geopart::{EvacuationReport, HybridState, MoveScratch, Objective, PlanError, TrafficProfile};
+use geosim::faults::FaultyEnv;
 use geosim::CloudEnv;
 use parking_lot::RwLock;
 use rand::rngs::SmallRng;
@@ -38,6 +39,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::agent::AgentPool;
+use crate::checkpoint::TrainerCheckpoint;
 use crate::config::{RlCutConfig, SampleStrategy};
 use crate::sampling::{degree_ascending_order, sample_prefix, SampleScheduler};
 use crate::score::{score, Weights};
@@ -106,43 +108,237 @@ pub fn train_observed<'g>(
     config: &RlCutConfig,
     observer: &mut dyn crate::observer::TrainingObserver,
 ) -> RlCutResult<'g> {
-    let start = Instant::now();
-    let m = env.num_dcs();
-    let threads = config.threads();
-    // Isolated vertices generate no traffic wherever their master sits —
-    // training them wastes the sampled-agent budget, so they are excluded
-    // (they keep their initial master).
-    let mut order = match config.sample_strategy {
-        SampleStrategy::LowestDegree => degree_ascending_order(&geo.graph),
-        SampleStrategy::Random => {
-            let mut all: Vec<VertexId> = (0..geo.num_vertices() as VertexId).collect();
-            all.shuffle(&mut SmallRng::seed_from_u64(config.seed ^ 0x5a17_a8e2));
-            all
-        }
-    };
-    order.retain(|&v| geo.graph.degree(v) > 0);
-    let mut agents = AgentPool::new(geo.num_vertices(), m);
-    let mut scheduler = SampleScheduler::new(
-        config.t_opt.map(|d| d.as_secs_f64()),
-        config.fixed_sample_rate,
-        config.initial_sample_rate,
-        config.max_steps,
-    );
-    if let Some(lambda) = config.sampling_recency {
-        scheduler = scheduler.with_recency(lambda);
-    }
-    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x0ddb_1a5e_5bad_5eed);
-    let theta = state.theta();
-    let state = RwLock::new(state);
-    let mut steps: Vec<StepStats> = Vec::with_capacity(config.max_steps);
-    let mut converged = false;
-    observer.on_start(order.len(), config.max_steps);
+    let mut session = TrainerSession::new(geo, env, state, config.clone());
+    session.run(env, observer);
+    session.finish(env)
+}
 
-    // Track the best plan seen: a feasible (within-budget) plan beats any
-    // infeasible one, then lower transfer time wins. Batched migration can
-    // regress individual steps (jointly-applied moves interact, §V-A), so
-    // the trainer returns the best plan rather than the last.
-    let beats = |candidate: &Objective, incumbent: &Objective, budget: f64| -> bool {
+/// A resumable training run: the Fig 5 loop broken into externally driven
+/// steps, with checkpoint/restore and a fault-recovery hook.
+///
+/// [`train_observed`] is a thin wrapper (`new` → `run` → `finish`) and is
+/// bit-identical to the pre-session monolithic loop. The session form
+/// additionally lets a driver:
+///
+/// * advance training one step at a time ([`Self::step`]) under an
+///   environment that may change between steps,
+/// * capture the logical trainer state ([`Self::checkpoint`]) and resume
+///   from it ([`Self::resume`]) bit-exactly,
+/// * react to WAN faults ([`Self::on_environment_change`]): rebuild the
+///   placement under the degraded environment and evacuate dark DCs.
+pub struct TrainerSession<'g> {
+    geo: &'g GeoGraph,
+    config: RlCutConfig,
+    theta: usize,
+    /// Sampling priority order (degree-ascending or seeded shuffle),
+    /// isolated vertices excluded.
+    order: Vec<VertexId>,
+    agents: AgentPool,
+    scheduler: SampleScheduler,
+    /// Migration-batch shuffle RNG.
+    rng: SmallRng,
+    state: RwLock<HybridState<'g>>,
+    steps: Vec<StepStats>,
+    /// Best plan seen: a feasible (within-budget) plan beats any infeasible
+    /// one, then lower transfer time wins. Batched migration can regress
+    /// individual steps (jointly-applied moves interact, §V-A), so the
+    /// trainer returns the best plan rather than the last.
+    best: (Vec<DcId>, Objective),
+    step_index: usize,
+    converged: bool,
+    /// Whether the schedule/sampler declared the run finished (distinct
+    /// from convergence; a time budget can run out mid-flight).
+    exhausted: bool,
+    started: Instant,
+    /// Wall-clock accumulated before this session object existed (resume).
+    prior_duration: Duration,
+}
+
+impl<'g> TrainerSession<'g> {
+    /// Sets up a fresh session over an existing state.
+    pub fn new(
+        geo: &'g GeoGraph,
+        env: &CloudEnv,
+        state: HybridState<'g>,
+        config: RlCutConfig,
+    ) -> Self {
+        let m = env.num_dcs();
+        // Isolated vertices generate no traffic wherever their master sits —
+        // training them wastes the sampled-agent budget, so they are
+        // excluded (they keep their initial master).
+        let order = Self::build_order(geo, &config);
+        let agents = AgentPool::new(geo.num_vertices(), m);
+        let scheduler = Self::build_scheduler(&config);
+        let rng = SmallRng::seed_from_u64(config.seed ^ 0x0ddb_1a5e_5bad_5eed);
+        let theta = state.theta();
+        let best = (state.core().masters().to_vec(), state.objective(env));
+        TrainerSession {
+            geo,
+            config,
+            theta,
+            order,
+            agents,
+            scheduler,
+            rng,
+            state: RwLock::new(state),
+            steps: Vec::new(),
+            best,
+            step_index: 0,
+            converged: false,
+            exhausted: false,
+            started: Instant::now(),
+            prior_duration: Duration::ZERO,
+        }
+    }
+
+    fn build_order(geo: &GeoGraph, config: &RlCutConfig) -> Vec<VertexId> {
+        let mut order = match config.sample_strategy {
+            SampleStrategy::LowestDegree => degree_ascending_order(&geo.graph),
+            SampleStrategy::Random => {
+                let mut all: Vec<VertexId> = (0..geo.num_vertices() as VertexId).collect();
+                all.shuffle(&mut SmallRng::seed_from_u64(config.seed ^ 0x5a17_a8e2));
+                all
+            }
+        };
+        order.retain(|&v| geo.graph.degree(v) > 0);
+        order
+    }
+
+    fn build_scheduler(config: &RlCutConfig) -> SampleScheduler {
+        let mut scheduler = SampleScheduler::new(
+            config.t_opt.map(|d| d.as_secs_f64()),
+            config.fixed_sample_rate,
+            config.initial_sample_rate,
+            config.max_steps,
+        );
+        if let Some(lambda) = config.sampling_recency {
+            scheduler = scheduler.with_recency(lambda);
+        }
+        scheduler
+    }
+
+    /// Rebuilds a session from a checkpoint, bit-exact with the session
+    /// that saved it: LA state, UCB statistics, migration RNG, masters,
+    /// the incrementally tracked movement cost, and the best-plan tracker
+    /// are all restored verbatim, so the next [`Self::step`] makes the
+    /// same decisions the uninterrupted run would have made.
+    ///
+    /// The Eq 14 sampling scheduler restarts its wall-clock measurements
+    /// (they are not reproducible state); only `t_opt`-budgeted schedules
+    /// observe the difference.
+    pub fn resume(
+        geo: &'g GeoGraph,
+        env: &CloudEnv,
+        checkpoint: &TrainerCheckpoint,
+        config: RlCutConfig,
+        profile: TrafficProfile,
+        num_iterations: f64,
+    ) -> Self {
+        assert_eq!(
+            checkpoint.seed, config.seed,
+            "checkpoint was written by a run with seed {}, config has {}",
+            checkpoint.seed, config.seed
+        );
+        assert_eq!(checkpoint.masters.len(), geo.num_vertices());
+        assert_eq!(checkpoint.num_dcs as usize, env.num_dcs());
+        let order = Self::build_order(geo, &config);
+        let agents = AgentPool::from_parts(
+            checkpoint.num_dcs as usize,
+            checkpoint.probs.clone(),
+            checkpoint.plays.clone(),
+            checkpoint.mean_reward.clone(),
+            checkpoint.total_plays.clone(),
+        );
+        let mut state = HybridState::from_masters(
+            geo,
+            env,
+            checkpoint.masters.clone(),
+            checkpoint.theta as usize,
+            profile,
+            num_iterations,
+        );
+        state.override_movement_cost(checkpoint.movement_cost);
+        TrainerSession {
+            geo,
+            theta: checkpoint.theta as usize,
+            order,
+            agents,
+            scheduler: Self::build_scheduler(&config),
+            rng: SmallRng::from_state(checkpoint.rng_state),
+            state: RwLock::new(state),
+            steps: Vec::new(),
+            best: (checkpoint.best_masters.clone(), checkpoint.best_objective),
+            step_index: checkpoint.step as usize,
+            converged: checkpoint.converged,
+            exhausted: false,
+            started: Instant::now(),
+            prior_duration: Duration::ZERO,
+            config,
+        }
+    }
+
+    /// Captures the trainer's logical state. Pure function of the training
+    /// history: the same seed and step always produce byte-identical
+    /// checkpoints (wall-clock scheduler state is excluded by design).
+    pub fn checkpoint(&self) -> TrainerCheckpoint {
+        let st = self.state.read();
+        let (probs, plays, mean_reward, total_plays) = self.agents.snapshot();
+        TrainerCheckpoint {
+            seed: self.config.seed,
+            step: self.step_index as u32,
+            theta: self.theta as u64,
+            num_dcs: self.agents.num_actions() as u32,
+            masters: st.core().masters().to_vec(),
+            probs: probs.to_vec(),
+            plays: plays.to_vec(),
+            mean_reward: mean_reward.to_vec(),
+            total_plays: total_plays.to_vec(),
+            rng_state: self.rng.state(),
+            movement_cost: st.core().movement_cost(),
+            best_masters: self.best.0.clone(),
+            best_objective: self.best.1,
+            converged: self.converged,
+        }
+    }
+
+    /// Number of trainable (non-isolated) agents.
+    pub fn num_trainable(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Steps executed so far (the weights schedule's clock).
+    pub fn step_index(&self) -> usize {
+        self.step_index
+    }
+
+    /// Whether the run has stopped (converged, horizon, or time budget).
+    pub fn is_done(&self) -> bool {
+        self.converged || self.exhausted || self.step_index >= self.config.max_steps
+    }
+
+    /// Whether training stopped on convergence.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Telemetry of the steps executed by *this* session object (a resumed
+    /// session starts empty — the pre-crash telemetry died with the
+    /// process).
+    pub fn steps(&self) -> &[StepStats] {
+        &self.steps
+    }
+
+    /// Current master placement.
+    pub fn masters(&self) -> Vec<DcId> {
+        self.state.read().core().masters().to_vec()
+    }
+
+    /// Current objective under `env`.
+    pub fn objective(&self, env: &CloudEnv) -> Objective {
+        self.state.read().objective(env)
+    }
+
+    fn beats(candidate: &Objective, incumbent: &Objective, budget: f64) -> bool {
         let cand_ok = candidate.total_cost() <= budget;
         let inc_ok = incumbent.total_cost() <= budget;
         match (cand_ok, inc_ok) {
@@ -151,48 +347,75 @@ pub fn train_observed<'g>(
             (true, true) => candidate.transfer_time < incumbent.transfer_time,
             (false, false) => candidate.total_cost() < incumbent.total_cost(),
         }
-    };
-    let mut best: (Vec<DcId>, Objective) = {
-        let st = state.read();
-        (st.core().masters().to_vec(), st.objective(env))
-    };
+    }
 
-    for step in 0..config.max_steps {
-        let Some(rate) = scheduler.next_rate() else { break };
-        let sampled = sample_prefix(&order, rate);
+    /// Executes one training step (Fig 5 phases 1–5) under `env` and
+    /// returns its telemetry, or `None` if the run is over (converged,
+    /// horizon reached, sampling budget exhausted).
+    pub fn step(&mut self, env: &CloudEnv) -> Option<StepStats> {
+        self.step_observed(env, &mut crate::observer::NoopObserver)
+    }
+
+    /// [`Self::step`] reporting to `observer`.
+    pub fn step_observed(
+        &mut self,
+        env: &CloudEnv,
+        observer: &mut dyn crate::observer::TrainingObserver,
+    ) -> Option<StepStats> {
+        if self.is_done() {
+            return None;
+        }
+        let step = self.step_index;
+        let m = env.num_dcs();
+        let threads = self.config.threads();
+        let Some(rate) = self.scheduler.next_rate() else {
+            self.exhausted = true;
+            return None;
+        };
+        let sampled = sample_prefix(&self.order, rate);
         if sampled.is_empty() {
-            break;
+            self.exhausted = true;
+            return None;
         }
         let step_start = Instant::now();
-        let step_obj = state.read().objective(env);
-        if step_obj.transfer_time == 0.0 && step_obj.total_cost() <= config.budget {
-            converged = true;
-            break;
+        let step_obj = self.state.read().objective(env);
+        if step_obj.transfer_time == 0.0 && step_obj.total_cost() <= self.config.budget {
+            self.converged = true;
+            return None;
         }
-        let over_budget = step_obj.total_cost() > config.budget;
-        let weights = Weights::at(step, config.max_steps, over_budget);
+        let over_budget = step_obj.total_cost() > self.config.budget;
+        let weights = Weights::at(step, self.config.max_steps, over_budget);
 
         // Phase 1+2 — score function & reinforcement signal (parallel).
         let score_start = Instant::now();
-        let rho = score_phase(geo, env, &state, sampled, &step_obj, weights, threads, config);
+        let rho = score_phase(
+            self.geo,
+            env,
+            &self.state,
+            sampled,
+            &step_obj,
+            weights,
+            threads,
+            &self.config,
+        );
         let score_duration = score_start.elapsed();
 
         // Phase 3+4 — probability update & UCB action selection (serial;
         // deterministic sampled order).
         let mut proposals: Vec<(VertexId, DcId)> = Vec::new();
         {
-            let st = state.read();
+            let st = self.state.read();
             for (&v, &best_dc) in sampled.iter().zip(&rho) {
-                agents.reward(v, best_dc, config.alpha);
-                if config.use_penalty {
+                self.agents.reward(v, best_dc, self.config.alpha);
+                if self.config.use_penalty {
                     for d in 0..m as DcId {
                         if d != best_dc {
-                            agents.penalize(v, d, config.beta);
+                            self.agents.penalize(v, d, self.config.beta);
                         }
                     }
                 }
-                let selected = agents.select_ucb(v, config.ucb_c);
-                agents.record_play(v, selected, if selected == best_dc { 1.0 } else { 0.0 });
+                let selected = self.agents.select_ucb(v, self.config.ucb_c);
+                self.agents.record_play(v, selected, if selected == best_dc { 1.0 } else { 0.0 });
                 if selected != st.master(v) {
                     proposals.push((v, selected));
                 }
@@ -201,18 +424,19 @@ pub fn train_observed<'g>(
 
         // Phase 5 — batched vertex migration with rollback (the paper
         // batches agents randomly, §V-A).
-        proposals.shuffle(&mut rng);
+        proposals.shuffle(&mut self.rng);
         let migrate_start = Instant::now();
-        let migrations = migration_phase(env, &state, &proposals, weights, threads, config);
+        let migrations =
+            migration_phase(env, &self.state, &proposals, weights, threads, &self.config);
         let migrate_duration = migrate_start.elapsed();
 
         let duration = step_start.elapsed();
-        scheduler.record(rate, duration.as_secs_f64());
-        let obj = state.read().objective(env);
-        if beats(&obj, &best.1, config.budget) {
-            best = (state.read().core().masters().to_vec(), obj);
+        self.scheduler.record(rate, duration.as_secs_f64());
+        let obj = self.state.read().objective(env);
+        if Self::beats(&obj, &self.best.1, self.config.budget) {
+            self.best = (self.state.read().core().masters().to_vec(), obj);
         }
-        steps.push(StepStats {
+        let stats = StepStats {
             duration,
             score_duration,
             migrate_duration,
@@ -221,26 +445,87 @@ pub fn train_observed<'g>(
             migrations,
             transfer_time: obj.transfer_time,
             total_cost: obj.total_cost(),
-        });
-        observer.on_step(step, steps.last().unwrap());
+        };
+        self.steps.push(stats);
+        observer.on_step(step, self.steps.last().unwrap());
+        self.step_index += 1;
         // Convergence is only meaningful when (nearly) all agents took
         // part — a tiny early sample moving nothing says nothing about the
         // full solution space.
-        if rate >= 0.999 && (migrations as f64) < config.convergence_fraction * sampled.len() as f64
+        if rate >= 0.999
+            && (migrations as f64) < self.config.convergence_fraction * sampled.len() as f64
         {
-            converged = true;
-            break;
+            self.converged = true;
         }
+        Some(stats)
     }
 
-    observer.on_finish(converged);
-    let mut final_state = state.into_inner();
-    if final_state.core().masters() != best.0.as_slice() {
-        let profile = final_state.core().profile().clone();
-        let num_iterations = final_state.core().num_iterations();
-        final_state = HybridState::from_masters(geo, env, best.0, theta, profile, num_iterations);
+    /// Runs the loop to completion under a fixed environment.
+    pub fn run(&mut self, env: &CloudEnv, observer: &mut dyn crate::observer::TrainingObserver) {
+        observer.on_start(self.order.len(), self.config.max_steps);
+        while self.step_observed(env, observer).is_some() {}
+        observer.on_finish(self.converged);
     }
-    RlCutResult { state: final_state, steps, total_duration: start.elapsed(), converged }
+
+    /// Reacts to a WAN environment change (the recovery policy's in-process
+    /// half): rebuilds the placement state from the current masters under
+    /// the new environment — the incremental Eq 4 movement cost was priced
+    /// under the old one — evacuates every master off dark DCs, resets the
+    /// best-plan tracker (pre-fault objectives are not comparable), and
+    /// restarts the sampling scheduler's measurements, which makes the
+    /// fault register as a dynamicity spike for the Eq 14 schedule.
+    ///
+    /// Returns the evacuation report if any DC was dark, `Ok(None)` for a
+    /// pure bandwidth/price change.
+    pub fn on_environment_change(
+        &mut self,
+        view: &FaultyEnv,
+    ) -> Result<Option<EvacuationReport>, PlanError> {
+        let env = view.env();
+        let (masters, profile, num_iterations) = {
+            let st = self.state.read();
+            (st.core().masters().to_vec(), st.core().profile().clone(), st.core().num_iterations())
+        };
+        let mut state =
+            HybridState::from_masters(self.geo, env, masters, self.theta, profile, num_iterations);
+        let report = if view.any_dead() {
+            let mut scratch = MoveScratch::new();
+            Some(state.evacuate(env, view.dead_flags(), &mut scratch)?)
+        } else {
+            None
+        };
+        self.best = (state.core().masters().to_vec(), state.objective(env));
+        self.state = RwLock::new(state);
+        self.scheduler = Self::build_scheduler(&self.config);
+        self.converged = false;
+        self.exhausted = false;
+        Ok(report)
+    }
+
+    /// Finalizes the run: rebuilds the returned state from the best plan
+    /// seen if the live state drifted past it.
+    pub fn finish(self, env: &CloudEnv) -> RlCutResult<'g> {
+        let total_duration = self.prior_duration + self.started.elapsed();
+        let mut final_state = self.state.into_inner();
+        if final_state.core().masters() != self.best.0.as_slice() {
+            let profile = final_state.core().profile().clone();
+            let num_iterations = final_state.core().num_iterations();
+            final_state = HybridState::from_masters(
+                self.geo,
+                env,
+                self.best.0,
+                self.theta,
+                profile,
+                num_iterations,
+            );
+        }
+        RlCutResult {
+            state: final_state,
+            steps: self.steps,
+            total_duration,
+            converged: self.converged,
+        }
+    }
 }
 
 /// Computes ρ_v (the score-optimal DC, Eq 10/11) for every sampled agent.

@@ -28,4 +28,7 @@ pub mod algorithms;
 pub mod runner;
 
 pub use algorithm::Algorithm;
-pub use runner::{execute_edgecut, execute_plan, ExecutionReport};
+pub use runner::{
+    execute_edgecut, execute_plan, execute_plan_under_faults, ExecutionReport,
+    FaultedExecutionReport,
+};

@@ -4,6 +4,7 @@
 use geograph::{DcId, GeoGraph, VertexId};
 use geopart::state::PlacementState;
 use geopart::EdgeCutState;
+use geosim::faults::FaultSchedule;
 use geosim::{CloudEnv, StageLoads};
 
 use crate::algorithm::Algorithm;
@@ -95,6 +96,105 @@ fn plan_rounds(geo: &GeoGraph, algo: &Algorithm) -> Rounds {
     }
 }
 
+/// Per-round traffic accumulator for replica-based plans, shared by the
+/// fixed-environment and fault-injected executors. Holds the reusable
+/// scratch (sender flags, receiver stamps, DC dedup) across rounds.
+struct ReplicaTraffic<'a> {
+    geo: &'a GeoGraph,
+    plan: &'a PlacementState,
+    in_edge_dcs: Option<&'a [DcId]>,
+    profile: geopart::TrafficProfile,
+    gather: StageLoads,
+    apply: StageLoads,
+    is_sender: Vec<bool>,
+    receiver_stamp: Vec<u32>,
+    dc_seen: Vec<bool>,
+}
+
+impl<'a> ReplicaTraffic<'a> {
+    fn new(
+        geo: &'a GeoGraph,
+        plan: &'a PlacementState,
+        in_edge_dcs: Option<&'a [DcId]>,
+        profile: geopart::TrafficProfile,
+        num_dcs: usize,
+    ) -> Self {
+        let n = geo.num_vertices();
+        ReplicaTraffic {
+            geo,
+            plan,
+            in_edge_dcs,
+            profile,
+            gather: StageLoads::new(num_dcs),
+            apply: StageLoads::new(num_dcs),
+            is_sender: vec![false; n],
+            receiver_stamp: vec![u32::MAX; n],
+            dc_seen: vec![false; num_dcs],
+        }
+    }
+
+    /// Accumulates one round's gather/apply loads into `self.gather` /
+    /// `self.apply` and returns them.
+    fn round(
+        &mut self,
+        round: usize,
+        senders: &[VertexId],
+        changed: &[VertexId],
+    ) -> (&StageLoads, &StageLoads) {
+        let plan = self.plan;
+        let geo = self.geo;
+        self.gather.clear();
+        self.apply.clear();
+        for &u in senders {
+            self.is_sender[u as usize] = true;
+        }
+        // Gather: every high-degree vertex with an updated in-neighbor
+        // receives one aggregated message per remote DC holding such
+        // in-edges.
+        let round_stamp = round as u32;
+        for &u in senders {
+            for &v in geo.graph.out_neighbors(u) {
+                if !plan.is_high(v) || self.receiver_stamp[v as usize] == round_stamp {
+                    continue;
+                }
+                self.receiver_stamp[v as usize] = round_stamp;
+                let master = plan.master(v);
+                let g = self.profile.g(v);
+                let base = geo.graph.in_edge_offset(v);
+                for (k, &src) in geo.graph.in_neighbors(v).iter().enumerate() {
+                    if !self.is_sender[src as usize] {
+                        continue;
+                    }
+                    let d = match self.in_edge_dcs {
+                        Some(dcs) => dcs[base + k],
+                        None => plan.master(src), // hybrid rule for high-degree v
+                    };
+                    if d != master && !self.dc_seen[d as usize] {
+                        self.dc_seen[d as usize] = true;
+                        self.gather.add_transfer(d, master, g);
+                    }
+                }
+                self.dc_seen.iter_mut().for_each(|s| *s = false);
+            }
+        }
+        // Apply: every changed vertex syncs its mirrors.
+        for &v in changed {
+            let master = plan.master(v);
+            let a = self.profile.a(v);
+            let mut mask = plan.mirror_mask(v);
+            while mask != 0 {
+                let d = mask.trailing_zeros() as DcId;
+                mask &= mask - 1;
+                self.apply.add_transfer(master, d, a);
+            }
+        }
+        for &u in senders {
+            self.is_sender[u as usize] = false;
+        }
+        (&self.gather, &self.apply)
+    }
+}
+
 /// Executes `algo` over a replica-based plan (hybrid-cut or vertex-cut).
 ///
 /// `in_edge_dcs`: per-in-edge DC assignment aligned with the in-CSR layout
@@ -109,68 +209,13 @@ pub fn execute_plan(
 ) -> ExecutionReport {
     assert_eq!(plan.num_vertices(), geo.num_vertices());
     let rounds = plan_rounds(geo, algo);
-    let profile = algo.profile(geo);
-    let m = env.num_dcs();
-    let n = geo.num_vertices();
-
-    let mut gather = StageLoads::new(m);
-    let mut apply = StageLoads::new(m);
-    let mut is_sender = vec![false; n];
-    let mut receiver_stamp = vec![u32::MAX; n];
-    let mut dc_seen = vec![false; m];
+    let mut traffic = ReplicaTraffic::new(geo, plan, in_edge_dcs, algo.profile(geo), env.num_dcs());
 
     let mut per_iteration_time = Vec::with_capacity(rounds.senders.len());
     let (mut total_time, mut total_cost, mut total_bytes) = (0.0, 0.0, 0.0);
 
     for (round, (senders, changed)) in rounds.senders.iter().zip(&rounds.changed).enumerate() {
-        gather.clear();
-        apply.clear();
-        for &u in senders {
-            is_sender[u as usize] = true;
-        }
-        // Gather: every high-degree vertex with an updated in-neighbor
-        // receives one aggregated message per remote DC holding such
-        // in-edges.
-        let round_stamp = round as u32;
-        for &u in senders {
-            for &v in geo.graph.out_neighbors(u) {
-                if !plan.is_high(v) || receiver_stamp[v as usize] == round_stamp {
-                    continue;
-                }
-                receiver_stamp[v as usize] = round_stamp;
-                let master = plan.master(v);
-                let g = profile.g(v);
-                let base = geo.graph.in_edge_offset(v);
-                for (k, &src) in geo.graph.in_neighbors(v).iter().enumerate() {
-                    if !is_sender[src as usize] {
-                        continue;
-                    }
-                    let d = match in_edge_dcs {
-                        Some(dcs) => dcs[base + k],
-                        None => plan.master(src), // hybrid rule for high-degree v
-                    };
-                    if d != master && !dc_seen[d as usize] {
-                        dc_seen[d as usize] = true;
-                        gather.add_transfer(d, master, g);
-                    }
-                }
-                dc_seen.iter_mut().for_each(|s| *s = false);
-            }
-        }
-        // Apply: every changed vertex syncs its mirrors.
-        for &v in changed {
-            let master = plan.master(v);
-            let a = profile.a(v);
-            let mut mask = plan.mirror_mask(v);
-            while mask != 0 {
-                let d = mask.trailing_zeros() as DcId;
-                mask &= mask - 1;
-                apply.add_transfer(master, d, a);
-            }
-        }
-        for &u in senders {
-            is_sender[u as usize] = false;
-        }
+        let (gather, apply) = traffic.round(round, senders, changed);
         let t = gather.transfer_time(env) + apply.transfer_time(env);
         per_iteration_time.push(t);
         total_time += t;
@@ -185,6 +230,90 @@ pub fn execute_plan(
         wan_bytes: total_bytes,
         per_iteration_time,
         output: rounds.output,
+    }
+}
+
+/// Outcome of executing a plan while a fault schedule is active.
+#[derive(Clone, Debug)]
+pub struct FaultedExecutionReport {
+    /// Metrics for the rounds that actually ran (all of them if the job
+    /// completed; a prefix if it aborted).
+    pub report: ExecutionReport,
+    /// `Some((round, dc))` if the job aborted because `dc` — which hosts
+    /// replicas of this plan — went dark at `round`. The caller is expected
+    /// to evacuate the plan off the dead DC and re-run.
+    pub aborted_at: Option<(usize, DcId)>,
+    /// Rounds that ran under a degraded environment (bandwidth or price
+    /// multipliers active), inflating Eq 1 / Eq 5 versus the base env.
+    pub degraded_rounds: usize,
+}
+
+/// Executes `algo` over a replica-based plan while `schedule` injects
+/// faults, one schedule step per analytics round starting at `start_step`.
+///
+/// Degraded links re-price each round's transfer time (Eq 1) and upload
+/// cost (Eq 5) under the round's [`FaultSchedule::view_at`] environment. A
+/// DC outage aborts the job at the first round where a dark DC hosts any
+/// master or mirror of the plan — partial metrics for the completed prefix
+/// are returned so recovery experiments can measure wasted work.
+pub fn execute_plan_under_faults(
+    geo: &GeoGraph,
+    base_env: &CloudEnv,
+    plan: &PlacementState,
+    in_edge_dcs: Option<&[DcId]>,
+    algo: &Algorithm,
+    schedule: &FaultSchedule,
+    start_step: u64,
+) -> FaultedExecutionReport {
+    assert_eq!(plan.num_vertices(), geo.num_vertices());
+    let rounds = plan_rounds(geo, algo);
+    let m = base_env.num_dcs();
+    // DCs the plan occupies — an outage elsewhere doesn't touch the job.
+    let mut used = vec![false; m];
+    for v in 0..geo.num_vertices() as VertexId {
+        used[plan.master(v) as usize] = true;
+        let mut mask = plan.mirror_mask(v);
+        while mask != 0 {
+            used[mask.trailing_zeros() as usize] = true;
+            mask &= mask - 1;
+        }
+    }
+    let mut traffic = ReplicaTraffic::new(geo, plan, in_edge_dcs, algo.profile(geo), m);
+
+    let mut per_iteration_time = Vec::with_capacity(rounds.senders.len());
+    let (mut total_time, mut total_cost, mut total_bytes) = (0.0, 0.0, 0.0);
+    let mut aborted_at = None;
+    let mut degraded_rounds = 0;
+
+    for (round, (senders, changed)) in rounds.senders.iter().zip(&rounds.changed).enumerate() {
+        let view = schedule.view_at(base_env, start_step + round as u64);
+        if let Some(dc) = (0..m as DcId).find(|&d| view.is_dead(d) && used[d as usize]) {
+            aborted_at = Some((round, dc));
+            break;
+        }
+        let env = view.env();
+        if env != base_env {
+            degraded_rounds += 1;
+        }
+        let (gather, apply) = traffic.round(round, senders, changed);
+        let t = gather.transfer_time(env) + apply.transfer_time(env);
+        per_iteration_time.push(t);
+        total_time += t;
+        total_cost += gather.upload_cost(env) + apply.upload_cost(env);
+        total_bytes += gather.total_up() + apply.total_up();
+    }
+
+    FaultedExecutionReport {
+        report: ExecutionReport {
+            iterations: per_iteration_time.len(),
+            transfer_time: total_time,
+            runtime_cost: total_cost,
+            wan_bytes: total_bytes,
+            per_iteration_time,
+            output: rounds.output,
+        },
+        aborted_at,
+        degraded_rounds,
     }
 }
 
@@ -341,6 +470,74 @@ mod tests {
         assert_eq!(report.iterations, 3);
         let AlgoOutput::Triangles(t) = report.output else { panic!() };
         assert_eq!(t, triangle_count(&geo.graph));
+    }
+
+    #[test]
+    fn quiet_schedule_execution_matches_plain() {
+        let (geo, env) = setup();
+        let algo = Algorithm::pagerank();
+        let plan = hybrid(&geo, &env, &algo);
+        let schedule = FaultSchedule::quiet(env.num_dcs(), 64);
+        let faulted = execute_plan_under_faults(&geo, &env, plan.core(), None, &algo, &schedule, 0);
+        let plain = execute_plan(&geo, &env, plan.core(), None, &algo);
+        assert!(faulted.aborted_at.is_none());
+        assert_eq!(faulted.degraded_rounds, 0);
+        assert_eq!(faulted.report.per_iteration_time, plain.per_iteration_time);
+        assert_eq!(faulted.report.wan_bytes, plain.wan_bytes);
+    }
+
+    #[test]
+    fn degraded_link_inflates_transfer_time() {
+        use geosim::faults::{FaultEvent, FaultKind};
+        let (geo, env) = setup();
+        let algo = Algorithm::pagerank();
+        let plan = hybrid(&geo, &env, &algo);
+        // Halve DC 0's bandwidth from round 4 onward.
+        let schedule = FaultSchedule::from_events(
+            env.num_dcs(),
+            64,
+            vec![FaultEvent { step: 4, dc: 0, kind: FaultKind::LinkDegrade { factor: 0.5 } }],
+        );
+        let faulted = execute_plan_under_faults(&geo, &env, plan.core(), None, &algo, &schedule, 0);
+        let plain = execute_plan(&geo, &env, plan.core(), None, &algo);
+        assert!(faulted.aborted_at.is_none());
+        assert_eq!(faulted.degraded_rounds, 6, "rounds 4..10 run degraded");
+        assert_eq!(faulted.report.per_iteration_time[3], plain.per_iteration_time[3]);
+        assert!(
+            faulted.report.per_iteration_time[4] > plain.per_iteration_time[4],
+            "halved bandwidth must inflate Eq 1"
+        );
+    }
+
+    #[test]
+    fn outage_of_hosting_dc_aborts_the_round() {
+        let (geo, env) = setup();
+        let algo = Algorithm::pagerank();
+        let plan = hybrid(&geo, &env, &algo);
+        let victim = plan.core().master(0);
+        let schedule = FaultSchedule::single_outage(env.num_dcs(), 64, victim, 5);
+        let faulted = execute_plan_under_faults(&geo, &env, plan.core(), None, &algo, &schedule, 0);
+        assert_eq!(faulted.aborted_at, Some((5, victim)));
+        assert_eq!(faulted.report.iterations, 5, "only the pre-outage prefix ran");
+    }
+
+    #[test]
+    fn outage_of_unused_dc_is_harmless() {
+        let (geo, env) = setup();
+        let algo = Algorithm::pagerank();
+        // Centralize everything on DC 0, then kill DC 7.
+        let plan = HybridState::from_masters(
+            &geo,
+            &env,
+            vec![0; geo.num_vertices()],
+            50,
+            algo.profile(&geo),
+            algo.expected_iterations(),
+        );
+        let schedule = FaultSchedule::single_outage(env.num_dcs(), 64, 7, 2);
+        let faulted = execute_plan_under_faults(&geo, &env, plan.core(), None, &algo, &schedule, 0);
+        assert!(faulted.aborted_at.is_none(), "the job never touches DC 7");
+        assert_eq!(faulted.report.iterations, 10);
     }
 
     #[test]

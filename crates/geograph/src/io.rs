@@ -6,7 +6,7 @@
 
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use crate::csr::Graph;
 use crate::GraphBuilder;
@@ -21,6 +21,27 @@ pub enum IoError {
         line: usize,
         content: String,
     },
+    /// The edge list names more distinct vertices than [`VertexId`] can
+    /// address.
+    TooManyVertices {
+        max: u64,
+    },
+    /// Any of the above, annotated with the file it came from.
+    InFile {
+        path: PathBuf,
+        source: Box<IoError>,
+    },
+}
+
+impl IoError {
+    /// Attaches the originating file, so callers see *which* input was
+    /// malformed, not just where inside it.
+    fn in_file(self, path: &Path) -> IoError {
+        match self {
+            already @ IoError::InFile { .. } => already,
+            other => IoError::InFile { path: path.to_path_buf(), source: Box::new(other) },
+        }
+    }
 }
 
 impl std::fmt::Display for IoError {
@@ -30,11 +51,25 @@ impl std::fmt::Display for IoError {
             IoError::Parse { line, content } => {
                 write!(f, "malformed edge at line {line}: {content:?}")
             }
+            IoError::TooManyVertices { max } => {
+                write!(f, "edge list names more than {max} distinct vertices")
+            }
+            IoError::InFile { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
         }
     }
 }
 
-impl std::error::Error for IoError {}
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::InFile { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 impl From<io::Error> for IoError {
     fn from(e: io::Error) -> Self {
@@ -44,10 +79,10 @@ impl From<io::Error> for IoError {
 
 /// Reads a whitespace-separated edge list. Vertex ids are compacted to a
 /// dense `0..n` range in first-appearance order; the graph is built with
-/// dedup + self-loop removal.
+/// dedup + self-loop removal. Errors name `path`.
 pub fn read_edge_list(path: &Path) -> Result<Graph, IoError> {
-    let reader = BufReader::new(File::open(path)?);
-    parse_edge_list(reader)
+    let reader = BufReader::new(File::open(path).map_err(|e| IoError::from(e).in_file(path))?);
+    parse_edge_list(reader).map_err(|e| e.in_file(path))
 }
 
 /// Parses an edge list from any reader (see [`read_edge_list`]).
@@ -56,9 +91,16 @@ pub fn parse_edge_list<R: BufRead>(mut reader: R) -> Result<Graph, IoError> {
     let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
     let mut line = String::new();
     let mut line_no = 0usize;
-    let intern = |raw: u64, remap: &mut crate::fxhash::FxHashMap<u64, VertexId>| {
+    let intern = |raw: u64,
+                  remap: &mut crate::fxhash::FxHashMap<u64, VertexId>|
+     -> Result<VertexId, IoError> {
+        // `len() as VertexId` silently truncates past 2^32 distinct ids —
+        // refuse instead of corrupting the remap.
+        if remap.len() > VertexId::MAX as usize && !remap.contains_key(&raw) {
+            return Err(IoError::TooManyVertices { max: VertexId::MAX as u64 + 1 });
+        }
         let next = remap.len() as VertexId;
-        *remap.entry(raw).or_insert(next)
+        Ok(*remap.entry(raw).or_insert(next))
     };
     loop {
         line.clear();
@@ -77,8 +119,8 @@ pub fn parse_edge_list<R: BufRead>(mut reader: R) -> Result<Graph, IoError> {
         let (Ok(u), Ok(v)) = (a.parse::<u64>(), b.parse::<u64>()) else {
             return Err(IoError::Parse { line: line_no, content: trimmed.to_string() });
         };
-        let u = intern(u, &mut remap);
-        let v = intern(v, &mut remap);
+        let u = intern(u, &mut remap)?;
+        let v = intern(v, &mut remap)?;
         edges.push((u, v));
     }
     let mut builder = GraphBuilder::new(remap.len()).with_edge_capacity(edges.len());
@@ -135,6 +177,26 @@ mod tests {
     #[test]
     fn single_token_line_is_an_error() {
         assert!(parse_edge_list(Cursor::new("5\n")).is_err());
+    }
+
+    #[test]
+    fn file_errors_name_the_file() {
+        let dir = std::env::temp_dir().join("geograph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad_edges.txt");
+        std::fs::write(&path, "0 1\nbroken line here\n").unwrap();
+        let err = read_edge_list(&path).unwrap_err();
+        let IoError::InFile { path: reported, source } = &err else {
+            panic!("expected file context, got {err:?}");
+        };
+        assert!(reported.ends_with("bad_edges.txt"));
+        assert!(matches!(**source, IoError::Parse { line: 2, .. }));
+        let msg = err.to_string();
+        assert!(msg.contains("bad_edges.txt") && msg.contains("line 2"), "unhelpful: {msg}");
+        std::fs::remove_file(&path).ok();
+
+        let missing = read_edge_list(&dir.join("does_not_exist.txt")).unwrap_err();
+        assert!(missing.to_string().contains("does_not_exist.txt"));
     }
 
     #[test]

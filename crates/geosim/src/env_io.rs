@@ -66,6 +66,11 @@ pub fn parse_env<R: BufRead>(reader: R) -> Result<CloudEnv, EnvIoError> {
             let up: f64 = parts[1].parse().ok()?;
             let down: f64 = parts[2].parse().ok()?;
             let price: f64 = parts[3].parse().ok()?;
+            // `parse` accepts "NaN"/"inf"; `NaN <= 0.0` is false, so the
+            // sign checks alone would let non-finite values through.
+            if !up.is_finite() || !down.is_finite() || !price.is_finite() {
+                return None;
+            }
             if up <= 0.0 || down <= 0.0 || price < 0.0 {
                 return None;
             }
@@ -126,6 +131,47 @@ mod tests {
     #[test]
     fn zero_bandwidth_rejected() {
         assert!(parse_env(Cursor::new("a 0 2 0.1\n")).is_err());
+        assert!(parse_env(Cursor::new("a 1 0 0.1\n")).is_err());
+    }
+
+    #[test]
+    fn negative_bandwidth_rejected() {
+        assert!(parse_env(Cursor::new("a -1 2 0.1\n")).is_err());
+        assert!(parse_env(Cursor::new("a 1 -2 0.1\n")).is_err());
+    }
+
+    #[test]
+    fn negative_price_rejected() {
+        assert!(parse_env(Cursor::new("a 1 2 -0.1\n")).is_err());
+    }
+
+    #[test]
+    fn nan_values_rejected() {
+        // `"NaN".parse::<f64>()` succeeds, and every comparison against
+        // NaN is false — each field must be rejected explicitly.
+        assert!(parse_env(Cursor::new("a NaN 2 0.1\n")).is_err());
+        assert!(parse_env(Cursor::new("a 1 nan 0.1\n")).is_err());
+        assert!(parse_env(Cursor::new("a 1 2 NaN\n")).is_err());
+    }
+
+    #[test]
+    fn infinite_values_rejected() {
+        assert!(parse_env(Cursor::new("a inf 2 0.1\n")).is_err());
+        assert!(parse_env(Cursor::new("a 1 inf 0.1\n")).is_err());
+        assert!(parse_env(Cursor::new("a 1 2 inf\n")).is_err());
+        assert!(parse_env(Cursor::new("a -inf 2 0.1\n")).is_err());
+    }
+
+    #[test]
+    fn rejection_names_the_line() {
+        let input = "# header\ngood 1 2 0.1\nbad NaN 2 0.1\n";
+        match parse_env(Cursor::new(input)) {
+            Err(EnvIoError::Parse { line, content }) => {
+                assert_eq!(line, 3);
+                assert!(content.contains("NaN"));
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

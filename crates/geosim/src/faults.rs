@@ -1,0 +1,491 @@
+//! Deterministic fault injection for the WAN environment.
+//!
+//! The paper's premise (§II-A, §III) is that WAN bandwidth and pricing are
+//! heterogeneous *and unstable*. This module models that instability as a
+//! seeded, fully deterministic [`FaultSchedule`]: a sorted list of
+//! [`FaultEvent`]s (DC outages and recoveries, link degradations, price
+//! surges) indexed by logical step. [`FaultSchedule::view_at`] replays the
+//! schedule up to a step and wraps a base [`CloudEnv`] into a
+//! [`FaultyEnv`] — a degraded environment plus an explicit dead-DC set —
+//! which the transfer/cost model, the execution engine, and the trainer's
+//! recovery policy all consume.
+//!
+//! Events have *set* semantics: `LinkDegrade { factor }` sets a DC's
+//! bandwidth multiplier to `factor` of base (it does not compound), and
+//! `LinkRestore` sets it back to 1; likewise for prices. A dead DC keeps
+//! its base numbers in the materialized [`CloudEnv`] — deadness is an
+//! explicit flag checked by the runner and the evacuation path, not a
+//! near-zero bandwidth that would poison Eq 1 with overflow-prone ratios.
+
+use rand::prelude::*;
+
+use crate::datacenter::{CloudEnv, Datacenter};
+use crate::DcId;
+
+/// What happens to a data center at a schedule step.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// The DC goes dark: no master may live there and any analytics round
+    /// crossing it must abort.
+    Outage,
+    /// The DC returns with its base characteristics.
+    Recovery,
+    /// Uplink and downlink scaled to `factor` (in `(0, 1)`) of base.
+    LinkDegrade {
+        /// Bandwidth multiplier relative to the base environment.
+        factor: f64,
+    },
+    /// Bandwidth restored to base.
+    LinkRestore,
+    /// Upload price scaled to `factor` (> 1) of base.
+    PriceSurge {
+        /// Price multiplier relative to the base environment.
+        factor: f64,
+    },
+    /// Price restored to base.
+    PriceRestore,
+}
+
+impl FaultKind {
+    /// Stable ordering rank so same-step events replay deterministically.
+    fn rank(&self) -> u8 {
+        match self {
+            FaultKind::Outage => 0,
+            FaultKind::Recovery => 1,
+            FaultKind::LinkDegrade { .. } => 2,
+            FaultKind::LinkRestore => 3,
+            FaultKind::PriceSurge { .. } => 4,
+            FaultKind::PriceRestore => 5,
+        }
+    }
+}
+
+/// One scheduled fault: at logical `step`, `kind` happens to `dc`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// Logical step (train step or analytics round) the event fires at.
+    pub step: u64,
+    /// The affected data center.
+    pub dc: DcId,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Tunable knobs for [`FaultSchedule::generate`]; probabilities are per DC
+/// per step, durations inclusive step ranges.
+#[derive(Clone, Debug)]
+pub struct FaultModel {
+    /// Probability a live DC suffers an outage at a step.
+    pub outage_prob: f64,
+    /// Outage length in steps.
+    pub outage_duration: (u64, u64),
+    /// At most this many DCs dark at once (never all of them).
+    pub max_concurrent_outages: usize,
+    /// Probability a DC's links degrade at a step.
+    pub degrade_prob: f64,
+    /// Bandwidth multiplier drawn uniformly from this range.
+    pub degrade_factor: (f64, f64),
+    /// Degradation length in steps.
+    pub degrade_duration: (u64, u64),
+    /// Probability a DC's upload price surges at a step.
+    pub surge_prob: f64,
+    /// Price multiplier drawn uniformly from this range.
+    pub surge_factor: (f64, f64),
+    /// Surge length in steps.
+    pub surge_duration: (u64, u64),
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        FaultModel {
+            outage_prob: 0.002,
+            outage_duration: (5, 20),
+            max_concurrent_outages: 1,
+            degrade_prob: 0.01,
+            degrade_factor: (0.2, 0.8),
+            degrade_duration: (3, 15),
+            surge_prob: 0.005,
+            surge_factor: (1.5, 4.0),
+            surge_duration: (3, 15),
+        }
+    }
+}
+
+/// A deterministic, replayable sequence of WAN faults.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultSchedule {
+    num_dcs: usize,
+    horizon: u64,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// Builds a schedule from explicit events. Events are sorted into the
+    /// canonical replay order (step, dc, kind); DCs must be in range.
+    pub fn from_events(num_dcs: usize, horizon: u64, mut events: Vec<FaultEvent>) -> Self {
+        assert!((1..=geograph::MAX_DCS).contains(&num_dcs));
+        for e in &events {
+            assert!(
+                (e.dc as usize) < num_dcs,
+                "event references DC {} but the environment has {num_dcs}",
+                e.dc
+            );
+            if let FaultKind::LinkDegrade { factor } = e.kind {
+                assert!(factor > 0.0 && factor < 1.0, "degrade factor {factor} not in (0, 1)");
+            }
+            if let FaultKind::PriceSurge { factor } = e.kind {
+                assert!(factor > 1.0 && factor.is_finite(), "surge factor {factor} not > 1");
+            }
+        }
+        events.sort_by_key(|e| (e.step, e.dc, e.kind.rank()));
+        FaultSchedule { num_dcs, horizon, events }
+    }
+
+    /// A schedule with no faults — useful as a control arm.
+    pub fn quiet(num_dcs: usize, horizon: u64) -> Self {
+        Self::from_events(num_dcs, horizon, Vec::new())
+    }
+
+    /// The simplest interesting schedule: `dc` dies at `step` and never
+    /// recovers. This is the scenario the recovery acceptance test uses.
+    pub fn single_outage(num_dcs: usize, horizon: u64, dc: DcId, step: u64) -> Self {
+        Self::from_events(num_dcs, horizon, vec![FaultEvent { step, dc, kind: FaultKind::Outage }])
+    }
+
+    /// Samples a schedule from `model`, fully determined by `seed`: the
+    /// same `(seed, num_dcs, horizon, model)` always yields a byte-identical
+    /// schedule (see [`to_text`](Self::to_text)).
+    ///
+    /// Guarantees: at most `model.max_concurrent_outages` DCs are dark at
+    /// once and at least one DC is always live; per-DC fault types never
+    /// overlap themselves (a degraded link finishes degrading before it can
+    /// degrade again).
+    pub fn generate(seed: u64, num_dcs: usize, horizon: u64, model: &FaultModel) -> Self {
+        assert!((1..=geograph::MAX_DCS).contains(&num_dcs));
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xfa17_5eed_0bad_c10d);
+        let mut events = Vec::new();
+        // First step a DC is free of each fault type again.
+        let mut outage_until = vec![0u64; num_dcs];
+        let mut degrade_until = vec![0u64; num_dcs];
+        let mut surge_until = vec![0u64; num_dcs];
+        for step in 0..horizon {
+            let mut dark = outage_until.iter().filter(|&&u| u > step).count();
+            for dc in 0..num_dcs {
+                if outage_until[dc] > step {
+                    continue; // dark DCs draw no new faults
+                }
+                if num_dcs > 1
+                    && dark < model.max_concurrent_outages
+                    && dark + 1 < num_dcs
+                    && rng.gen_bool(model.outage_prob)
+                {
+                    let d = rng.gen_range(model.outage_duration.0..=model.outage_duration.1);
+                    outage_until[dc] = step + d;
+                    dark += 1;
+                    events.push(FaultEvent { step, dc: dc as DcId, kind: FaultKind::Outage });
+                    events.push(FaultEvent {
+                        step: step + d,
+                        dc: dc as DcId,
+                        kind: FaultKind::Recovery,
+                    });
+                    continue;
+                }
+                if degrade_until[dc] <= step && rng.gen_bool(model.degrade_prob) {
+                    let factor = rng.gen_range(model.degrade_factor.0..model.degrade_factor.1);
+                    let d = rng.gen_range(model.degrade_duration.0..=model.degrade_duration.1);
+                    degrade_until[dc] = step + d;
+                    events.push(FaultEvent {
+                        step,
+                        dc: dc as DcId,
+                        kind: FaultKind::LinkDegrade { factor },
+                    });
+                    events.push(FaultEvent {
+                        step: step + d,
+                        dc: dc as DcId,
+                        kind: FaultKind::LinkRestore,
+                    });
+                }
+                if surge_until[dc] <= step && rng.gen_bool(model.surge_prob) {
+                    let factor = rng.gen_range(model.surge_factor.0..model.surge_factor.1);
+                    let d = rng.gen_range(model.surge_duration.0..=model.surge_duration.1);
+                    surge_until[dc] = step + d;
+                    events.push(FaultEvent {
+                        step,
+                        dc: dc as DcId,
+                        kind: FaultKind::PriceSurge { factor },
+                    });
+                    events.push(FaultEvent {
+                        step: step + d,
+                        dc: dc as DcId,
+                        kind: FaultKind::PriceRestore,
+                    });
+                }
+            }
+        }
+        Self::from_events(num_dcs, horizon, events)
+    }
+
+    /// Number of DCs the schedule was built for.
+    pub fn num_dcs(&self) -> usize {
+        self.num_dcs
+    }
+
+    /// The schedule's step horizon (events past it are allowed but inert
+    /// for generators, which clamp nothing).
+    pub fn horizon(&self) -> u64 {
+        self.horizon
+    }
+
+    /// All events in canonical replay order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// The events that fire exactly at `step`.
+    pub fn events_at(&self, step: u64) -> impl Iterator<Item = &FaultEvent> {
+        self.events.iter().filter(move |e| e.step == step)
+    }
+
+    /// Whether anything changes at `step` — the trainer's cheap trigger
+    /// for re-deriving its [`FaultyEnv`] view.
+    pub fn changes_at(&self, step: u64) -> bool {
+        self.events.iter().any(|e| e.step == step)
+    }
+
+    /// The first outage in the schedule, if any.
+    pub fn first_outage(&self) -> Option<(u64, DcId)> {
+        self.events.iter().find(|e| matches!(e.kind, FaultKind::Outage)).map(|e| (e.step, e.dc))
+    }
+
+    /// Replays every event with `event.step <= step` over `base` and
+    /// returns the resulting environment view.
+    ///
+    /// `base.num_dcs()` must match the schedule's DC count.
+    pub fn view_at(&self, base: &CloudEnv, step: u64) -> FaultyEnv {
+        assert_eq!(
+            base.num_dcs(),
+            self.num_dcs,
+            "schedule built for {} DCs applied to a {}-DC environment",
+            self.num_dcs,
+            base.num_dcs()
+        );
+        let mut dead = vec![false; self.num_dcs];
+        let mut bw_mult = vec![1.0f64; self.num_dcs];
+        let mut price_mult = vec![1.0f64; self.num_dcs];
+        for e in &self.events {
+            if e.step > step {
+                break; // events are sorted by step
+            }
+            let d = e.dc as usize;
+            match e.kind {
+                FaultKind::Outage => dead[d] = true,
+                FaultKind::Recovery => dead[d] = false,
+                FaultKind::LinkDegrade { factor } => bw_mult[d] = factor,
+                FaultKind::LinkRestore => bw_mult[d] = 1.0,
+                FaultKind::PriceSurge { factor } => price_mult[d] = factor,
+                FaultKind::PriceRestore => price_mult[d] = 1.0,
+            }
+        }
+        let dcs = base
+            .dcs()
+            .iter()
+            .enumerate()
+            .map(|(d, dc)| Datacenter {
+                name: dc.name.clone(),
+                uplink_bps: dc.uplink_bps * bw_mult[d],
+                downlink_bps: dc.downlink_bps * bw_mult[d],
+                upload_price_per_byte: dc.upload_price_per_byte * price_mult[d],
+            })
+            .collect();
+        FaultyEnv { env: CloudEnv::new(dcs), dead }
+    }
+
+    /// Stable textual serialization — one event per line in canonical
+    /// order. Two schedules are equal iff their texts are byte-identical,
+    /// which is what the determinism tests assert.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        writeln!(out, "# fault schedule dcs={} horizon={}", self.num_dcs, self.horizon).unwrap();
+        for e in &self.events {
+            match e.kind {
+                FaultKind::Outage => writeln!(out, "{} {} outage", e.step, e.dc),
+                FaultKind::Recovery => writeln!(out, "{} {} recovery", e.step, e.dc),
+                FaultKind::LinkDegrade { factor } => {
+                    writeln!(out, "{} {} degrade {factor}", e.step, e.dc)
+                }
+                FaultKind::LinkRestore => writeln!(out, "{} {} restore-link", e.step, e.dc),
+                FaultKind::PriceSurge { factor } => {
+                    writeln!(out, "{} {} surge {factor}", e.step, e.dc)
+                }
+                FaultKind::PriceRestore => writeln!(out, "{} {} restore-price", e.step, e.dc),
+            }
+            .unwrap();
+        }
+        out
+    }
+}
+
+/// A [`CloudEnv`] as seen through a fault schedule at one step: degraded
+/// bandwidths/prices are materialized into the environment; outages are an
+/// explicit flag per DC (the dead DC keeps its base numbers — callers must
+/// check [`is_dead`](Self::is_dead), not infer deadness from bandwidth).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultyEnv {
+    env: CloudEnv,
+    dead: Vec<bool>,
+}
+
+impl FaultyEnv {
+    /// A view with no active faults.
+    pub fn healthy(env: CloudEnv) -> Self {
+        let dead = vec![false; env.num_dcs()];
+        FaultyEnv { env, dead }
+    }
+
+    /// The (possibly degraded) environment the transfer/cost model reads.
+    pub fn env(&self) -> &CloudEnv {
+        &self.env
+    }
+
+    /// Whether `dc` is currently dark.
+    pub fn is_dead(&self, dc: DcId) -> bool {
+        self.dead[dc as usize]
+    }
+
+    /// Per-DC deadness flags, in id order.
+    pub fn dead_flags(&self) -> &[bool] {
+        &self.dead
+    }
+
+    /// Bitmask of dead DCs (bit `r` set ⇔ DC `r` is dark).
+    pub fn dead_mask(&self) -> u64 {
+        self.dead.iter().enumerate().fold(0u64, |m, (d, &x)| if x { m | (1u64 << d) } else { m })
+    }
+
+    /// Whether any DC is dark.
+    pub fn any_dead(&self) -> bool {
+        self.dead.iter().any(|&d| d)
+    }
+
+    /// Number of live DCs.
+    pub fn num_live(&self) -> usize {
+        self.dead.iter().filter(|&&d| !d).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regions::ec2_eight_regions;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let model = FaultModel::default();
+        let a = FaultSchedule::generate(42, 8, 200, &model);
+        let b = FaultSchedule::generate(42, 8, 200, &model);
+        assert_eq!(a, b);
+        assert_eq!(a.to_text(), b.to_text());
+        let c = FaultSchedule::generate(43, 8, 200, &model);
+        assert_ne!(a.to_text(), c.to_text());
+    }
+
+    #[test]
+    fn view_replays_set_semantics() {
+        let base = ec2_eight_regions();
+        let events = vec![
+            FaultEvent { step: 2, dc: 1, kind: FaultKind::LinkDegrade { factor: 0.5 } },
+            FaultEvent { step: 5, dc: 1, kind: FaultKind::LinkRestore },
+            FaultEvent { step: 3, dc: 2, kind: FaultKind::PriceSurge { factor: 2.0 } },
+            FaultEvent { step: 4, dc: 0, kind: FaultKind::Outage },
+            FaultEvent { step: 6, dc: 0, kind: FaultKind::Recovery },
+        ];
+        let s = FaultSchedule::from_events(8, 10, events);
+
+        let v1 = s.view_at(&base, 1);
+        assert_eq!(v1, FaultyEnv::healthy(base.clone()));
+
+        let v2 = s.view_at(&base, 2);
+        assert!((v2.env().uplink(1) - base.uplink(1) * 0.5).abs() < 1e-6);
+        assert!((v2.env().downlink(1) - base.downlink(1) * 0.5).abs() < 1e-6);
+        assert!(!v2.any_dead());
+
+        let v4 = s.view_at(&base, 4);
+        assert!(v4.is_dead(0));
+        assert_eq!(v4.dead_mask(), 1);
+        assert_eq!(v4.num_live(), 7);
+        // Dead DC keeps base numbers — deadness is the flag, not bandwidth.
+        assert_eq!(v4.env().uplink(0), base.uplink(0));
+        assert!((v4.env().price(2) - base.price(2) * 2.0).abs() < 1e-18);
+
+        let v6 = s.view_at(&base, 6);
+        assert!(!v6.any_dead());
+        assert_eq!(v6.env().uplink(1), base.uplink(1));
+        // Surge never restored: still active.
+        assert!((v6.env().price(2) - base.price(2) * 2.0).abs() < 1e-18);
+    }
+
+    #[test]
+    fn generator_never_kills_every_dc() {
+        let model = FaultModel {
+            outage_prob: 0.5,
+            outage_duration: (10, 30),
+            max_concurrent_outages: 7,
+            ..FaultModel::default()
+        };
+        let base = ec2_eight_regions();
+        let s = FaultSchedule::generate(7, 8, 100, &model);
+        for step in 0..100 {
+            assert!(s.view_at(&base, step).num_live() >= 1, "all DCs dark at step {step}");
+        }
+    }
+
+    #[test]
+    fn generator_respects_concurrency_cap() {
+        let model = FaultModel {
+            outage_prob: 0.3,
+            outage_duration: (5, 15),
+            max_concurrent_outages: 2,
+            ..FaultModel::default()
+        };
+        let base = ec2_eight_regions();
+        let s = FaultSchedule::generate(11, 8, 150, &model);
+        assert!(s.first_outage().is_some(), "this seed should produce outages");
+        for step in 0..150 {
+            let dark = 8 - s.view_at(&base, step).num_live();
+            assert!(dark <= 2, "{dark} DCs dark at step {step}");
+        }
+    }
+
+    #[test]
+    fn single_outage_schedule() {
+        let base = ec2_eight_regions();
+        let s = FaultSchedule::single_outage(8, 100, 3, 17);
+        assert_eq!(s.first_outage(), Some((17, 3)));
+        assert!(!s.view_at(&base, 16).any_dead());
+        assert!(s.view_at(&base, 17).is_dead(3));
+        assert!(s.view_at(&base, 99).is_dead(3));
+        assert!(s.changes_at(17));
+        assert!(!s.changes_at(18));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_dc_rejected() {
+        FaultSchedule::from_events(
+            4,
+            10,
+            vec![FaultEvent { step: 0, dc: 4, kind: FaultKind::Outage }],
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_degrade_factor_rejected() {
+        FaultSchedule::from_events(
+            4,
+            10,
+            vec![FaultEvent { step: 0, dc: 0, kind: FaultKind::LinkDegrade { factor: 1.5 } }],
+        );
+    }
+}

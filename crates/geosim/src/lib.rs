@@ -19,11 +19,13 @@
 pub mod cost;
 pub mod datacenter;
 pub mod env_io;
+pub mod faults;
 pub mod heterogeneity;
 pub mod regions;
 pub mod transfer;
 
 pub use datacenter::{CloudEnv, Datacenter};
+pub use faults::{FaultEvent, FaultKind, FaultModel, FaultSchedule, FaultyEnv};
 pub use heterogeneity::Heterogeneity;
 pub use transfer::StageLoads;
 

@@ -1,0 +1,85 @@
+//! Typed plan-validation errors.
+//!
+//! [`HybridState::validate_plan`](crate::HybridState::validate_plan) and the
+//! fault-aware checks return these instead of panicking, so recovery code
+//! (evacuation, checkpoint restore) can react to a broken plan rather than
+//! aborting the process.
+
+use crate::{DcId, VertexId};
+
+/// Why a placement plan failed validation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlanError {
+    /// An incremental count array no longer matches a fresh rebuild.
+    CountDrift {
+        /// Which array drifted (`"in_cnt"`, `"out_cnt"`).
+        array: &'static str,
+        /// First vertex whose row differs.
+        vertex: VertexId,
+        /// First DC column that differs.
+        dc: DcId,
+        /// Incrementally maintained value.
+        incremental: u32,
+        /// Value after a from-scratch rebuild.
+        fresh: u32,
+    },
+    /// The per-DC edge balance no longer matches a fresh rebuild.
+    EdgeBalanceDrift {
+        /// First DC whose edge count differs.
+        dc: DcId,
+        incremental: u64,
+        fresh: u64,
+    },
+    /// A gather/apply load accumulator drifted beyond fp tolerance.
+    LoadDrift {
+        /// Which accumulator drifted (`"gather.up"`, `"apply.down"`, …).
+        stage: &'static str,
+        dc: DcId,
+        incremental: f64,
+        fresh: f64,
+    },
+    /// The incrementally tracked Eq 4 movement cost drifted.
+    MovementCostDrift { incremental: f64, fresh: f64 },
+    /// The batched one-sweep kernel disagreed with an independent
+    /// single-destination evaluation (bit-level comparison).
+    KernelDivergence { vertex: VertexId, dc: DcId },
+    /// A vertex's master sits on a DC that is currently dark.
+    MasterOnDeadDc { vertex: VertexId, dc: DcId },
+    /// A vertex has a mirror on a DC that is currently dark.
+    MirrorOnDeadDc { vertex: VertexId, dc: DcId },
+    /// Every DC is dark — there is nowhere to evacuate to.
+    NoLiveDc,
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::CountDrift { array, vertex, dc, incremental, fresh } => write!(
+                f,
+                "{array}[v={vertex}, dc={dc}] diverged: incremental {incremental} vs fresh {fresh}"
+            ),
+            PlanError::EdgeBalanceDrift { dc, incremental, fresh } => write!(
+                f,
+                "edge balance at DC {dc} diverged: incremental {incremental} vs fresh {fresh}"
+            ),
+            PlanError::LoadDrift { stage, dc, incremental, fresh } => {
+                write!(f, "{stage}[{dc}] diverged: incremental {incremental} vs fresh {fresh}")
+            }
+            PlanError::MovementCostDrift { incremental, fresh } => {
+                write!(f, "movement cost diverged: incremental {incremental} vs fresh {fresh}")
+            }
+            PlanError::KernelDivergence { vertex, dc } => {
+                write!(f, "batched vs sequential evaluation diverged at v={vertex} d={dc}")
+            }
+            PlanError::MasterOnDeadDc { vertex, dc } => {
+                write!(f, "master of v={vertex} sits on dead DC {dc}")
+            }
+            PlanError::MirrorOnDeadDc { vertex, dc } => {
+                write!(f, "mirror of v={vertex} sits on dead DC {dc}")
+            }
+            PlanError::NoLiveDc => write!(f, "every DC is dark: nowhere to evacuate to"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}

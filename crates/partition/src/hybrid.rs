@@ -20,6 +20,7 @@
 use geograph::GeoGraph;
 use geosim::CloudEnv;
 
+use crate::error::PlanError;
 use crate::kernel::{self, CntDelta, MoveScratch};
 use crate::profile::TrafficProfile;
 use crate::state::{Objective, PlacementState};
@@ -103,6 +104,14 @@ impl<'g> HybridState<'g> {
     /// Current objective (Eq 1 + Eq 4/5).
     pub fn objective(&self, env: &CloudEnv) -> Objective {
         self.core.objective(env)
+    }
+
+    /// Overwrites the accumulated Eq 4 movement cost — see
+    /// [`PlacementState::override_movement_cost`]. Used by checkpoint
+    /// restore, where the cost accumulated incrementally before the crash
+    /// cannot be recomputed from the masters alone.
+    pub fn override_movement_cost(&mut self, cost: f64) {
+        self.core.override_movement_cost(cost);
     }
 
     /// Evaluates moving `v`'s master to **every** DC in one neighborhood
@@ -285,9 +294,10 @@ impl<'g> HybridState<'g> {
         scratch.seal();
     }
 
-    /// Rebuilds the state from scratch and asserts the incremental
-    /// bookkeeping matches — a test/debug aid.
-    pub fn check_consistency(&self, env: &CloudEnv) {
+    /// Rebuilds the state from scratch and checks the incremental
+    /// bookkeeping matches, returning a typed error naming the first
+    /// divergence instead of panicking.
+    pub fn validate_plan(&self, env: &CloudEnv) -> Result<(), PlanError> {
         let fresh = HybridState::from_masters(
             self.geo,
             env,
@@ -296,30 +306,54 @@ impl<'g> HybridState<'g> {
             self.core.profile.clone(),
             self.core.num_iterations,
         );
-        assert_eq!(self.core.in_cnt, fresh.core.in_cnt, "in_cnt diverged");
-        assert_eq!(self.core.out_cnt, fresh.core.out_cnt, "out_cnt diverged");
-        assert_eq!(self.core.edges_per_dc, fresh.core.edges_per_dc, "edge balance diverged");
         let m = self.core.num_dcs;
+        for (array, ours, theirs) in [
+            ("in_cnt", &self.core.in_cnt, &fresh.core.in_cnt),
+            ("out_cnt", &self.core.out_cnt, &fresh.core.out_cnt),
+        ] {
+            if let Some(i) = (0..ours.len()).find(|&i| ours[i] != theirs[i]) {
+                return Err(PlanError::CountDrift {
+                    array,
+                    vertex: (i / m) as VertexId,
+                    dc: (i % m) as DcId,
+                    incremental: ours[i],
+                    fresh: theirs[i],
+                });
+            }
+        }
+        for d in 0..m {
+            if self.core.edges_per_dc[d] != fresh.core.edges_per_dc[d] {
+                return Err(PlanError::EdgeBalanceDrift {
+                    dc: d as DcId,
+                    incremental: self.core.edges_per_dc[d],
+                    fresh: fresh.core.edges_per_dc[d],
+                });
+            }
+        }
         for d in 0..m as DcId {
-            for (ours, theirs, what) in [
+            for (ours, theirs, stage) in [
                 (self.core.gather.up(d), fresh.core.gather.up(d), "gather.up"),
                 (self.core.gather.down(d), fresh.core.gather.down(d), "gather.down"),
                 (self.core.apply.up(d), fresh.core.apply.up(d), "apply.up"),
                 (self.core.apply.down(d), fresh.core.apply.down(d), "apply.down"),
             ] {
-                assert!(
-                    (ours - theirs).abs() <= 1e-6 * theirs.abs().max(1.0),
-                    "{what}[{d}] diverged: incremental {ours} vs fresh {theirs}"
-                );
+                if (ours - theirs).abs() > 1e-6 * theirs.abs().max(1.0) {
+                    return Err(PlanError::LoadDrift {
+                        stage,
+                        dc: d,
+                        incremental: ours,
+                        fresh: theirs,
+                    });
+                }
             }
         }
         let mc = fresh.core.movement_cost;
-        assert!(
-            (self.core.movement_cost - mc).abs() <= 1e-9 * mc.abs().max(1.0),
-            "movement cost diverged: {} vs {}",
-            self.core.movement_cost,
-            mc
-        );
+        if (self.core.movement_cost - mc).abs() > 1e-9 * mc.abs().max(1.0) {
+            return Err(PlanError::MovementCostDrift {
+                incremental: self.core.movement_cost,
+                fresh: mc,
+            });
+        }
 
         // The batched kernel must agree with per-destination evaluation
         // bit-for-bit on a deterministic sample of vertices.
@@ -332,15 +366,125 @@ impl<'g> HybridState<'g> {
             for d in 0..m as DcId {
                 let b = batch.objectives()[d as usize];
                 let s = self.evaluate_move_with(env, v, d, &mut single);
-                assert!(
-                    b.transfer_time.to_bits() == s.transfer_time.to_bits()
-                        && b.movement_cost.to_bits() == s.movement_cost.to_bits()
-                        && b.runtime_cost.to_bits() == s.runtime_cost.to_bits(),
-                    "batched vs sequential evaluation diverged at v={v} d={d}: {b:?} vs {s:?}"
-                );
+                if b.transfer_time.to_bits() != s.transfer_time.to_bits()
+                    || b.movement_cost.to_bits() != s.movement_cost.to_bits()
+                    || b.runtime_cost.to_bits() != s.runtime_cost.to_bits()
+                {
+                    return Err(PlanError::KernelDivergence { vertex: v, dc: d });
+                }
             }
         }
+        Ok(())
     }
+
+    /// Panicking wrapper over [`Self::validate_plan`] — a test/debug aid.
+    pub fn check_consistency(&self, env: &CloudEnv) {
+        if let Err(e) = self.validate_plan(env) {
+            panic!("plan consistency check failed: {e}");
+        }
+    }
+
+    /// Debug-build-only consistency check for internal hot paths: free in
+    /// release builds, full [`Self::validate_plan`] under `cfg(debug_assertions)`.
+    #[inline]
+    pub fn debug_validate(&self, env: &CloudEnv) {
+        #[cfg(debug_assertions)]
+        if let Err(e) = self.validate_plan(env) {
+            panic!("plan consistency check failed: {e}");
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = env;
+    }
+
+    /// Checks that the plan touches no dark DC: no master and no mirror on
+    /// any DC with `dead[dc] == true`.
+    pub fn validate_against_faults(&self, dead: &[bool]) -> Result<(), PlanError> {
+        assert_eq!(dead.len(), self.core.num_dcs);
+        let dead_mask =
+            dead.iter().enumerate().fold(0u64, |m, (d, &x)| if x { m | (1u64 << d) } else { m });
+        if dead_mask == 0 {
+            return Ok(());
+        }
+        for v in 0..self.core.num_vertices() as VertexId {
+            let master = self.core.master(v);
+            if dead[master as usize] {
+                return Err(PlanError::MasterOnDeadDc { vertex: v, dc: master });
+            }
+            let on_dead = self.core.mirror_mask(v) & dead_mask;
+            if on_dead != 0 {
+                return Err(PlanError::MirrorOnDeadDc {
+                    vertex: v,
+                    dc: on_dead.trailing_zeros() as DcId,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-places every master resident on a dark DC onto the best live
+    /// destination, scored by the batched move-evaluation kernel
+    /// (transfer time first, then total monetary cost, then DC id — fully
+    /// deterministic).
+    ///
+    /// In the hybrid-cut model edge placement and mirrors are *derived*
+    /// from the master vector (§IV-B), so once no master lives on a dead
+    /// DC, no edge and hence no mirror remains there either — one pass
+    /// over the masters evacuates the whole plan, which
+    /// [`Self::validate_against_faults`] re-checks before returning.
+    ///
+    /// `env` should be the *current* (possibly degraded) environment so
+    /// evacuation targets are scored under the bandwidths that actually
+    /// hold during the fault.
+    pub fn evacuate(
+        &mut self,
+        env: &CloudEnv,
+        dead: &[bool],
+        scratch: &mut MoveScratch,
+    ) -> Result<EvacuationReport, PlanError> {
+        assert_eq!(dead.len(), self.core.num_dcs);
+        if dead.iter().all(|&d| d) {
+            return Err(PlanError::NoLiveDc);
+        }
+        let mut moved = 0usize;
+        for v in 0..self.core.num_vertices() as VertexId {
+            let from = self.core.master(v);
+            if !dead[from as usize] {
+                continue;
+            }
+            let objs = self.evaluate_all_moves(env, v, scratch);
+            let mut best: Option<(DcId, Objective)> = None;
+            for (d, obj) in objs.iter().enumerate() {
+                if dead[d] {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some((_, b)) => {
+                        obj.transfer_time < b.transfer_time
+                            || (obj.transfer_time == b.transfer_time
+                                && obj.total_cost() < b.total_cost())
+                    }
+                };
+                if better {
+                    best = Some((d as DcId, *obj));
+                }
+            }
+            let (to, _) = best.expect("at least one live DC exists");
+            self.apply_move_with(env, v, to, scratch);
+            moved += 1;
+        }
+        self.validate_against_faults(dead)?;
+        Ok(EvacuationReport { vertices_moved: moved, objective: self.objective(env) })
+    }
+}
+
+/// What [`HybridState::evacuate`] did.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EvacuationReport {
+    /// Number of masters re-placed off dark DCs.
+    pub vertices_moved: usize,
+    /// The plan's objective after evacuation, under the faulted environment.
+    pub objective: Objective,
 }
 
 #[cfg(test)]
@@ -503,6 +647,75 @@ mod tests {
                     "step {step}: v={v} d={d}: {b:?} vs {sq:?}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn validate_plan_accepts_fresh_state() {
+        let (geo, env) = setup(20);
+        assert_eq!(state(&geo, &env).validate_plan(&env), Ok(()));
+    }
+
+    #[test]
+    fn validate_plan_reports_count_drift() {
+        let (geo, env) = setup(21);
+        let mut s = state(&geo, &env);
+        // Corrupt one count cell; validation must name the drift.
+        s.core.in_cnt[5] += 1;
+        match s.validate_plan(&env) {
+            Err(PlanError::CountDrift { array: "in_cnt", .. }) => {}
+            other => panic!("expected in_cnt drift, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn evacuate_clears_dead_dc() {
+        let (geo, env) = setup(22);
+        let mut s = state(&geo, &env);
+        let mut dead = vec![false; 8];
+        dead[2] = true;
+        let before_on_dead =
+            (0..geo.num_vertices() as VertexId).filter(|&v| s.master(v) == 2).count();
+        assert!(before_on_dead > 0, "seed should place masters on DC 2");
+        let mut scratch = MoveScratch::new();
+        let report = s.evacuate(&env, &dead, &mut scratch).unwrap();
+        assert_eq!(report.vertices_moved, before_on_dead);
+        assert_eq!(s.validate_against_faults(&dead), Ok(()));
+        s.check_consistency(&env);
+    }
+
+    #[test]
+    fn evacuate_is_deterministic() {
+        let (geo, env) = setup(23);
+        let mut dead = vec![false; 8];
+        dead[0] = true;
+        dead[5] = true;
+        let mut a = state(&geo, &env);
+        let mut b = state(&geo, &env);
+        let mut scratch = MoveScratch::new();
+        a.evacuate(&env, &dead, &mut scratch).unwrap();
+        b.evacuate(&env, &dead, &mut scratch).unwrap();
+        assert_eq!(a.core().masters(), b.core().masters());
+    }
+
+    #[test]
+    fn evacuate_with_no_live_dc_is_an_error() {
+        let (geo, env) = setup(24);
+        let mut s = state(&geo, &env);
+        let mut scratch = MoveScratch::new();
+        assert_eq!(s.evacuate(&env, &[true; 8], &mut scratch), Err(PlanError::NoLiveDc));
+    }
+
+    #[test]
+    fn validate_against_faults_detects_resident_master() {
+        let (geo, env) = setup(25);
+        let s = state(&geo, &env);
+        let dc = s.master(0);
+        let mut dead = vec![false; 8];
+        dead[dc as usize] = true;
+        match s.validate_against_faults(&dead) {
+            Err(PlanError::MasterOnDeadDc { .. }) => {}
+            other => panic!("expected master-on-dead-DC, got {other:?}"),
         }
     }
 

@@ -27,6 +27,7 @@
 //! single-destination evaluations.
 
 pub mod edgecut;
+pub mod error;
 pub mod hybrid;
 pub mod kernel;
 pub mod metrics;
@@ -36,7 +37,8 @@ pub mod state;
 pub mod vertexcut;
 
 pub use edgecut::EdgeCutState;
-pub use hybrid::HybridState;
+pub use error::PlanError;
+pub use hybrid::{EvacuationReport, HybridState};
 pub use kernel::MoveScratch;
 pub use profile::TrafficProfile;
 pub use state::{Objective, PlacementState};

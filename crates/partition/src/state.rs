@@ -252,6 +252,17 @@ impl PlacementState {
         self.movement_cost
     }
 
+    /// Overrides the tracked Eq 4 movement cost.
+    ///
+    /// Checkpoint restore uses this: a state rebuilt from masters sums the
+    /// movement cost in vertex order, while a live trainer accumulates it
+    /// incrementally — the two agree only to fp tolerance. Restoring the
+    /// incrementally tracked value keeps a resumed training run bit-exact
+    /// with the uninterrupted one.
+    pub fn override_movement_cost(&mut self, cost: f64) {
+        self.movement_cost = cost;
+    }
+
     /// Number of analytics iterations the cost model charges for.
     pub fn num_iterations(&self) -> f64 {
         self.num_iterations

@@ -10,10 +10,13 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> cargo clippy --all-targets -- -D warnings"
-cargo clippy --all-targets -- -D warnings
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo fmt --check"
 cargo fmt --check
+
+echo "==> fault-schedule smoke run (exp6)"
+cargo run --release -p geobench --bin exp6_faults -- --scale 0.0003 --seed 42 --threads 2
 
 echo "verify: OK"

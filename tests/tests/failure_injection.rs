@@ -15,7 +15,7 @@ fn malformed_edge_lists_are_typed_errors() {
         let result = geograph::io::parse_edge_list(Cursor::new(bad));
         match result {
             Err(geograph::io::IoError::Parse { line, .. }) => assert!(line >= 1),
-            Err(geograph::io::IoError::Io(_)) => panic!("wrong error type for {bad:?}"),
+            Err(other) => panic!("wrong error type for {bad:?}: {other:?}"),
             Ok(g) => {
                 // The third case: trailing tokens are allowed, the
                 // "nonsense" line must error — so Ok is only fine if it
