@@ -55,9 +55,10 @@ struct Refiner<'a> {
     /// gather/apply per-vertex message sizes.
     g: Vec<f64>,
     a: Vec<f64>,
-    /// Per-(vertex, DC) incident-edge counts, in/out separated.
-    in_cnt: Vec<u32>,
-    out_cnt: Vec<u32>,
+    /// Per-(vertex, DC) incident-edge counts, interleaved like
+    /// `PlacementState`: `counts[(x*m + d)*2]` in-edges, `+ 1` out-edges —
+    /// each probe reads both lanes of one cell, so they share a cache line.
+    counts: Vec<u32>,
     gu: Vec<f64>,
     gd: Vec<f64>,
     au: Vec<f64>,
@@ -94,11 +95,11 @@ impl<'a> Refiner<'a> {
     /// on message-count threshold transitions. `d_in`/`d_out` are ±1/0.
     fn touch(&mut self, x: u32, dc: usize, d_in: i64, d_out: i64) {
         let master = self.masters[x as usize] as usize;
-        let idx = x as usize * self.m + dc;
-        let in_old = self.in_cnt[idx] as i64;
-        let out_old = self.out_cnt[idx] as i64;
-        self.in_cnt[idx] = (in_old + d_in) as u32;
-        self.out_cnt[idx] = (out_old + d_out) as u32;
+        let idx = (x as usize * self.m + dc) * 2;
+        let in_old = self.counts[idx] as i64;
+        let out_old = self.counts[idx + 1] as i64;
+        self.counts[idx] = (in_old + d_in) as u32;
+        self.counts[idx + 1] = (out_old + d_out) as u32;
         if dc == master {
             return;
         }
@@ -131,9 +132,14 @@ impl<'a> Refiner<'a> {
         if dc == master {
             return;
         }
-        let idx = x as usize * self.m + dc;
-        let (gt, at) =
-            count_transitions(true, self.in_cnt[idx] as i64, self.out_cnt[idx] as i64, d_in, d_out);
+        let idx = (x as usize * self.m + dc) * 2;
+        let (gt, at) = count_transitions(
+            true,
+            self.counts[idx] as i64,
+            self.counts[idx + 1] as i64,
+            d_in,
+            d_out,
+        );
         if gt != 0.0 {
             let gx = gt * self.g[x as usize];
             deltas.gu[dc] += gx;
@@ -180,31 +186,25 @@ impl<'a> Refiner<'a> {
     }
 
     fn transfer_time(&self) -> f64 {
-        let mut gather = 0.0f64;
-        let mut apply = 0.0f64;
-        for d in 0..self.m {
-            let dc = d as DcId;
-            gather = gather
-                .max((self.gu[d] / self.env.uplink(dc)).max(self.gd[d] / self.env.downlink(dc)));
-            apply = apply
-                .max((self.au[d] / self.env.uplink(dc)).max(self.ad[d] / self.env.downlink(dc)));
-        }
-        gather + apply
+        geosim::transfer::stage_time_rows(&self.gu, &self.gd, self.env)
+            + geosim::transfer::stage_time_rows(&self.au, &self.ad, self.env)
     }
 
     /// [`Self::transfer_time`] with `deltas` overlaid on the live loads.
+    /// Divides against the same bandwidth lanes as the shared Eq 2/3
+    /// reduction — `max` is a selection, so the base and overlay paths
+    /// agree exactly on unchanged DCs.
     fn transfer_time_with(&self, deltas: &CandidateDeltas) -> f64 {
+        let up = self.env.uplinks();
+        let down = self.env.downlinks();
         let mut gather = 0.0f64;
         let mut apply = 0.0f64;
         for d in 0..self.m {
-            let dc = d as DcId;
             gather = gather.max(
-                ((self.gu[d] + deltas.gu[d]) / self.env.uplink(dc))
-                    .max((self.gd[d] + deltas.gd[d]) / self.env.downlink(dc)),
+                ((self.gu[d] + deltas.gu[d]) / up[d]).max((self.gd[d] + deltas.gd[d]) / down[d]),
             );
             apply = apply.max(
-                ((self.au[d] + deltas.au[d]) / self.env.uplink(dc))
-                    .max((self.ad[d] + deltas.ad[d]) / self.env.downlink(dc)),
+                ((self.au[d] + deltas.au[d]) / up[d]).max((self.ad[d] + deltas.ad[d]) / down[d]),
             );
         }
         gather + apply
@@ -230,8 +230,7 @@ pub fn geocut(
         masters: &geo.locations,
         g: (0..n as u32).map(|v| profile.g(v)).collect(),
         a: (0..n as u32).map(|v| profile.a(v)).collect(),
-        in_cnt: vec![0; n * m],
-        out_cnt: vec![0; n * m],
+        counts: vec![0; n * m * 2],
         gu: vec![0.0; m],
         gd: vec![0.0; m],
         au: vec![0.0; m],

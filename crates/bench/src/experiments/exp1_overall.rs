@@ -46,14 +46,25 @@ pub fn run(ctx: &ExpContext) {
                     "Overhead (s)",
                 ],
             );
-            let randpg_time = runs[0].plan.objective(&env).transfer_time;
-            for run in &runs {
+            // RandPG (runs[0]) is the Fig 10 normalization baseline; a zero
+            // baseline would come back as NaNs and must not be mislabeled
+            // as a "normalized" column.
+            let times: Vec<f64> =
+                runs.iter().map(|r| r.plan.objective(&env).transfer_time).collect();
+            let normalized = geopart::metrics::normalize_to_first(&times);
+            assert!(
+                normalized.iter().all(|x| x.is_finite()),
+                "RandPG transfer time is zero on {} / {} — Fig 10 normalization is undefined",
+                ds.notation(),
+                algo.name()
+            );
+            for (run, &norm) in runs.iter().zip(&normalized) {
                 let report = run.plan.execute(&geo, &env, &algo);
                 let obj = run.plan.objective(&env);
                 t.row(vec![
                     run.name.to_string(),
                     f3(report.transfer_time),
-                    f3(obj.transfer_time / randpg_time.max(1e-12)),
+                    f3(norm),
                     f3(obj.total_cost() / budget),
                     f3(run.plan.replication_factor()),
                     secs(run.overhead),

@@ -251,18 +251,16 @@ pub fn run(command: Command) -> Result<String, String> {
         Command::Evaluate { graph, plan, options } => {
             let env = build_env(&options)?;
             let geo = load_geo(&graph, &env, options.seed)?;
-            let masters = geopart::plan_io::load_assignment(&plan)
-                .map_err(|e| format!("{}: {e}", plan.display()))?;
-            if masters.len() != geo.num_vertices() {
-                return Err(format!(
-                    "plan has {} masters but the graph has {} vertices",
-                    masters.len(),
-                    geo.num_vertices()
-                ));
-            }
+            // The checked loader validates length and every DC id against
+            // the environment, naming file and line; try_from_masters keeps
+            // any remaining plan defect a typed error rather than a panic.
+            let masters =
+                geopart::plan_io::load_assignment_for(&plan, geo.num_vertices(), env.num_dcs())
+                    .map_err(|e| format!("{}: {e}", plan.display()))?;
             let theta = geograph::degree::suggest_theta(&geo.graph, 0.05);
             let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
-            let state = HybridState::from_masters(&geo, &env, masters, theta, profile, 10.0);
+            let state = HybridState::try_from_masters(&geo, &env, masters, theta, profile, 10.0)
+                .map_err(|e| format!("{}: {e}", plan.display()))?;
             let obj = state.objective(&env);
             let algo = geoengine::Algorithm::pagerank();
             let report = geoengine::execute_plan(&geo, &env, state.core(), None, &algo);
@@ -391,7 +389,26 @@ mod tests {
         let plan = std::env::temp_dir().join("rlcut_cli_tests/short.plan");
         geopart::plan_io::save_assignment(&[0, 1, 2], &plan).unwrap();
         let err = run(Command::Evaluate { graph, plan, options: Options::default() }).unwrap_err();
-        assert!(err.contains("3 masters"), "{err}");
+        assert!(
+            err.contains("short.plan") && err.contains("3 entries") && err.contains("300"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn evaluate_rejects_out_of_range_dc_naming_file_and_line() {
+        let graph = demo_graph_file("badplan_graph.txt");
+        let plan = std::env::temp_dir().join("rlcut_cli_tests/badplan.plan");
+        // 300 masters for the 300-vertex demo graph, one of them (vertex 7,
+        // file line 9 behind the header) outside the default 8-DC env.
+        let mut masters = vec![0 as geopart::DcId; 300];
+        masters[7] = 9;
+        geopart::plan_io::save_assignment(&masters, &plan).unwrap();
+        let err = run(Command::Evaluate { graph, plan, options: Options::default() }).unwrap_err();
+        assert!(
+            err.contains("badplan.plan") && err.contains("line 9") && err.contains("DC id 9"),
+            "{err}"
+        );
     }
 
     #[test]

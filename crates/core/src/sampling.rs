@@ -74,24 +74,34 @@ impl SampleScheduler {
         self
     }
 
-    /// The rate for the next step, or `None` when the time budget is
-    /// exhausted.
+    /// The rate for the next step, or `None` when the step limit or the
+    /// Eq 14 time budget is exhausted. A pinned `fixed` rate overrides the
+    /// *schedule*, not the stopping conditions: a fixed-rate run still
+    /// halts at `max_steps` and when `t_opt` is spent.
     pub fn next_rate(&self) -> Option<f64> {
+        let step = self.history.len();
+        if step >= self.max_steps {
+            return None;
+        }
+        if step > 0 {
+            if let Some(t_opt) = self.t_opt {
+                let spent: f64 = self.history.iter().map(|&(_, t)| t).sum();
+                if t_opt - spent <= 0.0 {
+                    return None;
+                }
+            }
+        }
         if let Some(fixed) = self.fixed {
             return Some(fixed);
         }
         let Some(t_opt) = self.t_opt else {
             return Some(1.0);
         };
-        let step = self.history.len();
         if step == 0 {
             return Some(self.initial_rate.min(1.0));
         }
         let spent: f64 = self.history.iter().map(|&(_, t)| t).sum();
         let remaining = t_opt - spent;
-        if remaining <= 0.0 || step >= self.max_steps {
-            return None;
-        }
         // Mean achievable rate per second, from history (Eq 14's second
         // factor); guard against clock-resolution zeros. With recency
         // weighting, later observations dominate (Fig 14b future work).
@@ -163,10 +173,25 @@ mod tests {
 
     #[test]
     fn fixed_rate_pins() {
+        // A pinned rate overrides the Eq 14 schedule while budget remains…
         let mut s = SampleScheduler::new(Some(1.0), Some(0.1), 0.01, 10);
         assert_eq!(s.next_rate(), Some(0.1));
-        s.record(0.1, 100.0); // even absurd overheads don't change it
+        s.record(0.1, 0.4);
         assert_eq!(s.next_rate(), Some(0.1));
+        // …but not the stopping conditions: once t_opt is spent, it halts
+        // like the adaptive path instead of training forever.
+        s.record(0.1, 100.0);
+        assert_eq!(s.next_rate(), None);
+    }
+
+    #[test]
+    fn fixed_rate_respects_max_steps() {
+        let mut s = SampleScheduler::new(None, Some(0.5), 0.01, 2);
+        assert_eq!(s.next_rate(), Some(0.5));
+        s.record(0.5, 0.1);
+        assert_eq!(s.next_rate(), Some(0.5));
+        s.record(0.5, 0.1);
+        assert_eq!(s.next_rate(), None);
     }
 
     #[test]

@@ -36,17 +36,37 @@ impl Datacenter {
 }
 
 /// The set of data centers an experiment runs across.
+///
+/// Besides the `Datacenter` records, the environment keeps the per-DC
+/// bandwidths and prices in flat `f64` lanes so the Eq 2/3 max-of-ratios
+/// reduction reads contiguous memory instead of hopping through
+/// `Datacenter` structs (whose embedded name `String` wrecks locality on
+/// the hot path).
 #[derive(Clone, Debug, PartialEq)]
 pub struct CloudEnv {
     dcs: Vec<Datacenter>,
+    uplinks: Vec<f64>,
+    downlinks: Vec<f64>,
+    prices: Vec<f64>,
 }
 
 impl CloudEnv {
     /// Creates an environment. At least one DC; at most [`geograph::MAX_DCS`]
     /// (replica sets are 64-bit bitmasks downstream).
     pub fn new(dcs: Vec<Datacenter>) -> Self {
-        assert!(!dcs.is_empty() && dcs.len() <= geograph::MAX_DCS);
-        CloudEnv { dcs }
+        assert!(!dcs.is_empty(), "CloudEnv needs at least one data center");
+        assert!(
+            dcs.len() <= geograph::MAX_DCS,
+            "CloudEnv supports at most {} data centers (replica sets are u64 bitmasks), got {}",
+            geograph::MAX_DCS,
+            dcs.len()
+        );
+        CloudEnv {
+            uplinks: dcs.iter().map(|d| d.uplink_bps).collect(),
+            downlinks: dcs.iter().map(|d| d.downlink_bps).collect(),
+            prices: dcs.iter().map(|d| d.upload_price_per_byte).collect(),
+            dcs,
+        }
     }
 
     /// Number of data centers.
@@ -69,19 +89,37 @@ impl CloudEnv {
     /// Uplink bandwidth of `dc` (bytes/s) — `U_r` in the paper.
     #[inline]
     pub fn uplink(&self, dc: DcId) -> f64 {
-        self.dcs[dc as usize].uplink_bps
+        self.uplinks[dc as usize]
     }
 
     /// Downlink bandwidth of `dc` (bytes/s) — `D_r` in the paper.
     #[inline]
     pub fn downlink(&self, dc: DcId) -> f64 {
-        self.dcs[dc as usize].downlink_bps
+        self.downlinks[dc as usize]
     }
 
     /// Upload price of `dc` ($/byte) — `P_r` in the paper.
     #[inline]
     pub fn price(&self, dc: DcId) -> f64 {
-        self.dcs[dc as usize].upload_price_per_byte
+        self.prices[dc as usize]
+    }
+
+    /// Per-DC uplink bandwidths as one contiguous lane (bytes/s).
+    #[inline]
+    pub fn uplinks(&self) -> &[f64] {
+        &self.uplinks
+    }
+
+    /// Per-DC downlink bandwidths as one contiguous lane (bytes/s).
+    #[inline]
+    pub fn downlinks(&self) -> &[f64] {
+        &self.downlinks
+    }
+
+    /// Per-DC upload prices as one contiguous lane ($/byte).
+    #[inline]
+    pub fn prices(&self) -> &[f64] {
+        &self.prices
     }
 
     /// The cheapest-upload DC — the destination a centralized execution

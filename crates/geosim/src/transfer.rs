@@ -10,6 +10,79 @@
 use crate::datacenter::CloudEnv;
 use crate::DcId;
 
+/// Lane width of the chunked reductions below. Portable SIMD by
+/// construction: fixed-size array accumulators over `chunks_exact` compile
+/// to `f64x4` vector code on stable without any nightly features.
+const LANES: usize = 4;
+
+/// `max_d a[d] / b[d]` over two equal-length rows, chunked [`LANES`] wide.
+///
+/// `max` is a selection, so reassociating the reduction is *exactly* equal
+/// to the serial left fold — lane order never changes the result (all
+/// loads are finite and ≥ 0, all bandwidths > 0). Each lane keeps the
+/// `bytes / bandwidth` division of the serial model rather than a cached
+/// reciprocal multiply: the latter shifts ratios by ~1 ulp, which is
+/// enough to flip near-tied argmax decisions downstream.
+#[inline]
+fn max_ratio(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f64; LANES];
+    let mut chunks = a.chunks_exact(LANES).zip(b.chunks_exact(LANES));
+    for (ca, cb) in &mut chunks {
+        for l in 0..LANES {
+            acc[l] = acc[l].max(ca[l] / cb[l]);
+        }
+    }
+    let tail = a.len() - a.len() % LANES;
+    for (&xa, &xb) in a[tail..].iter().zip(&b[tail..]) {
+        acc[0] = acc[0].max(xa / xb);
+    }
+    acc.iter().fold(0.0f64, |w, &x| w.max(x))
+}
+
+/// `Σ_d a[d] * b[d]` over two equal-length rows, chunked [`LANES`] wide
+/// (four independent accumulators, combined once at the end).
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f64; LANES];
+    let mut chunks = a.chunks_exact(LANES).zip(b.chunks_exact(LANES));
+    for (ca, cb) in &mut chunks {
+        for l in 0..LANES {
+            acc[l] += ca[l] * cb[l];
+        }
+    }
+    let tail = a.len() - a.len() % LANES;
+    for (&xa, &xb) in a[tail..].iter().zip(&b[tail..]) {
+        acc[0] += xa * xb;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+/// Stage completion time of explicit per-DC upload/download rows under
+/// `env` — the Eq 2/3 reduction `max_r max(up_r/U_r, down_r/D_r)`, shared
+/// by [`StageLoads::transfer_time`] and the incremental move-evaluation
+/// kernels that project candidate moves onto scratch rows.
+///
+/// Bandwidth ratios divide against the environment's contiguous
+/// uplink/downlink lanes so the reduction is a straight div+max sweep
+/// over two pairs of flat rows.
+#[inline]
+pub fn stage_time_rows(up: &[f64], down: &[f64], env: &CloudEnv) -> f64 {
+    debug_assert_eq!(up.len(), env.num_dcs());
+    debug_assert_eq!(down.len(), env.num_dcs());
+    max_ratio(up, env.uplinks()).max(max_ratio(down, env.downlinks()))
+}
+
+/// Monetary cost of a per-DC upload row under `env` ($) — Eq 5's inner
+/// term `Σ_r up_r · P_r`; only uploads are charged. Shared by
+/// [`StageLoads::upload_cost`] and the kernels' row projections.
+#[inline]
+pub fn upload_cost_row(up: &[f64], env: &CloudEnv) -> f64 {
+    debug_assert_eq!(up.len(), env.num_dcs());
+    dot(up, env.prices())
+}
+
 /// Per-DC upload/download byte totals for one communication stage.
 #[derive(Clone, Debug, PartialEq)]
 pub struct StageLoads {
@@ -70,20 +143,14 @@ impl StageLoads {
     /// Stage completion time under `env` (Eq 2/3): the slowest DC link.
     pub fn transfer_time(&self, env: &CloudEnv) -> f64 {
         debug_assert_eq!(self.num_dcs(), env.num_dcs());
-        let mut worst = 0.0f64;
-        for r in 0..self.up.len() {
-            let t =
-                (self.up[r] / env.uplink(r as DcId)).max(self.down[r] / env.downlink(r as DcId));
-            worst = worst.max(t);
-        }
-        worst
+        stage_time_rows(&self.up, &self.down, env)
     }
 
     /// Monetary cost of the stage's uploads under `env` ($), Eq 5's inner
     /// term: only uploads are charged.
     pub fn upload_cost(&self, env: &CloudEnv) -> f64 {
         debug_assert_eq!(self.num_dcs(), env.num_dcs());
-        self.up.iter().enumerate().map(|(r, &bytes)| bytes * env.price(r as DcId)).sum()
+        upload_cost_row(&self.up, env)
     }
 
     /// Adds another stage's loads into this one (used to aggregate

@@ -40,6 +40,18 @@ pub enum PlanError {
     },
     /// The incrementally tracked Eq 4 movement cost drifted.
     MovementCostDrift { incremental: f64, fresh: f64 },
+    /// A vertex's packed kernel metadata (occupancy mask or mirrored
+    /// master copy) no longer matches the authoritative arrays.
+    MetaDrift {
+        /// Which field drifted (`"nnz"`, `"master"`).
+        field: &'static str,
+        /// First vertex whose record differs.
+        vertex: VertexId,
+        /// Incrementally maintained value (masks verbatim, masters widened).
+        incremental: u64,
+        /// Authoritative value.
+        fresh: u64,
+    },
     /// The batched one-sweep kernel disagreed with an independent
     /// single-destination evaluation (bit-level comparison).
     KernelDivergence { vertex: VertexId, dc: DcId },
@@ -49,6 +61,20 @@ pub enum PlanError {
     MirrorOnDeadDc { vertex: VertexId, dc: DcId },
     /// Every DC is dark — there is nowhere to evacuate to.
     NoLiveDc,
+    /// An edge placement names a DC outside the environment.
+    EdgeDcOutOfRange {
+        src: VertexId,
+        dst: VertexId,
+        /// The out-of-range DC id the plan assigned the edge to.
+        dc: DcId,
+        num_dcs: usize,
+    },
+    /// An edge placement names a vertex outside the graph.
+    VertexOutOfRange { vertex: VertexId, num_vertices: usize },
+    /// A master assignment names a DC outside the environment.
+    MasterOutOfRange { vertex: VertexId, dc: DcId, num_dcs: usize },
+    /// The environment has more DCs than replica bitmasks can hold.
+    TooManyDcs { num_dcs: usize, max: usize },
 }
 
 impl std::fmt::Display for PlanError {
@@ -68,6 +94,11 @@ impl std::fmt::Display for PlanError {
             PlanError::MovementCostDrift { incremental, fresh } => {
                 write!(f, "movement cost diverged: incremental {incremental} vs fresh {fresh}")
             }
+            PlanError::MetaDrift { field, vertex, incremental, fresh } => write!(
+                f,
+                "kernel meta {field}[v={vertex}] diverged: incremental {incremental:#x} vs \
+                 authoritative {fresh:#x}"
+            ),
             PlanError::KernelDivergence { vertex, dc } => {
                 write!(f, "batched vs sequential evaluation diverged at v={vertex} d={dc}")
             }
@@ -78,6 +109,22 @@ impl std::fmt::Display for PlanError {
                 write!(f, "mirror of v={vertex} sits on dead DC {dc}")
             }
             PlanError::NoLiveDc => write!(f, "every DC is dark: nowhere to evacuate to"),
+            PlanError::EdgeDcOutOfRange { src, dst, dc, num_dcs } => write!(
+                f,
+                "edge {src}->{dst} placed at DC {dc}, but the environment has only {num_dcs} DCs"
+            ),
+            PlanError::VertexOutOfRange { vertex, num_vertices } => write!(
+                f,
+                "plan names vertex {vertex}, but the graph has only {num_vertices} vertices"
+            ),
+            PlanError::MasterOutOfRange { vertex, dc, num_dcs } => write!(
+                f,
+                "master of v={vertex} is DC {dc}, but the environment has only {num_dcs} DCs"
+            ),
+            PlanError::TooManyDcs { num_dcs, max } => write!(
+                f,
+                "environment has {num_dcs} DCs but replica sets are u64 bitmasks (max {max})"
+            ),
         }
     }
 }

@@ -35,7 +35,10 @@ pub struct HybridState<'g> {
 }
 
 impl<'g> HybridState<'g> {
-    /// Builds hybrid-cut state from explicit master locations.
+    /// Builds hybrid-cut state from explicit master locations, panicking on
+    /// an out-of-range master. Internal callers (trainer, baselines) whose
+    /// masters are constructed in-range use this; external plan input goes
+    /// through [`Self::try_from_masters`].
     pub fn from_masters(
         geo: &'g GeoGraph,
         env: &CloudEnv,
@@ -44,8 +47,33 @@ impl<'g> HybridState<'g> {
         profile: TrafficProfile,
         num_iterations: f64,
     ) -> Self {
+        Self::try_from_masters(geo, env, masters, theta, profile, num_iterations)
+            .unwrap_or_else(|e| panic!("invalid master assignment: {e}"))
+    }
+
+    /// Builds hybrid-cut state from explicit master locations, returning a
+    /// typed [`PlanError`] when any master names a DC outside the
+    /// environment — the entry point for plan files and other external
+    /// input.
+    pub fn try_from_masters(
+        geo: &'g GeoGraph,
+        env: &CloudEnv,
+        masters: Vec<DcId>,
+        theta: usize,
+        profile: TrafficProfile,
+        num_iterations: f64,
+    ) -> Result<Self, PlanError> {
         assert_eq!(masters.len(), geo.num_vertices());
         assert_eq!(env.num_dcs(), geo.num_dcs);
+        if let Some((vertex, &dc)) =
+            masters.iter().enumerate().find(|&(_, &d)| d as usize >= env.num_dcs())
+        {
+            return Err(PlanError::MasterOutOfRange {
+                vertex: vertex as VertexId,
+                dc,
+                num_dcs: env.num_dcs(),
+            });
+        }
         let is_high = geograph::degree::classify_high_degree(&geo.graph, theta);
         let edge_dc = |u: VertexId, v: VertexId| -> DcId {
             if is_high[v as usize] {
@@ -64,8 +92,8 @@ impl<'g> HybridState<'g> {
             &geo.data_sizes,
             profile,
             num_iterations,
-        );
-        HybridState { geo, core, theta }
+        )?;
+        Ok(HybridState { geo, core, theta })
     }
 
     /// The *natural* partitioning: every master at its data's home DC —
@@ -199,22 +227,36 @@ impl<'g> HybridState<'g> {
             self.core.remove_vertex_loads(x);
         }
 
-        // Mutate the count rows.
-        let apply_delta = |cnt: &mut Vec<u32>, row: usize, dc: usize, delta: i64| {
+        // Mutate the count rows (lane 0 = in, lane 1 = out of the
+        // interleaved plane pair), keeping the per-vertex occupancy mask
+        // exact: the kernel trusts a clear bit to mean an all-zero cell.
+        let apply_delta = |counts: &mut Vec<u32>,
+                           meta: &mut Vec<crate::state::VertexMeta>,
+                           row: usize,
+                           dc: usize,
+                           lane: usize,
+                           delta: i64| {
             if delta != 0 {
-                let cell = &mut cnt[row * m + dc];
+                let idx = (row * m + dc) * 2;
+                let cell = &mut counts[idx + lane];
                 *cell = (*cell as i64 + delta) as u32;
+                if (counts[idx] | counts[idx + 1]) == 0 {
+                    meta[row].nnz &= !(1u64 << dc);
+                } else {
+                    meta[row].nnz |= 1u64 << dc;
+                }
             }
         };
-        apply_delta(&mut self.core.in_cnt, v as usize, a as usize, self_delta.in_a);
-        apply_delta(&mut self.core.in_cnt, v as usize, to as usize, self_delta.in_b);
-        apply_delta(&mut self.core.out_cnt, v as usize, a as usize, self_delta.out_a);
-        apply_delta(&mut self.core.out_cnt, v as usize, to as usize, self_delta.out_b);
+        let core = &mut self.core;
+        apply_delta(&mut core.counts, &mut core.meta, v as usize, a as usize, 0, self_delta.in_a);
+        apply_delta(&mut core.counts, &mut core.meta, v as usize, to as usize, 0, self_delta.in_b);
+        apply_delta(&mut core.counts, &mut core.meta, v as usize, a as usize, 1, self_delta.out_a);
+        apply_delta(&mut core.counts, &mut core.meta, v as usize, to as usize, 1, self_delta.out_b);
         for &(x, d) in &scratch.neighbors {
-            apply_delta(&mut self.core.in_cnt, x as usize, a as usize, d.in_a);
-            apply_delta(&mut self.core.in_cnt, x as usize, to as usize, d.in_b);
-            apply_delta(&mut self.core.out_cnt, x as usize, a as usize, d.out_a);
-            apply_delta(&mut self.core.out_cnt, x as usize, to as usize, d.out_b);
+            apply_delta(&mut core.counts, &mut core.meta, x as usize, a as usize, 0, d.in_a);
+            apply_delta(&mut core.counts, &mut core.meta, x as usize, to as usize, 0, d.in_b);
+            apply_delta(&mut core.counts, &mut core.meta, x as usize, a as usize, 1, d.out_a);
+            apply_delta(&mut core.counts, &mut core.meta, x as usize, to as usize, 1, d.out_b);
         }
 
         // Moved edges change the per-DC balance. Every edge that moved is
@@ -240,6 +282,7 @@ impl<'g> HybridState<'g> {
             self.geo.data_sizes[v as usize],
         );
         self.core.masters[v as usize] = to;
+        self.core.meta[v as usize].master = to;
 
         // Re-add contributions under the new placement.
         self.core.add_vertex_loads(v);
@@ -307,17 +350,35 @@ impl<'g> HybridState<'g> {
             self.core.num_iterations,
         );
         let m = self.core.num_dcs;
-        for (array, ours, theirs) in [
-            ("in_cnt", &self.core.in_cnt, &fresh.core.in_cnt),
-            ("out_cnt", &self.core.out_cnt, &fresh.core.out_cnt),
-        ] {
+        {
+            let ours = &self.core.counts;
+            let theirs = &fresh.core.counts;
             if let Some(i) = (0..ours.len()).find(|&i| ours[i] != theirs[i]) {
+                let cell = i / 2;
                 return Err(PlanError::CountDrift {
-                    array,
-                    vertex: (i / m) as VertexId,
-                    dc: (i % m) as DcId,
+                    array: if i % 2 == 0 { "in_cnt" } else { "out_cnt" },
+                    vertex: (cell / m) as VertexId,
+                    dc: (cell % m) as DcId,
                     incremental: ours[i],
                     fresh: theirs[i],
+                });
+            }
+        }
+        for (v, (ours, fresh)) in self.core.meta.iter().zip(&fresh.core.meta).enumerate() {
+            if ours.nnz != fresh.nnz {
+                return Err(PlanError::MetaDrift {
+                    field: "nnz",
+                    vertex: v as VertexId,
+                    incremental: ours.nnz,
+                    fresh: fresh.nnz,
+                });
+            }
+            if ours.master != self.core.masters[v] {
+                return Err(PlanError::MetaDrift {
+                    field: "master",
+                    vertex: v as VertexId,
+                    incremental: ours.master as u64,
+                    fresh: self.core.masters[v] as u64,
                 });
             }
         }
@@ -651,6 +712,49 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reused_across_env_widths_matches_fresh_bitwise() {
+        // One shared MoveScratch cycled M=8 → M=4 → M=8: lanes seeded by
+        // the wide environment must never leak into objectives computed
+        // after the shrink-then-grow round-trip.
+        let (geo8, env8) = setup(21);
+        let g4 = rmat(&RmatConfig::social(512, 4096), 22);
+        let geo4 = GeoGraph::from_graph(g4, &LocalityConfig::uniform(4, 22));
+        let env4 = CloudEnv::new(env8.dcs()[..4].to_vec());
+
+        let s8 = state(&geo8, &env8);
+        let theta4 = geograph::degree::suggest_theta(&geo4.graph, 0.05);
+        let profile4 = TrafficProfile::uniform(geo4.num_vertices(), 8.0);
+        let s4 = HybridState::natural(&geo4, &env4, theta4, profile4, 10.0);
+
+        let mut shared = MoveScratch::new();
+        let mut rng = SmallRng::seed_from_u64(23);
+        for _ in 0..25 {
+            let v8 = rng.gen_range(0..geo8.num_vertices()) as VertexId;
+            let v4 = rng.gen_range(0..geo4.num_vertices()) as VertexId;
+            s8.evaluate_all_moves(&env8, v8, &mut shared);
+            s4.evaluate_all_moves(&env4, v4, &mut shared);
+            let reused: Vec<Objective> = s8.evaluate_all_moves(&env8, v8, &mut shared).to_vec();
+            let mut fresh = MoveScratch::new();
+            let clean = s8.evaluate_all_moves(&env8, v8, &mut fresh);
+            for (d, (r, c)) in reused.iter().zip(clean).enumerate() {
+                assert_eq!(
+                    (
+                        r.transfer_time.to_bits(),
+                        r.movement_cost.to_bits(),
+                        r.runtime_cost.to_bits()
+                    ),
+                    (
+                        c.transfer_time.to_bits(),
+                        c.movement_cost.to_bits(),
+                        c.runtime_cost.to_bits()
+                    ),
+                    "v={v8} d={d}: reused {r:?} vs fresh {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn validate_plan_accepts_fresh_state() {
         let (geo, env) = setup(20);
         assert_eq!(state(&geo, &env).validate_plan(&env), Ok(()));
@@ -660,11 +764,24 @@ mod tests {
     fn validate_plan_reports_count_drift() {
         let (geo, env) = setup(21);
         let mut s = state(&geo, &env);
-        // Corrupt one count cell; validation must name the drift.
-        s.core.in_cnt[5] += 1;
+        // Corrupt one count cell (an even index = an in-count lane);
+        // validation must name the drift.
+        s.core.counts[10] += 1;
         match s.validate_plan(&env) {
             Err(PlanError::CountDrift { array: "in_cnt", .. }) => {}
             other => panic!("expected in_cnt drift, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_from_masters_rejects_out_of_range_master() {
+        let (geo, env) = setup(26);
+        let mut masters = geo.locations.clone();
+        masters[3] = 42;
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        match HybridState::try_from_masters(&geo, &env, masters, 16, profile, 10.0) {
+            Err(PlanError::MasterOutOfRange { vertex: 3, dc: 42, num_dcs: 8 }) => {}
+            other => panic!("expected master-out-of-range, got {other:?}"),
         }
     }
 

@@ -20,10 +20,16 @@
 //!    subtract `v`'s whole contribution and every neighbor's *source-side*
 //!    (DC `a`) threshold transition. This intermediate is shared by all
 //!    destinations.
-//! 3. **Destination deltas** (`O(deg v · M)` adds on an `M × M` arena, tiny
-//!    constants): for each neighbor, its *destination-side* transition
-//!    touches at most 4 cells per destination row.
-//! 4. **Project** (`O(M)` per destination): `row = mid + delta_row`, re-add
+//! 3. **Destination deltas** (`O(deg v)` defaults + sparse corrections):
+//!    destination-side deltas are non-negative and candidate-independent,
+//!    so an *empty* count cell's transition is a per-neighbor constant —
+//!    aggregated by neighbor master into two `O(M)` default rows. The
+//!    `M × M` arena only receives corrections at the few cells where a
+//!    neighbor already holds counts, found by walking the occupancy
+//!    bitmask in the neighbor's packed `VertexMeta` record — the common
+//!    master-only neighbor costs one u64 test, no row read.
+//! 4. **Project** (`O(M)` per destination): `row = mid + correction_row +
+//!    defaults` (neighbors mastered at `b` exempt from row `b`), re-add
 //!    `v` with master `b`, evaluate Eq 1–5.
 //!
 //! Batched and single-destination paths execute the *same* floating-point
@@ -76,16 +82,26 @@ pub struct MoveScratch {
     mid_gd: Vec<f64>,
     mid_au: Vec<f64>,
     mid_ad: Vec<f64>,
-    // Destination-major M×M neighbor destination-side deltas.
+    // Destination-major M×M neighbor destination-side deltas. Invariant
+    // between calls: all-zero outside the rows flagged in `dest_dirty`
+    // (established by `ensure_m`, restored row-by-row at the top of
+    // `evaluate_all_moves`), so clean rows are never zeroed or re-read.
     dest_gu: Vec<f64>,
     dest_gd: Vec<f64>,
     dest_au: Vec<f64>,
     dest_ad: Vec<f64>,
+    // Bit `b` set iff destination row `b` of the dest arenas may hold
+    // nonzero corrections from the most recent `evaluate_all_moves`.
+    dest_dirty: u64,
     // Single-destination delta row (len M), used by `evaluate_move_to`.
     one_gu: Vec<f64>,
     one_gd: Vec<f64>,
     one_au: Vec<f64>,
     one_ad: Vec<f64>,
+    // Default (empty-cell) destination-side transition mass, aggregated by
+    // neighbor master DC (len M). See `evaluate_all_moves`.
+    def_g: Vec<f64>,
+    def_a: Vec<f64>,
     // Projection workspace (len M).
     row_gu: Vec<f64>,
     row_gd: Vec<f64>,
@@ -157,12 +173,18 @@ impl MoveScratch {
             &mut self.row_gd,
             &mut self.row_au,
             &mut self.row_ad,
+            &mut self.def_g,
+            &mut self.def_a,
         ] {
             buf.resize(m, 0.0);
         }
         for buf in [&mut self.dest_gu, &mut self.dest_gd, &mut self.dest_au, &mut self.dest_ad] {
             buf.resize(m * m, 0.0);
+            // The row stride changed, so the dirty-row bookkeeping no
+            // longer maps; re-establish the all-zero invariant wholesale.
+            buf.fill(0.0);
         }
+        self.dest_dirty = 0;
         self.objectives.resize(m, zero_obj);
     }
 
@@ -222,14 +244,17 @@ fn step(old: bool, new: bool) -> f64 {
     }
 }
 
-/// `max_r max(up_r/U_r, down_r/D_r)` — Eq 2/3 over scratch rows.
-pub(crate) fn stage_time(up: &[f64], down: &[f64], env: &CloudEnv) -> f64 {
-    let mut worst = 0.0f64;
-    for d in 0..up.len() {
-        let t = (up[d] / env.uplink(d as DcId)).max(down[d] / env.downlink(d as DcId));
-        worst = worst.max(t);
-    }
-    worst
+/// [`count_transitions`] of an **empty** `(0, 0)` count cell under a
+/// destination-side delta. Destination-side deltas are non-negative (the
+/// destination only gains edges, for *every* candidate DC alike), so this
+/// is a per-neighbor constant: most neighbors have counts in only one or
+/// two DCs, and every other destination row sees exactly this value.
+#[inline]
+fn default_transitions(high: bool, d_in: i64, d_out: i64) -> (f64, f64) {
+    debug_assert!(d_in >= 0 && d_out >= 0);
+    let gather = if high && d_in > 0 { 1.0 } else { 0.0 };
+    let apply = if d_in + d_out > 0 { 1.0 } else { 0.0 };
+    (gather, apply)
 }
 
 impl PlacementState {
@@ -242,9 +267,9 @@ impl PlacementState {
     /// destination — per-destination movement pricing is model-specific
     /// and patched by the owning model (see `HybridState`).
     ///
-    /// Cost: `O(deg(v) + M)` sweep + `O(deg(v) · M + M²)` tiny-constant
-    /// projection, versus `M` full sweeps (and `M` hash maps) for the
-    /// per-candidate path.
+    /// Cost: `O(deg(v) + M)` sweep + `O(deg(v))` count-row scans with
+    /// sparse corrections + `O(M²)` tiny-constant projection, versus `M`
+    /// full sweeps (and `M` hash maps) for the per-candidate path.
     pub fn evaluate_all_moves<'s>(
         &self,
         env: &CloudEnv,
@@ -269,67 +294,128 @@ impl PlacementState {
             ref mut dest_gd,
             ref mut dest_au,
             ref mut dest_ad,
+            ref mut dest_dirty,
             ref mut row_gu,
             ref mut row_gd,
             ref mut row_au,
             ref mut row_ad,
+            ref mut def_g,
+            ref mut def_a,
             ref mut objectives,
             ..
         } = *scratch;
 
-        // Destination-side neighbor transitions, accumulated per candidate
-        // row. A neighbor's counts at destination `b` gain (in_b, out_b);
-        // each transition touches ≤ 4 cells of row `b`.
-        dest_gu[..m * m].fill(0.0);
-        dest_gd[..m * m].fill(0.0);
-        dest_au[..m * m].fill(0.0);
-        dest_ad[..m * m].fill(0.0);
+        // Destination-side neighbor transitions. A neighbor's counts at
+        // destination `b` gain (in_b, out_b); since those deltas are the
+        // same for every candidate, the transition of an *empty* cell is a
+        // per-neighbor constant ([`default_transitions`]). Defaults are
+        // aggregated by neighbor master (`def_*`, applied O(M) per row at
+        // projection time); the M×M arena only holds the sparse
+        // *corrections* at the few cells where a neighbor already has
+        // counts. This turns the hub case from O(deg·M) transition math
+        // into O(deg) defaults + O(deg) row scans + sparse fix-ups.
+        // Restore the arena's all-zero invariant by clearing only the rows
+        // the previous call dirtied; clean rows are already zero.
+        let mut prev = *dest_dirty;
+        while prev != 0 {
+            let b = prev.trailing_zeros() as usize;
+            prev &= prev - 1;
+            let r = b * m;
+            dest_gu[r..r + m].fill(0.0);
+            dest_gd[r..r + m].fill(0.0);
+            dest_au[r..r + m].fill(0.0);
+            dest_ad[r..r + m].fill(0.0);
+        }
+        *dest_dirty = 0;
+        def_g[..m].fill(0.0);
+        def_a[..m].fill(0.0);
         for &(x, delta) in neighbors {
             if delta.in_b == 0 && delta.out_b == 0 {
                 continue;
             }
-            let xb = x as usize * m;
-            let master_x = self.masters[x as usize] as usize;
-            let high = self.is_high[x as usize];
-            let g = self.profile.g(x);
-            let ab = self.profile.a(x);
-            for b in 0..m {
-                if b == a || b == master_x {
-                    continue;
-                }
-                let (gt, at) = count_transitions(
-                    high,
-                    self.in_cnt[xb + b] as i64,
-                    self.out_cnt[xb + b] as i64,
-                    delta.in_b,
-                    delta.out_b,
-                );
+            let mx = self.meta[x as usize];
+            let master_x = mx.master as usize;
+            let high = mx.high;
+            let (gt0, at0) = default_transitions(high, delta.in_b, delta.out_b);
+            let g = mx.g as f64;
+            let ab = mx.a as f64;
+            def_g[master_x] += gt0 * g;
+            def_a[master_x] += at0 * ab;
+            // Only occupied cells can deviate from the default: walk the
+            // occupancy mask instead of scanning the row. For the common
+            // neighbor whose only counts sit at its own master this is a
+            // single masked-out u64 test — the row is never touched.
+            let mut bits = mx.nnz & !(1u64 << a) & !(1u64 << master_x);
+            if bits == 0 {
+                continue;
+            }
+            let xrow = self.counts_row(x);
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                *dest_dirty |= 1u64 << b;
+                let in_c = xrow[2 * b];
+                let out_c = xrow[2 * b + 1];
+                let (gt, at) =
+                    count_transitions(high, in_c as i64, out_c as i64, delta.in_b, delta.out_b);
+                let cg = (gt - gt0) * g;
+                let ca = (at - at0) * ab;
                 let row = b * m;
-                if gt != 0.0 {
-                    dest_gu[row + b] += gt * g;
-                    dest_gd[row + master_x] += gt * g;
+                if cg != 0.0 {
+                    dest_gu[row + b] += cg;
+                    dest_gd[row + master_x] += cg;
                 }
-                if at != 0.0 {
-                    dest_au[row + master_x] += at * ab;
-                    dest_ad[row + b] += at * ab;
+                if ca != 0.0 {
+                    dest_au[row + master_x] += ca;
+                    dest_ad[row + b] += ca;
                 }
             }
         }
+        let mut tot_g = 0.0;
+        let mut tot_a = 0.0;
+        for d in 0..m {
+            tot_g += def_g[d];
+            tot_a += def_a[d];
+        }
 
-        // Project every destination: row = mid + delta row, then re-add v
-        // mastered at b (its counts at the old master a adjusted).
+        // Project every destination: row = mid + correction row + defaults
+        // (neighbors mastered at `b` are exempt from row `b`), then re-add
+        // v mastered at b (its counts at the old master a adjusted).
         #[allow(clippy::needless_range_loop)] // b indexes four dest_* arrays too
         for b in 0..m {
             if b == a {
                 objectives[b] = self.objective(env);
                 continue;
             }
-            let r = b * m;
-            for d in 0..m {
-                row_gu[d] = mid_gu[d] + dest_gu[r + d];
-                row_gd[d] = mid_gd[d] + dest_gd[r + d];
-                row_au[d] = mid_au[d] + dest_au[r + d];
-                row_ad[d] = mid_ad[d] + dest_ad[r + d];
+            if *dest_dirty & (1u64 << b) != 0 {
+                let r = b * m;
+                for d in 0..m {
+                    row_gu[d] = mid_gu[d] + dest_gu[r + d];
+                    row_gd[d] = mid_gd[d] + dest_gd[r + d];
+                    row_au[d] = mid_au[d] + dest_au[r + d];
+                    row_ad[d] = mid_ad[d] + dest_ad[r + d];
+                }
+            } else {
+                // Clean row: every correction cell is +0.0, so adding the
+                // literal constant is bit-identical without touching the
+                // arena (and to the single-destination path's `mid + one`,
+                // whose unwritten cells are also +0.0).
+                for d in 0..m {
+                    row_gu[d] = mid_gu[d] + 0.0;
+                    row_gd[d] = mid_gd[d] + 0.0;
+                    row_au[d] = mid_au[d] + 0.0;
+                    row_ad[d] = mid_ad[d] + 0.0;
+                }
+            }
+            row_gu[b] += tot_g - def_g[b];
+            row_ad[b] += tot_a - def_a[b];
+            for d in 0..b {
+                row_gd[d] += def_g[d];
+                row_au[d] += def_a[d];
+            }
+            for d in b + 1..m {
+                row_gd[d] += def_g[d];
+                row_au[d] += def_a[d];
             }
             self.project_vertex_into(
                 v, b, a, sd.in_a, sd.out_a, 1.0, row_gu, row_gd, row_au, row_ad,
@@ -376,39 +462,62 @@ impl PlacementState {
             ref mut row_gd,
             ref mut row_au,
             ref mut row_ad,
+            ref mut def_g,
+            ref mut def_a,
             ..
         } = *scratch;
 
+        // Same defaults-plus-corrections scheme as `evaluate_all_moves`,
+        // restricted to destination row `b` — identical per-cell fp
+        // operations in identical order, so the two paths agree
+        // bit-for-bit.
         one_gu[..m].fill(0.0);
         one_gd[..m].fill(0.0);
         one_au[..m].fill(0.0);
         one_ad[..m].fill(0.0);
+        def_g[..m].fill(0.0);
+        def_a[..m].fill(0.0);
         for &(x, delta) in neighbors {
             if delta.in_b == 0 && delta.out_b == 0 {
                 continue;
             }
-            let xb = x as usize * m;
-            let master_x = self.masters[x as usize] as usize;
+            let mx = self.meta[x as usize];
+            let master_x = mx.master as usize;
+            let high = mx.high;
+            let (gt0, at0) = default_transitions(high, delta.in_b, delta.out_b);
+            let g = mx.g as f64;
+            let ab = mx.a as f64;
+            def_g[master_x] += gt0 * g;
+            def_a[master_x] += at0 * ab;
             if b == master_x {
                 continue;
             }
-            let (gt, at) = count_transitions(
-                self.is_high[x as usize],
-                self.in_cnt[xb + b] as i64,
-                self.out_cnt[xb + b] as i64,
-                delta.in_b,
-                delta.out_b,
-            );
-            if gt != 0.0 {
-                let g = self.profile.g(x);
-                one_gu[b] += gt * g;
-                one_gd[master_x] += gt * g;
+            // Same occupancy gate as the batched path: an empty cell stays
+            // on the default, contributing no correction.
+            if mx.nnz & (1u64 << b) == 0 {
+                continue;
             }
-            if at != 0.0 {
-                let ab = self.profile.a(x);
-                one_au[master_x] += at * ab;
-                one_ad[b] += at * ab;
+            let xrow = self.counts_row(x);
+            let in_c = xrow[2 * b];
+            let out_c = xrow[2 * b + 1];
+            let (gt, at) =
+                count_transitions(high, in_c as i64, out_c as i64, delta.in_b, delta.out_b);
+            let cg = (gt - gt0) * g;
+            let ca = (at - at0) * ab;
+            if cg != 0.0 {
+                one_gu[b] += cg;
+                one_gd[master_x] += cg;
             }
+            if ca != 0.0 {
+                one_au[master_x] += ca;
+                one_ad[b] += ca;
+            }
+        }
+        let mut tot_g = 0.0;
+        let mut tot_a = 0.0;
+        for d in 0..m {
+            tot_g += def_g[d];
+            tot_a += def_a[d];
         }
 
         for d in 0..m {
@@ -416,6 +525,16 @@ impl PlacementState {
             row_gd[d] = mid_gd[d] + one_gd[d];
             row_au[d] = mid_au[d] + one_au[d];
             row_ad[d] = mid_ad[d] + one_ad[d];
+        }
+        row_gu[b] += tot_g - def_g[b];
+        row_ad[b] += tot_a - def_a[b];
+        for d in 0..b {
+            row_gd[d] += def_g[d];
+            row_au[d] += def_a[d];
+        }
+        for d in b + 1..m {
+            row_gd[d] += def_g[d];
+            row_au[d] += def_a[d];
         }
         self.project_vertex_into(v, b, a, sd.in_a, sd.out_a, 1.0, row_gu, row_gd, row_au, row_ad);
         self.objective_from_rows(env, row_gu, row_gd, row_au, row_ad)
@@ -443,25 +562,26 @@ impl PlacementState {
             if delta.in_a == 0 && delta.out_a == 0 {
                 continue;
             }
-            let master_x = self.masters[x as usize] as usize;
+            let mx = self.meta[x as usize];
+            let master_x = mx.master as usize;
             if a == master_x {
                 continue;
             }
-            let xb = x as usize * m;
+            let xrow = self.counts_row(x);
             let (gt, at) = count_transitions(
-                self.is_high[x as usize],
-                self.in_cnt[xb + a] as i64,
-                self.out_cnt[xb + a] as i64,
+                mx.high,
+                xrow[2 * a] as i64,
+                xrow[2 * a + 1] as i64,
                 delta.in_a,
                 delta.out_a,
             );
             if gt != 0.0 {
-                let g = self.profile.g(x);
+                let g = mx.g as f64;
                 mid_gu[a] += gt * g;
                 mid_gd[master_x] += gt * g;
             }
             if at != 0.0 {
-                let ab = self.profile.a(x);
+                let ab = mx.a as f64;
                 mid_au[master_x] += at * ab;
                 mid_ad[a] += at * ab;
             }
@@ -485,17 +605,21 @@ impl PlacementState {
         au: &mut [f64],
         ad: &mut [f64],
     ) {
-        let m = self.num_dcs;
-        let base = v as usize * m;
-        let g = self.profile.g(v) * sign;
-        let a_bytes = self.profile.a(v) * sign;
-        let high = self.is_high[v as usize];
-        for d in 0..m {
-            if d == master {
-                continue;
-            }
-            let mut in_c = self.in_cnt[base + d] as i64;
-            let mut out_c = self.out_cnt[base + d] as i64;
+        let vrow = self.counts_row(v);
+        let mv = self.meta[v as usize];
+        let g = mv.g as f64 * sign;
+        let a_bytes = mv.a as f64 * sign;
+        let high = mv.high;
+        // Empty cells contribute nothing, so walking the occupancy mask in
+        // ascending bit order (with `adj_dc` forced in — its cell may be
+        // empty but gain counts from the delta) performs exactly the fp
+        // operations of a full `0..m` scan, in the same order.
+        let mut bits = (mv.nnz | (1u64 << adj_dc)) & !(1u64 << master);
+        while bits != 0 {
+            let d = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let mut in_c = vrow[2 * d] as i64;
+            let mut out_c = vrow[2 * d + 1] as i64;
             if d == adj_dc {
                 in_c += d_in;
                 out_c += d_out;
@@ -513,7 +637,11 @@ impl PlacementState {
     }
 
     /// Eq 1 + Eq 5 over projected rows; movement cost is the current
-    /// plan's (models patch it per destination).
+    /// plan's (models patch it per destination). Delegates to the same
+    /// shared [`geosim::transfer`] reductions as
+    /// [`PlacementState::objective`] — one Eq 2/3 / Eq 5 implementation for
+    /// the whole workspace, and identical fp operation order between the
+    /// batched and single-destination kernel paths.
     fn objective_from_rows(
         &self,
         env: &CloudEnv,
@@ -523,12 +651,10 @@ impl PlacementState {
         ad: &[f64],
     ) -> Objective {
         let m = self.num_dcs;
-        let transfer_time =
-            stage_time(&gu[..m], &gd[..m], env) + stage_time(&au[..m], &ad[..m], env);
-        let mut upload_cost = 0.0;
-        for d in 0..m {
-            upload_cost += (gu[d] + au[d]) * env.price(d as DcId);
-        }
+        let transfer_time = geosim::transfer::stage_time_rows(&gu[..m], &gd[..m], env)
+            + geosim::transfer::stage_time_rows(&au[..m], &ad[..m], env);
+        let upload_cost = geosim::transfer::upload_cost_row(&gu[..m], env)
+            + geosim::transfer::upload_cost_row(&au[..m], env);
         Objective {
             transfer_time,
             movement_cost: self.movement_cost,
@@ -586,5 +712,41 @@ mod tests {
         s.ensure_m(8);
         assert_eq!(s.objectives().len(), 8);
         assert_eq!(s.dest_gu.len(), 64);
+    }
+
+    #[test]
+    fn scratch_shrink_then_grow_repoisons_nothing_structural() {
+        // M=8 → M=4 → M=8. `Vec::resize` truncates on shrink and zero-pads
+        // on growth, so lanes written during the wide phase survive a
+        // round-trip only below the shrink point — the evaluation kernels
+        // therefore re-fill `[..m]` windows on every call rather than
+        // trusting buffer contents. The dest arenas are the exception:
+        // their all-zero-outside-dirty-rows invariant must hold across a
+        // width change (the row stride shifts, invalidating the dirty
+        // bookkeeping), so `ensure_m` re-zeroes them wholesale.
+        let mut s = MoveScratch::new();
+        s.ensure_m(8);
+        for buf in [&mut s.mid_gu, &mut s.row_gu, &mut s.one_gu] {
+            buf.fill(777.0);
+        }
+        s.dest_gu.fill(777.0);
+        s.dest_dirty = 0b1010_1010;
+
+        s.ensure_m(4);
+        assert_eq!(s.objectives().len(), 4);
+        assert_eq!((s.mid_gu.len(), s.row_gu.len(), s.one_gu.len()), (4, 4, 4));
+        assert_eq!(s.dest_gu.len(), 16);
+
+        s.ensure_m(8);
+        assert_eq!(s.objectives().len(), 8);
+        assert_eq!(s.dest_gu.len(), 64);
+        // Stale poison survives below the shrink point in the len-M
+        // buffers; the regrown region is zero. Both halves are overwritten
+        // by the kernels' fills.
+        assert!(s.mid_gu[..4].iter().all(|&x| x == 777.0));
+        assert!(s.mid_gu[4..].iter().all(|&x| x == 0.0));
+        // The dest arena came back fully zeroed with no dirty rows.
+        assert!(s.dest_gu.iter().all(|&x| x == 0.0));
+        assert_eq!(s.dest_dirty, 0);
     }
 }

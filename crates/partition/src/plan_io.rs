@@ -26,6 +26,19 @@ pub enum PlanIoError {
         expected: String,
         found: String,
     },
+    /// An entry names a DC outside the environment (1-based line number,
+    /// counting the header as line 1).
+    EntryOutOfRange {
+        line: usize,
+        dc: DcId,
+        num_dcs: usize,
+    },
+    /// The plan's element count doesn't match what the caller expects
+    /// (e.g. a plan for a different graph).
+    WrongLength {
+        expected: usize,
+        found: usize,
+    },
 }
 
 impl std::fmt::Display for PlanIoError {
@@ -35,6 +48,12 @@ impl std::fmt::Display for PlanIoError {
             PlanIoError::BadHeader(line) => write!(f, "bad plan header: {line:?}"),
             PlanIoError::Corrupt { expected, found } => {
                 write!(f, "plan corrupt: expected {expected}, found {found}")
+            }
+            PlanIoError::EntryOutOfRange { line, dc, num_dcs } => {
+                write!(f, "line {line}: DC id {dc} out of range (environment has {num_dcs} DCs)")
+            }
+            PlanIoError::WrongLength { expected, found } => {
+                write!(f, "plan has {found} entries, expected {expected}")
             }
         }
     }
@@ -72,6 +91,32 @@ pub fn save_assignment(assignment: &[DcId], path: &Path) -> Result<(), PlanIoErr
 /// Reads an assignment vector written by [`save_assignment`], verifying
 /// count and checksum.
 pub fn load_assignment(path: &Path) -> Result<Vec<DcId>, PlanIoError> {
+    load_entries(path).map(|(assignment, _)| assignment)
+}
+
+/// Reads an assignment like [`load_assignment`], additionally checking the
+/// element count against `expected_len` and every DC id against `num_dcs`,
+/// naming the offending 1-based line on failure. The entry point for plan
+/// files from the CLI: a malformed file surfaces as a typed error, never a
+/// downstream index panic.
+pub fn load_assignment_for(
+    path: &Path,
+    expected_len: usize,
+    num_dcs: usize,
+) -> Result<Vec<DcId>, PlanIoError> {
+    let (assignment, lines) = load_entries(path)?;
+    if assignment.len() != expected_len {
+        return Err(PlanIoError::WrongLength { expected: expected_len, found: assignment.len() });
+    }
+    if let Some(i) = assignment.iter().position(|&d| d as usize >= num_dcs) {
+        return Err(PlanIoError::EntryOutOfRange { line: lines[i], dc: assignment[i], num_dcs });
+    }
+    Ok(assignment)
+}
+
+/// Shared loader: the assignment plus each entry's 1-based line number
+/// (the header is line 1; blank lines shift subsequent entries).
+fn load_entries(path: &Path) -> Result<(Vec<DcId>, Vec<usize>), PlanIoError> {
     let mut reader = BufReader::new(File::open(path)?);
     let mut header = String::new();
     reader.read_line(&mut header)?;
@@ -92,12 +137,15 @@ pub fn load_assignment(path: &Path) -> Result<Vec<DcId>, PlanIoError> {
         return Err(PlanIoError::BadHeader(header.to_string()));
     };
     let mut assignment = Vec::with_capacity(count);
+    let mut lines = Vec::with_capacity(count);
     let mut line = String::new();
+    let mut line_no = 1usize; // the header
     loop {
         line.clear();
         if reader.read_line(&mut line)? == 0 {
             break;
         }
+        line_no += 1;
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
@@ -107,6 +155,7 @@ pub fn load_assignment(path: &Path) -> Result<Vec<DcId>, PlanIoError> {
             found: trimmed.to_string(),
         })?;
         assignment.push(d);
+        lines.push(line_no);
     }
     if assignment.len() != count {
         return Err(PlanIoError::Corrupt {
@@ -121,7 +170,7 @@ pub fn load_assignment(path: &Path) -> Result<Vec<DcId>, PlanIoError> {
             found: format!("{actual:016x}"),
         });
     }
-    Ok(assignment)
+    Ok((assignment, lines))
 }
 
 #[cfg(test)]
@@ -172,6 +221,25 @@ mod tests {
         assert_ne!(contents, tampered);
         std::fs::write(&path, tampered).unwrap();
         assert!(matches!(load_assignment(&path), Err(PlanIoError::Corrupt { .. })));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checked_loader_names_offending_line() {
+        let path = tmp("range.plan");
+        save_assignment(&[1, 2, 7, 3], &path).unwrap();
+        // DC 7 sits on line 4 (header is line 1) and exceeds a 4-DC env.
+        match load_assignment_for(&path, 4, 4) {
+            Err(PlanIoError::EntryOutOfRange { line: 4, dc: 7, num_dcs: 4 }) => {}
+            other => panic!("expected out-of-range at line 4, got {other:?}"),
+        }
+        // Wrong expected length is typed too.
+        match load_assignment_for(&path, 9, 8) {
+            Err(PlanIoError::WrongLength { expected: 9, found: 4 }) => {}
+            other => panic!("expected wrong-length, got {other:?}"),
+        }
+        // In-range passes.
+        assert_eq!(load_assignment_for(&path, 4, 8).unwrap(), vec![1, 2, 7, 3]);
         std::fs::remove_file(&path).ok();
     }
 

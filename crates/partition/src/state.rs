@@ -4,6 +4,7 @@
 
 use geosim::{CloudEnv, StageLoads};
 
+use crate::error::PlanError;
 use crate::profile::TrafficProfile;
 use crate::{DcId, VertexId};
 
@@ -27,11 +28,40 @@ impl Objective {
     }
 }
 
+/// Packed per-vertex metadata for the move-evaluation kernel's neighbor
+/// sweeps. The kernel touches a handful of scalars per (randomly
+/// scattered) neighbor — its occupancy mask, traffic bytes, master and
+/// degree class. Kept in separate parallel arrays those reads cost up to
+/// five cache misses per neighbor; packed into one 24-byte record they
+/// cost one.
+///
+/// `g`/`a`, `master` and `high` are *copies* of the authoritative
+/// `TrafficProfile` / `masters` / `is_high` (all of which other code still
+/// reads); every site that mutates a master re-writes the copy, and
+/// `validate_plan` cross-checks the two.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub(crate) struct VertexMeta {
+    /// Occupancy bitmask over the vertex's count row: bit `d` set iff cell
+    /// `(v, d)` holds any in- or out-count. Maintained exactly at the two
+    /// count-mutation sites ([`PlacementState::from_edge_placement`] and
+    /// the hybrid apply path); `num_dcs <= 64` is enforced at
+    /// construction, so one `u64` always suffices.
+    pub(crate) nnz: u64,
+    /// Expected gather bytes (`profile.gather_bytes[v]`).
+    pub(crate) g: f32,
+    /// Expected apply bytes (`profile.apply_bytes[v]`).
+    pub(crate) a: f32,
+    /// Master DC (mirror of `masters[v]`).
+    pub(crate) master: DcId,
+    /// High-degree class (mirror of `is_high[v]`).
+    pub(crate) high: bool,
+}
+
 /// Replica-based placement state shared by hybrid-cut and vertex-cut.
 ///
 /// For every vertex `v` and DC `d` it tracks how many of `v`'s in-edges and
-/// out-edges are placed at `d` (flat `n × M` count arrays). From those
-/// counts the model derives:
+/// out-edges are placed at `d` (one interleaved count-plane pair, see
+/// [`Self::counts_row`]). From those counts the model derives:
 ///
 /// * **mirrors** — `v` is replicated at `d ≠ master(v)` iff any incident
 ///   edge lives at `d`;
@@ -48,10 +78,20 @@ pub struct PlacementState {
     pub(crate) num_dcs: usize,
     pub(crate) masters: Vec<DcId>,
     pub(crate) is_high: Vec<bool>,
-    /// `in_cnt[v * num_dcs + d]` = number of in-edges of `v` placed at `d`.
-    pub(crate) in_cnt: Vec<u32>,
-    /// `out_cnt[v * num_dcs + d]` = number of out-edges of `v` placed at `d`.
-    pub(crate) out_cnt: Vec<u32>,
+    /// Interleaved in/out count-plane pair:
+    /// `counts[(v * num_dcs + d) * 2]` = in-edges of `v` placed at `d`,
+    /// `counts[(v * num_dcs + d) * 2 + 1]` = out-edges of `v` placed at `d`.
+    ///
+    /// A vertex's whole row is `2 · M` contiguous `u32` lanes (exactly one
+    /// 64-byte cache line at M = 8), so the kernel's per-neighbor
+    /// `count_transitions` tests — which always probe the in *and* out
+    /// count of the same `(v, d)` cell — stream one contiguous run instead
+    /// of two parallel arrays.
+    pub(crate) counts: Vec<u32>,
+    /// Packed kernel-side metadata, one record per vertex — see
+    /// [`VertexMeta`]. The occupancy mask lets the move-evaluation kernel
+    /// skip whole neighbor rows in O(1) instead of scanning `2 · M` lanes.
+    pub(crate) meta: Vec<VertexMeta>,
     /// Edges placed per DC (load-balance metric).
     pub(crate) edges_per_dc: Vec<u64>,
     pub(crate) gather: StageLoads,
@@ -68,6 +108,10 @@ impl PlacementState {
     /// define the computation model (vertex-cut passes all-high).
     /// `natural`/`data_sizes` come from the [`geograph::GeoGraph`] and give
     /// the movement cost baseline.
+    ///
+    /// Every triple is bounds-checked: plan files are external input, and
+    /// an out-of-range DC or vertex id must surface as a typed
+    /// [`PlanError`] naming the offending entry, not as a slice panic.
     #[allow(clippy::too_many_arguments)]
     pub fn from_edge_placement(
         env: &CloudEnv,
@@ -79,17 +123,32 @@ impl PlacementState {
         data_sizes: &[u64],
         profile: TrafficProfile,
         num_iterations: f64,
-    ) -> Self {
+    ) -> Result<Self, PlanError> {
         let m = env.num_dcs();
+        if m > geograph::MAX_DCS {
+            return Err(PlanError::TooManyDcs { num_dcs: m, max: geograph::MAX_DCS });
+        }
         assert_eq!(masters.len(), num_vertices);
         assert_eq!(is_high.len(), num_vertices);
         assert_eq!(profile.len(), num_vertices);
+        if let Some((vertex, &dc)) = masters.iter().enumerate().find(|&(_, &d)| d as usize >= m) {
+            return Err(PlanError::MasterOutOfRange { vertex: vertex as VertexId, dc, num_dcs: m });
+        }
+        let meta = (0..num_vertices)
+            .map(|i| VertexMeta {
+                nnz: 0,
+                g: profile.gather_bytes[i],
+                a: profile.apply_bytes[i],
+                master: masters[i],
+                high: is_high[i],
+            })
+            .collect();
         let mut state = PlacementState {
             num_dcs: m,
             masters,
             is_high,
-            in_cnt: vec![0; num_vertices * m],
-            out_cnt: vec![0; num_vertices * m],
+            counts: vec![0; num_vertices * m * 2],
+            meta,
             edges_per_dc: vec![0; m],
             gather: StageLoads::new(m),
             apply: StageLoads::new(m),
@@ -98,13 +157,38 @@ impl PlacementState {
             num_iterations,
         };
         for (u, v, d) in edges {
-            state.out_cnt[u as usize * m + d as usize] += 1;
-            state.in_cnt[v as usize * m + d as usize] += 1;
+            if d as usize >= m {
+                return Err(PlanError::EdgeDcOutOfRange { src: u, dst: v, dc: d, num_dcs: m });
+            }
+            if u as usize >= num_vertices || v as usize >= num_vertices {
+                let vertex = if u as usize >= num_vertices { u } else { v };
+                return Err(PlanError::VertexOutOfRange { vertex, num_vertices });
+            }
+            state.counts[(u as usize * m + d as usize) * 2 + 1] += 1;
+            state.counts[(v as usize * m + d as usize) * 2] += 1;
+            state.meta[u as usize].nnz |= 1 << d;
+            state.meta[v as usize].nnz |= 1 << d;
             state.edges_per_dc[d as usize] += 1;
         }
         state.rebuild_loads();
         state.movement_cost = geosim::cost::movement_cost(env, natural, &state.masters, data_sizes);
-        state
+        Ok(state)
+    }
+
+    /// Index of the in-count lane of cell `(v, d)`; the out-count lane is
+    /// the next element.
+    #[inline]
+    pub(crate) fn cell(&self, v: usize, d: usize) -> usize {
+        (v * self.num_dcs + d) * 2
+    }
+
+    /// Vertex `v`'s interleaved `[in, out]` count row: `2 · M` contiguous
+    /// lanes, DC `d`'s pair at `row[2 * d]` / `row[2 * d + 1]`.
+    #[inline]
+    pub(crate) fn counts_row(&self, v: VertexId) -> &[u32] {
+        let w = self.num_dcs * 2;
+        let base = v as usize * w;
+        &self.counts[base..base + w]
     }
 
     /// Recomputes the gather/apply load accumulators from the count arrays.
@@ -117,21 +201,24 @@ impl PlacementState {
     }
 
     /// Adds vertex `v`'s traffic contribution into the live accumulators.
+    /// Iterates only `v`'s occupied cells — empty cells contribute
+    /// nothing, so the skipped iterations leave the accumulated sums
+    /// bit-identical to a full `0..m` scan.
     pub(crate) fn add_vertex_loads(&mut self, v: VertexId) {
-        let m = self.num_dcs;
-        let master = self.masters[v as usize] as usize;
-        let base = v as usize * m;
-        let g = self.profile.g(v);
-        let a = self.profile.a(v);
-        for d in 0..m {
-            if d == master {
-                continue;
-            }
-            if self.is_high[v as usize] && self.in_cnt[base + d] > 0 {
+        let meta = self.meta[v as usize];
+        let master = meta.master as usize;
+        let base = v as usize * self.num_dcs * 2;
+        let g = meta.g as f64;
+        let a = meta.a as f64;
+        let mut bits = meta.nnz & !(1u64 << master);
+        while bits != 0 {
+            let d = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if meta.high && self.counts[base + 2 * d] > 0 {
                 self.gather.add_up(d as DcId, g);
                 self.gather.add_down(master as DcId, g);
             }
-            if self.in_cnt[base + d] + self.out_cnt[base + d] > 0 {
+            if self.counts[base + 2 * d] + self.counts[base + 2 * d + 1] > 0 {
                 self.apply.add_up(master as DcId, a);
                 self.apply.add_down(d as DcId, a);
             }
@@ -140,20 +227,20 @@ impl PlacementState {
 
     /// Removes vertex `v`'s traffic contribution from the live accumulators.
     pub(crate) fn remove_vertex_loads(&mut self, v: VertexId) {
-        let m = self.num_dcs;
-        let master = self.masters[v as usize] as usize;
-        let base = v as usize * m;
-        let g = self.profile.g(v);
-        let a = self.profile.a(v);
-        for d in 0..m {
-            if d == master {
-                continue;
-            }
-            if self.is_high[v as usize] && self.in_cnt[base + d] > 0 {
+        let meta = self.meta[v as usize];
+        let master = meta.master as usize;
+        let base = v as usize * self.num_dcs * 2;
+        let g = meta.g as f64;
+        let a = meta.a as f64;
+        let mut bits = meta.nnz & !(1u64 << master);
+        while bits != 0 {
+            let d = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if meta.high && self.counts[base + 2 * d] > 0 {
                 self.gather.add_up(d as DcId, -g);
                 self.gather.add_down(master as DcId, -g);
             }
-            if self.in_cnt[base + d] + self.out_cnt[base + d] > 0 {
+            if self.counts[base + 2 * d] + self.counts[base + 2 * d + 1] > 0 {
                 self.apply.add_up(master as DcId, -a);
                 self.apply.add_down(d as DcId, -a);
             }
@@ -190,27 +277,23 @@ impl PlacementState {
     /// Number of in-edges of `v` placed at `d`.
     #[inline]
     pub fn in_count(&self, v: VertexId, d: DcId) -> u32 {
-        self.in_cnt[v as usize * self.num_dcs + d as usize]
+        self.counts[self.cell(v as usize, d as usize)]
     }
 
     /// Number of out-edges of `v` placed at `d`.
     #[inline]
     pub fn out_count(&self, v: VertexId, d: DcId) -> u32 {
-        self.out_cnt[v as usize * self.num_dcs + d as usize]
+        self.counts[self.cell(v as usize, d as usize) + 1]
     }
 
     /// Bitmask of DCs where `v` has a mirror (master excluded).
+    ///
+    /// `num_dcs <= 64` is guaranteed at construction ([`CloudEnv::new`] and
+    /// [`Self::from_edge_placement`] both enforce [`geograph::MAX_DCS`]), so
+    /// the shift cannot wrap.
     pub fn mirror_mask(&self, v: VertexId) -> u64 {
-        let m = self.num_dcs;
-        let base = v as usize * m;
-        let master = self.masters[v as usize] as usize;
-        let mut mask = 0u64;
-        for d in 0..m {
-            if d != master && self.in_cnt[base + d] + self.out_cnt[base + d] > 0 {
-                mask |= 1 << d;
-            }
-        }
-        mask
+        let meta = &self.meta[v as usize];
+        meta.nnz & !(1u64 << meta.master)
     }
 
     /// Number of mirrors of `v`.
@@ -310,6 +393,7 @@ mod tests {
             TrafficProfile::uniform(2, 8.0),
             10.0,
         )
+        .unwrap()
     }
 
     #[test]
@@ -351,7 +435,8 @@ mod tests {
             &[100, 100],
             TrafficProfile::uniform(2, 8.0),
             10.0,
-        );
+        )
+        .unwrap();
         assert_eq!(s.gather_loads().up(0), 8.0);
         assert_eq!(s.gather_loads().down(1), 8.0);
         // Vertex 1 also has a mirror at DC 0 (its in-edge lives there):
@@ -372,7 +457,8 @@ mod tests {
             &[100, 100],
             TrafficProfile::uniform(2, 8.0),
             10.0,
-        );
+        )
+        .unwrap();
         assert_eq!(s.gather_loads().total_up(), 0.0);
         // Synchronization still happens at apply.
         assert_eq!(s.apply_loads().up(1), 8.0);
@@ -404,7 +490,8 @@ mod tests {
             &[1_000_000_000, 100],
             TrafficProfile::uniform(2, 8.0),
             1.0,
-        );
+        )
+        .unwrap();
         assert!((s.movement_cost() - 0.10).abs() < 1e-9);
     }
 
@@ -423,5 +510,59 @@ mod tests {
         let env = env2();
         let s = simple_state(&env);
         assert_eq!(s.edges_per_dc(), &[0, 1]);
+    }
+
+    #[test]
+    fn out_of_range_dc_is_typed_error() {
+        let env = env2();
+        let err = PlacementState::from_edge_placement(
+            &env,
+            2,
+            [(0u32, 1u32, 5u8)].into_iter(),
+            vec![0, 1],
+            vec![false, true],
+            &[0, 1],
+            &[100, 100],
+            TrafficProfile::uniform(2, 8.0),
+            10.0,
+        )
+        .unwrap_err();
+        assert_eq!(err, PlanError::EdgeDcOutOfRange { src: 0, dst: 1, dc: 5, num_dcs: 2 });
+    }
+
+    #[test]
+    fn out_of_range_vertex_is_typed_error() {
+        let env = env2();
+        let err = PlacementState::from_edge_placement(
+            &env,
+            2,
+            [(0u32, 7u32, 1u8)].into_iter(),
+            vec![0, 1],
+            vec![false, true],
+            &[0, 1],
+            &[100, 100],
+            TrafficProfile::uniform(2, 8.0),
+            10.0,
+        )
+        .unwrap_err();
+        assert_eq!(err, PlanError::VertexOutOfRange { vertex: 7, num_vertices: 2 });
+    }
+
+    #[test]
+    fn out_of_range_master_is_typed_error() {
+        let env = env2();
+        let err = PlacementState::from_edge_placement(
+            &env,
+            2,
+            std::iter::empty(),
+            vec![0, 9],
+            vec![false, true],
+            &[0, 1],
+            &[100, 100],
+            TrafficProfile::uniform(2, 8.0),
+            10.0,
+        )
+        .unwrap_err();
+        assert_eq!(err, PlanError::MasterOutOfRange { vertex: 1, dc: 9, num_dcs: 2 });
     }
 }

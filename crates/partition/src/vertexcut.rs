@@ -4,6 +4,7 @@
 use geograph::GeoGraph;
 use geosim::CloudEnv;
 
+use crate::error::PlanError;
 use crate::kernel::MoveScratch;
 use crate::profile::TrafficProfile;
 use crate::state::{Objective, PlacementState};
@@ -38,7 +39,8 @@ pub struct VertexCutState {
 
 impl VertexCutState {
     /// Builds vertex-cut state from a per-edge DC assignment aligned with
-    /// `geo.graph.edges()` order.
+    /// `geo.graph.edges()` order, panicking on an out-of-range DC. External
+    /// plan input goes through [`Self::try_from_edge_assignment`].
     pub fn from_edge_assignment(
         geo: &GeoGraph,
         env: &CloudEnv,
@@ -47,12 +49,30 @@ impl VertexCutState {
         profile: TrafficProfile,
         num_iterations: f64,
     ) -> Self {
+        Self::try_from_edge_assignment(geo, env, edge_dcs, master_rule, profile, num_iterations)
+            .unwrap_or_else(|e| panic!("invalid edge assignment: {e}"))
+    }
+
+    /// Builds vertex-cut state from a per-edge DC assignment, returning a
+    /// typed [`PlanError`] when any edge names a DC outside the environment.
+    pub fn try_from_edge_assignment(
+        geo: &GeoGraph,
+        env: &CloudEnv,
+        edge_dcs: &[DcId],
+        master_rule: MasterRule,
+        profile: TrafficProfile,
+        num_iterations: f64,
+    ) -> Result<Self, PlanError> {
         assert_eq!(edge_dcs.len(), geo.num_edges());
         let n = geo.num_vertices();
         let m = env.num_dcs();
         // First pass: per-vertex edge counts per DC, to derive masters.
+        // Validates every DC id before any indexing happens.
         let mut incident = vec![0u32; n * m];
         for ((u, v), &d) in geo.graph.edges().zip(edge_dcs) {
+            if d as usize >= m {
+                return Err(PlanError::EdgeDcOutOfRange { src: u, dst: v, dc: d, num_dcs: m });
+            }
             incident[u as usize * m + d as usize] += 1;
             incident[v as usize * m + d as usize] += 1;
         }
@@ -86,8 +106,8 @@ impl VertexCutState {
             &geo.data_sizes,
             profile,
             num_iterations,
-        );
-        VertexCutState { core, edge_dcs: edge_dcs.to_vec() }
+        )?;
+        Ok(VertexCutState { core, edge_dcs: edge_dcs.to_vec() })
     }
 
     /// The underlying placement state.
@@ -169,6 +189,7 @@ impl VertexCutState {
         self.core.movement_cost += geosim::cost::vertex_move_cost(env, loc, to, size)
             - geosim::cost::vertex_move_cost(env, loc, a, size);
         self.core.masters[v as usize] = to;
+        self.core.meta[v as usize].master = to;
         self.core.add_vertex_loads(v);
     }
 }
@@ -286,6 +307,28 @@ mod tests {
                     actual.total_cost()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn out_of_range_edge_dc_is_typed_error() {
+        let (geo, env) = setup();
+        let mut edge_dcs = vec![0 as DcId; geo.num_edges()];
+        edge_dcs[3] = 200;
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let err = VertexCutState::try_from_edge_assignment(
+            &geo,
+            &env,
+            &edge_dcs,
+            MasterRule::HeaviestReplica,
+            profile,
+            10.0,
+        )
+        .map(|_| ())
+        .unwrap_err();
+        match err {
+            PlanError::EdgeDcOutOfRange { dc: 200, num_dcs: 8, .. } => {}
+            other => panic!("expected edge-DC-out-of-range, got {other:?}"),
         }
     }
 

@@ -19,4 +19,7 @@ cargo fmt --check
 echo "==> fault-schedule smoke run (exp6)"
 cargo run --release -p geobench --bin exp6_faults -- --scale 0.0003 --seed 42 --threads 2
 
+echo "==> move-evaluation kernel micro-bench smoke run"
+cargo bench -p geobench --bench micro -- evaluate_all_moves_tw8dc
+
 echo "verify: OK"

@@ -114,6 +114,56 @@ proptest! {
         state.check_consistency(&env);
     }
 
+    /// A scratch arena cycled across environment widths (8 DCs → 4 DCs →
+    /// 8 DCs) must produce bit-identical objectives to a fresh arena: the
+    /// shrink-then-grow round-trip leaves stale lanes in the buffers, and
+    /// the kernels must never let them reach an objective.
+    #[test]
+    fn scratch_reuse_across_widths_is_bitwise_clean(
+        geo8 in arb_rmat_geo(),
+        seed4 in 0u64..1000,
+        probes in proptest::collection::vec((0u32..u32::MAX, 0u32..u32::MAX), 1..12),
+    ) {
+        let env8 = ec2_eight_regions();
+        let env4 = geosim::CloudEnv::new(env8.dcs()[..4].to_vec());
+        let g4 = rmat(&RmatConfig::social(256, 2048), seed4);
+        let geo4 = GeoGraph::from_graph(g4, &LocalityConfig::uniform(4, seed4));
+
+        let profile8 = TrafficProfile::uniform(geo8.num_vertices(), 8.0);
+        let s8 = HybridState::from_masters(
+            &geo8, &env8, geo8.locations.clone(), 4, profile8, 10.0,
+        );
+        let profile4 = TrafficProfile::uniform(geo4.num_vertices(), 8.0);
+        let s4 = HybridState::from_masters(
+            &geo4, &env4, geo4.locations.clone(), 4, profile4, 10.0,
+        );
+
+        let mut shared = MoveScratch::new();
+        for (p8, p4) in probes {
+            let v8 = p8 % geo8.num_vertices() as u32;
+            let v4 = p4 % geo4.num_vertices() as u32;
+            s8.evaluate_all_moves(&env8, v8, &mut shared);
+            s4.evaluate_all_moves(&env4, v4, &mut shared);
+            let reused = s8.evaluate_all_moves(&env8, v8, &mut shared).to_vec();
+            let mut fresh = MoveScratch::new();
+            let clean = s8.evaluate_all_moves(&env8, v8, &mut fresh);
+            for (d, (r, c)) in reused.iter().zip(clean).enumerate() {
+                prop_assert_eq!(
+                    r.transfer_time.to_bits(), c.transfer_time.to_bits(),
+                    "transfer_time bits differ at v={} d={}", v8, d
+                );
+                prop_assert_eq!(
+                    r.movement_cost.to_bits(), c.movement_cost.to_bits(),
+                    "movement_cost bits differ at v={} d={}", v8, d
+                );
+                prop_assert_eq!(
+                    r.runtime_cost.to_bits(), c.runtime_cost.to_bits(),
+                    "runtime_cost bits differ at v={} d={}", v8, d
+                );
+            }
+        }
+    }
+
     /// Replication factor is always in [1, M] and exactly 1 when all
     /// masters share one DC.
     #[test]
