@@ -29,8 +29,8 @@ pub mod revolver;
 pub mod spinner;
 
 pub use fennel::fennel;
-pub use geocut::geocut;
-pub use ginger::ginger;
+pub use geocut::{geocut, geocut_with_pool};
+pub use ginger::{ginger, ginger_with_pool};
 pub use hashpl::hashpl;
 pub use leopard::Leopard;
 pub use plan::PlanKind;

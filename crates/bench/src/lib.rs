@@ -98,6 +98,9 @@ pub fn run_all_methods<'g>(
     let iters = algo.expected_iterations();
     let theta = geograph::degree::suggest_theta(&geo.graph, 0.05);
     let mut runs = Vec::new();
+    // One pool shared by every pool-enabled refiner in this workload run
+    // (the RLCut trainer keeps its own session-resident pool).
+    let pool = (ctx.threads > 1).then(|| rlcut::WorkerPool::new(ctx.threads));
 
     let (plan, overhead) =
         timed(|| PlanKind::Vertex(geobase::randpg(geo, env, profile.clone(), iters, ctx.seed)));
@@ -105,12 +108,13 @@ pub fn run_all_methods<'g>(
 
     if set.include_slow {
         let (plan, overhead) = timed(|| {
-            PlanKind::Vertex(geobase::geocut(
+            PlanKind::Vertex(geobase::geocut_with_pool(
                 geo,
                 env,
-                geobase::geocut::GeoCutConfig::new(budget),
+                geobase::geocut::GeoCutConfig::new(budget).with_threads(ctx.threads),
                 profile.clone(),
                 iters,
+                pool.as_ref(),
             ))
         });
         runs.push(MethodRun { name: "Geo-Cut", plan, overhead });
@@ -122,12 +126,13 @@ pub fn run_all_methods<'g>(
     runs.push(MethodRun { name: "HashPL", plan, overhead });
 
     let (plan, ginger_overhead) = timed(|| {
-        PlanKind::Hybrid(geobase::ginger(
+        PlanKind::Hybrid(geobase::ginger_with_pool(
             geo,
             env,
-            GingerConfig::new(theta, ctx.seed),
+            GingerConfig::new(theta, ctx.seed).with_threads(ctx.threads),
             profile.clone(),
             iters,
+            pool.as_ref(),
         ))
     });
     runs.push(MethodRun { name: "Ginger", plan, overhead: ginger_overhead });

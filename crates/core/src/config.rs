@@ -48,6 +48,26 @@ pub struct RlCutConfig {
     /// Disable the degree-aware straggler mitigation (§V-B) — ablation
     /// hook; agents are then assigned to threads round-robin.
     pub disable_straggler_mitigation: bool,
+    /// Minimum sampled-agent count before the score phase fans out to the
+    /// worker pool; smaller samples run sequentially on the caller thread.
+    ///
+    /// Rationale: a parallel dispatch has a fixed cost — historically a
+    /// full `thread::scope` spawn/join per step, now one condvar
+    /// round-trip into the persistent [`crate::pool::WorkerPool`] plus the
+    /// LPT group build. That cost amortizes only once the sampled agents
+    /// carry enough `O(deg)` scoring work; below the threshold the
+    /// sequential path (with the session-resident scratch) wins. The
+    /// default of 64 was measured against the pool on the 8-DC
+    /// Twitter-analog preset (`bench_trainer`): dispatch overhead is down
+    /// ~an order of magnitude versus per-step spawning, but tiny adaptive
+    /// early-step samples (1 % of agents) still finish faster inline.
+    pub parallel_threshold: usize,
+    /// Route the parallel phases through the persistent per-session
+    /// [`crate::pool::WorkerPool`] (the default). `false` falls back to
+    /// spawning a fresh `thread::scope` per phase per step with cold
+    /// scratch arenas — kept as the ablation/bench baseline the pool is
+    /// measured against.
+    pub use_worker_pool: bool,
     /// Required optimization overhead `T_opt` (§V-C). `None` disables the
     /// adaptive sampler: every agent trains every step.
     pub t_opt: Option<Duration>,
@@ -82,6 +102,8 @@ impl RlCutConfig {
             batch_size: 48,
             num_threads: None,
             disable_straggler_mitigation: false,
+            parallel_threshold: 64,
+            use_worker_pool: true,
             t_opt: None,
             initial_sample_rate: 0.01,
             fixed_sample_rate: None,
@@ -132,6 +154,20 @@ impl RlCutConfig {
         self
     }
 
+    /// Builder-style sequential-fallback threshold (see
+    /// [`RlCutConfig::parallel_threshold`]).
+    pub fn with_parallel_threshold(mut self, threshold: usize) -> Self {
+        self.parallel_threshold = threshold;
+        self
+    }
+
+    /// Builder-style worker-pool toggle (see
+    /// [`RlCutConfig::use_worker_pool`]).
+    pub fn with_worker_pool(mut self, enabled: bool) -> Self {
+        self.use_worker_pool = enabled;
+        self
+    }
+
     /// Effective worker-thread count.
     pub fn threads(&self) -> usize {
         self.num_threads
@@ -150,6 +186,8 @@ mod tests {
         assert_eq!(c.batch_size, 48);
         assert!(!c.use_penalty);
         assert_eq!(c.initial_sample_rate, 0.01);
+        assert_eq!(c.parallel_threshold, 64);
+        assert!(c.use_worker_pool);
     }
 
     #[test]

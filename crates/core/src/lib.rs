@@ -54,6 +54,7 @@ pub mod agent;
 pub mod checkpoint;
 pub mod config;
 pub mod observer;
+pub mod pool;
 pub mod recovery;
 pub mod sampling;
 pub mod score;
@@ -64,6 +65,7 @@ pub mod trainer;
 pub use adaptive::AdaptiveRlCut;
 pub use checkpoint::{CheckpointError, TrainerCheckpoint};
 pub use config::RlCutConfig;
+pub use pool::{PoolError, WorkerPool};
 pub use recovery::{train_under_faults, FaultTrainReport};
 pub use stats::{RlCutResult, StepStats};
 pub use trainer::{partition, partition_from, TrainerSession};

@@ -186,6 +186,49 @@ mod tests {
     }
 
     #[test]
+    fn fault_training_deterministic_across_thread_counts() {
+        // The crash-restore path rebuilds the session (and with it the
+        // worker pool); the result must still be independent of how many
+        // pool workers evaluate moves.
+        let (geo, env, budget) = small_setup();
+        let schedule = FaultSchedule::single_outage(env.num_dcs(), 64, 1, 2);
+        let run = |threads: usize| {
+            let config = RlCutConfig::new(budget)
+                .with_seed(9)
+                .with_max_steps(8)
+                .with_fixed_sample_rate(1.0)
+                .with_threads(threads);
+            train_under_faults(&geo, &env, initial_state(&geo, &env), &config, &schedule, 3)
+                .unwrap()
+        };
+        let (a, ra) = run(1);
+        let (b, rb) = run(4);
+        assert_eq!(ra, rb);
+        assert_eq!(a.state.core().masters(), b.state.core().masters());
+    }
+
+    #[test]
+    fn fault_recovery_does_not_leak_pool_workers() {
+        // Every outage tears down a pooled session and resumes a new one;
+        // repeated crash/restore cycles must join the old workers.
+        let (geo, env, budget) = small_setup();
+        let config = RlCutConfig::new(budget).with_seed(7).with_max_steps(10).with_threads(4);
+        let schedule = FaultSchedule::single_outage(env.num_dcs(), 64, 2, 3);
+        let before = crate::pool::live_os_threads();
+        for _ in 0..3 {
+            let (_, report) =
+                train_under_faults(&geo, &env, initial_state(&geo, &env), &config, &schedule, 2)
+                    .unwrap();
+            assert_eq!(report.crash_recoveries, 1);
+        }
+        let after = crate::pool::live_os_threads();
+        assert!(
+            after <= before + 1,
+            "pool workers leaked across fault recoveries: {before} -> {after}"
+        );
+    }
+
+    #[test]
     fn fault_training_is_deterministic() {
         let (geo, env, budget) = small_setup();
         let config = RlCutConfig::new(budget).with_seed(9).with_max_steps(8);

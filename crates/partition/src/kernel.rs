@@ -194,10 +194,46 @@ impl MoveScratch {
         &self.objectives[..self.m]
     }
 
+    /// Pre-grows the staged-neighbor arena to hold `n` entries — lets a
+    /// long-lived scratch (a pool worker's, a refiner's) front-load its
+    /// steady-state allocation instead of growing inside the first hot
+    /// sweep. Never shrinks.
+    pub fn reserve_neighbors(&mut self, n: usize) {
+        let len = self.neighbors.len();
+        if n > len {
+            self.neighbors.reserve(n - len);
+        }
+    }
+
+    /// Capacity snapshot of the arena's growable buffers. A long-lived
+    /// scratch (e.g. one resident in a `WorkerPool` worker) reaches a
+    /// steady state after its first pass over the workload: the snapshot
+    /// lets tests and telemetry assert that later passes cause no regrowth
+    /// — i.e. the hot loop really is allocation-free.
+    pub fn stats(&self) -> ScratchStats {
+        ScratchStats {
+            width: self.m,
+            neighbor_capacity: self.neighbors.capacity(),
+            dest_cells: self.dest_gu.len(),
+        }
+    }
+
     pub(crate) fn objectives_mut(&mut self) -> &mut [Objective] {
         let m = self.m;
         &mut self.objectives[..m]
     }
+}
+
+/// Capacity snapshot of a [`MoveScratch`] (see [`MoveScratch::stats`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// DC count the projection buffers are sized for (0 before first use).
+    pub width: usize,
+    /// Allocated capacity of the staged-neighbor arena — grows to the
+    /// largest neighborhood evaluated so far, then stays put.
+    pub neighbor_capacity: usize,
+    /// Allocated cells of each destination-major M×M correction arena.
+    pub dest_cells: usize,
 }
 
 thread_local! {

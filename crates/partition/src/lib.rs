@@ -39,7 +39,7 @@ pub mod vertexcut;
 pub use edgecut::EdgeCutState;
 pub use error::PlanError;
 pub use hybrid::{EvacuationReport, HybridState};
-pub use kernel::MoveScratch;
+pub use kernel::{MoveScratch, ScratchStats};
 pub use profile::TrafficProfile;
 pub use state::{Objective, PlacementState};
 

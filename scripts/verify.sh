@@ -13,6 +13,20 @@ cargo test -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> trainer worker-pool bench smoke run (pool vs scope, BENCH_trainer.json)"
+mkdir -p EXPERIMENTS-data
+# The bench itself cross-checks that every (threads, dispatch) cell trains
+# a bit-identical plan. The speedup gate is a loose smoke ratio: the real
+# >=1.15x pool-vs-scope target only holds on hosts with >=4 physical
+# cores (single-core CI boxes measure pure noise around 1.0x, so 0.5 only
+# guards against a catastrophic dispatch regression).
+cargo run --release -p geobench --bin bench_trainer -- \
+  --scale 0.0002 --steps 3 --reps 2 --threads-list 1,4 \
+  --out EXPERIMENTS-data/BENCH_trainer.json --assert-speedup 0.5
+
+echo "==> pool determinism cross-check (1 vs 4 threads)"
+cargo test -q -p rlcut deterministic_across_thread_counts
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
