@@ -8,7 +8,7 @@
 //! assignment never revisits old edges, which is what makes it cheap — and
 //! what RLCut's re-optimization beats on quality.
 
-use geograph::{GeoGraph, VertexId};
+use geograph::{GeoGraph, GraphDelta, VertexId};
 use geopart::vertexcut::{MasterRule, VertexCutState};
 use geopart::{DcId, TrafficProfile};
 use geosim::CloudEnv;
@@ -100,6 +100,25 @@ impl Leopard {
         self.edge_dcs.push(d as DcId);
         self.edges_seen += 1;
         d as DcId
+    }
+
+    /// Streams a window's [`GraphDelta`] — the same delta the incremental
+    /// RLCut path consumes. Net-inserted edges are placed in sorted order
+    /// through [`Self::place_edge`] (growing the replica table as new ids
+    /// appear). Deleted edges are ignored: Leopard's streaming state never
+    /// revisits old placements — its replica tables only accumulate — so
+    /// deletions affect evaluation replay ([`Self::state`] re-places the
+    /// surviving edge set of the new snapshot), not the streaming state.
+    pub fn apply_delta(&mut self, delta: &GraphDelta, natural: impl Fn(VertexId) -> DcId) {
+        // Vertices whose edges cancelled out still arrive.
+        let needed = delta.new_num_vertices();
+        while self.replicas.len() < needed {
+            let id = self.replicas.len() as VertexId;
+            self.replicas.push(1u64 << natural(id));
+        }
+        for &(u, v) in delta.inserted() {
+            self.place_edge(u, v, &natural);
+        }
     }
 
     /// The per-edge placements so far, in arrival order.
@@ -197,6 +216,78 @@ mod tests {
         leopard.place_edge(0, 5, |_| 2);
         assert_eq!(leopard.replicas.len(), 6);
         assert!(leopard.replicas[5] & (1 << 2) != 0 || leopard.replicas[5].count_ones() >= 1);
+    }
+
+    #[test]
+    fn apply_delta_streams_net_inserts_only() {
+        use geograph::dynamic::{EdgeEvent, EventKind};
+        use geograph::Graph;
+        let base = Graph::from_edges(4, &[(0, 1), (1, 2)]);
+        let mut leopard = Leopard::new(4, &[0, 1, 2, 3], 4, LeopardConfig::default());
+        let ev = |src, dst, t, kind| EdgeEvent { src, dst, timestamp_ms: t, kind };
+        let events = vec![
+            ev(2, 3, 0, EventKind::Insert),
+            ev(5, 0, 1, EventKind::Insert), // grows the vertex table
+            ev(5, 0, 2, EventKind::Delete), // cancels: vertex 4..=5 still arrive
+            ev(0, 1, 3, EventKind::Insert), // insert-of-existing: no-op
+            ev(1, 2, 4, EventKind::Delete), // delete: ignored by streaming state
+        ];
+        let delta = GraphDelta::from_events(&base, &events);
+        let before = leopard.edge_dcs().len();
+        leopard.apply_delta(&delta, |_| 0);
+        // Exactly the net-inserted edges streamed.
+        assert_eq!(leopard.edge_dcs().len() - before, delta.inserted().len());
+        assert_eq!(delta.inserted(), &[(2, 3)]);
+        // The cancelled-edge vertices still grew the replica table.
+        assert_eq!(leopard.replicas.len(), 6);
+    }
+
+    #[test]
+    fn delta_stream_matches_monolithic_stream() {
+        // Streaming a graph in one pass and streaming base + delta must
+        // accumulate identical replica state when the arrival order of
+        // inserted edges matches (both sorted here).
+        let (geo, env) = setup();
+        let all_edges: Vec<(geograph::VertexId, geograph::VertexId)> = {
+            let mut e: Vec<_> = geo.graph.edges().collect();
+            e.sort_unstable();
+            e
+        };
+        let split = all_edges.len() * 7 / 10;
+        let natural = |id: geograph::VertexId| geo.locations[id as usize];
+
+        let mut monolithic =
+            Leopard::new(geo.num_vertices(), &geo.locations, geo.num_dcs, LeopardConfig::default());
+        for &(u, v) in &all_edges {
+            monolithic.place_edge(u, v, natural);
+        }
+
+        let base = geograph::Graph::from_edges(geo.num_vertices(), &all_edges[..split]);
+        use geograph::dynamic::{EdgeEvent, EventKind};
+        let events: Vec<EdgeEvent> = all_edges[split..]
+            .iter()
+            .enumerate()
+            .map(|(i, &(src, dst))| EdgeEvent {
+                src,
+                dst,
+                timestamp_ms: i as u64,
+                kind: EventKind::Insert,
+            })
+            .collect();
+        let delta = GraphDelta::from_events(&base, &events);
+        let mut windowed =
+            Leopard::new(geo.num_vertices(), &geo.locations, geo.num_dcs, LeopardConfig::default());
+        for &(u, v) in &all_edges[..split] {
+            windowed.place_edge(u, v, natural);
+        }
+        windowed.apply_delta(&delta, natural);
+        assert_eq!(monolithic.replicas, windowed.replicas);
+        assert_eq!(monolithic.edge_dcs, windowed.edge_dcs);
+        // Both evaluate to the same plan over the final graph.
+        let p = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let a = monolithic.state(&geo, &env, p.clone(), 10.0);
+        let b = windowed.state(&geo, &env, p, 10.0);
+        assert_eq!(a.edge_dcs(), b.edge_dcs());
     }
 
     #[test]

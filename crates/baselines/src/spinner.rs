@@ -9,7 +9,7 @@
 //! optimization overhead, which is exactly the behaviour Fig 15(b)
 //! penalizes when updates come fast.
 
-use geograph::{GeoGraph, VertexId};
+use geograph::{GeoGraph, GraphDelta, VertexId};
 use geopart::{DcId, EdgeCutState, TrafficProfile};
 use geosim::CloudEnv;
 
@@ -88,6 +88,23 @@ impl Spinner {
             }
         }
         self.propagate(geo, &affected);
+    }
+
+    /// [`Self::adapt`] driven by the window's [`GraphDelta`] — the same
+    /// delta the incremental RLCut path consumes. Propagation is seeded
+    /// from the delta's new vertices *and* every touched endpoint, so edge
+    /// deletions — invisible to `adapt`'s new-vertex-only seeding — also
+    /// re-propagate their perturbed neighborhoods. (`adapt` dedups seeds
+    /// and widens to direct neighbors itself.)
+    pub fn adapt_delta(&mut self, geo: &GeoGraph, delta: &GraphDelta) {
+        assert_eq!(
+            geo.num_vertices(),
+            delta.new_num_vertices(),
+            "snapshot must be the delta's successor graph"
+        );
+        let mut seeds: Vec<VertexId> = delta.new_vertices().collect();
+        seeds.extend_from_slice(delta.touched());
+        self.adapt(geo, &seeds);
     }
 
     /// The current per-vertex assignment.
@@ -240,14 +257,57 @@ mod tests {
         // Apply all remaining events as one window.
         let mut builder = GraphBuilder::new(initial_geo.num_vertices());
         builder.add_edges(initial_geo.graph.edges());
-        let new_vertices = apply_events(&mut builder, stream.events());
+        let applied = apply_events(&mut builder, stream.events());
         let grown = builder.build();
         let grown_geo =
             GeoGraph::new(grown, geo.locations[..].to_vec(), geo.data_sizes.clone(), geo.num_dcs);
-        spinner.adapt(&grown_geo, &new_vertices);
+        spinner.adapt(&grown_geo, &applied.new_vertices);
         assert_eq!(spinner.assignment().len(), grown_geo.num_vertices());
         let p = TrafficProfile::uniform(grown_geo.num_vertices(), 8.0);
         let s = spinner.state(&grown_geo, &env, &p, 10.0);
         assert!(s.internal_edge_fraction() > 0.0);
+    }
+
+    #[test]
+    fn adapt_delta_matches_adapt_on_insert_only_streams() {
+        // On a pure-insert window, the GraphDelta-driven path seeds from
+        // new vertices ∪ touched endpoints; the legacy path seeds from new
+        // vertices and widens to their neighbors. The delta seeds are a
+        // superset restricted to perturbed adjacency, so both converge to
+        // a full-length assignment over the same graph.
+        let (geo, env) = setup();
+        let all_edges: Vec<_> = geo.graph.edges().collect();
+        let (initial, stream) = split_for_dynamic(&all_edges, geo.num_vertices(), 0.7, 60_000);
+        let initial_geo =
+            GeoGraph::new(initial, geo.locations.clone(), geo.data_sizes.clone(), geo.num_dcs);
+        let mut spinner = Spinner::partition(&initial_geo, SpinnerConfig::default());
+
+        let delta = GraphDelta::from_events(&initial_geo.graph, stream.events());
+        let grown = initial_geo.graph.apply_delta(&delta);
+        let grown_geo =
+            GeoGraph::new(grown, geo.locations.clone(), geo.data_sizes.clone(), geo.num_dcs);
+        spinner.adapt_delta(&grown_geo, &delta);
+        assert_eq!(spinner.assignment().len(), grown_geo.num_vertices());
+        let p = TrafficProfile::uniform(grown_geo.num_vertices(), 8.0);
+        let s = spinner.state(&grown_geo, &env, &p, 10.0);
+        assert!(s.internal_edge_fraction() > 0.0);
+    }
+
+    #[test]
+    fn adapt_delta_repropagates_deletion_neighborhoods() {
+        // A delete-only window must still re-propagate: the deleted edge's
+        // endpoints are in touched() even though no vertex arrived.
+        use geograph::dynamic::{EdgeEvent, EventKind};
+        let (geo, _env) = setup();
+        let mut spinner = Spinner::partition(&geo, SpinnerConfig::default());
+        let (du, dv) = geo.graph.edges().next().expect("graph has edges");
+        let events = vec![EdgeEvent { src: du, dst: dv, timestamp_ms: 0, kind: EventKind::Delete }];
+        let delta = GraphDelta::from_events(&geo.graph, &events);
+        assert_eq!(delta.touched(), &[du.min(dv), du.max(dv)][..]);
+        let shrunk = geo.graph.apply_delta(&delta);
+        let shrunk_geo =
+            GeoGraph::new(shrunk, geo.locations.clone(), geo.data_sizes.clone(), geo.num_dcs);
+        spinner.adapt_delta(&shrunk_geo, &delta);
+        assert_eq!(spinner.assignment().len(), shrunk_geo.num_vertices());
     }
 }

@@ -22,10 +22,10 @@ pub fn run(ctx: &ExpContext) {
     let mut known: FxHashSet<u32> = (0..initial.num_vertices() as u32).collect();
     let mut max_edges = 0u64;
     let mut min_edges = u64::MAX;
-    for (hour, window) in windows.iter().enumerate() {
+    for (hour, window) in windows.enumerate() {
         let edges = window.len() as u64;
         let mut nodes = 0u64;
-        for e in *window {
+        for e in window {
             if known.insert(e.src) {
                 nodes += 1;
             }

@@ -154,6 +154,15 @@ impl RlCutConfig {
         self
     }
 
+    /// Builder-style pinned high-degree threshold. Dynamic drivers pin it
+    /// so carried windows and per-window rebuilds classify vertices
+    /// identically (the default re-derives theta from each snapshot's
+    /// degree distribution).
+    pub fn with_theta(mut self, theta: usize) -> Self {
+        self.theta = Some(theta);
+        self
+    }
+
     /// Builder-style sequential-fallback threshold (see
     /// [`RlCutConfig::parallel_threshold`]).
     pub fn with_parallel_threshold(mut self, threshold: usize) -> Self {

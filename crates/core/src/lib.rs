@@ -62,10 +62,10 @@ pub mod stats;
 pub mod straggler;
 pub mod trainer;
 
-pub use adaptive::AdaptiveRlCut;
+pub use adaptive::{AdaptiveRlCut, WindowError, WindowReport};
 pub use checkpoint::{CheckpointError, TrainerCheckpoint};
 pub use config::RlCutConfig;
 pub use pool::{PoolError, WorkerPool};
 pub use recovery::{train_under_faults, FaultTrainReport};
 pub use stats::{RlCutResult, StepStats};
-pub use trainer::{partition, partition_from, TrainerSession};
+pub use trainer::{partition, partition_from, SessionResources, TrainerSession};

@@ -181,6 +181,20 @@ impl WorkerPool {
         Ok(())
     }
 
+    /// OS-thread identities of the workers, by worker index — the probe
+    /// behind the "one pool for the whole dynamic run" contract: a driver
+    /// that silently rebuilds its pool between windows shows fresh ids
+    /// here, while genuine reuse keeps them stable.
+    pub fn thread_ids(&self) -> Vec<std::thread::ThreadId> {
+        let slots: Vec<Mutex<Option<std::thread::ThreadId>>> =
+            (0..self.threads()).map(|_| Mutex::new(None)).collect();
+        self.run_on_all(&|worker, _| {
+            *slots[worker].lock() = Some(std::thread::current().id());
+        })
+        .expect("thread_ids job cannot panic");
+        slots.into_iter().map(|slot| slot.into_inner().expect("every worker reports")).collect()
+    }
+
     /// Capacity snapshot of every worker's resident scratch, by worker
     /// index — the probe behind the "arenas stay warm across steps"
     /// contract.
@@ -352,6 +366,18 @@ mod tests {
         })
         .unwrap();
         assert_eq!(pool.scratch_stats(), warm, "smaller job must not shrink warm arenas");
+    }
+
+    #[test]
+    fn thread_ids_are_stable_and_distinct() {
+        let pool = WorkerPool::new(4);
+        let first = pool.thread_ids();
+        assert_eq!(first.len(), 4);
+        let unique: std::collections::HashSet<_> = first.iter().copied().collect();
+        assert_eq!(unique.len(), 4, "workers must be distinct OS threads");
+        pool.run_on_all(&|_, _| {}).unwrap();
+        assert_eq!(pool.thread_ids(), first, "ids must be stable across dispatches");
+        assert_ne!(WorkerPool::new(4).thread_ids(), first, "a fresh pool has fresh ids");
     }
 
     #[test]

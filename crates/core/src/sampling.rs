@@ -44,6 +44,15 @@ pub struct SampleScheduler {
     /// weighted `λ^(age)`, so the schedule trusts recent, cheaper steps
     /// and affords higher rates late in training.
     recency: Option<f64>,
+    /// Sample-rate floor for delta-focused windows. The Eq 14 schedule
+    /// converges toward tiny rates on a quiet graph; after a dynamic
+    /// window perturbs a neighborhood, the driver raises this floor so the
+    /// touched region is guaranteed a seat in every step's sample. This
+    /// generalizes the fault-reseed ×8 boost (which only widened the
+    /// *initial* rate) to the whole window. A pinned `fixed` rate is an
+    /// explicit override and is not floored; stopping conditions are
+    /// unaffected either way.
+    min_rate: f64,
     /// `(rate, seconds)` of completed steps.
     history: Vec<(f64, f64)>,
 }
@@ -62,6 +71,7 @@ impl SampleScheduler {
             initial_rate,
             max_steps,
             recency: None,
+            min_rate: 0.0,
             history: Vec::new(),
         }
     }
@@ -72,6 +82,20 @@ impl SampleScheduler {
         assert!(lambda > 0.0 && lambda <= 1.0);
         self.recency = Some(lambda);
         self
+    }
+
+    /// Builder form of [`SampleScheduler::set_min_rate`].
+    pub fn with_min_rate(mut self, floor: f64) -> Self {
+        self.set_min_rate(floor);
+        self
+    }
+
+    /// Raises the schedule's sample-rate floor (see the `min_rate` field).
+    /// Applies to the initial and Eq 14-scheduled rates, not to a pinned
+    /// `fixed` rate and not to the stopping conditions.
+    pub fn set_min_rate(&mut self, floor: f64) {
+        assert!((0.0..=1.0).contains(&floor));
+        self.min_rate = floor;
     }
 
     /// The rate for the next step, or `None` when the step limit or the
@@ -98,7 +122,7 @@ impl SampleScheduler {
             return Some(1.0);
         };
         if step == 0 {
-            return Some(self.initial_rate.min(1.0));
+            return Some(self.initial_rate.max(self.min_rate).min(1.0));
         }
         let spent: f64 = self.history.iter().map(|&(_, t)| t).sum();
         let remaining = t_opt - spent;
@@ -119,7 +143,7 @@ impl SampleScheduler {
             }
         };
         let sr = remaining / (self.max_steps - step) as f64 * rate_per_sec;
-        Some(sr.clamp(0.0, 1.0))
+        Some(sr.clamp(self.min_rate, 1.0))
     }
 
     /// Records a completed step.
@@ -250,6 +274,31 @@ mod tests {
         }
         let (ra, rb) = (a.next_rate().unwrap(), b.next_rate().unwrap());
         assert!((ra - rb).abs() < 1e-12, "{ra} vs {rb}");
+    }
+
+    #[test]
+    fn min_rate_floors_initial_and_scheduled_rates() {
+        // Initial rate below the floor is lifted…
+        let mut s = SampleScheduler::new(Some(10.0), None, 0.01, 10).with_min_rate(0.25);
+        assert_eq!(s.next_rate(), Some(0.25));
+        // …and so is an Eq 14-scheduled rate starved by a tight budget.
+        s.record(0.25, 9.99);
+        let r = s.next_rate().unwrap();
+        assert!(r >= 0.25, "scheduled rate must respect the floor: {r}");
+    }
+
+    #[test]
+    fn min_rate_leaves_fixed_rates_and_stopping_alone() {
+        // A pinned rate is an explicit override — not floored.
+        let mut s = SampleScheduler::new(Some(1.0), Some(0.05), 0.01, 10).with_min_rate(0.5);
+        assert_eq!(s.next_rate(), Some(0.05));
+        // Stopping conditions are unaffected: a spent budget still halts.
+        s.record(0.05, 2.0);
+        assert_eq!(s.next_rate(), None);
+        // Same for the adaptive path.
+        let mut s = SampleScheduler::new(Some(1.0), None, 0.01, 10).with_min_rate(0.5);
+        s.record(0.5, 2.0);
+        assert_eq!(s.next_rate(), None);
     }
 
     #[test]

@@ -122,6 +122,37 @@ pub fn train_observed<'g>(
     session.finish(env)
 }
 
+/// The expensive, graph-independent half of a [`TrainerSession`]: the
+/// persistent worker pool and the sequential scratch arena. A dynamic
+/// driver moves these out of a finished session
+/// ([`TrainerSession::finish_with_resources`]) and threads them into the
+/// next window's session ([`TrainerSession::with_resources`]), so pool
+/// workers — and their warm per-worker arenas — survive across windows
+/// instead of being respawned per window.
+#[derive(Debug)]
+pub struct SessionResources {
+    /// Carried worker pool (`None` when the donor ran single-threaded or
+    /// pooling was disabled).
+    pool: Option<WorkerPool>,
+    /// Carried sequential scratch arena.
+    scratch: MoveScratch,
+}
+
+impl Default for SessionResources {
+    fn default() -> Self {
+        SessionResources { pool: None, scratch: MoveScratch::new() }
+    }
+}
+
+impl SessionResources {
+    /// OS thread ids of the carried pool's workers (`None` without a
+    /// pool). The cross-window persistence probe: ids stable across
+    /// windows prove the pool was reused, not respawned.
+    pub fn pool_thread_ids(&self) -> Option<Vec<std::thread::ThreadId>> {
+        self.pool.as_ref().map(|p| p.thread_ids())
+    }
+}
+
 /// A resumable training run: the Fig 5 loop broken into externally driven
 /// steps, with checkpoint/restore and a fault-recovery hook.
 ///
@@ -181,6 +212,21 @@ impl<'g> TrainerSession<'g> {
         state: HybridState<'g>,
         config: RlCutConfig,
     ) -> Self {
+        Self::with_resources(geo, env, state, config, SessionResources::default())
+    }
+
+    /// [`Self::new`] reusing the pool and scratch of a previous session
+    /// (the dynamic-window path). A carried pool is adopted only when it
+    /// matches what this config would build — same thread count, pooling
+    /// enabled; otherwise it is dropped here (its workers join) and the
+    /// session builds its own.
+    pub fn with_resources(
+        geo: &'g GeoGraph,
+        env: &CloudEnv,
+        state: HybridState<'g>,
+        config: RlCutConfig,
+        resources: SessionResources,
+    ) -> Self {
         let m = env.num_dcs();
         // Isolated vertices generate no traffic wherever their master sits —
         // training them wastes the sampled-agent budget, so they are
@@ -191,7 +237,12 @@ impl<'g> TrainerSession<'g> {
         let rng = SmallRng::seed_from_u64(config.seed ^ 0x0ddb_1a5e_5bad_5eed);
         let theta = state.theta();
         let best = (state.core().masters().to_vec(), state.objective(env));
-        let pool = Self::build_pool(&config);
+        let SessionResources { pool: carried, scratch } = resources;
+        let wants_pool = config.use_worker_pool && config.threads() > 1;
+        let pool = match carried {
+            Some(pool) if wants_pool && pool.threads() == config.threads() => Some(pool),
+            _ => Self::build_pool(&config),
+        };
         TrainerSession {
             geo,
             config,
@@ -209,7 +260,7 @@ impl<'g> TrainerSession<'g> {
             started: Instant::now(),
             prior_duration: Duration::ZERO,
             pool,
-            scratch: MoveScratch::new(),
+            scratch,
         }
     }
 
@@ -367,6 +418,48 @@ impl<'g> TrainerSession<'g> {
     /// Current objective under `env`.
     pub fn objective(&self, env: &CloudEnv) -> Objective {
         self.state.read().objective(env)
+    }
+
+    /// Reorders the sampling priority so `seeds` and their in/out
+    /// neighbors come first (stable within each half, so degree order is
+    /// preserved inside the hot prefix and inside the tail). After a
+    /// dynamic window, the delta's touched vertices are where placement
+    /// quality degraded; fronting them makes even a tiny Eq 14 sample
+    /// revisit the perturbed neighborhoods first.
+    pub fn focus_on(&mut self, seeds: &[VertexId]) {
+        if seeds.is_empty() {
+            return;
+        }
+        let n = self.geo.num_vertices();
+        let mut hot = vec![false; n];
+        for &s in seeds {
+            let Some(flag) = hot.get_mut(s as usize) else { continue };
+            *flag = true;
+            for &u in self.geo.graph.out_neighbors(s) {
+                hot[u as usize] = true;
+            }
+            for &u in self.geo.graph.in_neighbors(s) {
+                hot[u as usize] = true;
+            }
+        }
+        let (mut front, back): (Vec<VertexId>, Vec<VertexId>) =
+            self.order.iter().copied().partition(|&v| hot[v as usize]);
+        front.extend(back);
+        self.order = front;
+    }
+
+    /// Raises the Eq 14 sample-rate floor (see
+    /// [`SampleScheduler::set_min_rate`]) — the dynamic-window
+    /// generalization of the fault path's ×8 initial-rate boost: every
+    /// step of this window samples at least `floor` of the agents, so a
+    /// converged schedule cannot starve the delta's touched region.
+    pub fn boost_sampling(&mut self, floor: f64) {
+        self.scheduler.set_min_rate(floor.clamp(0.0, 1.0));
+    }
+
+    /// OS thread ids of the pool workers (`None` without a pool).
+    pub fn pool_thread_ids(&self) -> Option<Vec<std::thread::ThreadId>> {
+        self.pool.as_ref().map(|p| p.thread_ids())
     }
 
     /// Capacity snapshot of every pool worker's resident scratch arena
@@ -573,6 +666,42 @@ impl<'g> TrainerSession<'g> {
             total_duration,
             converged: self.converged,
         }
+    }
+
+    /// [`Self::finish`] for the dynamic-window path: reconciles the live
+    /// state to the best plan by **applying the differing moves** instead
+    /// of rebuilding from scratch — work proportional to the drift, not to
+    /// the graph — and hands the pool and scratch back for the next
+    /// window's session. (`apply_move`'s Eq 4 accounting is
+    /// path-independent: `+cost(loc, to) − cost(loc, from)`, so the
+    /// reconciled state prices movement exactly as a rebuild would.)
+    pub fn finish_with_resources(mut self, env: &CloudEnv) -> (RlCutResult<'g>, SessionResources) {
+        let total_duration = self.prior_duration + self.started.elapsed();
+        let mut final_state = self.state.into_inner();
+        let best_masters = self.best.0;
+        if final_state.core().masters() != best_masters.as_slice() {
+            let diffs: Vec<(VertexId, DcId)> = final_state
+                .core()
+                .masters()
+                .iter()
+                .zip(&best_masters)
+                .enumerate()
+                .filter(|(_, (live, best))| live != best)
+                .map(|(v, (_, &best))| (v as VertexId, best))
+                .collect();
+            for (v, to) in diffs {
+                final_state.apply_move_with(env, v, to, &mut self.scratch);
+            }
+            debug_assert_eq!(final_state.core().masters(), best_masters.as_slice());
+        }
+        let resources = SessionResources { pool: self.pool, scratch: self.scratch };
+        let result = RlCutResult {
+            state: final_state,
+            steps: self.steps,
+            total_duration,
+            converged: self.converged,
+        };
+        (result, resources)
     }
 }
 
@@ -988,6 +1117,136 @@ mod tests {
             after <= before + 1,
             "pool workers leaked across resume cycles: {before} -> {after}"
         );
+    }
+
+    #[test]
+    fn resources_carry_the_pool_across_sessions() {
+        // The dynamic-window contract: finish_with_resources hands the
+        // worker pool to the next session, which adopts it instead of
+        // respawning — same OS threads before and after.
+        let (geo, env) = setup(16);
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let config = default_config(&geo, &env).with_threads(4).with_max_steps(2);
+        let theta = geograph::degree::suggest_theta(&geo.graph, 0.05);
+        let state = HybridState::from_masters(
+            &geo,
+            &env,
+            geo.locations.clone(),
+            theta,
+            profile.clone(),
+            10.0,
+        );
+        let mut s1 = TrainerSession::new(&geo, &env, state, config.clone());
+        while s1.step(&env).is_some() {}
+        let ids_before = s1.pool_thread_ids().expect("threads=4 builds a pool");
+        let (r1, resources) = s1.finish_with_resources(&env);
+        assert_eq!(resources.pool_thread_ids().as_deref(), Some(ids_before.as_slice()));
+        let state2 = HybridState::from_masters(
+            &geo,
+            &env,
+            r1.state.core().masters().to_vec(),
+            theta,
+            profile,
+            10.0,
+        );
+        let s2 = TrainerSession::with_resources(&geo, &env, state2, config, resources);
+        assert_eq!(s2.pool_thread_ids().as_deref(), Some(ids_before.as_slice()));
+    }
+
+    #[test]
+    fn mismatched_carried_pool_is_replaced() {
+        let (geo, env) = setup(17);
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let theta = geograph::degree::suggest_theta(&geo.graph, 0.05);
+        let build_state = |p: TrafficProfile| {
+            HybridState::from_masters(&geo, &env, geo.locations.clone(), theta, p, 10.0)
+        };
+        let donor = TrainerSession::new(
+            &geo,
+            &env,
+            build_state(profile.clone()),
+            default_config(&geo, &env).with_threads(4).with_max_steps(1),
+        );
+        let donor_ids = donor.pool_thread_ids().unwrap();
+        let (_, resources) = donor.finish_with_resources(&env);
+        // Next window wants 2 threads: the 4-worker pool must not be kept.
+        let s = TrainerSession::with_resources(
+            &geo,
+            &env,
+            build_state(profile),
+            default_config(&geo, &env).with_threads(2).with_max_steps(1),
+            resources,
+        );
+        let ids = s.pool_thread_ids().unwrap();
+        assert_eq!(ids.len(), 2);
+        assert!(ids.iter().all(|id| !donor_ids.contains(id)));
+    }
+
+    #[test]
+    fn finish_with_resources_matches_finish() {
+        // The move-based reconcile to the best plan must land on the same
+        // masters as finish()'s from-scratch rebuild, with a consistent
+        // incremental state.
+        let (geo, env) = setup(18);
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let config = default_config(&geo, &env).with_max_steps(6);
+        let theta = geograph::degree::suggest_theta(&geo.graph, 0.05);
+        let build = || {
+            let state = HybridState::from_masters(
+                &geo,
+                &env,
+                geo.locations.clone(),
+                theta,
+                profile.clone(),
+                10.0,
+            );
+            let mut s = TrainerSession::new(&geo, &env, state, config.clone());
+            s.run(&env, &mut crate::observer::NoopObserver);
+            s
+        };
+        let rebuilt = build().finish(&env);
+        let (reconciled, _resources) = build().finish_with_resources(&env);
+        assert_eq!(rebuilt.state.core().masters(), reconciled.state.core().masters());
+        reconciled.state.check_consistency(&env);
+    }
+
+    #[test]
+    fn focus_on_fronts_touched_neighborhoods() {
+        let (geo, env) = setup(19);
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let theta = geograph::degree::suggest_theta(&geo.graph, 0.05);
+        let state =
+            HybridState::from_masters(&geo, &env, geo.locations.clone(), theta, profile, 10.0);
+        let config = default_config(&geo, &env);
+        let mut session = TrainerSession::new(&geo, &env, state, config);
+        let seeds: Vec<VertexId> = vec![3, 99];
+        let mut hot: Vec<VertexId> = seeds.clone();
+        for &s in &seeds {
+            hot.extend_from_slice(geo.graph.out_neighbors(s));
+            hot.extend_from_slice(geo.graph.in_neighbors(s));
+        }
+        hot.sort_unstable();
+        hot.dedup();
+        hot.retain(|&v| geo.graph.degree(v) > 0);
+        session.focus_on(&seeds);
+        let order = &session.order;
+        // Every trainable hot vertex sits in the prefix, in a stable
+        // (degree-preserving) order within each half.
+        let prefix: Vec<VertexId> = order[..hot.len()].to_vec();
+        let mut sorted_prefix = prefix.clone();
+        sorted_prefix.sort_unstable();
+        assert_eq!(sorted_prefix, hot);
+        for w in order[..hot.len()].windows(2) {
+            assert!(
+                (geo.graph.degree(w[0]), w[0]) < (geo.graph.degree(w[1]), w[1]),
+                "hot prefix lost its degree order"
+            );
+        }
+        // Out-of-range seeds are ignored, empty seeds are a no-op.
+        let before = session.order.clone();
+        session.focus_on(&[]);
+        session.focus_on(&[u32::MAX]);
+        assert_eq!(session.order, before);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Immutable compressed-sparse-row graph with both adjacency directions.
 
+use crate::delta::GraphDelta;
 use crate::VertexId;
 
 /// A directed graph in CSR form, storing both out-edges (`v -> ?`) and
@@ -150,6 +151,135 @@ impl Graph {
     pub fn empty(n: usize) -> Self {
         Graph::from_edges(n, &[])
     }
+
+    /// Builds the successor snapshot by overlaying a [`GraphDelta`] —
+    /// adjacency runs of untouched vertices are bulk-copied from this
+    /// graph, only touched vertices get a sorted three-way merge
+    /// (old ∖ deleted ∪ inserted), so no edge list is re-sorted and no
+    /// builder replay happens. The offset arrays are re-emitted with a
+    /// running shift (O(n) scalar adds; the flat edge arrays, which
+    /// dominate, are memcpy'd).
+    ///
+    /// `delta` must target this graph (`delta.old_num_vertices() == n`,
+    /// checked) and honor the [`GraphDelta`] cleaning contract: deltas
+    /// built by [`GraphDelta::from_events`] always do; hand-rolled deltas
+    /// that insert existing edges or delete missing ones produce a
+    /// corrupt snapshot (caught by `debug_assert` in debug builds).
+    pub fn apply_delta(&self, delta: &GraphDelta) -> Graph {
+        assert_eq!(
+            delta.old_num_vertices(),
+            self.n,
+            "delta targets a graph with {} vertices, this graph has {}",
+            delta.old_num_vertices(),
+            self.n
+        );
+        let n = delta.new_num_vertices();
+        // `inserted`/`deleted` are sorted by (src, dst) — ready for the
+        // out-direction. The in-direction needs (dst, src) order.
+        let (out_offsets, out_targets) = overlay_direction(
+            n,
+            &self.out_offsets,
+            &self.out_targets,
+            delta.inserted(),
+            delta.deleted(),
+        );
+        let mut ins_by_dst: Vec<(VertexId, VertexId)> =
+            delta.inserted().iter().map(|&(u, v)| (v, u)).collect();
+        let mut del_by_dst: Vec<(VertexId, VertexId)> =
+            delta.deleted().iter().map(|&(u, v)| (v, u)).collect();
+        ins_by_dst.sort_unstable();
+        del_by_dst.sort_unstable();
+        let (in_offsets, in_sources) =
+            overlay_direction(n, &self.in_offsets, &self.in_sources, &ins_by_dst, &del_by_dst);
+        Graph { n, out_offsets, out_targets, in_offsets, in_sources }
+    }
+}
+
+/// Overlays one adjacency direction: `ins`/`del` are `(key, neighbor)`
+/// pairs sorted by `(key, neighbor)`; untouched keys' runs are bulk-copied.
+fn overlay_direction(
+    new_n: usize,
+    old_offsets: &[usize],
+    old_flat: &[VertexId],
+    ins: &[(VertexId, VertexId)],
+    del: &[(VertexId, VertexId)],
+) -> (Vec<usize>, Vec<VertexId>) {
+    let old_n = old_offsets.len() - 1;
+    let mut offsets: Vec<usize> = Vec::with_capacity(new_n + 1);
+    let mut flat: Vec<VertexId> = Vec::with_capacity(old_flat.len() + ins.len());
+    offsets.push(0);
+    let mut ins_i = 0usize;
+    let mut del_i = 0usize;
+    let mut done = 0usize;
+    loop {
+        let next_key = match (ins.get(ins_i), del.get(del_i)) {
+            (Some(&(a, _)), Some(&(b, _))) => a.min(b) as usize,
+            (Some(&(a, _)), None) => a as usize,
+            (None, Some(&(b, _))) => b as usize,
+            (None, None) => new_n,
+        };
+        if next_key > done {
+            // Untouched old vertices: one memcpy of their runs.
+            let hi = next_key.min(old_n);
+            if hi > done {
+                let lo_off = old_offsets[done];
+                flat.extend_from_slice(&old_flat[lo_off..old_offsets[hi]]);
+                // Wrapping: deletions earlier in the array make the shift
+                // negative; the additions below re-wrap to the right value.
+                let shift = offsets[done].wrapping_sub(lo_off);
+                offsets.extend(old_offsets[done + 1..=hi].iter().map(|&o| o.wrapping_add(shift)));
+            }
+            // Untouched new vertices are isolated in this direction.
+            for _ in hi.max(done)..next_key {
+                offsets.push(*offsets.last().unwrap());
+            }
+            done = next_key;
+        }
+        if done >= new_n {
+            break;
+        }
+        // Merge vertex `done`: old run minus deletions, union insertions.
+        let v = done;
+        let old_run: &[VertexId] =
+            if v < old_n { &old_flat[old_offsets[v]..old_offsets[v + 1]] } else { &[] };
+        let ins_start = ins_i;
+        while ins_i < ins.len() && ins[ins_i].0 as usize == v {
+            ins_i += 1;
+        }
+        let del_start = del_i;
+        while del_i < del.len() && del[del_i].0 as usize == v {
+            del_i += 1;
+        }
+        let ins_run = &ins[ins_start..ins_i];
+        let del_run = &del[del_start..del_i];
+        let mut oi = 0usize;
+        let mut ii = 0usize;
+        let mut di = 0usize;
+        while oi < old_run.len() || ii < ins_run.len() {
+            let old_next = old_run.get(oi).copied();
+            let ins_next = ins_run.get(ii).map(|e| e.1);
+            match (old_next, ins_next) {
+                (Some(ov), iv) if iv.is_none_or(|iv| ov <= iv) => {
+                    debug_assert!(ins_next != Some(ov), "delta inserts existing edge ({v}, {ov})");
+                    oi += 1;
+                    if di < del_run.len() && del_run[di].1 == ov {
+                        di += 1; // deleted: skip
+                    } else {
+                        flat.push(ov);
+                    }
+                }
+                (_, Some(iv)) => {
+                    flat.push(iv);
+                    ii += 1;
+                }
+                _ => unreachable!(),
+            }
+        }
+        debug_assert_eq!(di, del_run.len(), "delta deletes edges missing from vertex {v}");
+        offsets.push(flat.len());
+        done += 1;
+    }
+    (offsets, flat)
 }
 
 fn prefix_sum(counts: &[usize]) -> Vec<usize> {
@@ -239,5 +369,98 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_edge_panics() {
         Graph::from_edges(2, &[(0, 2)]);
+    }
+
+    mod overlay {
+        use super::*;
+        use crate::dynamic::{EdgeEvent, EventKind};
+        use crate::GraphBuilder;
+
+        fn ev(src: u32, dst: u32, kind: EventKind) -> EdgeEvent {
+            EdgeEvent { src, dst, timestamp_ms: 0, kind }
+        }
+
+        fn clean(n: usize, edges: &[(VertexId, VertexId)]) -> Graph {
+            let mut b = GraphBuilder::new(n);
+            b.add_edges(edges.iter().copied());
+            b.build()
+        }
+
+        #[test]
+        fn overlay_matches_full_rebuild() {
+            let g = clean(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+            let events = vec![
+                ev(4, 0, EventKind::Insert),
+                ev(0, 2, EventKind::Delete),
+                ev(6, 3, EventKind::Insert), // grows to 7 vertices
+                ev(1, 3, EventKind::Delete),
+            ];
+            let delta = GraphDelta::from_events(&g, &events);
+            let overlaid = g.apply_delta(&delta);
+            let rebuilt = clean(7, &[(0, 1), (2, 3), (3, 4), (4, 0), (6, 3)]);
+            assert_eq!(overlaid, rebuilt);
+        }
+
+        #[test]
+        fn empty_delta_is_identity() {
+            let g = clean(4, &[(0, 1), (1, 2), (2, 3)]);
+            let delta = GraphDelta::from_events(&g, &[]);
+            assert_eq!(g.apply_delta(&delta), g);
+        }
+
+        #[test]
+        fn overlay_only_grows_vertices() {
+            let g = clean(2, &[(0, 1)]);
+            let delta = GraphDelta::from_events(&g, &[ev(5, 5, EventKind::Insert)]);
+            // The self-loop is dropped but vertex 5 still arrives, isolated.
+            let next = g.apply_delta(&delta);
+            assert_eq!(next.num_vertices(), 6);
+            assert_eq!(next.num_edges(), 1);
+            assert!(next.has_edge(0, 1));
+        }
+
+        #[test]
+        fn deletions_shift_later_untouched_runs() {
+            // Deleting early edges makes the bulk-copied tail runs land at
+            // smaller offsets than in the source graph.
+            let g = clean(6, &[(0, 1), (0, 2), (0, 3), (4, 5), (5, 4)]);
+            let delta = GraphDelta::from_events(
+                &g,
+                &[ev(0, 1, EventKind::Delete), ev(0, 2, EventKind::Delete)],
+            );
+            let next = g.apply_delta(&delta);
+            assert_eq!(next.out_neighbors(0), &[3]);
+            assert_eq!(next.out_neighbors(4), &[5]);
+            assert_eq!(next.in_neighbors(4), &[5]);
+            assert_eq!(next.num_edges(), 3);
+        }
+
+        #[test]
+        fn chained_overlays_match_replay() {
+            // Three windows of random-ish mutations; each overlay must
+            // equal the cleaned rebuild of the live edge set.
+            let mut live: Vec<(VertexId, VertexId)> = vec![(0, 1), (1, 2), (2, 0)];
+            let mut g = clean(3, &live);
+            let windows: Vec<Vec<EdgeEvent>> = vec![
+                vec![ev(2, 1, EventKind::Insert), ev(0, 1, EventKind::Delete)],
+                vec![ev(3, 0, EventKind::Insert), ev(3, 2, EventKind::Insert)],
+                vec![ev(3, 2, EventKind::Delete), ev(1, 0, EventKind::Insert)],
+            ];
+            for events in &windows {
+                let delta = GraphDelta::from_events(&g, events);
+                g = g.apply_delta(&delta);
+                for e in events {
+                    match e.kind {
+                        EventKind::Insert => {
+                            if !live.contains(&(e.src, e.dst)) {
+                                live.push((e.src, e.dst));
+                            }
+                        }
+                        EventKind::Delete => live.retain(|&x| x != (e.src, e.dst)),
+                    }
+                }
+                assert_eq!(g, clean(g.num_vertices(), &live));
+            }
+        }
     }
 }

@@ -63,46 +63,125 @@ impl EdgeStream {
     /// milliseconds, covering `[0, last_timestamp]`. Empty windows are
     /// included — a period with no updates is exactly when an adaptive
     /// partitioner should spend more effort.
-    pub fn windows(&self, window_ms: u64) -> Vec<&[EdgeEvent]> {
-        assert!(window_ms > 0);
-        let Some(last) = self.events.last() else {
-            return Vec::new();
-        };
-        let num_windows = (last.timestamp_ms / window_ms + 1) as usize;
-        let mut out = Vec::with_capacity(num_windows);
-        let mut start = 0usize;
-        for w in 0..num_windows {
-            let end_ts = (w as u64 + 1) * window_ms;
-            let mut end = start;
-            while end < self.events.len() && self.events[end].timestamp_ms < end_ts {
-                end += 1;
-            }
-            out.push(&self.events[start..end]);
-            start = end;
+    ///
+    /// Returns a lazy [`Windows`] iterator (no up-front `Vec` of slices).
+    ///
+    /// # Panics
+    ///
+    /// Panics on `window_ms == 0` — a zero-width window never advances.
+    /// Use [`EdgeStream::try_windows`] to handle that case as an error.
+    pub fn windows(&self, window_ms: u64) -> Windows<'_> {
+        self.try_windows(window_ms).expect("window_ms must be positive")
+    }
+
+    /// Fallible form of [`EdgeStream::windows`]: rejects zero-width
+    /// windows with a typed error instead of panicking.
+    pub fn try_windows(&self, window_ms: u64) -> Result<Windows<'_>, WindowSplitError> {
+        if window_ms == 0 {
+            return Err(WindowSplitError::ZeroWidthWindow);
         }
-        out
+        let remaining = match self.events.last() {
+            Some(last) => (last.timestamp_ms / window_ms + 1) as usize,
+            None => 0,
+        };
+        Ok(Windows { events: &self.events, window_ms, next_end_ts: window_ms, remaining })
     }
 }
 
+/// Typed failure of [`EdgeStream::try_windows`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WindowSplitError {
+    /// `window_ms == 0`: a zero-width window would never advance.
+    ZeroWidthWindow,
+}
+
+impl std::fmt::Display for WindowSplitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WindowSplitError::ZeroWidthWindow => write!(f, "window_ms must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for WindowSplitError {}
+
+/// Lazy iterator over consecutive fixed-width windows of an
+/// [`EdgeStream`]; each item borrows the stream's event slice. Empty
+/// windows between events are yielded too (see [`EdgeStream::windows`]).
+#[derive(Clone, Debug)]
+pub struct Windows<'a> {
+    /// Events not yet consumed by earlier windows.
+    events: &'a [EdgeEvent],
+    window_ms: u64,
+    /// Exclusive timestamp bound of the next window to yield.
+    next_end_ts: u64,
+    /// Windows left to yield (fixed up front: `last_ts / window_ms + 1`).
+    remaining: usize,
+}
+
+impl<'a> Iterator for Windows<'a> {
+    type Item = &'a [EdgeEvent];
+
+    fn next(&mut self) -> Option<&'a [EdgeEvent]> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let end = self.events.partition_point(|e| e.timestamp_ms < self.next_end_ts);
+        let (window, rest) = self.events.split_at(end);
+        self.events = rest;
+        self.next_end_ts = self.next_end_ts.saturating_add(self.window_ms);
+        Some(window)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for Windows<'_> {}
+
+/// What a batch of events did to a builder: which vertices arrived and
+/// which vertices' adjacency was touched. Both lists are sorted and
+/// duplicate-free, so callers can use them directly as seed sets (the old
+/// `Vec<VertexId>` return forced every caller to re-scan the events).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AppliedEvents {
+    /// Ids of newly introduced vertices, ascending.
+    pub new_vertices: Vec<VertexId>,
+    /// Sorted deduped endpoints of the applied (non-self-loop) insert
+    /// events — the neighborhoods a delta-aware partitioner should focus
+    /// on. Ignored delete events do not contribute.
+    pub touched: Vec<VertexId>,
+}
+
 /// Applies a batch of *insert* events to a builder, growing the vertex set
-/// as new ids appear. Returns the ids of newly introduced vertices.
-/// Deletions are ignored here (the builder is an insert log); use
-/// [`materialize_with_deletes`] for streams that contain them.
-pub fn apply_events(builder: &mut GraphBuilder, events: &[EdgeEvent]) -> Vec<VertexId> {
-    let mut new_vertices = Vec::new();
+/// as new ids appear. Deletions are ignored here (the builder is an insert
+/// log); use [`materialize_with_deletes`] or
+/// [`crate::GraphDelta::from_events`] for streams that contain them.
+pub fn apply_events(builder: &mut GraphBuilder, events: &[EdgeEvent]) -> AppliedEvents {
+    let mut applied = AppliedEvents::default();
     let mut known = builder.num_vertices() as VertexId;
     for event in events {
         let needed = event.src.max(event.dst) + 1;
         if needed > known {
-            new_vertices.extend(known..needed);
+            applied.new_vertices.extend(known..needed);
             builder.grow_vertices(needed as usize);
             known = needed;
         }
         if event.kind == EventKind::Insert {
             builder.add_edge(event.src, event.dst);
+            if event.src != event.dst {
+                // Self-loops are dropped by the builder's cleaning pass,
+                // so they touch nobody's adjacency.
+                applied.touched.push(event.src);
+                applied.touched.push(event.dst);
+            }
         }
     }
-    new_vertices
+    applied.touched.sort_unstable();
+    applied.touched.dedup();
+    applied
 }
 
 /// Materializes the graph state after replaying *all* events (inserts and
@@ -110,28 +189,20 @@ pub fn apply_events(builder: &mut GraphBuilder, events: &[EdgeEvent]) -> Vec<Ver
 /// exists in the result iff its last event was an insert (or it was in the
 /// initial set and never deleted). The paper's Exp#5 notes that deletion
 /// streams show the same adaptivity behaviour as insertions — this is the
-/// replay primitive those experiments need.
+/// replay primitive those experiments need. Internally this is now the
+/// delta pipeline: [`crate::GraphDelta::from_events`] plus the CSR overlay
+/// [`Graph::apply_delta`], so replay cost past the initial build is
+/// proportional to the event batch, not the graph.
 pub fn materialize_with_deletes(
     num_vertices: usize,
     initial_edges: impl Iterator<Item = (VertexId, VertexId)>,
     events: &[EdgeEvent],
 ) -> Graph {
-    let mut alive: crate::fxhash::FxHashSet<(VertexId, VertexId)> = initial_edges.collect();
-    let mut max_vertex = num_vertices;
-    for event in events {
-        max_vertex = max_vertex.max(event.src.max(event.dst) as usize + 1);
-        match event.kind {
-            EventKind::Insert => {
-                alive.insert((event.src, event.dst));
-            }
-            EventKind::Delete => {
-                alive.remove(&(event.src, event.dst));
-            }
-        }
-    }
-    let mut b = GraphBuilder::new(max_vertex).with_edge_capacity(alive.len());
-    b.add_edges(alive);
-    b.build()
+    let mut b = GraphBuilder::new(num_vertices);
+    b.add_edges(initial_edges);
+    let initial = b.build();
+    let delta = crate::GraphDelta::from_events(&initial, events);
+    initial.apply_delta(&delta)
 }
 
 /// The paper's Exp#5 workload: load `initial_fraction` of a graph's edges
@@ -273,7 +344,8 @@ mod tests {
     #[test]
     fn windows_cover_all_events() {
         let s = EdgeStream::new(vec![ev(0, 1, 0), ev(1, 2, 999), ev(2, 3, 1000), ev(3, 4, 2500)]);
-        let w = s.windows(1000);
+        assert_eq!(s.windows(1000).len(), 3);
+        let w: Vec<_> = s.windows(1000).collect();
         assert_eq!(w.len(), 3);
         assert_eq!(w[0].len(), 2);
         assert_eq!(w[1].len(), 1);
@@ -284,17 +356,67 @@ mod tests {
     #[test]
     fn windows_include_empty_periods() {
         let s = EdgeStream::new(vec![ev(0, 1, 0), ev(1, 2, 3500)]);
-        let w = s.windows(1000);
+        let w: Vec<_> = s.windows(1000).collect();
         assert_eq!(w.len(), 4);
         assert!(w[1].is_empty() && w[2].is_empty());
     }
 
     #[test]
+    fn windows_are_lazy_and_sized() {
+        let s = EdgeStream::new(vec![ev(0, 1, 0), ev(1, 2, 2500)]);
+        let mut w = s.windows(1000);
+        assert_eq!(w.size_hint(), (3, Some(3)));
+        assert_eq!(w.next().map(<[EdgeEvent]>::len), Some(1));
+        assert_eq!(w.len(), 2, "remaining windows shrink as the iterator advances");
+    }
+
+    #[test]
+    fn zero_width_window_is_a_typed_error() {
+        let s = EdgeStream::new(vec![ev(0, 1, 0)]);
+        assert_eq!(s.try_windows(0).unwrap_err(), WindowSplitError::ZeroWidthWindow);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_window_panics_on_infallible_path() {
+        let s = EdgeStream::new(vec![ev(0, 1, 0)]);
+        let _ = s.windows(0);
+    }
+
+    #[test]
+    fn empty_stream_has_no_windows() {
+        let s = EdgeStream::new(Vec::new());
+        assert_eq!(s.windows(1000).count(), 0);
+    }
+
+    #[test]
     fn apply_events_grows_vertices() {
         let mut b = GraphBuilder::new(2);
-        let new = apply_events(&mut b, &[ev(0, 1, 0), ev(4, 1, 1)]);
-        assert_eq!(new, vec![2, 3, 4]);
+        let applied = apply_events(&mut b, &[ev(0, 1, 0), ev(4, 1, 1)]);
+        assert_eq!(applied.new_vertices, vec![2, 3, 4]);
+        assert_eq!(applied.touched, vec![0, 1, 4]);
         assert_eq!(b.build().num_vertices(), 5);
+    }
+
+    #[test]
+    fn apply_events_touched_is_sorted_deduped_and_clean() {
+        // One stream mixing duplicate edges, a self-loop, and a
+        // delete-of-missing-edge: touched must come out sorted, deduped,
+        // and free of self-loop/deletion noise.
+        let mut b = GraphBuilder::new(3);
+        let events = vec![
+            ev(2, 0, 0),
+            ev(2, 0, 1), // duplicate edge
+            EdgeEvent { src: 1, dst: 1, timestamp_ms: 2, kind: EventKind::Insert }, // self-loop
+            EdgeEvent { src: 0, dst: 2, timestamp_ms: 3, kind: EventKind::Delete }, // missing
+            ev(4, 2, 4),
+        ];
+        let applied = apply_events(&mut b, &events);
+        assert_eq!(applied.new_vertices, vec![3, 4]);
+        assert_eq!(applied.touched, vec![0, 2, 4]);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2, "duplicate and self-loop cleaned, delete ignored");
+        assert!(g.has_edge(2, 0) && g.has_edge(4, 2));
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!   edges cross data centers.
 //! * [`dynamic`] — timestamped edge streams and time-window iteration for
 //!   dynamic-graph experiments (Fig 4, Exp#5).
+//! * [`delta`] — first-class net-effect graph deltas ([`GraphDelta`]) and
+//!   the CSR overlay ([`Graph::apply_delta`]) that advances a snapshot in
+//!   work proportional to the update batch.
 //! * [`io`] — plain edge-list reading/writing.
 //! * [`transform`] — transpose, symmetrization, induced subgraphs, WCC
 //!   extraction.
@@ -31,6 +34,7 @@ pub mod builder;
 pub mod csr;
 pub mod datasets;
 pub mod degree;
+pub mod delta;
 pub mod dynamic;
 pub mod fxhash;
 pub mod generators;
@@ -44,7 +48,8 @@ pub use builder::GraphBuilder;
 pub use csr::Graph;
 pub use datasets::Dataset;
 pub use degree::DegreeStats;
-pub use dynamic::{EdgeEvent, EdgeStream, EventKind};
+pub use delta::GraphDelta;
+pub use dynamic::{AppliedEvents, EdgeEvent, EdgeStream, EventKind, WindowSplitError, Windows};
 pub use geo::GeoGraph;
 pub use locality::LocalityConfig;
 

@@ -75,6 +75,14 @@ pub enum PlanError {
     MasterOutOfRange { vertex: VertexId, dc: DcId, num_dcs: usize },
     /// The environment has more DCs than replica bitmasks can hold.
     TooManyDcs { num_dcs: usize, max: usize },
+    /// A graph delta does not line up with the state it is applied to
+    /// (wrong base vertex count, wrong successor graph, short profile).
+    DeltaMismatch {
+        /// Which quantity disagreed (`"old vertex count"`, …).
+        what: &'static str,
+        expected: usize,
+        found: usize,
+    },
 }
 
 impl std::fmt::Display for PlanError {
@@ -125,6 +133,9 @@ impl std::fmt::Display for PlanError {
                 f,
                 "environment has {num_dcs} DCs but replica sets are u64 bitmasks (max {max})"
             ),
+            PlanError::DeltaMismatch { what, expected, found } => {
+                write!(f, "delta mismatch: {what} expected {expected}, found {found}")
+            }
         }
     }
 }

@@ -17,13 +17,13 @@
 //! [`HybridState::evaluate_move`] is the single-destination wrapper over
 //! the same kernel and agrees with the batched results bit-for-bit.
 
-use geograph::GeoGraph;
+use geograph::{GeoGraph, GraphDelta};
 use geosim::CloudEnv;
 
 use crate::error::PlanError;
 use crate::kernel::{self, CntDelta, MoveScratch};
 use crate::profile::TrafficProfile;
-use crate::state::{Objective, PlacementState};
+use crate::state::{DeltaApplyStats, Objective, PlacementDeltaOps, PlacementState};
 use crate::{DcId, VertexId};
 
 /// Hybrid-cut placement state over a borrowed [`GeoGraph`].
@@ -106,6 +106,222 @@ impl<'g> HybridState<'g> {
         num_iterations: f64,
     ) -> Self {
         Self::from_masters(geo, env, geo.locations.clone(), theta, profile, num_iterations)
+    }
+
+    /// Splits the plan into its graph-independent parts: the owned
+    /// [`PlacementState`] and the θ it was classified with. This is the
+    /// cross-window carrier — a dynamic-graph driver keeps these between
+    /// windows (the borrowed graph may be dropped) and rebinds them to the
+    /// next snapshot with [`Self::resume_from_parts`].
+    pub fn into_parts(self) -> (PlacementState, usize) {
+        (self.core, self.theta)
+    }
+
+    /// The inverse of [`Self::into_parts`]: rebinds carried parts to the
+    /// snapshot they describe *unchanged* — no per-vertex work. The caller
+    /// asserts the parts were built over `geo` (a delta-advanced carrier
+    /// goes through [`Self::resume_from_parts`] instead); misuse surfaces
+    /// through [`Self::validate_plan`], which drivers use this view for.
+    pub fn from_parts(core: PlacementState, theta: usize, geo: &GeoGraph) -> HybridState<'_> {
+        assert_eq!(core.num_vertices(), geo.num_vertices());
+        HybridState { geo, core, theta }
+    }
+
+    /// Advances this plan to the next dynamic-graph window: consumes the
+    /// state bound to the previous snapshot and returns the same placement
+    /// state rebound to `new_geo`, updated incrementally for exactly the
+    /// vertices the delta touches — no count plane, meta record, load
+    /// accumulator or profile row of an untouched vertex is rebuilt.
+    ///
+    /// Masters of existing vertices are preserved (they are the RL state
+    /// carried across windows); appended vertices start at their natural
+    /// DC, so the tracked Eq 4 movement cost is unchanged. θ stays frozen
+    /// at the value the state was built with; existing vertices whose
+    /// in-degree crosses θ flip class and have their surviving in-edges
+    /// re-placed under the new rule.
+    ///
+    /// Contract: `new_geo` must be the carried graph plus `delta` (same
+    /// cleaned form — checked in debug builds), with locations and data
+    /// sizes of existing vertices unchanged, and `new_profile` must cover
+    /// `new_geo` and agree with the carried profile on existing vertices.
+    /// Dimension mismatches surface as [`PlanError::DeltaMismatch`].
+    pub fn apply_delta<'n>(
+        self,
+        new_geo: &'n GeoGraph,
+        env: &CloudEnv,
+        delta: &GraphDelta,
+        new_profile: &TrafficProfile,
+    ) -> Result<(HybridState<'n>, DeltaApplyStats), PlanError> {
+        let old_n = self.core.num_vertices();
+        debug_assert!(
+            new_geo.graph == self.geo.graph.apply_delta(delta),
+            "new_geo is not the delta successor of the carried graph"
+        );
+        debug_assert_eq!(&new_geo.locations[..old_n], &self.geo.locations[..]);
+        debug_assert_eq!(&new_geo.data_sizes[..old_n], &self.geo.data_sizes[..]);
+        let HybridState { core, theta, .. } = self;
+        Self::resume_from_parts(core, theta, new_geo, env, delta, new_profile)
+    }
+
+    /// [`Self::apply_delta`] over a placement state extracted with
+    /// [`Self::into_parts`] — the form cross-window drivers use, since the
+    /// previous window's graph no longer needs to be alive. The flip
+    /// repair walks the *new* graph's in-edges (survivors = new in-edges
+    /// minus this window's inserts), so the old snapshot is never read.
+    pub fn resume_from_parts<'n>(
+        core: PlacementState,
+        theta: usize,
+        new_geo: &'n GeoGraph,
+        env: &CloudEnv,
+        delta: &GraphDelta,
+        new_profile: &TrafficProfile,
+    ) -> Result<(HybridState<'n>, DeltaApplyStats), PlanError> {
+        let old_n = core.num_vertices();
+        let new_n = new_geo.num_vertices();
+        assert_eq!(env.num_dcs(), new_geo.num_dcs);
+        assert_eq!(env.num_dcs(), core.num_dcs());
+        if delta.old_num_vertices() != old_n {
+            return Err(PlanError::DeltaMismatch {
+                what: "old vertex count",
+                expected: delta.old_num_vertices(),
+                found: old_n,
+            });
+        }
+        if delta.new_num_vertices() != new_n {
+            return Err(PlanError::DeltaMismatch {
+                what: "new vertex count",
+                expected: delta.new_num_vertices(),
+                found: new_n,
+            });
+        }
+        if new_profile.len() != new_n {
+            return Err(PlanError::DeltaMismatch {
+                what: "profile length",
+                expected: new_n,
+                found: new_profile.len(),
+            });
+        }
+        debug_assert!(
+            core.profile().gather_bytes[..] == new_profile.gather_bytes[..old_n]
+                && core.profile().apply_bytes[..] == new_profile.apply_bytes[..old_n],
+            "carried traffic profile disagrees with new_profile on existing vertices"
+        );
+
+        // Appended vertices: natural masters, class from the new snapshot.
+        let new_masters_tail: Vec<DcId> = new_geo.locations[old_n..].to_vec();
+        let new_high_tail: Vec<bool> =
+            (old_n..new_n).map(|v| new_geo.graph.in_degree(v as VertexId) >= theta).collect();
+
+        // Degree class is keyed on in-degree, so the flip candidates are
+        // exactly the delta's sparse in-degree changes (sorted ⇒ `flips`
+        // is sorted and binary-searchable).
+        let mut flips: Vec<(VertexId, bool)> = Vec::new();
+        for &(v, _) in delta.in_degree_changes() {
+            if (v as usize) < old_n {
+                let high = new_geo.graph.in_degree(v) >= theta;
+                if high != core.is_high(v) {
+                    flips.push((v, high));
+                }
+            }
+        }
+
+        let master_of = |x: VertexId| -> DcId {
+            if (x as usize) < old_n {
+                core.master(x)
+            } else {
+                new_masters_tail[x as usize - old_n]
+            }
+        };
+        let new_high_of = |x: VertexId| -> bool {
+            if (x as usize) < old_n {
+                match flips.binary_search_by_key(&x, |&(f, _)| f) {
+                    Ok(i) => flips[i].1,
+                    Err(_) => core.is_high(x),
+                }
+            } else {
+                new_high_tail[x as usize - old_n]
+            }
+        };
+
+        let mut unplace: Vec<(VertexId, VertexId, DcId)> =
+            Vec::with_capacity(delta.deleted().len());
+        let mut place: Vec<(VertexId, VertexId, DcId)> = Vec::with_capacity(delta.inserted().len());
+
+        // Deleted edges leave the DC the *old* rule placed them at (both
+        // endpoints exist in the base graph by the delta contract).
+        for &(u, v) in delta.deleted() {
+            let d = if core.is_high(v) { core.master(u) } else { core.master(v) };
+            unplace.push((u, v, d));
+        }
+
+        // Flip repair: a surviving in-edge (u, f) of a flipped f moves from
+        // the old rule's DC to the new rule's. Survivors are the new
+        // graph's in-edges minus this window's inserts — deleted in-edges
+        // were unplaced above, inserted ones are placed below.
+        let mut replaced_edges = 0usize;
+        for &(f, now_high) in &flips {
+            for &u in new_geo.graph.in_neighbors(f) {
+                if delta.inserted().binary_search(&(u, f)).is_ok() {
+                    continue;
+                }
+                // f's old class is the negation of its new one.
+                let old_dc = if now_high { core.master(f) } else { core.master(u) };
+                let new_dc = if now_high { core.master(u) } else { core.master(f) };
+                if old_dc != new_dc {
+                    unplace.push((u, f, old_dc));
+                    place.push((u, f, new_dc));
+                    replaced_edges += 1;
+                }
+            }
+        }
+
+        // Inserted edges are placed under the *new* rule (post-flip
+        // classes, appended vertices at their natural masters).
+        for &(u, v) in delta.inserted() {
+            let d = if new_high_of(v) { master_of(u) } else { master_of(v) };
+            place.push((u, v, d));
+        }
+
+        // Load re-accumulation set: old-range endpoints of every edge op,
+        // plus every flipped vertex (a flip changes gather semantics even
+        // when no count moves).
+        let mut affected: Vec<VertexId> =
+            Vec::with_capacity(2 * (unplace.len() + place.len()) + flips.len());
+        for &(u, v, _) in unplace.iter().chain(place.iter()) {
+            if (u as usize) < old_n {
+                affected.push(u);
+            }
+            if (v as usize) < old_n {
+                affected.push(v);
+            }
+        }
+        for &(f, _) in &flips {
+            affected.push(f);
+        }
+        affected.sort_unstable();
+        affected.dedup();
+
+        let stats = DeltaApplyStats {
+            new_vertices: new_n - old_n,
+            inserted_edges: delta.inserted().len(),
+            deleted_edges: delta.deleted().len(),
+            class_flips: flips.len(),
+            replaced_edges,
+            affected_vertices: affected.len(),
+        };
+        let ops = PlacementDeltaOps {
+            new_masters: new_masters_tail,
+            new_high: new_high_tail,
+            new_gather_bytes: new_profile.gather_bytes[old_n..].to_vec(),
+            new_apply_bytes: new_profile.apply_bytes[old_n..].to_vec(),
+            flips,
+            unplace,
+            place,
+            affected,
+        };
+        let mut core = core;
+        core.apply_delta(&ops);
+        Ok((HybridState { geo: new_geo, core, theta }, stats))
     }
 
     /// The underlying placement state (counts, loads, metrics).
@@ -833,6 +1049,352 @@ mod tests {
         match s.validate_against_faults(&dead) {
             Err(PlanError::MasterOnDeadDc { .. }) => {}
             other => panic!("expected master-on-dead-DC, got {other:?}"),
+        }
+    }
+
+    mod delta {
+        use super::*;
+        use geograph::dynamic::{EdgeEvent, EventKind};
+        use geograph::{Graph, GraphDelta};
+
+        /// Degree-independent per-vertex data sizes: windows must not
+        /// change an existing vertex's `d_v`, so sizes are keyed on id.
+        fn sizes(n: usize) -> Vec<u64> {
+            (0..n as u64).map(|v| 64 + 8 * v).collect()
+        }
+
+        fn locs(n: usize, m: usize) -> Vec<DcId> {
+            (0..n).map(|v| ((v * 7 + 3) % m) as DcId).collect()
+        }
+
+        fn geo_at(g: Graph, m: usize) -> GeoGraph {
+            let n = g.num_vertices();
+            GeoGraph::new(g, locs(n, m), sizes(n), m)
+        }
+
+        /// Masters that differ from natural for every 5th vertex, so the
+        /// carried state has nonzero movement cost and real mirrors.
+        fn scrambled_masters(geo: &GeoGraph) -> Vec<DcId> {
+            geo.locations
+                .iter()
+                .enumerate()
+                .map(|(v, &l)| if v % 5 == 0 { (l + 1) % geo.num_dcs as DcId } else { l })
+                .collect()
+        }
+
+        fn ev(src: u32, dst: u32, ts: u64, kind: EventKind) -> EdgeEvent {
+            EdgeEvent { src, dst, timestamp_ms: ts, kind }
+        }
+
+        /// Asserts the integer state of two plans over the same graph is
+        /// bit-for-bit identical, and that the incremental one passes the
+        /// full rebuild cross-check (loads/cost to fp tolerance, kernel
+        /// bitwise).
+        fn assert_state_matches_fresh(env: &CloudEnv, inc: &HybridState<'_>) {
+            let fresh = HybridState::from_masters(
+                inc.geo,
+                env,
+                inc.core.masters.clone(),
+                inc.theta,
+                inc.core.profile.clone(),
+                inc.core.num_iterations,
+            );
+            assert_eq!(inc.core.counts, fresh.core.counts, "count planes drifted");
+            assert_eq!(inc.core.meta, fresh.core.meta, "packed meta drifted");
+            assert_eq!(inc.core.is_high, fresh.core.is_high, "degree classes drifted");
+            assert_eq!(inc.core.edges_per_dc, fresh.core.edges_per_dc, "edge balance drifted");
+            assert_eq!(inc.validate_plan(env), Ok(()));
+        }
+
+        #[test]
+        fn apply_delta_matches_rebuild_with_flips_and_deletes() {
+            let env = ec2_eight_regions();
+            let m = env.num_dcs();
+            let theta = 5usize;
+            let g0 = geograph::generators::erdos_renyi(200, 800, 31);
+
+            // Engineer both flip directions: push one vertex across θ from
+            // below, and drop one high vertex below θ by deleting in-edges.
+            let up = (0..200u32)
+                .find(|&v| g0.in_degree(v) == theta - 2)
+                .expect("seed yields a vertex 2 below theta");
+            let down = (0..200u32)
+                .find(|&v| v != up && g0.in_degree(v) == theta)
+                .expect("seed yields a vertex exactly at theta");
+            let mut events = vec![
+                // Three new in-edges for `up`, two from brand-new vertices.
+                ev(200, up, 0, EventKind::Insert),
+                ev(201, up, 1, EventKind::Insert),
+                ev((up + 1) % 200, up, 2, EventKind::Insert),
+                // New vertex with no surviving edge (arrival still counts).
+                ev(205, 0, 3, EventKind::Insert),
+                ev(205, 0, 4, EventKind::Delete),
+            ];
+            let dsrc = g0.in_neighbors(down)[0];
+            events.push(ev(dsrc, down, 5, EventKind::Delete));
+            // A few more arbitrary deletes of existing edges.
+            for (i, (u, v)) in g0.edges().step_by(97).take(5).enumerate() {
+                events.push(ev(u, v, 6 + i as u64, EventKind::Delete));
+            }
+
+            let delta = GraphDelta::from_events(&g0, &events);
+            assert!(!delta.deleted().is_empty() && !delta.inserted().is_empty());
+
+            let geo0 = geo_at(g0.clone(), m);
+            let profile0 = TrafficProfile::uniform(200, 8.0);
+            let s0 = HybridState::from_masters(
+                &geo0,
+                &env,
+                scrambled_masters(&geo0),
+                theta,
+                profile0,
+                10.0,
+            );
+            let masters_before = s0.core.masters.clone();
+            let movement_before = s0.core.movement_cost;
+
+            let g1 = g0.apply_delta(&delta);
+            let geo1 = geo_at(g1, m);
+            let profile1 = TrafficProfile::uniform(geo1.num_vertices(), 8.0);
+            let (s1, stats) = s0.apply_delta(&geo1, &env, &delta, &profile1).unwrap();
+
+            assert!(stats.class_flips >= 2, "expected both flip directions, got {stats:?}");
+            assert_eq!(stats.new_vertices, geo1.num_vertices() - 200);
+            // Existing masters are carried, new ones are natural.
+            assert_eq!(&s1.core.masters[..200], &masters_before[..]);
+            assert_eq!(&s1.core.masters[200..], &geo1.locations[200..]);
+            // Nobody moved => tracked Eq 4 cost is untouched (bitwise).
+            assert_eq!(s1.core.movement_cost.to_bits(), movement_before.to_bits());
+            assert_state_matches_fresh(&env, &s1);
+        }
+
+        #[test]
+        fn empty_delta_is_bitwise_identity() {
+            let env = ec2_eight_regions();
+            let g0 = geograph::generators::erdos_renyi(150, 600, 7);
+            let delta = GraphDelta::from_events(&g0, &[]);
+            let geo0 = geo_at(g0.clone(), env.num_dcs());
+            let geo1 = geo_at(g0, env.num_dcs());
+            let profile = TrafficProfile::uniform(150, 8.0);
+            let s0 = HybridState::from_masters(
+                &geo0,
+                &env,
+                scrambled_masters(&geo0),
+                4,
+                profile.clone(),
+                10.0,
+            );
+            let before = s0.objective(&env);
+            let counts_before = s0.core.counts.clone();
+            let (s1, stats) = s0.apply_delta(&geo1, &env, &delta, &profile).unwrap();
+            assert_eq!(stats, crate::DeltaApplyStats::default());
+            assert_eq!(stats.work_items(), 0);
+            assert_eq!(s1.core.counts, counts_before);
+            let after = s1.objective(&env);
+            assert_eq!(before.transfer_time.to_bits(), after.transfer_time.to_bits());
+            assert_eq!(before.movement_cost.to_bits(), after.movement_cost.to_bits());
+            assert_eq!(before.runtime_cost.to_bits(), after.runtime_cost.to_bits());
+        }
+
+        #[test]
+        fn chained_windows_match_rebuild() {
+            let env = ec2_eight_regions();
+            let m = env.num_dcs();
+            let theta = 4usize;
+            let mut g = geograph::generators::erdos_renyi(120, 500, 11);
+            let geo = geo_at(g.clone(), m);
+            let mut parts = {
+                let s = HybridState::from_masters(
+                    &geo,
+                    &env,
+                    scrambled_masters(&geo),
+                    theta,
+                    TrafficProfile::uniform(120, 8.0),
+                    10.0,
+                );
+                s.into_parts()
+            };
+            let mut rng = SmallRng::seed_from_u64(13);
+            for w in 0..4u64 {
+                let n = g.num_vertices() as u32;
+                let mut events = Vec::new();
+                for i in 0..20 {
+                    let grow = rng.gen_bool(0.2);
+                    let src = if grow { n + rng.gen_range(0..4u32) } else { rng.gen_range(0..n) };
+                    events.push(ev(src, rng.gen_range(0..n), 100 * w + i, EventKind::Insert));
+                }
+                let existing: Vec<_> = g.edges().step_by(37).take(6).collect();
+                for (i, (u, v)) in existing.into_iter().enumerate() {
+                    events.push(ev(u, v, 100 * w + 50 + i as u64, EventKind::Delete));
+                }
+                let delta = GraphDelta::from_events(&g, &events);
+                g = g.apply_delta(&delta);
+                let geo_w = geo_at(g.clone(), m);
+                let profile_w = TrafficProfile::uniform(geo_w.num_vertices(), 8.0);
+                let (core, th) = parts;
+                let (s, _) =
+                    HybridState::resume_from_parts(core, th, &geo_w, &env, &delta, &profile_w)
+                        .unwrap();
+                assert_state_matches_fresh(&env, &s);
+                parts = s.into_parts();
+            }
+        }
+
+        #[test]
+        fn delta_work_is_proportional_to_the_batch() {
+            let env = ec2_eight_regions();
+            let m = env.num_dcs();
+            let g0 = geograph::generators::erdos_renyi(2000, 8000, 5);
+            let geo0 = geo_at(g0.clone(), m);
+            let s0 = HybridState::from_masters(
+                &geo0,
+                &env,
+                scrambled_masters(&geo0),
+                6,
+                TrafficProfile::uniform(2000, 8.0),
+                10.0,
+            );
+            let (u0, v0) = g0.edges().next().unwrap();
+            let events = vec![
+                ev(2000, 17, 0, EventKind::Insert),
+                ev(900, 901, 1, EventKind::Insert),
+                ev(u0, v0, 2, EventKind::Delete),
+            ];
+            let delta = GraphDelta::from_events(&g0, &events);
+            let g1 = g0.apply_delta(&delta);
+            let geo1 = geo_at(g1, m);
+            let profile1 = TrafficProfile::uniform(geo1.num_vertices(), 8.0);
+            let (_, stats) = s0.apply_delta(&geo1, &env, &delta, &profile1).unwrap();
+            // 3 edge ops + 1 new vertex + possible class-flip repairs on
+            // their endpoints: two orders of magnitude below n = 2000.
+            assert!(stats.work_items() < 64, "delta work should track the batch, got {stats:?}");
+        }
+
+        #[test]
+        fn dimension_mismatches_are_typed_errors() {
+            let env = ec2_eight_regions();
+            let m = env.num_dcs();
+            let g_small = geograph::generators::erdos_renyi(40, 120, 3);
+            let g_big = geograph::generators::erdos_renyi(60, 200, 3);
+            let delta = GraphDelta::from_events(&g_small, &[]);
+            let geo_small = geo_at(g_small, m);
+            let geo_big = geo_at(g_big, m);
+            let profile_small = TrafficProfile::uniform(40, 8.0);
+            let profile_big = TrafficProfile::uniform(60, 8.0);
+
+            // State over 60 vertices, delta against a 40-vertex base.
+            let (core, th) = HybridState::from_masters(
+                &geo_big,
+                &env,
+                geo_big.locations.clone(),
+                4,
+                profile_big.clone(),
+                10.0,
+            )
+            .into_parts();
+            match HybridState::resume_from_parts(core, th, &geo_small, &env, &delta, &profile_small)
+            {
+                Err(PlanError::DeltaMismatch {
+                    what: "old vertex count",
+                    expected: 40,
+                    found: 60,
+                }) => {}
+                other => panic!("expected old-vertex-count mismatch, got {other:?}"),
+            }
+
+            // Right base, wrong successor graph.
+            let (core, th) = HybridState::from_masters(
+                &geo_small,
+                &env,
+                geo_small.locations.clone(),
+                4,
+                profile_small.clone(),
+                10.0,
+            )
+            .into_parts();
+            match HybridState::resume_from_parts(core, th, &geo_big, &env, &delta, &profile_big) {
+                Err(PlanError::DeltaMismatch {
+                    what: "new vertex count",
+                    expected: 40,
+                    found: 60,
+                }) => {}
+                other => panic!("expected new-vertex-count mismatch, got {other:?}"),
+            }
+
+            // Right graphs, short profile.
+            let (core, th) = HybridState::from_masters(
+                &geo_small,
+                &env,
+                geo_small.locations.clone(),
+                4,
+                profile_small.clone(),
+                10.0,
+            )
+            .into_parts();
+            match HybridState::resume_from_parts(
+                core,
+                th,
+                &geo_small,
+                &env,
+                &delta,
+                &TrafficProfile::uniform(10, 8.0),
+            ) {
+                Err(PlanError::DeltaMismatch {
+                    what: "profile length",
+                    expected: 40,
+                    found: 10,
+                }) => {}
+                other => panic!("expected profile-length mismatch, got {other:?}"),
+            }
+        }
+
+        #[test]
+        fn training_moves_compose_with_window_deltas() {
+            // Interleave RL-style master moves with window deltas and make
+            // sure the incremental bookkeeping survives the combination.
+            let env = ec2_eight_regions();
+            let m = env.num_dcs();
+            let theta = 4usize;
+            let mut g = geograph::generators::erdos_renyi(100, 400, 23);
+            let geo = geo_at(g.clone(), m);
+            let s = HybridState::from_masters(
+                &geo,
+                &env,
+                geo.locations.clone(),
+                theta,
+                TrafficProfile::uniform(100, 8.0),
+                10.0,
+            );
+            let mut parts = s.into_parts();
+            let mut rng = SmallRng::seed_from_u64(29);
+            for w in 0..3u64 {
+                let n = g.num_vertices() as u32;
+                let events: Vec<_> = (0..15)
+                    .map(|i| {
+                        let src = if rng.gen_bool(0.25) {
+                            n + rng.gen_range(0..3u32)
+                        } else {
+                            rng.gen_range(0..n)
+                        };
+                        ev(src, rng.gen_range(0..n), 10 * w + i, EventKind::Insert)
+                    })
+                    .collect();
+                let delta = GraphDelta::from_events(&g, &events);
+                g = g.apply_delta(&delta);
+                let geo_w = geo_at(g.clone(), m);
+                let profile_w = TrafficProfile::uniform(geo_w.num_vertices(), 8.0);
+                let (core, th) = parts;
+                let (mut s, _) =
+                    HybridState::resume_from_parts(core, th, &geo_w, &env, &delta, &profile_w)
+                        .unwrap();
+                for _ in 0..30 {
+                    let v = rng.gen_range(0..geo_w.num_vertices()) as VertexId;
+                    let to = rng.gen_range(0..m) as DcId;
+                    s.apply_move(&env, v, to);
+                }
+                s.check_consistency(&env);
+                parts = s.into_parts();
+            }
         }
     }
 

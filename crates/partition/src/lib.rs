@@ -41,6 +41,6 @@ pub use error::PlanError;
 pub use hybrid::{EvacuationReport, HybridState};
 pub use kernel::{MoveScratch, ScratchStats};
 pub use profile::TrafficProfile;
-pub use state::{Objective, PlacementState};
+pub use state::{DeltaApplyStats, Objective, PlacementState};
 
 pub use geograph::{DcId, VertexId};

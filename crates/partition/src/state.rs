@@ -57,6 +57,68 @@ pub(crate) struct VertexMeta {
     pub(crate) high: bool,
 }
 
+/// Work counters of one incremental delta application
+/// ([`crate::HybridState::apply_delta`]) — the probe behind the "window
+/// work is proportional to the delta, not the graph" contract. The dynamic
+/// benchmarks assert on [`Self::work_items`] the same way the kernel
+/// asserts on its `ScratchStats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeltaApplyStats {
+    /// Vertices appended by this window.
+    pub new_vertices: usize,
+    /// Net edge insertions placed.
+    pub inserted_edges: usize,
+    /// Net edge deletions unplaced.
+    pub deleted_edges: usize,
+    /// Old-range vertices whose in-degree crossed θ and changed class.
+    pub class_flips: usize,
+    /// Surviving edges re-placed because their destination changed class.
+    pub replaced_edges: usize,
+    /// Old-range vertices whose load contribution was re-accumulated.
+    pub affected_vertices: usize,
+}
+
+impl DeltaApplyStats {
+    /// Total state-touching work items — the quantity that must scale with
+    /// the update batch, never with the full graph.
+    pub fn work_items(&self) -> usize {
+        self.new_vertices
+            + self.inserted_edges
+            + self.deleted_edges
+            + self.replaced_edges
+            + self.affected_vertices
+    }
+}
+
+/// Prepared, placement-rule-agnostic description of one window's state
+/// mutation. Built by [`crate::HybridState::apply_delta`] (which owns the
+/// hybrid-cut placement rule); executed by [`PlacementState::apply_delta`]
+/// (which owns the bookkeeping invariants).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct PlacementDeltaOps {
+    /// Masters for the appended vertices `old_n..new_n` (their natural DCs
+    /// — Eq 4 charges nothing for them, so the tracked movement cost stays
+    /// valid without recomputation).
+    pub(crate) new_masters: Vec<DcId>,
+    /// Degree class for the appended vertices.
+    pub(crate) new_high: Vec<bool>,
+    /// Traffic-profile rows for the appended vertices.
+    pub(crate) new_gather_bytes: Vec<f32>,
+    pub(crate) new_apply_bytes: Vec<f32>,
+    /// Old-range vertices whose degree class flips, with the new class.
+    pub(crate) flips: Vec<(VertexId, bool)>,
+    /// Edges to remove from their current DC: `(src, dst, dc)`. Every entry
+    /// names a distinct edge currently placed at `dc`, so running all
+    /// unplacements before any placement can never underflow a count lane.
+    pub(crate) unplace: Vec<(VertexId, VertexId, DcId)>,
+    /// Edges to place: `(src, dst, dc)`.
+    pub(crate) place: Vec<(VertexId, VertexId, DcId)>,
+    /// Sorted deduped old-range vertices whose counts, occupancy or class
+    /// change — their load contributions are retired before mutation and
+    /// re-accumulated after.
+    pub(crate) affected: Vec<VertexId>,
+}
+
 /// Replica-based placement state shared by hybrid-cut and vertex-cut.
 ///
 /// For every vertex `v` and DC `d` it tracks how many of `v`'s in-edges and
@@ -244,6 +306,104 @@ impl PlacementState {
                 self.apply.add_up(master as DcId, -a);
                 self.apply.add_down(d as DcId, -a);
             }
+        }
+    }
+
+    /// Places one directed edge at `d`: count lanes, occupancy bits and the
+    /// per-DC balance. Part of the [`Self::apply_delta`] protocol — the
+    /// endpoints' load contributions must be retired before and
+    /// re-accumulated after the batch of edge mutations.
+    pub(crate) fn place_edge(&mut self, u: VertexId, v: VertexId, d: DcId) {
+        debug_assert_ne!(u, v, "cleaned deltas carry no self-loops");
+        let cu = self.cell(u as usize, d as usize);
+        self.counts[cu + 1] += 1;
+        let cv = self.cell(v as usize, d as usize);
+        self.counts[cv] += 1;
+        self.meta[u as usize].nnz |= 1u64 << d;
+        self.meta[v as usize].nnz |= 1u64 << d;
+        self.edges_per_dc[d as usize] += 1;
+    }
+
+    /// Removes one directed edge from `d`, clearing an occupancy bit when
+    /// its cell pair empties — the kernel trusts a clear bit to mean an
+    /// all-zero cell. Counterpart of [`Self::place_edge`].
+    pub(crate) fn unplace_edge(&mut self, u: VertexId, v: VertexId, d: DcId) {
+        debug_assert_ne!(u, v, "cleaned deltas carry no self-loops");
+        let cu = self.cell(u as usize, d as usize);
+        self.counts[cu + 1] -= 1;
+        if (self.counts[cu] | self.counts[cu + 1]) == 0 {
+            self.meta[u as usize].nnz &= !(1u64 << d);
+        }
+        let cv = self.cell(v as usize, d as usize);
+        self.counts[cv] -= 1;
+        if (self.counts[cv] | self.counts[cv + 1]) == 0 {
+            self.meta[v as usize].nnz &= !(1u64 << d);
+        }
+        self.edges_per_dc[d as usize] -= 1;
+    }
+
+    /// Executes a prepared window mutation in place, in work proportional
+    /// to the ops — no array is rebuilt, the untouched prefix of every
+    /// per-vertex structure is reused as-is (counts are row-major by
+    /// vertex, so growth is a pure append).
+    ///
+    /// Order matters and is chosen so intermediate states stay legal:
+    /// loads of affected vertices are retired while the *old* counts and
+    /// classes are still intact; all unplacements run before any placement
+    /// (each names a distinct currently-placed edge, so no lane can
+    /// underflow); loads are re-accumulated once the new state is final.
+    /// The tracked Eq 4 movement cost is unchanged by construction: old
+    /// masters stay put and appended masters sit at their natural DCs.
+    pub(crate) fn apply_delta(&mut self, ops: &PlacementDeltaOps) {
+        let old_n = self.masters.len();
+        debug_assert!(ops.affected.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(ops.affected.last().is_none_or(|&v| (v as usize) < old_n));
+
+        // 1. Retire stale load contributions against the old state.
+        for &v in &ops.affected {
+            self.remove_vertex_loads(v);
+        }
+
+        // 2. Grow the per-vertex arrays (appends only).
+        let m = self.num_dcs;
+        self.masters.extend_from_slice(&ops.new_masters);
+        self.is_high.extend_from_slice(&ops.new_high);
+        let new_n = self.masters.len();
+        self.counts.resize(new_n * m * 2, 0);
+        self.profile.gather_bytes.extend_from_slice(&ops.new_gather_bytes);
+        self.profile.apply_bytes.extend_from_slice(&ops.new_apply_bytes);
+        for i in 0..ops.new_masters.len() {
+            self.meta.push(VertexMeta {
+                nnz: 0,
+                g: ops.new_gather_bytes[i],
+                a: ops.new_apply_bytes[i],
+                master: ops.new_masters[i],
+                high: ops.new_high[i],
+            });
+        }
+
+        // 3. Degree-class flips (their edge re-placements ride in the
+        // unplace/place lists; the flipped vertices are in `affected`, so
+        // the class change flows into the load re-accumulation below).
+        for &(f, high) in &ops.flips {
+            self.is_high[f as usize] = high;
+            self.meta[f as usize].high = high;
+        }
+
+        // 4. Edge mutations: all removals, then all placements.
+        for &(u, v, d) in &ops.unplace {
+            self.unplace_edge(u, v, d);
+        }
+        for &(u, v, d) in &ops.place {
+            self.place_edge(u, v, d);
+        }
+
+        // 5. Re-accumulate loads under the new state.
+        for &v in &ops.affected {
+            self.add_vertex_loads(v);
+        }
+        for v in old_n..new_n {
+            self.add_vertex_loads(v as VertexId);
         }
     }
 

@@ -27,6 +27,20 @@ cargo run --release -p geobench --bin bench_trainer -- \
 echo "==> pool determinism cross-check (1 vs 4 threads)"
 cargo test -q -p rlcut deterministic_across_thread_counts
 
+echo "==> adaptive-window bench smoke run (incremental vs rebuild, BENCH_adaptive.json)"
+# Both paths are driven over identical GraphDeltas; every incremental
+# window is validated bit-for-bit against a from-scratch rebuild inside
+# the bench, and the gate requires the rebuild-per-window ablation to
+# cost >=2x the incremental path's total window overhead.
+cargo run --release -p geobench --bin bench_adaptive -- \
+  --out EXPERIMENTS-data/BENCH_adaptive.json --assert-speedup 2.0
+
+echo "==> incremental == rebuild determinism gate (delta property tests)"
+cargo test -q -p integration-tests --test delta_properties
+
+echo "==> cross-window pool persistence gate"
+cargo test -q -p rlcut delta_windows_reuse_the_worker_pool
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -1,0 +1,169 @@
+//! Property tests of the incremental dynamic-window pipeline: for random
+//! event streams (inserts *and* deletes, 1–8 windows) the delta-resumed
+//! placement state must be indistinguishable from a from-scratch rebuild,
+//! and the full adaptive pipeline must be bit-deterministic across thread
+//! counts.
+
+use std::time::Duration;
+
+use geograph::dynamic::{EdgeEvent, EventKind};
+use geograph::{DcId, GeoGraph, Graph, GraphBuilder, GraphDelta, VertexId};
+use geopart::{HybridState, TrafficProfile};
+use geosim::regions::ec2_eight_regions;
+use proptest::prelude::*;
+use rlcut::{AdaptiveRlCut, RlCutConfig};
+
+/// One raw op of a window: `(a, b, kind)` with `kind == 1` a delete.
+/// Inserts become the edge `(a, b)`; deletes pick the `a`-th edge (mod
+/// count) of the graph at window start, so deletions genuinely hit live
+/// edges instead of missing the sparse edge space.
+type RawOp = (u32, u32, u32);
+
+/// `(n, initial_edges, windows_of_raw_ops, seed)`.
+type RawStream = (usize, Vec<(u32, u32)>, Vec<Vec<RawOp>>, u64);
+
+fn arb_stream() -> impl Strategy<Value = RawStream> {
+    (8usize..24, 0u64..1000).prop_flat_map(|(n, seed)| {
+        let initial = proptest::collection::vec((0..n as u32, 0..n as u32), 4..80);
+        // Endpoints may exceed the initial vertex count: windows grow the
+        // vertex table too.
+        let windows = proptest::collection::vec(
+            proptest::collection::vec((0u32..(n as u32 + 6), 0u32..(n as u32 + 6), 0u32..2), 0..30),
+            1..8,
+        );
+        (Just(n), initial, windows, Just(seed))
+    })
+}
+
+/// Materializes one window's raw ops into timestamped edge events over the
+/// graph at window start.
+fn window_events(graph: &Graph, ops: &[RawOp]) -> Vec<EdgeEvent> {
+    let live: Vec<(VertexId, VertexId)> = graph.edges().collect();
+    let mut events = Vec::with_capacity(ops.len());
+    for (t, &(a, b, is_delete)) in ops.iter().enumerate() {
+        let is_delete = is_delete == 1;
+        let (src, dst, kind) = if is_delete && !live.is_empty() {
+            let (u, v) = live[a as usize % live.len()];
+            (u, v, EventKind::Delete)
+        } else {
+            if a == b {
+                continue; // the builder drops self-loops; never emit one
+            }
+            (a, b, EventKind::Insert)
+        };
+        events.push(EdgeEvent { src, dst, timestamp_ms: t as u64, kind });
+    }
+    events
+}
+
+fn geo_for(graph: &Graph, seed: u64, num_dcs: usize) -> GeoGraph {
+    let locations: Vec<DcId> = (0..graph.num_vertices() as u64)
+        .map(|v| (geograph::fxhash::mix64(v ^ seed) % num_dcs as u64) as DcId)
+        .collect();
+    let sizes = vec![2048u64; graph.num_vertices()];
+    GeoGraph::new(graph.clone(), locations, sizes, num_dcs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Pure state-level equivalence: a placement state carried through
+    /// `resume_from_parts` across every window must match a from-scratch
+    /// `from_masters` rebuild bit-for-bit on integer state (f64 aggregates
+    /// within `validate_plan` tolerance) — `validate_plan` performs exactly
+    /// that rebuild-and-compare.
+    #[test]
+    fn resumed_state_matches_rebuild((n, initial, windows, seed) in arb_stream()) {
+        let env = ec2_eight_regions();
+        let theta = 3;
+        let mut graph = {
+            let mut b = GraphBuilder::new(n);
+            b.add_edges(initial);
+            b.build()
+        };
+        let geo0 = geo_for(&graph, seed, env.num_dcs());
+        let profile0 = TrafficProfile::uniform(geo0.num_vertices(), 8.0);
+        let state0 = HybridState::from_masters(
+            &geo0, &env, geo0.locations.clone(), theta, profile0, 10.0,
+        );
+        let mut carried = Some(state0.into_parts());
+
+        for ops in &windows {
+            let events = window_events(&graph, ops);
+            let delta = GraphDelta::from_events(&graph, &events);
+            graph = graph.apply_delta(&delta);
+            let geo = geo_for(&graph, seed, env.num_dcs());
+            let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+            let (core, th) = carried.take().unwrap();
+            let (state, stats) = HybridState::resume_from_parts(
+                core, th, &geo, &env, &delta, &profile,
+            ).expect("resume must accept its own successor snapshot");
+            // Zero-rebuild probe: the resume's work scales with the delta.
+            prop_assert!(
+                stats.work_items()
+                    <= 8 * (delta.num_edge_changes() + delta.touched().len()) + 8,
+                "delta work {} vs delta size {}",
+                stats.work_items(), delta.num_edge_changes()
+            );
+            // The rebuild-and-compare: every count, mirror map, degree
+            // table, load and cost aggregate against a fresh from_masters.
+            state.validate_plan(&env).expect("resumed state diverged from rebuild");
+            carried = Some(state.into_parts());
+        }
+    }
+
+    /// Full-pipeline determinism: the adaptive trainer driven over the
+    /// same delta stream at 1 and 4 threads must produce bit-identical
+    /// masters after every window, and its carried state must survive the
+    /// rebuild-and-compare each time.
+    #[test]
+    fn delta_pipeline_is_thread_deterministic((n, initial, windows, seed) in arb_stream()) {
+        let env = ec2_eight_regions();
+        let mut graph = {
+            let mut b = GraphBuilder::new(n);
+            b.add_edges(initial);
+            b.build()
+        };
+        let config = RlCutConfig::new(f64::INFINITY)
+            .with_seed(seed)
+            .with_theta(3)
+            .with_fixed_sample_rate(0.2)
+            .with_max_steps(2);
+        let mut one = AdaptiveRlCut::new(config.clone().with_threads(1), None);
+        let mut four = AdaptiveRlCut::new(config.with_threads(4), None);
+        let t_opt = Duration::from_millis(100);
+
+        let geo0 = geo_for(&graph, seed, env.num_dcs());
+        let p0 = TrafficProfile::uniform(geo0.num_vertices(), 8.0);
+        one.on_window(&geo0, &env, p0.clone(), 10.0, t_opt).expect("1-thread window 0");
+        four.on_window(&geo0, &env, p0, 10.0, t_opt).expect("4-thread window 0");
+        prop_assert_eq!(one.masters(), four.masters());
+
+        for (i, ops) in windows.iter().enumerate() {
+            let events = window_events(&graph, ops);
+            let delta = GraphDelta::from_events(&graph, &events);
+            graph = graph.apply_delta(&delta);
+            let geo = geo_for(&graph, seed, env.num_dcs());
+            let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+            let r1 = one
+                .on_window_delta(&geo, &env, &delta, profile.clone(), 10.0, t_opt)
+                .unwrap_or_else(|e| panic!("1-thread window {i}: {e}"));
+            let r4 = four
+                .on_window_delta(&geo, &env, &delta, profile, 10.0, t_opt)
+                .unwrap_or_else(|e| panic!("4-thread window {i}: {e}"));
+            prop_assert!(r1.delta_stats.is_some(), "window {i} must take the delta path");
+            prop_assert_eq!(
+                r1.delta_stats, r4.delta_stats,
+                "window {}: delta work must not depend on threads", i
+            );
+            prop_assert_eq!(
+                one.masters(), four.masters(),
+                "window {}: trained plans diverged across thread counts", i
+            );
+            prop_assert!(
+                one.validate_carried(&geo, &env).expect("carried state diverged"),
+                "window {} must carry a state", i
+            );
+        }
+    }
+}

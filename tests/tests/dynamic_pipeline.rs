@@ -37,13 +37,13 @@ fn rlcut_and_spinner_track_a_growing_graph() {
     let mut prev_vertices = 0;
 
     for events in stream.windows(6 * 3_600_000) {
-        let new_vertices = apply_events(&mut builder, events);
+        let applied = apply_events(&mut builder, events);
         let geo = snapshot(&builder, &locality);
         assert!(geo.num_vertices() >= prev_vertices);
         prev_vertices = geo.num_vertices();
         let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
 
-        let report = adaptive.on_window(&geo, &env, profile.clone(), 10.0, window);
+        let report = adaptive.on_window(&geo, &env, profile.clone(), 10.0, window).expect("window");
         assert_eq!(adaptive.masters().len(), geo.num_vertices());
         assert!(report.transfer_time.is_finite());
         // Budget recomputed per window must hold.
@@ -55,7 +55,7 @@ fn rlcut_and_spinner_track_a_growing_graph() {
         );
 
         match spinner.as_mut() {
-            Some(s) => s.adapt(&geo, &new_vertices),
+            Some(s) => s.adapt(&geo, &applied.new_vertices),
             None => spinner = Some(Spinner::partition(&geo, SpinnerConfig::default())),
         }
         assert_eq!(spinner.as_ref().unwrap().assignment().len(), geo.num_vertices());
@@ -83,7 +83,7 @@ fn adaptive_window_improves_over_cold_natural_plan() {
         apply_events(&mut builder, events);
         let geo = snapshot(&builder, &locality);
         let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
-        let report = adaptive.on_window(&geo, &env, profile.clone(), 10.0, window);
+        let report = adaptive.on_window(&geo, &env, profile.clone(), 10.0, window).expect("window");
 
         let natural = geopart::HybridState::natural(&geo, &env, 8, profile, 10.0);
         assert!(
