@@ -1,0 +1,235 @@
+//! Shard-runtime micro-bench: the sharded trainer at 1/2/4/8 shards vs
+//! the single-process trainer on the 8-DC Twitter-analog preset.
+//!
+//! Reports per shard count: training throughput (steps/sec), total bytes
+//! moved through the shuffle layer, and the summed ghost-fringe size —
+//! the cross-shard working-set overhead. Cross-checks that every sharded
+//! run trains the bit-identical plan the single-process trainer trains
+//! (the shard-determinism contract), and writes a machine-readable
+//! `BENCH_shard.json`.
+//!
+//! Usage:
+//!   bench_shard [--scale f] [--seed n] [--steps n] [--reps n]
+//!               [--threads n] [--shards-list 1,2,4,8] [--out path]
+//!
+//! The identical-plan cross-check always runs and is fatal on divergence,
+//! so a plain invocation doubles as the CI smoke gate.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use geograph::locality::LocalityConfig;
+use geograph::{Dataset, GeoGraph};
+use geopart::HybridState;
+use geosim::regions::ec2_eight_regions;
+use rlcut::{RlCutConfig, ShardedTrainer};
+
+struct Args {
+    scale: f64,
+    seed: u64,
+    steps: usize,
+    reps: usize,
+    threads: usize,
+    shards_list: Vec<usize>,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: 0.0004,
+        seed: 42,
+        steps: 5,
+        reps: 3,
+        threads: 4,
+        shards_list: vec![1, 2, 4, 8],
+        out: "BENCH_shard.json".to_string(),
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i + 1 < argv.len() {
+        let value = &argv[i + 1];
+        match argv[i].as_str() {
+            "--scale" => args.scale = value.parse().expect("--scale takes a float"),
+            "--seed" => args.seed = value.parse().expect("--seed takes an integer"),
+            "--steps" => args.steps = value.parse().expect("--steps takes an integer"),
+            "--reps" => args.reps = value.parse().expect("--reps takes an integer"),
+            "--threads" => args.threads = value.parse().expect("--threads takes an integer"),
+            "--shards-list" => {
+                args.shards_list = value
+                    .split(',')
+                    .map(|t| t.parse().expect("--shards-list takes comma-separated integers"))
+                    .collect();
+                assert!(!args.shards_list.is_empty());
+            }
+            "--out" => args.out = value.clone(),
+            other => panic!("unknown option {other}"),
+        }
+        i += 2;
+    }
+    args
+}
+
+struct RunRecord {
+    shards: usize,
+    steps_run: usize,
+    total: Duration,
+    score: Duration,
+    migrate: Duration,
+    migrations: usize,
+    shuffle_bytes: u64,
+    ghost_vertices: usize,
+}
+
+impl RunRecord {
+    fn steps_per_sec(&self) -> f64 {
+        self.steps_run as f64 / self.total.as_secs_f64()
+    }
+}
+
+/// Best-of-`reps` timing of one shard count. Every rep trains the same
+/// plan; the fastest rep is the least-noisy estimate of the runtime cost.
+fn run_cell(
+    geo: &GeoGraph,
+    env: &geosim::CloudEnv,
+    config: &RlCutConfig,
+    theta: usize,
+    shards: usize,
+    reps: usize,
+) -> (RunRecord, Vec<geograph::DcId>) {
+    let profile = geopart::TrafficProfile::uniform(geo.num_vertices(), 8.0);
+    let mut best: Option<(RunRecord, Vec<geograph::DcId>)> = None;
+    for _ in 0..reps.max(1) {
+        let state = HybridState::from_masters(
+            geo,
+            env,
+            geo.locations.clone(),
+            theta,
+            profile.clone(),
+            10.0,
+        );
+        let mut trainer = ShardedTrainer::new(geo, env, state, config.clone(), shards)
+            .unwrap_or_else(|e| panic!("{shards} shards failed to build: {e}"));
+        let ghost_vertices = trainer.total_ghosts();
+        trainer.run(env).unwrap_or_else(|e| panic!("{shards} shards failed to train: {e}"));
+        let shuffle_bytes = trainer.shuffle_bytes();
+        let result = trainer.finish(env);
+        let record = RunRecord {
+            shards,
+            steps_run: result.steps.len(),
+            total: result.total_duration,
+            score: result.steps.iter().map(|s| s.score_duration).sum(),
+            migrate: result.steps.iter().map(|s| s.migrate_duration).sum(),
+            migrations: result.total_migrations(),
+            shuffle_bytes,
+            ghost_vertices,
+        };
+        let masters = result.state.core().masters().to_vec();
+        if best.as_ref().is_none_or(|(b, _)| record.total < b.total) {
+            best = Some((record, masters));
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+fn main() {
+    let args = parse_args();
+    let graph = Dataset::Twitter.generate(args.scale, args.seed);
+    let geo = GeoGraph::from_graph(graph, &LocalityConfig::paper_default(args.seed));
+    let env = ec2_eight_regions();
+    let budget = geosim::cost::default_budget(&env, &geo.locations, &geo.data_sizes, 0.4);
+    let theta = geograph::degree::suggest_theta(&geo.graph, 0.05);
+    // Full sampling keeps every shard's score queue saturated each step —
+    // the regime that exposes shuffle and fringe overhead.
+    let config = RlCutConfig::new(budget)
+        .with_seed(args.seed)
+        .with_threads(args.threads)
+        .with_theta(theta)
+        .with_fixed_sample_rate(1.0)
+        .with_max_steps(args.steps);
+    eprintln!(
+        "bench_shard: TW-analog scale={} ({} vertices, {} edges), {} DCs, {} steps x {} reps, {} threads",
+        args.scale,
+        geo.num_vertices(),
+        geo.num_edges(),
+        env.num_dcs(),
+        args.steps,
+        args.reps,
+        args.threads,
+    );
+
+    // The single-process trainer is both the throughput baseline and the
+    // identical-plan reference.
+    let profile = geopart::TrafficProfile::uniform(geo.num_vertices(), 8.0);
+    let baseline = rlcut::partition(&geo, &env, profile, 10.0, &config);
+    let reference = baseline.state.core().masters().to_vec();
+    let baseline_sps = baseline.steps.len() as f64 / baseline.total_duration.as_secs_f64();
+    eprintln!(
+        "  trainer baseline: {:>7.2} steps/s, {} migrations",
+        baseline_sps,
+        baseline.total_migrations()
+    );
+
+    let mut records: Vec<RunRecord> = Vec::new();
+    for &shards in &args.shards_list {
+        let (record, masters) = run_cell(&geo, &env, &config, theta, shards, args.reps);
+        eprintln!(
+            "  shards={:<2} {:>7.2} steps/s  shuffle {:>12} B  ghosts {:>7}  ({} migrations)",
+            record.shards,
+            record.steps_per_sec(),
+            record.shuffle_bytes,
+            record.ghost_vertices,
+            record.migrations,
+        );
+        // The shard-determinism contract: every shard count trains the
+        // bit-identical plan of the single-process trainer.
+        assert_eq!(
+            reference, masters,
+            "{shards} shards trained a different plan than the single-process trainer"
+        );
+        assert_eq!(
+            baseline.total_migrations(),
+            record.migrations,
+            "{shards} shards applied a different move count"
+        );
+        records.push(record);
+    }
+    eprintln!("  determinism: all {} sharded runs bit-identical to the trainer", records.len());
+
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"shard_runtime\",");
+    let _ = writeln!(json, "  \"dataset\": \"twitter_analog\",");
+    let _ = writeln!(json, "  \"scale\": {},", args.scale);
+    let _ = writeln!(json, "  \"seed\": {},", args.seed);
+    let _ = writeln!(json, "  \"vertices\": {},", geo.num_vertices());
+    let _ = writeln!(json, "  \"edges\": {},", geo.num_edges());
+    let _ = writeln!(json, "  \"num_dcs\": {},", env.num_dcs());
+    let _ = writeln!(json, "  \"steps\": {},", args.steps);
+    let _ = writeln!(json, "  \"reps\": {},", args.reps);
+    let _ = writeln!(json, "  \"threads\": {},", args.threads);
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"baseline_steps_per_sec\": {baseline_sps:.4},");
+    let _ = writeln!(json, "  \"identical_plan_cross_check\": \"passed\",");
+    json.push_str("  \"runs\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"shards\": {}, \"steps_per_sec\": {:.4}, \"total_secs\": {:.6}, \"score_secs\": {:.6}, \"migrate_secs\": {:.6}, \"migrations\": {}, \"shuffle_bytes\": {}, \"ghost_vertices\": {}}}",
+            r.shards,
+            r.steps_per_sec(),
+            r.total.as_secs_f64(),
+            r.score.as_secs_f64(),
+            r.migrate.as_secs_f64(),
+            r.migrations,
+            r.shuffle_bytes,
+            r.ghost_vertices,
+        );
+        json.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+    std::fs::write(&args.out, &json)
+        .unwrap_or_else(|e| panic!("could not write {}: {e}", args.out));
+    eprintln!("  wrote {}", args.out);
+}

@@ -215,6 +215,11 @@ fn main() {
     let _ = writeln!(json, "  \"steps\": {},", args.steps);
     let _ = writeln!(json, "  \"reps\": {},", args.reps);
     let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    // Explicit flag for downstream gates: the >=1.15x pool-vs-scope target
+    // is only meaningful with >=4 real cores to park workers on. Consumers
+    // (scripts/verify.sh) skip the ratio gate when this is true instead of
+    // quietly passing on a loose ratio.
+    let _ = writeln!(json, "  \"underprovisioned_host\": {},", host_cpus < 4);
     json.push_str("  \"runs\": [\n");
     for (i, r) in records.iter().enumerate() {
         let _ = write!(

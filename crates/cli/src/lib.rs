@@ -139,6 +139,15 @@ fn build_env(options: &Options) -> Result<CloudEnv, String> {
     if let Some(path) = &options.env_file {
         return geosim::env_io::read_env(path).map_err(|e| format!("{}: {e}", path.display()));
     }
+    // The plan machinery's replica sets are u64 bitmasks: --dcs past that
+    // limit must be a CLI error, not the CloudEnv constructor's assert.
+    if options.dcs > geograph::MAX_DCS {
+        return Err(format!(
+            "--dcs {} exceeds the supported maximum of {}",
+            options.dcs,
+            geograph::MAX_DCS
+        ));
+    }
     Ok(if options.dcs == 0 {
         geosim::regions::ec2_eight_regions()
     } else {
@@ -225,7 +234,11 @@ pub fn run(command: Command) -> Result<String, String> {
                 }
             };
             let overhead = start.elapsed();
-            let state = HybridState::from_masters(&geo, &env, masters, theta, profile, 10.0);
+            // Methods produce the masters, but the final scoring state is
+            // still built from them — keep any defect (a baseline emitting
+            // an out-of-range DC) a typed error rather than a panic.
+            let state = HybridState::try_from_masters(&geo, &env, masters, theta, profile, 10.0)
+                .map_err(|e| format!("{:?} produced an invalid plan: {e}", options.method))?;
             let obj = state.objective(&env);
             let mut report = format!(
                 "method        : {:?}\nvertices/edges: {} / {}\nDCs           : {}\n\
@@ -346,6 +359,17 @@ mod tests {
             run(Command::Partition { graph: PathBuf::from("unused.txt"), out: None, options })
                 .unwrap_err();
         assert!(err.contains("bad_env.txt") && err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn oversized_dcs_is_a_typed_error() {
+        // --dcs past the bitmask replica-set limit must come back through
+        // the CLI error plumbing, not the CloudEnv constructor's assert.
+        let options = Options { dcs: geograph::MAX_DCS + 1, ..Options::default() };
+        let err =
+            run(Command::Partition { graph: PathBuf::from("unused.txt"), out: None, options })
+                .unwrap_err();
+        assert!(err.contains("--dcs") && err.contains("64"), "{err}");
     }
 
     fn demo_graph_file(name: &str) -> PathBuf {

@@ -16,7 +16,9 @@ use geopart::{DeltaApplyStats, HybridState, PlacementState, PlanError, TrafficPr
 use geosim::CloudEnv;
 
 use crate::config::RlCutConfig;
+use crate::shard::{refresh_views, InProcessShuffle, ShardCarry, ShardError, ShardedTrainer};
 use crate::trainer::{SessionResources, TrainerSession};
+use geograph::{ShardSpec, ShardView};
 
 /// Why a window could not be partitioned.
 #[derive(Debug)]
@@ -33,6 +35,8 @@ pub enum WindowError {
     /// The placement layer rejected the window (e.g. a delta that does
     /// not line up with the carried state).
     Plan(PlanError),
+    /// The sharded runtime failed (shuffle transport or protocol error).
+    Shard(ShardError),
 }
 
 impl std::fmt::Display for WindowError {
@@ -44,6 +48,7 @@ impl std::fmt::Display for WindowError {
                  snapshot has {snapshot} vertices"
             ),
             WindowError::Plan(e) => write!(f, "window rejected by the placement layer: {e}"),
+            WindowError::Shard(e) => write!(f, "sharded runtime failed: {e}"),
         }
     }
 }
@@ -52,6 +57,7 @@ impl std::error::Error for WindowError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             WindowError::Plan(e) => Some(e),
+            WindowError::Shard(e) => Some(e),
             WindowError::ShrunkGraph { .. } => None,
         }
     }
@@ -60,6 +66,12 @@ impl std::error::Error for WindowError {
 impl From<PlanError> for WindowError {
     fn from(e: PlanError) -> Self {
         WindowError::Plan(e)
+    }
+}
+
+impl From<ShardError> for WindowError {
+    fn from(e: ShardError) -> Self {
+        WindowError::Shard(e)
     }
 }
 
@@ -121,6 +133,15 @@ pub struct AdaptiveRlCut {
     /// Ablation: force the from-scratch rebuild every window even when a
     /// delta and carried state are available.
     rebuild_per_window: bool,
+    /// Train each window through the sharded runtime with this many
+    /// shards (`None` keeps the single-process trainer).
+    num_shards: Option<usize>,
+    /// The previous window's shard topology (spec + built views), carried
+    /// so a delta window refreshes only the affected views.
+    shard_carry: Option<ShardCarry>,
+    /// Shard views rebuilt by the last window (`None`: the last window
+    /// was unsharded or built every view fresh).
+    last_shard_refreshes: Option<usize>,
 }
 
 impl AdaptiveRlCut {
@@ -135,6 +156,9 @@ impl AdaptiveRlCut {
             carried: None,
             resources: None,
             rebuild_per_window: false,
+            num_shards: None,
+            shard_carry: None,
+            last_shard_refreshes: None,
         }
     }
 
@@ -143,6 +167,23 @@ impl AdaptiveRlCut {
     pub fn with_rebuild_per_window(mut self, rebuild: bool) -> Self {
         self.rebuild_per_window = rebuild;
         self
+    }
+
+    /// Trains every window through the sharded runtime
+    /// ([`ShardedTrainer`]) over `num_shards` contiguous vertex ranges.
+    /// Masters stay bit-identical to the unsharded trainer; delta windows
+    /// route the [`GraphDelta`] to the owning shards and refresh only the
+    /// affected views. `num_shards` must be at least 1.
+    pub fn with_shards(mut self, num_shards: usize) -> Self {
+        assert!(num_shards >= 1, "at least one shard required");
+        self.num_shards = Some(num_shards);
+        self
+    }
+
+    /// Shard views rebuilt by the last window's delta routing (`None`
+    /// before the first sharded window or after a full topology rebuild).
+    pub fn last_shard_refreshes(&self) -> Option<usize> {
+        self.last_shard_refreshes
     }
 
     /// The current master assignment (empty before the first window).
@@ -284,27 +325,73 @@ impl AdaptiveRlCut {
         };
         let delta_apply = prep_start.elapsed();
 
-        let mut session = TrainerSession::with_resources(
-            geo,
-            env,
-            state,
-            config,
-            self.resources.take().unwrap_or_default(),
-        );
-        if incremental {
-            // The delta's touched neighborhoods are where quality degraded:
-            // front them in the sampling order and floor the Eq 14 rate so
-            // even a converged schedule revisits them (the generalization
-            // of the fault path's ×8 initial-rate boost).
-            let touched = delta.expect("checked by `incremental`").touched();
-            session.focus_on(touched);
-            let floor =
-                (8.0 * touched.len() as f64 / session.num_trainable().max(1) as f64).min(1.0);
-            session.boost_sampling(floor);
-        }
-        session.run(env, &mut crate::observer::NoopObserver);
-        let (result, resources) = session.finish_with_resources(env);
-        self.resources = Some(resources);
+        let result = if let Some(num_shards) = self.num_shards {
+            // Sharded runtime: carry the shard topology across windows —
+            // a delta window routes the change to the owning shards and
+            // refreshes only the affected views; everything else (no
+            // delta, shrunk carry) rebuilds the topology from scratch.
+            let carry = match (self.shard_carry.take(), delta) {
+                (Some(mut carry), Some(delta))
+                    if carry.spec.num_vertices() <= geo.num_vertices() =>
+                {
+                    self.last_shard_refreshes = Some(refresh_views(&mut carry, &geo.graph, delta));
+                    carry
+                }
+                _ => {
+                    self.last_shard_refreshes = None;
+                    let spec = ShardSpec::contiguous(geo.num_vertices(), num_shards);
+                    let views =
+                        (0..num_shards).map(|s| ShardView::build(&geo.graph, &spec, s)).collect();
+                    ShardCarry { spec, views }
+                }
+            };
+            let transport = Box::new(InProcessShuffle::new(num_shards));
+            let mut session = ShardedTrainer::with_parts(
+                geo,
+                env,
+                state,
+                config,
+                self.resources.take().unwrap_or_default(),
+                carry,
+                transport,
+            )?;
+            if incremental {
+                let touched = delta.expect("checked by `incremental`").touched();
+                session.focus_on(touched);
+                let floor =
+                    (8.0 * touched.len() as f64 / session.num_trainable().max(1) as f64).min(1.0);
+                session.boost_sampling(floor);
+            }
+            session.run(env)?;
+            let (result, resources, carry) = session.finish_with_parts(env);
+            self.resources = Some(resources);
+            self.shard_carry = Some(carry);
+            result
+        } else {
+            let mut session = TrainerSession::with_resources(
+                geo,
+                env,
+                state,
+                config,
+                self.resources.take().unwrap_or_default(),
+            );
+            if incremental {
+                // The delta's touched neighborhoods are where quality
+                // degraded: front them in the sampling order and floor the
+                // Eq 14 rate so even a converged schedule revisits them
+                // (the generalization of the fault path's ×8 initial-rate
+                // boost).
+                let touched = delta.expect("checked by `incremental`").touched();
+                session.focus_on(touched);
+                let floor =
+                    (8.0 * touched.len() as f64 / session.num_trainable().max(1) as f64).min(1.0);
+                session.boost_sampling(floor);
+            }
+            session.run(env, &mut crate::observer::NoopObserver);
+            let (result, resources) = session.finish_with_resources(env);
+            self.resources = Some(resources);
+            result
+        };
         // Session wall-clock covers the training loop and the final
         // reconcile to the best plan.
         let train = result.total_duration;
@@ -522,6 +609,104 @@ mod tests {
             );
         }
         assert_eq!(adaptive.masters().len(), graph.num_vertices());
+    }
+
+    #[test]
+    fn sharded_windows_match_unsharded_across_deltas() {
+        // The windowed half of the shard-determinism contract: an
+        // AdaptiveRlCut trained through the sharded runtime must produce
+        // bit-identical masters to the unsharded one on every window —
+        // including incremental delta windows, where the sharded path
+        // routes the delta to the owning shards and refreshes only the
+        // affected views. theta pinned and the sample rate fixed so the
+        // wall-clock scheduler cannot decide differently across runs.
+        let n = 400;
+        let edges = preferential_attachment_edges(n, 3, 23);
+        let (initial, stream) = split_for_dynamic(&edges, n, 0.6, 10_000);
+        let windows: Vec<_> = stream.windows(2_500).collect();
+        assert!(windows.len() >= 3, "need several delta windows");
+        let full_graph = {
+            let mut b = GraphBuilder::new(n);
+            b.add_edges(initial.edges());
+            apply_events(&mut b, stream.events());
+            b.build()
+        };
+        let cfg = LocalityConfig::paper_default(23);
+        let locations = assign_locations(&full_graph, &cfg);
+        let sizes: Vec<u64> = (0..full_graph.num_vertices()).map(|_| 2048).collect();
+        let env = ec2_eight_regions();
+        let config = RlCutConfig::new(1.0)
+            .with_seed(13)
+            .with_threads(2)
+            .with_theta(8)
+            .with_fixed_sample_rate(0.2)
+            .with_max_steps(2);
+        let t_opt = Duration::from_secs(60);
+        let mut plain = AdaptiveRlCut::new(config.clone(), Some(0.4));
+        let mut sharded = AdaptiveRlCut::new(config, Some(0.4)).with_shards(3);
+
+        let mut graph = initial;
+        let geo0 = GeoGraph::new(
+            graph.clone(),
+            locations[..graph.num_vertices()].to_vec(),
+            sizes[..graph.num_vertices()].to_vec(),
+            cfg.num_dcs,
+        );
+        let p0 = TrafficProfile::uniform(geo0.num_vertices(), 8.0);
+        plain.on_window(&geo0, &env, p0.clone(), 10.0, t_opt).expect("plain window 0");
+        sharded.on_window(&geo0, &env, p0, 10.0, t_opt).expect("sharded window 0");
+        assert_eq!(plain.masters(), sharded.masters(), "window 0 diverged");
+        assert_eq!(sharded.last_shard_refreshes(), None, "window 0 builds the topology");
+
+        for (i, window) in windows.iter().enumerate() {
+            let delta = geograph::GraphDelta::from_events(&graph, window);
+            graph = graph.apply_delta(&delta);
+            let geo = GeoGraph::new(
+                graph.clone(),
+                locations[..graph.num_vertices()].to_vec(),
+                sizes[..graph.num_vertices()].to_vec(),
+                cfg.num_dcs,
+            );
+            let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+            let rp = plain
+                .on_window_delta(&geo, &env, &delta, profile.clone(), 10.0, t_opt)
+                .unwrap_or_else(|e| panic!("plain window {i}: {e}"));
+            let rs = sharded
+                .on_window_delta(&geo, &env, &delta, profile, 10.0, t_opt)
+                .unwrap_or_else(|e| panic!("sharded window {i}: {e}"));
+            assert!(rp.delta_stats.is_some() && rs.delta_stats.is_some());
+            assert_eq!(plain.masters(), sharded.masters(), "delta window {i} diverged");
+            let refreshed =
+                sharded.last_shard_refreshes().expect("delta window must route the delta");
+            assert!(refreshed <= 3);
+        }
+
+        // A surgical one-edge delta confined to the first shard's range:
+        // the other shards' views must be carried verbatim, and the plans
+        // must still agree.
+        use geograph::dynamic::{EdgeEvent, EventKind};
+        let events =
+            vec![EdgeEvent { src: 100, dst: 101, timestamp_ms: 0, kind: EventKind::Insert }];
+        let delta = geograph::GraphDelta::from_events(&graph, &events);
+        graph = graph.apply_delta(&delta);
+        let geo = GeoGraph::new(
+            graph.clone(),
+            locations[..graph.num_vertices()].to_vec(),
+            sizes[..graph.num_vertices()].to_vec(),
+            cfg.num_dcs,
+        );
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        plain
+            .on_window_delta(&geo, &env, &delta, profile.clone(), 10.0, t_opt)
+            .expect("plain tail window");
+        sharded
+            .on_window_delta(&geo, &env, &delta, profile, 10.0, t_opt)
+            .expect("sharded tail window");
+        assert_eq!(plain.masters(), sharded.masters(), "tail window diverged");
+        assert!(
+            sharded.last_shard_refreshes().expect("tail delta routed") < 3,
+            "a one-edge delta must not refresh every shard view"
+        );
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub mod pool;
 pub mod recovery;
 pub mod sampling;
 pub mod score;
+pub mod shard;
 pub mod stats;
 pub mod straggler;
 pub mod trainer;
@@ -67,5 +68,9 @@ pub use checkpoint::{CheckpointError, TrainerCheckpoint};
 pub use config::RlCutConfig;
 pub use pool::{PoolError, WorkerPool};
 pub use recovery::{train_under_faults, FaultTrainReport};
+pub use shard::{
+    partition_sharded, refresh_views, InProcessShuffle, ShardCarry, ShardError, ShardedTrainer,
+    ShuffleMsg, ShuffleTransport,
+};
 pub use stats::{RlCutResult, StepStats};
 pub use trainer::{partition, partition_from, SessionResources, TrainerSession};

@@ -1,0 +1,1028 @@
+//! Shard-oriented training runtime: shard workers over vertex-range CSR
+//! shards, a transport-abstracted shuffle layer, and a coordinator that
+//! preserves the Fig 7 sequential accept order.
+//!
+//! ## Architecture
+//!
+//! * **Shards** ([`geograph::ShardView`] + [`geopart::ShardPlacement`] +
+//!   a shard-local [`AgentPool`]) own disjoint contiguous vertex ranges.
+//!   Each holds bit-identical replicas of the placement rows of its owned
+//!   vertices and its ghost fringe, so it scores its own agents — and runs
+//!   their LA updates — without touching any global structure.
+//! * **Shuffle layer** ([`ShuffleTransport`]) carries every cross-shard
+//!   byte as an explicit [`ShuffleMsg`]: score requests and replies, row
+//!   and load synchronization after migrations. The provided
+//!   [`InProcessShuffle`] backs the trait with in-process queues; a
+//!   process/socket transport plugs in at the same boundary (all message
+//!   payloads are plain old data with a [`ShuffleMsg::wire_bytes`]
+//!   accounting of their serialized size).
+//! * **Coordinator** ([`ShardedTrainer`]) owns the authoritative
+//!   [`HybridState`], the sampling order/scheduler, the migration RNG and
+//!   the best-plan tracker. It reassembles per-shard score replies into
+//!   the trainer's global proposal order and applies migrations through
+//!   the **strictly sequential** Fig 7 loop, then ships the dirtied rows
+//!   back to the owning and ghosting shards.
+//!
+//! ## Determinism
+//!
+//! Trained masters are bit-identical to [`TrainerSession`] at any shard
+//! count because every divergence channel is closed: shard-local scoring
+//! equals global scoring bit-for-bit (monotone local-id compaction — see
+//! `geopart::shard`); LA updates are per-vertex independent, so sharded
+//! pools evolve exactly like the global pool rows they partition; proposal
+//! reassembly walks the global sampled order, so the proposal vector —
+//! and hence the coordinator's shuffle — is byte-identical; and the
+//! coordinator's migration is the trainer's own sequential path, already
+//! proven bit-identical to its parallel dispatch.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use geograph::shard::ShardDelta;
+use geograph::{DcId, GeoGraph, GraphDelta, ShardSpec, ShardView, VertexId};
+use geopart::shard::{export_row, RowSync, ShardPlacement};
+use geopart::{HybridState, MoveScratch, Objective, TrafficProfile};
+use geosim::{CloudEnv, StageLoads};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::agent::AgentPool;
+use crate::config::RlCutConfig;
+use crate::pool::WorkerPool;
+use crate::sampling::{sample_prefix, SampleScheduler};
+use crate::score::{score, Weights};
+use crate::stats::{RlCutResult, StepStats};
+use crate::trainer::{SessionResources, TrainerSession};
+
+/// Why the sharded runtime failed.
+#[derive(Debug)]
+pub enum ShardError {
+    /// A transport endpoint is gone (a process transport's peer died; the
+    /// in-process transport never produces this).
+    Disconnected {
+        /// The unreachable shard.
+        shard: usize,
+    },
+    /// A message violated the coordinator/shard protocol (wrong type,
+    /// misrouted vertex, missing or misaligned score decision).
+    Protocol {
+        /// The shard involved.
+        shard: usize,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The worker pool failed to dispatch shard work.
+    Pool(String),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Disconnected { shard } => write!(f, "shard {shard} is unreachable"),
+            ShardError::Protocol { shard, detail } => {
+                write!(f, "shuffle protocol violation at shard {shard}: {detail}")
+            }
+            ShardError::Pool(e) => write!(f, "shard dispatch failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// A message on the shuffle layer. Everything that crosses a shard
+/// boundary — score reads, count/row updates, migration proposals — is one
+/// of these; payloads are plain old data so a process transport can
+/// serialize them without touching the runtime.
+#[derive(Clone, Debug)]
+pub enum ShuffleMsg {
+    /// Coordinator → shard: score these owned agents (global ids, in
+    /// global sampled order) against the frozen step objective.
+    ScoreAgents {
+        /// Sampled agents owned by the receiving shard.
+        agents: Vec<VertexId>,
+        /// Frozen step-start objective (Eq 10's reference point).
+        step_obj: Objective,
+        /// The step's score weights.
+        weights: Weights,
+    },
+    /// Shard → coordinator: one decision per requested agent, aligned with
+    /// the request order: `(vertex, selected DC, proposes-migration)`.
+    ScoreReply {
+        /// The replying shard.
+        shard: usize,
+        /// Per-agent `(vertex, selected, proposed)` decisions.
+        decisions: Vec<(VertexId, DcId, bool)>,
+    },
+    /// Coordinator → shard: verbatim row copies for local vertices whose
+    /// counts/master changed (bootstrap and post-migration sync).
+    SyncRows {
+        /// `(global vertex, row)` pairs; every vertex is local to the
+        /// receiving shard.
+        rows: Vec<(VertexId, RowSync)>,
+    },
+    /// Coordinator → shard: the global load accumulators and movement
+    /// cost, which every applied migration changes for all shards.
+    SyncLoads {
+        /// Gather-stage per-DC loads.
+        gather: StageLoads,
+        /// Apply-stage per-DC loads.
+        apply: StageLoads,
+        /// Accumulated Eq 4 movement cost.
+        movement_cost: f64,
+    },
+}
+
+impl ShuffleMsg {
+    /// Serialized size of this message on a byte-oriented transport — the
+    /// shuffle-volume accounting the bench reports. (The in-process
+    /// transport moves pointers, but counts these bytes so the numbers
+    /// predict a real wire.)
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            ShuffleMsg::ScoreAgents { agents, .. } => (agents.len() * 4 + 24 + 16) as u64,
+            ShuffleMsg::ScoreReply { decisions, .. } => (8 + decisions.len() * 6) as u64,
+            ShuffleMsg::SyncRows { rows } => {
+                rows.iter().map(|(_, r)| 4 + r.wire_bytes()).sum::<u64>()
+            }
+            ShuffleMsg::SyncLoads { gather, apply, .. } => {
+                let loads = gather.up_slice().len()
+                    + gather.down_slice().len()
+                    + apply.up_slice().len()
+                    + apply.down_slice().len();
+                (loads * 8 + 8) as u64
+            }
+        }
+    }
+}
+
+/// The transport boundary of the shuffle layer. The runtime only ever
+/// moves [`ShuffleMsg`]s through this trait, so swapping the in-process
+/// queues for a process or socket transport is a drop-in implementation —
+/// no runtime change.
+pub trait ShuffleTransport: Send + Sync {
+    /// Enqueues `msg` for `shard`.
+    fn send_to_shard(&self, shard: usize, msg: ShuffleMsg) -> Result<(), ShardError>;
+    /// Dequeues the next message addressed to `shard`, if any.
+    fn try_recv_for_shard(&self, shard: usize) -> Result<Option<ShuffleMsg>, ShardError>;
+    /// Enqueues `msg` from shard `from` for the coordinator.
+    fn send_to_coordinator(&self, from: usize, msg: ShuffleMsg) -> Result<(), ShardError>;
+    /// Dequeues the next message addressed to the coordinator, if any.
+    fn try_recv_at_coordinator(&self) -> Result<Option<ShuffleMsg>, ShardError>;
+    /// Total bytes shuffled so far (both directions, wire accounting).
+    fn bytes_shuffled(&self) -> u64;
+}
+
+/// In-process shuffle: one FIFO queue per shard plus one for the
+/// coordinator, with wire-byte accounting. The reference transport — and
+/// the fast path when shards share an address space.
+pub struct InProcessShuffle {
+    inboxes: Vec<Mutex<VecDeque<ShuffleMsg>>>,
+    coordinator: Mutex<VecDeque<ShuffleMsg>>,
+    bytes: AtomicU64,
+}
+
+impl InProcessShuffle {
+    /// A transport connecting `num_shards` shards to one coordinator.
+    pub fn new(num_shards: usize) -> InProcessShuffle {
+        InProcessShuffle {
+            inboxes: (0..num_shards).map(|_| Mutex::new(VecDeque::new())).collect(),
+            coordinator: Mutex::new(VecDeque::new()),
+            bytes: AtomicU64::new(0),
+        }
+    }
+}
+
+impl ShuffleTransport for InProcessShuffle {
+    fn send_to_shard(&self, shard: usize, msg: ShuffleMsg) -> Result<(), ShardError> {
+        let inbox = self.inboxes.get(shard).ok_or(ShardError::Disconnected { shard })?;
+        self.bytes.fetch_add(msg.wire_bytes(), Ordering::Relaxed);
+        inbox.lock().push_back(msg);
+        Ok(())
+    }
+
+    fn try_recv_for_shard(&self, shard: usize) -> Result<Option<ShuffleMsg>, ShardError> {
+        let inbox = self.inboxes.get(shard).ok_or(ShardError::Disconnected { shard })?;
+        Ok(inbox.lock().pop_front())
+    }
+
+    fn send_to_coordinator(&self, _from: usize, msg: ShuffleMsg) -> Result<(), ShardError> {
+        self.bytes.fetch_add(msg.wire_bytes(), Ordering::Relaxed);
+        self.coordinator.lock().push_back(msg);
+        Ok(())
+    }
+
+    fn try_recv_at_coordinator(&self) -> Result<Option<ShuffleMsg>, ShardError> {
+        Ok(self.coordinator.lock().pop_front())
+    }
+
+    fn bytes_shuffled(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+/// One shard worker: the view, the placement replica, and the shard-local
+/// learning automata of its local vertices.
+struct ShardNode {
+    index: usize,
+    view: ShardView,
+    placement: ShardPlacement,
+    agents: AgentPool,
+}
+
+impl ShardNode {
+    fn build(index: usize, view: ShardView, num_dcs: usize, num_iterations: f64) -> ShardNode {
+        let placement = ShardPlacement::new(num_dcs, view.num_locals(), num_iterations);
+        let agents = AgentPool::new(view.num_locals(), num_dcs);
+        ShardNode { index, view, placement, agents }
+    }
+
+    /// Drains this shard's inbox: applies row/load syncs in arrival order
+    /// and answers score requests.
+    fn serve(
+        &mut self,
+        env: &CloudEnv,
+        config: &RlCutConfig,
+        transport: &dyn ShuffleTransport,
+        scratch: &mut MoveScratch,
+    ) -> Result<(), ShardError> {
+        while let Some(msg) = transport.try_recv_for_shard(self.index)? {
+            match msg {
+                ShuffleMsg::SyncRows { rows } => {
+                    for (v, row) in &rows {
+                        let local = self.view.to_local(*v).ok_or_else(|| ShardError::Protocol {
+                            shard: self.index,
+                            detail: format!("sync for vertex {v} outside the local working set"),
+                        })?;
+                        self.placement.sync_row(local, row);
+                    }
+                }
+                ShuffleMsg::SyncLoads { gather, apply, movement_cost } => {
+                    self.placement.sync_loads(gather, apply, movement_cost);
+                }
+                ShuffleMsg::ScoreAgents { agents, step_obj, weights } => {
+                    let decisions =
+                        self.score_agents(env, config, &agents, &step_obj, weights, scratch)?;
+                    transport.send_to_coordinator(
+                        self.index,
+                        ShuffleMsg::ScoreReply { shard: self.index, decisions },
+                    )?;
+                }
+                ShuffleMsg::ScoreReply { .. } => {
+                    return Err(ShardError::Protocol {
+                        shard: self.index,
+                        detail: "score reply routed to a shard".into(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The shard half of the trainer's Fig 5 phases 1–4: score every
+    /// requested agent against the frozen step objective (phase 1+2), then
+    /// run its LA probability update and UCB selection (phase 3+4) on the
+    /// shard-local automaton. Per-agent decisions are returned in request
+    /// order for the coordinator to reassemble.
+    fn score_agents(
+        &mut self,
+        env: &CloudEnv,
+        config: &RlCutConfig,
+        agents: &[VertexId],
+        step_obj: &Objective,
+        weights: Weights,
+        scratch: &mut MoveScratch,
+    ) -> Result<Vec<(VertexId, DcId, bool)>, ShardError> {
+        let m = env.num_dcs();
+        let mut decisions = Vec::with_capacity(agents.len());
+        for &v in agents {
+            let lv = self.view.to_local(v).filter(|_| self.view.owns(v)).ok_or_else(|| {
+                ShardError::Protocol {
+                    shard: self.index,
+                    detail: format!("asked to score vertex {v} it does not own"),
+                }
+            })?;
+            let objs = self.placement.evaluate_all_moves(env, &self.view, v, scratch);
+            let master = self.placement.master_local(lv);
+            // Identical candidate walk to the trainer's `best_of`: the
+            // master's slot stays pinned to the frozen step objective.
+            let mut best = (0 as DcId, f64::NEG_INFINITY);
+            for d in 0..m as DcId {
+                let candidate = if d == master { step_obj } else { &objs[d as usize] };
+                let s = score(step_obj, candidate, weights);
+                if s > best.1 {
+                    best = (d, s);
+                }
+            }
+            let best_dc = best.0;
+            self.agents.reward(lv, best_dc, config.alpha);
+            if config.use_penalty {
+                for d in 0..m as DcId {
+                    if d != best_dc {
+                        self.agents.penalize(lv, d, config.beta);
+                    }
+                }
+            }
+            let selected = self.agents.select_ucb(lv, config.ucb_c);
+            self.agents.record_play(lv, selected, if selected == best_dc { 1.0 } else { 0.0 });
+            decisions.push((v, selected, selected != master));
+        }
+        Ok(decisions)
+    }
+}
+
+/// Shard topology carried across dynamic windows: the range spec and the
+/// built views. [`ShardedTrainer::finish_with_parts`] hands it back;
+/// [`refresh_views`] routes the next window's delta into it, rebuilding
+/// only the affected views.
+#[derive(Clone, Debug)]
+pub struct ShardCarry {
+    /// The contiguous range partition.
+    pub spec: ShardSpec,
+    /// One built view per shard, fringe included.
+    pub views: Vec<ShardView>,
+}
+
+/// Routes `delta` through `carry`, growing the spec to the new vertex
+/// count and rebuilding **only** the views the delta touches (a shard is
+/// affected iff an owned vertex's adjacency changed or its range absorbed
+/// appended vertices — an untouched shard's fringe is a function of its
+/// owned adjacency, so its view is carried verbatim). Returns the number
+/// of views rebuilt.
+pub fn refresh_views(carry: &mut ShardCarry, graph: &geograph::Graph, delta: &GraphDelta) -> usize {
+    carry.spec.grow(delta.new_num_vertices());
+    let routed: Vec<ShardDelta> = geograph::route_delta(delta, &carry.spec);
+    let mut rebuilt = 0;
+    for (s, slice) in routed.iter().enumerate() {
+        if slice.affects_view() {
+            carry.views[s] = ShardView::build(graph, &carry.spec, s);
+            rebuilt += 1;
+        }
+    }
+    rebuilt
+}
+
+/// The sharded twin of [`TrainerSession`]: same Fig 5 loop, same Fig 7
+/// accept order, with scoring and LA updates distributed over shard
+/// workers behind the shuffle layer. Trains bit-identical masters at any
+/// shard count (see the module docs for the argument).
+pub struct ShardedTrainer<'g> {
+    geo: &'g GeoGraph,
+    config: RlCutConfig,
+    order: Vec<VertexId>,
+    scheduler: SampleScheduler,
+    rng: SmallRng,
+    /// Authoritative global state, coordinator-owned. Shards hold replicas.
+    state: HybridState<'g>,
+    spec: ShardSpec,
+    shards: Vec<Mutex<ShardNode>>,
+    transport: Box<dyn ShuffleTransport>,
+    steps: Vec<StepStats>,
+    best: (Vec<DcId>, Objective),
+    step_index: usize,
+    converged: bool,
+    exhausted: bool,
+    started: Instant,
+    pool: Option<WorkerPool>,
+    scratch: MoveScratch,
+}
+
+impl<'g> ShardedTrainer<'g> {
+    /// Builds a sharded session over `num_shards` contiguous ranges with
+    /// the in-process transport.
+    pub fn new(
+        geo: &'g GeoGraph,
+        env: &CloudEnv,
+        state: HybridState<'g>,
+        config: RlCutConfig,
+        num_shards: usize,
+    ) -> Result<Self, ShardError> {
+        let spec = ShardSpec::contiguous(geo.num_vertices(), num_shards);
+        let views =
+            (0..num_shards).map(|s| ShardView::build(&geo.graph, &spec, s)).collect::<Vec<_>>();
+        let transport = Box::new(InProcessShuffle::new(num_shards));
+        Self::with_parts(
+            geo,
+            env,
+            state,
+            config,
+            SessionResources::default(),
+            ShardCarry { spec, views },
+            transport,
+        )
+    }
+
+    /// Full-control constructor: carried shard topology (possibly
+    /// delta-refreshed), carried session resources (worker pool + scratch,
+    /// adopted under the same rules as [`TrainerSession::with_resources`]),
+    /// and an explicit transport. Placement replicas and shard automata
+    /// are built fresh and bootstrapped through the transport, so the
+    /// shuffle accounting covers the initial row distribution too.
+    pub fn with_parts(
+        geo: &'g GeoGraph,
+        env: &CloudEnv,
+        state: HybridState<'g>,
+        config: RlCutConfig,
+        resources: SessionResources,
+        carry: ShardCarry,
+        transport: Box<dyn ShuffleTransport>,
+    ) -> Result<Self, ShardError> {
+        let ShardCarry { spec, views } = carry;
+        assert_eq!(spec.num_vertices(), geo.num_vertices(), "spec must cover the snapshot");
+        assert_eq!(spec.num_shards(), views.len());
+        let m = env.num_dcs();
+        let order = TrainerSession::build_order(geo, &config);
+        let scheduler = TrainerSession::build_scheduler(&config);
+        let rng = SmallRng::seed_from_u64(config.seed ^ 0x0ddb_1a5e_5bad_5eed);
+        let best = (state.core().masters().to_vec(), state.objective(env));
+        let SessionResources { pool: carried, scratch } = resources;
+        let wants_pool = config.use_worker_pool && config.threads() > 1;
+        let pool = match carried {
+            Some(pool) if wants_pool && pool.threads() == config.threads() => Some(pool),
+            _ => TrainerSession::build_pool(&config),
+        };
+        let num_iterations = state.core().num_iterations();
+        let shards: Vec<Mutex<ShardNode>> = views
+            .into_iter()
+            .enumerate()
+            .map(|(i, view)| Mutex::new(ShardNode::build(i, view, m, num_iterations)))
+            .collect();
+
+        let mut trainer = ShardedTrainer {
+            geo,
+            config,
+            order,
+            scheduler,
+            rng,
+            state,
+            spec,
+            shards,
+            transport,
+            steps: Vec::new(),
+            best,
+            step_index: 0,
+            converged: false,
+            exhausted: false,
+            started: Instant::now(),
+            pool,
+            scratch,
+        };
+        trainer.bootstrap_replicas(env)?;
+        Ok(trainer)
+    }
+
+    /// Ships every shard its full working set (all local rows + the global
+    /// loads) through the transport and has the shards apply it.
+    fn bootstrap_replicas(&mut self, env: &CloudEnv) -> Result<(), ShardError> {
+        let mut active = vec![false; self.shards.len()];
+        for (i, node) in self.shards.iter().enumerate() {
+            let node = node.lock();
+            if node.view.num_locals() == 0 {
+                continue;
+            }
+            let rows: Vec<(VertexId, RowSync)> = node
+                .view
+                .locals()
+                .iter()
+                .map(|&v| {
+                    (
+                        v,
+                        export_row(
+                            self.state.core(),
+                            self.geo.locations[v as usize],
+                            self.geo.data_sizes[v as usize],
+                            v,
+                        ),
+                    )
+                })
+                .collect();
+            drop(node);
+            self.transport.send_to_shard(i, ShuffleMsg::SyncRows { rows })?;
+            self.send_loads(i)?;
+            active[i] = true;
+        }
+        self.dispatch(env, &active)
+    }
+
+    fn send_loads(&self, shard: usize) -> Result<(), ShardError> {
+        self.transport.send_to_shard(
+            shard,
+            ShuffleMsg::SyncLoads {
+                gather: self.state.core().gather_loads().clone(),
+                apply: self.state.core().apply_loads().clone(),
+                movement_cost: self.state.core().movement_cost(),
+            },
+        )
+    }
+
+    /// Runs `serve` on every active shard: on the worker pool when one
+    /// exists (shard `i` handled by worker `i % threads`, each on its
+    /// warm resident scratch), inline on the coordinator's scratch
+    /// otherwise. Both paths drain the same queues in the same per-shard
+    /// order, so they are interchangeable bit-for-bit.
+    fn dispatch(&mut self, env: &CloudEnv, active: &[bool]) -> Result<(), ShardError> {
+        let shards = &self.shards;
+        let config = &self.config;
+        let transport = &*self.transport;
+        if let Some(pool) = &self.pool {
+            let threads = pool.threads();
+            let failure: Mutex<Option<ShardError>> = Mutex::new(None);
+            pool.run_on_all(&|worker, scratch| {
+                for (i, node) in shards.iter().enumerate() {
+                    if !active[i] || i % threads != worker {
+                        continue;
+                    }
+                    let mut node = node.lock();
+                    if let Err(e) = node.serve(env, config, transport, scratch) {
+                        let mut slot = failure.lock();
+                        if slot.is_none() {
+                            *slot = Some(e);
+                        }
+                    }
+                }
+            })
+            .map_err(|e| ShardError::Pool(e.to_string()))?;
+            if let Some(e) = failure.into_inner() {
+                return Err(e);
+            }
+        } else {
+            for (i, node) in shards.iter().enumerate() {
+                if !active[i] {
+                    continue;
+                }
+                node.lock().serve(env, config, transport, &mut self.scratch)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of trainable (non-isolated) agents.
+    pub fn num_trainable(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Shards in the topology (including empty ranges).
+    pub fn num_shards(&self) -> usize {
+        self.spec.num_shards()
+    }
+
+    /// Total ghost-fringe vertices over all shards — the cross-shard
+    /// working-set overhead the bench reports.
+    pub fn total_ghosts(&self) -> usize {
+        self.shards.iter().map(|n| n.lock().view.num_ghosts()).sum()
+    }
+
+    /// Total bytes moved through the shuffle layer so far.
+    pub fn shuffle_bytes(&self) -> u64 {
+        self.transport.bytes_shuffled()
+    }
+
+    /// Whether the run has stopped (converged, horizon, or time budget).
+    pub fn is_done(&self) -> bool {
+        self.converged || self.exhausted || self.step_index >= self.config.max_steps
+    }
+
+    /// Whether training stopped on convergence.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Telemetry of the executed steps.
+    pub fn steps(&self) -> &[StepStats] {
+        &self.steps
+    }
+
+    /// Current master placement (authoritative state).
+    pub fn masters(&self) -> Vec<DcId> {
+        self.state.core().masters().to_vec()
+    }
+
+    /// Fronts `seeds` and their neighborhoods in the sampling order —
+    /// verbatim [`TrainerSession::focus_on`].
+    pub fn focus_on(&mut self, seeds: &[VertexId]) {
+        if seeds.is_empty() {
+            return;
+        }
+        let n = self.geo.num_vertices();
+        let mut hot = vec![false; n];
+        for &s in seeds {
+            let Some(flag) = hot.get_mut(s as usize) else { continue };
+            *flag = true;
+            for &u in self.geo.graph.out_neighbors(s) {
+                hot[u as usize] = true;
+            }
+            for &u in self.geo.graph.in_neighbors(s) {
+                hot[u as usize] = true;
+            }
+        }
+        let (mut front, back): (Vec<VertexId>, Vec<VertexId>) =
+            self.order.iter().copied().partition(|&v| hot[v as usize]);
+        front.extend(back);
+        self.order = front;
+    }
+
+    /// Raises the Eq 14 sample-rate floor — verbatim
+    /// [`TrainerSession::boost_sampling`].
+    pub fn boost_sampling(&mut self, floor: f64) {
+        self.scheduler.set_min_rate(floor.clamp(0.0, 1.0));
+    }
+
+    /// Executes one training step — the sharded twin of
+    /// [`TrainerSession::step`]: shard-distributed scoring and LA updates,
+    /// coordinator-sequential Fig 7 migration, post-migration row sync.
+    pub fn step(&mut self, env: &CloudEnv) -> Result<Option<StepStats>, ShardError> {
+        if self.is_done() {
+            return Ok(None);
+        }
+        let step = self.step_index;
+        let Some(rate) = self.scheduler.next_rate() else {
+            self.exhausted = true;
+            return Ok(None);
+        };
+        let sampled = sample_prefix(&self.order, rate);
+        if sampled.is_empty() {
+            self.exhausted = true;
+            return Ok(None);
+        }
+        let step_start = Instant::now();
+        let step_obj = self.state.objective(env);
+        if step_obj.transfer_time == 0.0 && step_obj.total_cost() <= self.config.budget {
+            self.converged = true;
+            return Ok(None);
+        }
+        let over_budget = step_obj.total_cost() > self.config.budget;
+        let weights = Weights::at(step, self.config.max_steps, over_budget);
+
+        // Phases 1–4, sharded: route each sampled agent to its owner
+        // (order-preserving within a shard), let the shards score and run
+        // the LA updates, then reassemble the decisions in the global
+        // sampled order — the proposal vector comes out byte-identical to
+        // the single-process trainer's.
+        let score_start = Instant::now();
+        let num_shards = self.spec.num_shards();
+        let mut per_shard: Vec<Vec<VertexId>> = vec![Vec::new(); num_shards];
+        for &v in sampled {
+            per_shard[self.spec.owner_of(v)].push(v);
+        }
+        let mut active = vec![false; num_shards];
+        for (i, agents) in per_shard.iter_mut().enumerate() {
+            if agents.is_empty() {
+                continue;
+            }
+            active[i] = true;
+            self.transport.send_to_shard(
+                i,
+                ShuffleMsg::ScoreAgents { agents: std::mem::take(agents), step_obj, weights },
+            )?;
+        }
+        let sampled: Vec<VertexId> = sampled.to_vec();
+        self.dispatch(env, &active)?;
+        let mut queues: Vec<VecDeque<(VertexId, DcId, bool)>> =
+            (0..num_shards).map(|_| VecDeque::new()).collect();
+        while let Some(msg) = self.transport.try_recv_at_coordinator()? {
+            match msg {
+                ShuffleMsg::ScoreReply { shard, decisions } => queues[shard].extend(decisions),
+                other => {
+                    return Err(ShardError::Protocol {
+                        shard: usize::MAX,
+                        detail: format!("unexpected coordinator message {other:?}"),
+                    });
+                }
+            }
+        }
+        let mut proposals: Vec<(VertexId, DcId)> = Vec::new();
+        for &v in &sampled {
+            let owner = self.spec.owner_of(v);
+            let (rv, selected, proposed) =
+                queues[owner].pop_front().ok_or_else(|| ShardError::Protocol {
+                    shard: owner,
+                    detail: format!("missing score decision for vertex {v}"),
+                })?;
+            if rv != v {
+                return Err(ShardError::Protocol {
+                    shard: owner,
+                    detail: format!("decision for vertex {rv} where {v} was expected"),
+                });
+            }
+            if proposed {
+                proposals.push((v, selected));
+            }
+        }
+        let score_duration = score_start.elapsed();
+
+        // Phase 5 — the coordinator applies the trainer's strictly
+        // sequential batched-migration flow (Fig 7) on the authoritative
+        // state: frozen batch objective, all accepts decided before any
+        // apply, accepted moves applied in shuffled-proposal order.
+        proposals.shuffle(&mut self.rng);
+        let migrate_start = Instant::now();
+        let batch = self.config.batch_size.max(1);
+        let mut applied: Vec<(VertexId, DcId)> = Vec::new();
+        for chunk in proposals.chunks(batch) {
+            let obj = self.state.objective(env);
+            let accepts: Vec<bool> = chunk
+                .iter()
+                .map(|&(v, to)| {
+                    score(
+                        &obj,
+                        &self.state.evaluate_move_with(env, v, to, &mut self.scratch),
+                        weights,
+                    ) > 0.0
+                })
+                .collect();
+            for (&(v, to), ok) in chunk.iter().zip(accepts) {
+                if ok {
+                    self.state.apply_move_with(env, v, to, &mut self.scratch);
+                    applied.push((v, to));
+                }
+            }
+        }
+        let migrations = applied.len();
+        if migrations > 0 {
+            self.sync_after_migration(env, &applied)?;
+        }
+        let migrate_duration = migrate_start.elapsed();
+
+        let duration = step_start.elapsed();
+        self.scheduler.record(rate, duration.as_secs_f64());
+        let obj = self.state.objective(env);
+        if TrainerSession::beats(&obj, &self.best.1, self.config.budget) {
+            self.best = (self.state.core().masters().to_vec(), obj);
+        }
+        let stats = StepStats {
+            duration,
+            score_duration,
+            migrate_duration,
+            sample_rate: rate,
+            num_agents: sampled.len(),
+            migrations,
+            transfer_time: obj.transfer_time,
+            total_cost: obj.total_cost(),
+        };
+        self.steps.push(stats);
+        self.step_index += 1;
+        if rate >= 0.999
+            && (migrations as f64) < self.config.convergence_fraction * sampled.len() as f64
+        {
+            self.converged = true;
+        }
+        Ok(Some(stats))
+    }
+
+    /// Ships the rows dirtied by `applied` moves — each moved vertex plus
+    /// the neighbors whose counts its hybrid-cut staging touched — to
+    /// every shard holding them (as owner or ghost), plus the new global
+    /// loads to every populated shard, then has the shards apply the sync.
+    fn sync_after_migration(
+        &mut self,
+        env: &CloudEnv,
+        applied: &[(VertexId, DcId)],
+    ) -> Result<(), ShardError> {
+        let mut dirty: Vec<VertexId> = Vec::new();
+        for &(v, _) in applied {
+            dirty.push(v);
+            if !self.state.core().is_high(v) {
+                dirty.extend_from_slice(self.geo.graph.in_neighbors(v));
+            }
+            for &w in self.geo.graph.out_neighbors(v) {
+                if self.state.core().is_high(w) {
+                    dirty.push(w);
+                }
+            }
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
+        let mut active = vec![false; self.shards.len()];
+        for (i, node) in self.shards.iter().enumerate() {
+            let node = node.lock();
+            if node.view.num_locals() == 0 {
+                continue;
+            }
+            let rows: Vec<(VertexId, RowSync)> = dirty
+                .iter()
+                .filter(|&&v| node.view.to_local(v).is_some())
+                .map(|&v| {
+                    (
+                        v,
+                        export_row(
+                            self.state.core(),
+                            self.geo.locations[v as usize],
+                            self.geo.data_sizes[v as usize],
+                            v,
+                        ),
+                    )
+                })
+                .collect();
+            drop(node);
+            if !rows.is_empty() {
+                self.transport.send_to_shard(i, ShuffleMsg::SyncRows { rows })?;
+            }
+            self.send_loads(i)?;
+            active[i] = true;
+        }
+        self.dispatch(env, &active)
+    }
+
+    /// Runs the loop to completion.
+    pub fn run(&mut self, env: &CloudEnv) -> Result<(), ShardError> {
+        while self.step(env)?.is_some() {}
+        Ok(())
+    }
+
+    /// Finalizes the run: reconciles the authoritative state to the best
+    /// plan seen (exactly like [`TrainerSession::finish`]).
+    pub fn finish(self, env: &CloudEnv) -> RlCutResult<'g> {
+        self.finish_with_parts(env).0
+    }
+
+    /// [`Self::finish`] for the dynamic-window path: also hands back the
+    /// session resources (pool + scratch) and the shard topology so the
+    /// next window refreshes only delta-affected views.
+    pub fn finish_with_parts(
+        mut self,
+        env: &CloudEnv,
+    ) -> (RlCutResult<'g>, SessionResources, ShardCarry) {
+        let total_duration = self.started.elapsed();
+        let best_masters = self.best.0;
+        if self.state.core().masters() != best_masters.as_slice() {
+            let diffs: Vec<(VertexId, DcId)> = self
+                .state
+                .core()
+                .masters()
+                .iter()
+                .zip(&best_masters)
+                .enumerate()
+                .filter(|(_, (live, best))| live != best)
+                .map(|(v, (_, &best))| (v as VertexId, best))
+                .collect();
+            for (v, to) in diffs {
+                self.state.apply_move_with(env, v, to, &mut self.scratch);
+            }
+            debug_assert_eq!(self.state.core().masters(), best_masters.as_slice());
+        }
+        let views = self.shards.into_iter().map(|node| node.into_inner().view).collect::<Vec<_>>();
+        let carry = ShardCarry { spec: self.spec, views };
+        let resources = SessionResources { pool: self.pool, scratch: self.scratch };
+        let result = RlCutResult {
+            state: self.state,
+            steps: self.steps,
+            total_duration,
+            converged: self.converged,
+        };
+        (result, resources, carry)
+    }
+}
+
+/// [`crate::trainer::partition`] through the sharded runtime: natural
+/// initial masters, derived θ, `num_shards` contiguous shards over the
+/// in-process shuffle. Bit-identical masters to the single-process
+/// trainer at any shard count.
+pub fn partition_sharded<'g>(
+    geo: &'g GeoGraph,
+    env: &CloudEnv,
+    profile: TrafficProfile,
+    num_iterations: f64,
+    config: &RlCutConfig,
+    num_shards: usize,
+) -> Result<RlCutResult<'g>, ShardError> {
+    let theta = config.theta.unwrap_or_else(|| geograph::degree::suggest_theta(&geo.graph, 0.05));
+    let state =
+        HybridState::from_masters(geo, env, geo.locations.clone(), theta, profile, num_iterations);
+    let mut trainer = ShardedTrainer::new(geo, env, state, config.clone(), num_shards)?;
+    trainer.run(env)?;
+    Ok(trainer.finish(env))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::partition;
+    use geograph::generators::{rmat, RmatConfig};
+    use geograph::locality::LocalityConfig;
+    use geograph::Graph;
+    use geosim::regions::ec2_eight_regions;
+
+    fn setup(seed: u64) -> (GeoGraph, CloudEnv) {
+        let g = rmat(&RmatConfig::social(512, 4096), seed);
+        (GeoGraph::from_graph(g, &LocalityConfig::paper_default(seed)), ec2_eight_regions())
+    }
+
+    fn config(geo: &GeoGraph, env: &CloudEnv) -> RlCutConfig {
+        let budget = geosim::cost::default_budget(env, &geo.locations, &geo.data_sizes, 0.4);
+        RlCutConfig::new(budget).with_seed(1).with_threads(2).with_max_steps(4)
+    }
+
+    #[test]
+    fn sharded_masters_match_trainer_at_1_2_4_8_shards() {
+        let (geo, env) = setup(21);
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let cfg = config(&geo, &env);
+        let baseline = partition(&geo, &env, profile.clone(), 10.0, &cfg);
+        assert!(baseline.total_migrations() > 0, "vacuous without migrations");
+        for shards in [1usize, 2, 4, 8] {
+            let r = partition_sharded(&geo, &env, profile.clone(), 10.0, &cfg, shards)
+                .unwrap_or_else(|e| panic!("{shards} shards: {e}"));
+            assert_eq!(
+                baseline.state.core().masters(),
+                r.state.core().masters(),
+                "{shards} shards diverged from the single-process trainer"
+            );
+            assert_eq!(baseline.total_migrations(), r.total_migrations());
+        }
+    }
+
+    #[test]
+    fn sharded_runtime_deterministic_across_thread_counts() {
+        let (geo, env) = setup(22);
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let run = |threads: usize| {
+            let cfg = config(&geo, &env).with_threads(threads);
+            partition_sharded(&geo, &env, profile.clone(), 10.0, &cfg, 4).expect("sharded run")
+        };
+        let one = run(1);
+        let four = run(4);
+        assert_eq!(one.state.core().masters(), four.state.core().masters());
+    }
+
+    #[test]
+    fn shuffle_bytes_are_accounted() {
+        let (geo, env) = setup(23);
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let cfg = config(&geo, &env);
+        let theta = geograph::degree::suggest_theta(&geo.graph, 0.05);
+        let state =
+            HybridState::from_masters(&geo, &env, geo.locations.clone(), theta, profile, 10.0);
+        let mut t = ShardedTrainer::new(&geo, &env, state, cfg, 4).expect("build");
+        let bootstrap = t.shuffle_bytes();
+        assert!(bootstrap > 0, "bootstrap row distribution must be counted");
+        t.run(&env).expect("run");
+        assert!(t.shuffle_bytes() > bootstrap, "steps must add shuffle volume");
+        assert!(t.total_ghosts() > 0, "rmat graph must produce cross-shard fringes");
+    }
+
+    #[test]
+    fn more_shards_than_vertices_still_bit_identical() {
+        // Edge case: 8-vertex path graph, 16 shards — half the ranges are
+        // empty and every populated shard owns a single vertex whose whole
+        // adjacency is ghost-referenced.
+        let graph = Graph::from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)]);
+        let geo = GeoGraph::from_graph(graph, &LocalityConfig::paper_default(31));
+        let env = ec2_eight_regions();
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let budget = geosim::cost::default_budget(&env, &geo.locations, &geo.data_sizes, 0.4);
+        let cfg = RlCutConfig::new(budget)
+            .with_seed(2)
+            .with_threads(2)
+            .with_fixed_sample_rate(1.0)
+            .with_max_steps(3);
+        let baseline = partition(&geo, &env, profile.clone(), 10.0, &cfg);
+        let sharded = partition_sharded(&geo, &env, profile, 10.0, &cfg, 16)
+            .expect("16 shards over 8 vertices");
+        assert_eq!(baseline.state.core().masters(), sharded.state.core().masters());
+    }
+
+    #[test]
+    fn shard_with_zero_proposals_stays_in_sync() {
+        // A star graph trained at full sampling: leaves follow the hub
+        // quickly, so later steps produce few or no proposals for most
+        // shards — every shard must keep serving score requests (empty
+        // reply queues are part of the protocol, not an error) and the
+        // plan must still match the trainer.
+        let mut edges = Vec::new();
+        for v in 1..64u32 {
+            edges.push((0, v));
+        }
+        let graph = Graph::from_edges(64, &edges);
+        let geo = GeoGraph::from_graph(graph, &LocalityConfig::paper_default(33));
+        let env = ec2_eight_regions();
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let budget = geosim::cost::default_budget(&env, &geo.locations, &geo.data_sizes, 0.4);
+        let cfg = RlCutConfig::new(budget)
+            .with_seed(3)
+            .with_threads(2)
+            .with_fixed_sample_rate(1.0)
+            .with_max_steps(5);
+        let baseline = partition(&geo, &env, profile.clone(), 10.0, &cfg);
+        let sharded = partition_sharded(&geo, &env, profile, 10.0, &cfg, 4).expect("sharded star");
+        assert_eq!(baseline.state.core().masters(), sharded.state.core().masters());
+        assert_eq!(baseline.total_migrations(), sharded.total_migrations());
+    }
+
+    #[test]
+    fn refresh_views_rebuilds_only_affected_shards() {
+        use geograph::dynamic::{EdgeEvent, EventKind};
+        let graph = Graph::from_edges(16, &[(0, 1), (4, 5), (8, 9), (12, 13)]);
+        let spec = ShardSpec::contiguous(16, 4);
+        let views = (0..4).map(|s| ShardView::build(&graph, &spec, s)).collect::<Vec<_>>();
+        let mut carry = ShardCarry { spec, views };
+        // One insertion inside shard 1's range only.
+        let events = vec![EdgeEvent { src: 5, dst: 6, timestamp_ms: 0, kind: EventKind::Insert }];
+        let delta = GraphDelta::from_events(&graph, &events);
+        let next = graph.apply_delta(&delta);
+        let rebuilt = refresh_views(&mut carry, &next, &delta);
+        assert_eq!(rebuilt, 1, "only the owning shard's view must refresh");
+        assert_eq!(carry.views[1].out_neighbors_of(5).len(), 1);
+    }
+}

@@ -133,9 +133,9 @@ pub fn train_observed<'g>(
 pub struct SessionResources {
     /// Carried worker pool (`None` when the donor ran single-threaded or
     /// pooling was disabled).
-    pool: Option<WorkerPool>,
+    pub(crate) pool: Option<WorkerPool>,
     /// Carried sequential scratch arena.
-    scratch: MoveScratch,
+    pub(crate) scratch: MoveScratch,
 }
 
 impl Default for SessionResources {
@@ -266,11 +266,11 @@ impl<'g> TrainerSession<'g> {
 
     /// A pool is only worth its dispatch cost with real parallelism; the
     /// scope fallback (`use_worker_pool = false`) is the measured baseline.
-    fn build_pool(config: &RlCutConfig) -> Option<WorkerPool> {
+    pub(crate) fn build_pool(config: &RlCutConfig) -> Option<WorkerPool> {
         (config.use_worker_pool && config.threads() > 1).then(|| WorkerPool::new(config.threads()))
     }
 
-    fn build_order(geo: &GeoGraph, config: &RlCutConfig) -> Vec<VertexId> {
+    pub(crate) fn build_order(geo: &GeoGraph, config: &RlCutConfig) -> Vec<VertexId> {
         let mut order = match config.sample_strategy {
             SampleStrategy::LowestDegree => degree_ascending_order(&geo.graph),
             SampleStrategy::Random => {
@@ -283,7 +283,7 @@ impl<'g> TrainerSession<'g> {
         order
     }
 
-    fn build_scheduler(config: &RlCutConfig) -> SampleScheduler {
+    pub(crate) fn build_scheduler(config: &RlCutConfig) -> SampleScheduler {
         let mut scheduler = SampleScheduler::new(
             config.t_opt.map(|d| d.as_secs_f64()),
             config.fixed_sample_rate,
@@ -470,7 +470,7 @@ impl<'g> TrainerSession<'g> {
         self.pool.as_ref().map(|p| p.scratch_stats())
     }
 
-    fn beats(candidate: &Objective, incumbent: &Objective, budget: f64) -> bool {
+    pub(crate) fn beats(candidate: &Objective, incumbent: &Objective, budget: f64) -> bool {
         let cand_ok = candidate.total_cost() <= budget;
         let inc_ok = incumbent.total_cost() <= budget;
         match (cand_ok, inc_ok) {

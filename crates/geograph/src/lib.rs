@@ -41,6 +41,7 @@ pub mod generators;
 pub mod geo;
 pub mod io;
 pub mod locality;
+pub mod shard;
 pub mod transform;
 pub mod weights;
 
@@ -52,6 +53,7 @@ pub use delta::GraphDelta;
 pub use dynamic::{AppliedEvents, EdgeEvent, EdgeStream, EventKind, WindowSplitError, Windows};
 pub use geo::GeoGraph;
 pub use locality::LocalityConfig;
+pub use shard::{route_delta, ShardDelta, ShardSpec, ShardView};
 
 /// Identifier of a vertex. Graphs are limited to `u32::MAX - 1` vertices,
 /// which keeps adjacency arrays at half the size of `usize` ids and is far

@@ -1,0 +1,453 @@
+//! Vertex-range shards over a CSR snapshot: the graph-substrate half of
+//! the sharded trainer.
+//!
+//! A shard owns a **contiguous vertex range** of the graph plus a
+//! read-only **ghost fringe**: the cross-shard in/out-neighbors of its
+//! owned vertices. Contiguous ranges keep ownership tests O(1) arithmetic
+//! and make the owned adjacency a pure slice of the global CSR; the fringe
+//! is exactly the set of foreign vertices a shard-local hybrid-cut move
+//! evaluation reads (the staged neighbors of `collect_deltas`), so a shard
+//! holding bit-identical replicas of its owned ∪ fringe rows scores its
+//! agents bit-identically to a global evaluator.
+//!
+//! Local ids are assigned in **ascending global-id order** over
+//! owned ∪ fringe. The mapping is therefore order-isomorphic: sorting
+//! staged neighbors by local id yields the same permutation as sorting by
+//! global id, which is what keeps the kernel's sealed-merge and fp
+//! accumulation order — and hence its results — bit-identical to the
+//! single-address-space path.
+//!
+//! [`route_delta`] splits a [`GraphDelta`] by owning shard so a dynamic
+//! window refreshes only the shards (and only the fringes) the delta
+//! actually touches.
+
+use crate::csr::Graph;
+use crate::delta::GraphDelta;
+use crate::VertexId;
+
+/// A contiguous partition of the vertex id space into shards.
+///
+/// Ranges are half-open `[start, end)`, cover `0..n` exactly, and may be
+/// empty (shard counts exceeding the vertex count are legal; the excess
+/// shards simply own nothing).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    ranges: Vec<(VertexId, VertexId)>,
+}
+
+impl ShardSpec {
+    /// Splits `n` vertices into `num_shards` contiguous ranges of
+    /// near-equal size (the first `n % num_shards` shards get one extra
+    /// vertex). `num_shards` must be at least 1.
+    pub fn contiguous(n: usize, num_shards: usize) -> ShardSpec {
+        assert!(num_shards >= 1, "at least one shard required");
+        let base = n / num_shards;
+        let extra = n % num_shards;
+        let mut ranges = Vec::with_capacity(num_shards);
+        let mut start = 0usize;
+        for s in 0..num_shards {
+            let len = base + usize::from(s < extra);
+            ranges.push((start as VertexId, (start + len) as VertexId));
+            start += len;
+        }
+        debug_assert_eq!(start, n);
+        ShardSpec { ranges }
+    }
+
+    /// Number of shards (including empty ones).
+    pub fn num_shards(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Total vertices covered.
+    pub fn num_vertices(&self) -> usize {
+        self.ranges.last().map_or(0, |&(_, e)| e as usize)
+    }
+
+    /// The half-open owned range of shard `s`.
+    pub fn range(&self, s: usize) -> (VertexId, VertexId) {
+        self.ranges[s]
+    }
+
+    /// The shard owning vertex `v`.
+    pub fn owner_of(&self, v: VertexId) -> usize {
+        debug_assert!((v as usize) < self.num_vertices());
+        // Ranges are sorted and contiguous: the owner is the last shard
+        // starting at or before `v` (empty ranges share a start with their
+        // successor and own nothing, so partition_point lands past them).
+        self.ranges.partition_point(|&(start, _)| start <= v).saturating_sub(1)
+    }
+
+    /// Grows the id space to `new_n` vertices by extending the **last**
+    /// shard's range. Dynamic windows only append vertices; absorbing them
+    /// into the tail shard keeps every existing boundary — and therefore
+    /// every unaffected shard's view — stable across the window.
+    pub fn grow(&mut self, new_n: usize) {
+        let old_n = self.num_vertices();
+        assert!(new_n >= old_n, "the vertex id space only grows");
+        if let Some(last) = self.ranges.last_mut() {
+            last.1 = new_n as VertexId;
+        }
+    }
+}
+
+/// One shard's materialized view of the graph: owned adjacency re-indexed
+/// to local ids, plus the sorted ghost fringe.
+///
+/// The view copies its slices out of the global CSR, so it stays valid
+/// after the snapshot that built it is dropped — dynamic drivers carry
+/// unaffected views across windows verbatim.
+#[derive(Clone, Debug)]
+pub struct ShardView {
+    shard: usize,
+    start: VertexId,
+    end: VertexId,
+    /// Ghost fringe: every in/out-neighbor of an owned vertex outside
+    /// `[start, end)`, ascending, deduplicated.
+    ghosts: Vec<VertexId>,
+    /// All local vertices (owned ∪ ghosts) in ascending global-id order;
+    /// local id = index into this table.
+    locals: Vec<VertexId>,
+    /// CSR over the owned vertices only, targets/sources as local ids.
+    out_offsets: Vec<u32>,
+    out_targets: Vec<u32>,
+    in_offsets: Vec<u32>,
+    in_sources: Vec<u32>,
+}
+
+impl ShardView {
+    /// Builds shard `shard`'s view of `graph` under `spec`: slices the
+    /// owned rows out of the CSR and extracts the ghost fringe.
+    pub fn build(graph: &Graph, spec: &ShardSpec, shard: usize) -> ShardView {
+        let (start, end) = spec.range(shard);
+        debug_assert!(end as usize <= graph.num_vertices());
+        let owned = (end - start) as usize;
+
+        let mut ghosts: Vec<VertexId> = Vec::new();
+        for v in start..end {
+            for &u in graph.in_neighbors(v) {
+                if u < start || u >= end {
+                    ghosts.push(u);
+                }
+            }
+            for &w in graph.out_neighbors(v) {
+                if w < start || w >= end {
+                    ghosts.push(w);
+                }
+            }
+        }
+        ghosts.sort_unstable();
+        ghosts.dedup();
+
+        // Ascending merge of ghosts-below, owned range, ghosts-above.
+        let below = ghosts.partition_point(|&g| g < start);
+        let mut locals = Vec::with_capacity(owned + ghosts.len());
+        locals.extend_from_slice(&ghosts[..below]);
+        locals.extend(start..end);
+        locals.extend_from_slice(&ghosts[below..]);
+        debug_assert!(locals.windows(2).all(|w| w[0] < w[1]));
+
+        let to_local = |v: VertexId| -> u32 {
+            if v >= start && v < end {
+                below as u32 + (v - start)
+            } else if v < start {
+                ghosts[..below].binary_search(&v).expect("fringe covers every neighbor") as u32
+            } else {
+                (below + owned + ghosts[below..].binary_search(&v).expect("fringe")) as u32
+            }
+        };
+
+        let mut out_offsets = Vec::with_capacity(owned + 1);
+        let mut in_offsets = Vec::with_capacity(owned + 1);
+        let mut out_targets = Vec::new();
+        let mut in_sources = Vec::new();
+        out_offsets.push(0);
+        in_offsets.push(0);
+        for v in start..end {
+            out_targets.extend(graph.out_neighbors(v).iter().map(|&w| to_local(w)));
+            in_sources.extend(graph.in_neighbors(v).iter().map(|&u| to_local(u)));
+            out_offsets.push(out_targets.len() as u32);
+            in_offsets.push(in_sources.len() as u32);
+        }
+
+        ShardView {
+            shard,
+            start,
+            end,
+            ghosts,
+            locals,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+        }
+    }
+
+    /// The shard this view belongs to.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// The half-open owned global-id range.
+    pub fn owned_range(&self) -> (VertexId, VertexId) {
+        (self.start, self.end)
+    }
+
+    /// Number of owned vertices.
+    pub fn num_owned(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Number of ghost-fringe vertices.
+    pub fn num_ghosts(&self) -> usize {
+        self.ghosts.len()
+    }
+
+    /// Owned plus ghost vertices — the size of the shard's working set.
+    pub fn num_locals(&self) -> usize {
+        self.locals.len()
+    }
+
+    /// The sorted ghost fringe (global ids).
+    pub fn ghosts(&self) -> &[VertexId] {
+        &self.ghosts
+    }
+
+    /// All local vertices in local-id order (ascending global ids).
+    pub fn locals(&self) -> &[VertexId] {
+        &self.locals
+    }
+
+    /// Whether this view owns global vertex `v`.
+    pub fn owns(&self, v: VertexId) -> bool {
+        v >= self.start && v < self.end
+    }
+
+    /// Local id of global vertex `v`, if `v` is owned or in the fringe.
+    pub fn to_local(&self, v: VertexId) -> Option<u32> {
+        if self.owns(v) {
+            let below = self.locals.len() - self.num_owned() - self.ghosts_above();
+            return Some(below as u32 + (v - self.start));
+        }
+        self.locals.binary_search(&v).ok().map(|i| i as u32)
+    }
+
+    fn ghosts_above(&self) -> usize {
+        self.ghosts.len() - self.ghosts.partition_point(|&g| g < self.start)
+    }
+
+    /// Global id of local vertex `l`.
+    pub fn to_global(&self, l: u32) -> VertexId {
+        self.locals[l as usize]
+    }
+
+    /// Whether local id `l` is an owned vertex (vs a ghost).
+    pub fn is_owned_local(&self, l: u32) -> bool {
+        self.owns(self.locals[l as usize])
+    }
+
+    /// Out-neighbors (as local ids) of **owned** global vertex `v`, in the
+    /// global CSR's adjacency order.
+    pub fn out_neighbors_of(&self, v: VertexId) -> &[u32] {
+        debug_assert!(self.owns(v));
+        let i = (v - self.start) as usize;
+        &self.out_targets[self.out_offsets[i] as usize..self.out_offsets[i + 1] as usize]
+    }
+
+    /// In-neighbors (as local ids) of **owned** global vertex `v`.
+    pub fn in_neighbors_of(&self, v: VertexId) -> &[u32] {
+        debug_assert!(self.owns(v));
+        let i = (v - self.start) as usize;
+        &self.in_sources[self.in_offsets[i] as usize..self.in_offsets[i + 1] as usize]
+    }
+}
+
+/// The slice of a [`GraphDelta`] relevant to one shard.
+#[derive(Clone, Debug, Default)]
+pub struct ShardDelta {
+    /// Owned vertices whose adjacency the delta changed (sorted).
+    pub touched_owned: Vec<VertexId>,
+    /// Vertices appended to this shard's range by the window (only the
+    /// last shard absorbs growth — see [`ShardSpec::grow`]).
+    pub new_vertices: usize,
+}
+
+impl ShardDelta {
+    /// Whether this shard's view must be refreshed: its owned adjacency
+    /// (and therefore possibly its fringe) changed, or its range grew.
+    pub fn affects_view(&self) -> bool {
+        !self.touched_owned.is_empty() || self.new_vertices > 0
+    }
+}
+
+/// Routes a [`GraphDelta`] to its owning shards: per shard, the owned
+/// touched vertices plus (for the tail shard) the appended vertex count.
+///
+/// `spec` must already cover the delta's **new** vertex count (grow it
+/// with [`ShardSpec::grow`] first). A shard whose slice is empty is
+/// unaffected: none of its owned vertices' adjacency changed, so its view
+/// — including its ghost fringe, which is a function of that adjacency —
+/// is carried verbatim.
+pub fn route_delta(delta: &GraphDelta, spec: &ShardSpec) -> Vec<ShardDelta> {
+    assert_eq!(
+        spec.num_vertices(),
+        delta.new_num_vertices(),
+        "spec must be grown to the delta's successor snapshot first"
+    );
+    let mut routed: Vec<ShardDelta> = vec![ShardDelta::default(); spec.num_shards()];
+    // `touched()` is sorted; split it across the sorted ranges in one walk.
+    let mut shard = 0usize;
+    for &v in delta.touched() {
+        while spec.range(shard).1 <= v {
+            shard += 1;
+        }
+        routed[shard].touched_owned.push(v);
+    }
+    let appended = delta.new_num_vertices() - delta.old_num_vertices();
+    if appended > 0 {
+        let last = spec.num_shards() - 1;
+        routed[last].new_vertices = appended;
+    }
+    routed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamic::{EdgeEvent, EventKind};
+
+    fn ev(src: u32, dst: u32, ts: u64, kind: EventKind) -> EdgeEvent {
+        EdgeEvent { src, dst, timestamp_ms: ts, kind }
+    }
+
+    #[test]
+    fn contiguous_ranges_cover_exactly() {
+        let spec = ShardSpec::contiguous(10, 3);
+        assert_eq!(spec.range(0), (0, 4));
+        assert_eq!(spec.range(1), (4, 7));
+        assert_eq!(spec.range(2), (7, 10));
+        assert_eq!(spec.num_vertices(), 10);
+        for v in 0..10u32 {
+            let s = spec.owner_of(v);
+            let (a, b) = spec.range(s);
+            assert!(a <= v && v < b, "vertex {v} routed to shard {s} [{a},{b})");
+        }
+    }
+
+    #[test]
+    fn more_shards_than_vertices_leaves_empty_tails() {
+        let spec = ShardSpec::contiguous(3, 8);
+        assert_eq!(spec.num_shards(), 8);
+        assert_eq!(spec.num_vertices(), 3);
+        let owned: usize = (0..8).map(|s| (spec.range(s).1 - spec.range(s).0) as usize).sum();
+        assert_eq!(owned, 3);
+        for v in 0..3u32 {
+            assert_eq!(spec.owner_of(v), v as usize, "1-vertex shards own their id");
+        }
+        for s in 3..8 {
+            let (a, b) = spec.range(s);
+            assert_eq!(a, b, "tail shard {s} must be empty");
+        }
+    }
+
+    #[test]
+    fn view_extracts_cross_shard_fringe() {
+        // 0→2, 2→1, 3→0: shard 0 owns {0,1}, shard 1 owns {2,3}.
+        let g = Graph::from_edges(4, &[(0, 2), (2, 1), (3, 0)]);
+        let spec = ShardSpec::contiguous(4, 2);
+        let v0 = ShardView::build(&g, &spec, 0);
+        assert_eq!(v0.ghosts(), &[2, 3]);
+        assert_eq!(v0.num_owned(), 2);
+        assert_eq!(v0.num_locals(), 4);
+        // Locals ascend: [0, 1, 2, 3] → local ids equal global ids here.
+        assert_eq!(v0.locals(), &[0, 1, 2, 3]);
+        assert_eq!(v0.out_neighbors_of(0), &[2]);
+        assert_eq!(v0.in_neighbors_of(0), &[3]);
+        assert_eq!(v0.in_neighbors_of(1), &[2]);
+
+        let v1 = ShardView::build(&g, &spec, 1);
+        assert_eq!(v1.ghosts(), &[0, 1]);
+        // Locals [0, 1, 2, 3]; ghosts below the range keep ascending order.
+        assert_eq!(v1.to_local(2), Some(2));
+        assert_eq!(v1.to_local(0), Some(0));
+        assert!(v1.is_owned_local(2));
+        assert!(!v1.is_owned_local(0));
+    }
+
+    #[test]
+    fn local_order_is_global_order() {
+        // Ghosts both below and above the owned range.
+        let g = Graph::from_edges(6, &[(0, 3), (5, 2), (2, 0), (3, 5)]);
+        let spec = ShardSpec::contiguous(6, 3);
+        let v = ShardView::build(&g, &spec, 1); // owns {2, 3}
+        assert_eq!(v.ghosts(), &[0, 5]);
+        assert_eq!(v.locals(), &[0, 2, 3, 5]);
+        for (l, &gid) in v.locals().iter().enumerate() {
+            assert_eq!(v.to_local(gid), Some(l as u32));
+            assert_eq!(v.to_global(l as u32), gid);
+        }
+        assert_eq!(v.to_local(1), None);
+        assert_eq!(v.to_local(4), None);
+        // Mapping is monotone: sorted local ids ⇔ sorted global ids.
+        let mapped: Vec<u32> = v.locals().iter().map(|&gid| v.to_local(gid).unwrap()).collect();
+        assert!(mapped.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn ghost_only_adjacency_range() {
+        // A star: hub 0 in shard 0, leaves in shard 1. Every edge of shard
+        // 1's owned vertices crosses the boundary — its entire adjacency is
+        // ghost-referenced.
+        let g = Graph::from_edges(4, &[(0, 2), (0, 3), (2, 0)]);
+        let spec = ShardSpec::contiguous(4, 2);
+        let v1 = ShardView::build(&g, &spec, 1);
+        assert_eq!(v1.ghosts(), &[0]);
+        for v in 2..4u32 {
+            for &l in v1.in_neighbors_of(v).iter().chain(v1.out_neighbors_of(v)) {
+                assert!(!v1.is_owned_local(l), "every neighbor must be a ghost");
+            }
+        }
+    }
+
+    #[test]
+    fn route_delta_splits_touched_by_owner() {
+        let g = Graph::from_edges(6, &[(0, 1), (2, 3)]);
+        let events = vec![
+            ev(4, 5, 0, EventKind::Insert),
+            ev(0, 1, 1, EventKind::Delete),
+            ev(6, 2, 2, EventKind::Insert),
+        ];
+        let delta = GraphDelta::from_events(&g, &events);
+        let mut spec = ShardSpec::contiguous(6, 3);
+        spec.grow(delta.new_num_vertices());
+        let routed = route_delta(&delta, &spec);
+        assert_eq!(routed[0].touched_owned, vec![0, 1]);
+        assert_eq!(routed[1].touched_owned, vec![2]);
+        assert!(routed[2].touched_owned.contains(&4));
+        assert!(routed[2].touched_owned.contains(&5));
+        assert_eq!(routed[2].new_vertices, 1);
+        assert!(routed[0].affects_view() && routed[1].affects_view() && routed[2].affects_view());
+    }
+
+    #[test]
+    fn empty_delta_routes_nowhere() {
+        let g = Graph::from_edges(4, &[(0, 1)]);
+        let delta = GraphDelta::from_events(&g, &[]);
+        assert!(delta.is_empty());
+        let spec = ShardSpec::contiguous(4, 2);
+        for slice in route_delta(&delta, &spec) {
+            assert!(!slice.affects_view());
+            assert_eq!(slice.touched_owned.len() + slice.new_vertices, 0);
+        }
+    }
+
+    #[test]
+    fn grow_extends_last_shard_only() {
+        let mut spec = ShardSpec::contiguous(6, 3);
+        let before: Vec<_> = (0..2).map(|s| spec.range(s)).collect();
+        spec.grow(9);
+        assert_eq!((0..2).map(|s| spec.range(s)).collect::<Vec<_>>(), before);
+        assert_eq!(spec.range(2), (4, 9));
+        assert_eq!(spec.owner_of(8), 2);
+    }
+}

@@ -20,8 +20,19 @@ use crate::datacenter::{CloudEnv, Datacenter};
 #[derive(Debug)]
 pub enum EnvIoError {
     Io(std::io::Error),
-    Parse { line: usize, content: String },
+    Parse {
+        line: usize,
+        content: String,
+    },
     Empty,
+    /// More DC lines than the plan machinery's bitmask replica sets
+    /// support ([`geograph::MAX_DCS`]). Checked here so a user-supplied
+    /// file surfaces a typed error instead of tripping the `CloudEnv`
+    /// constructor's assert.
+    TooManyDcs {
+        count: usize,
+        max: usize,
+    },
 }
 
 impl std::fmt::Display for EnvIoError {
@@ -32,6 +43,9 @@ impl std::fmt::Display for EnvIoError {
                 write!(f, "malformed DC spec at line {line}: {content:?}")
             }
             EnvIoError::Empty => write!(f, "environment file defines no data centers"),
+            EnvIoError::TooManyDcs { count, max } => {
+                write!(f, "environment file defines {count} data centers; at most {max} supported")
+            }
         }
     }
 }
@@ -83,6 +97,9 @@ pub fn parse_env<R: BufRead>(reader: R) -> Result<CloudEnv, EnvIoError> {
     }
     if dcs.is_empty() {
         return Err(EnvIoError::Empty);
+    }
+    if dcs.len() > geograph::MAX_DCS {
+        return Err(EnvIoError::TooManyDcs { count: dcs.len(), max: geograph::MAX_DCS });
     }
     Ok(CloudEnv::new(dcs))
 }
@@ -177,6 +194,23 @@ mod tests {
     #[test]
     fn empty_rejected() {
         assert!(matches!(parse_env(Cursor::new("# nothing\n")), Err(EnvIoError::Empty)));
+    }
+
+    #[test]
+    fn too_many_dcs_rejected_with_typed_error() {
+        // One DC past the bitmask limit must surface as a typed error,
+        // not the CloudEnv constructor's assert.
+        let mut input = String::new();
+        for i in 0..=geograph::MAX_DCS {
+            input.push_str(&format!("dc{i} 1 2 0.1\n"));
+        }
+        match parse_env(Cursor::new(input)) {
+            Err(EnvIoError::TooManyDcs { count, max }) => {
+                assert_eq!(count, geograph::MAX_DCS + 1);
+                assert_eq!(max, geograph::MAX_DCS);
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

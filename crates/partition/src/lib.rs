@@ -33,6 +33,7 @@ pub mod kernel;
 pub mod metrics;
 pub mod plan_io;
 pub mod profile;
+pub mod shard;
 pub mod state;
 pub mod vertexcut;
 
@@ -41,6 +42,7 @@ pub use error::PlanError;
 pub use hybrid::{EvacuationReport, HybridState};
 pub use kernel::{MoveScratch, ScratchStats};
 pub use profile::TrafficProfile;
+pub use shard::{export_row, RowSync, ShardPlacement};
 pub use state::{DeltaApplyStats, Objective, PlacementState};
 
 pub use geograph::{DcId, VertexId};

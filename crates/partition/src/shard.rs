@@ -1,0 +1,341 @@
+//! Per-shard placement replicas for the sharded trainer.
+//!
+//! A [`ShardPlacement`] is a **compacted** [`PlacementState`] over one
+//! shard's working set (owned vertices plus the ghost fringe), indexed by
+//! the shard view's local ids. It is a *scoring replica*: the coordinator
+//! owns the authoritative global state and streams verbatim copies of the
+//! rows a shard needs ([`RowSync`]) plus the global load accumulators
+//! ([`ShardPlacement::sync_loads`]); the replica never applies moves
+//! itself.
+//!
+//! ## Why replica scoring is bit-identical
+//!
+//! [`PlacementState::evaluate_all_moves`] reads, for a candidate vertex
+//! `v`: `v`'s master, the packed [`VertexMeta`] record and count row of
+//! every staged neighbor, and the global gather/apply loads + movement
+//! cost + iteration count behind `objective()`. Hybrid-cut staging touches
+//! exactly `v` and its in/out neighbors — all inside owned ∪ fringe by the
+//! fringe's construction — and every one of those inputs is a verbatim
+//! copy here. Local ids ascend with global ids (see
+//! [`geograph::ShardView`]), so the scratch arena's sort-and-merge and
+//! every floating-point accumulation run in the *same order* over the
+//! *same values* as the global kernel: the objectives agree bit-for-bit.
+//!
+//! [`VertexMeta`]: crate::state::VertexMeta
+
+use geograph::ShardView;
+use geosim::{CloudEnv, StageLoads};
+
+use crate::kernel::{CntDelta, MoveScratch};
+use crate::profile::TrafficProfile;
+use crate::state::{Objective, PlacementState, VertexMeta};
+use crate::{DcId, VertexId};
+
+/// A verbatim copy of one vertex's placement row — everything shard-local
+/// scoring reads about a vertex: the interleaved in/out count row, the
+/// packed kernel metadata, and the movement-cost inputs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RowSync {
+    /// Interleaved `[in, out]` counts, `2 · M` lanes.
+    pub counts: Vec<u32>,
+    /// Occupancy bitmask over the count row.
+    pub nnz: u64,
+    /// Expected gather bytes (`g_v`).
+    pub g: f32,
+    /// Expected apply bytes (`a_v`).
+    pub a: f32,
+    /// Master DC.
+    pub master: DcId,
+    /// High-degree class.
+    pub high: bool,
+    /// Natural (home) DC — the Eq 4 movement-cost origin.
+    pub location: DcId,
+    /// Input data size in bytes — the Eq 4 movement-cost weight.
+    pub data_size: u64,
+}
+
+impl RowSync {
+    /// Bytes this row would occupy on a wire: the shuffle layer's
+    /// accounting unit (counts + mask + profile pair + master/class +
+    /// location + size).
+    pub fn wire_bytes(&self) -> u64 {
+        (self.counts.len() * 4 + 8 + 4 + 4 + 1 + 1 + 1 + 8) as u64
+    }
+}
+
+/// Exports vertex `v`'s placement row from an authoritative global state
+/// as a [`RowSync`], ready to ship to every shard holding `v` locally.
+pub fn export_row(core: &PlacementState, location: DcId, data_size: u64, v: VertexId) -> RowSync {
+    let meta = core.meta[v as usize];
+    RowSync {
+        counts: core.counts_row(v).to_vec(),
+        nnz: meta.nnz,
+        g: meta.g,
+        a: meta.a,
+        master: meta.master,
+        high: meta.high,
+        location,
+        data_size,
+    }
+}
+
+/// One shard's compacted placement replica: a [`PlacementState`] whose
+/// vertex dimension is the shard's local working set, plus the per-local
+/// movement-cost inputs the global state keeps in the `GeoGraph`.
+#[derive(Clone, Debug)]
+pub struct ShardPlacement {
+    core: PlacementState,
+    locations: Vec<DcId>,
+    data_sizes: Vec<u64>,
+}
+
+impl ShardPlacement {
+    /// An empty replica for `num_locals` local vertices over `num_dcs`
+    /// DCs. All rows and loads start zeroed; the coordinator populates
+    /// them through [`Self::sync_row`] / [`Self::sync_loads`] before the
+    /// first scoring request.
+    pub fn new(num_dcs: usize, num_locals: usize, num_iterations: f64) -> ShardPlacement {
+        let core = PlacementState {
+            num_dcs,
+            masters: vec![0; num_locals],
+            is_high: vec![false; num_locals],
+            counts: vec![0; num_locals * num_dcs * 2],
+            meta: vec![VertexMeta::default(); num_locals],
+            edges_per_dc: vec![0; num_dcs],
+            gather: StageLoads::new(num_dcs),
+            apply: StageLoads::new(num_dcs),
+            movement_cost: 0.0,
+            profile: TrafficProfile {
+                gather_bytes: vec![0.0; num_locals],
+                apply_bytes: vec![0.0; num_locals],
+            },
+            num_iterations,
+        };
+        ShardPlacement { core, locations: vec![0; num_locals], data_sizes: vec![0; num_locals] }
+    }
+
+    /// Number of local vertices this replica covers.
+    pub fn num_locals(&self) -> usize {
+        self.core.masters.len()
+    }
+
+    /// Overwrites local vertex `local`'s row with a verbatim copy shipped
+    /// from the authoritative state.
+    pub fn sync_row(&mut self, local: u32, row: &RowSync) {
+        let l = local as usize;
+        let m = self.core.num_dcs;
+        debug_assert_eq!(row.counts.len(), m * 2);
+        self.core.counts[l * m * 2..(l + 1) * m * 2].copy_from_slice(&row.counts);
+        self.core.meta[l] =
+            VertexMeta { nnz: row.nnz, g: row.g, a: row.a, master: row.master, high: row.high };
+        self.core.masters[l] = row.master;
+        self.core.is_high[l] = row.high;
+        self.core.profile.gather_bytes[l] = row.g;
+        self.core.profile.apply_bytes[l] = row.a;
+        self.locations[l] = row.location;
+        self.data_sizes[l] = row.data_size;
+    }
+
+    /// Overwrites the replica's global aggregates: the per-DC gather/apply
+    /// load accumulators and the accumulated Eq 4 movement cost. Every
+    /// migration changes these for *all* shards, so the coordinator ships
+    /// them after each applied batch.
+    pub fn sync_loads(&mut self, gather: StageLoads, apply: StageLoads, movement_cost: f64) {
+        self.core.gather = gather;
+        self.core.apply = apply;
+        self.core.movement_cost = movement_cost;
+    }
+
+    /// Master of local vertex `local`.
+    pub fn master_local(&self, local: u32) -> DcId {
+        self.core.masters[local as usize]
+    }
+
+    /// The replica's current objective under `env` — equals the global
+    /// objective whenever the loads are in sync.
+    pub fn objective(&self, env: &CloudEnv) -> Objective {
+        self.core.objective(env)
+    }
+
+    /// Evaluates moving owned vertex `v` (a **global** id) to every DC,
+    /// shard-locally — the replica twin of
+    /// [`crate::HybridState::evaluate_all_moves`], staging the identical
+    /// hybrid-cut count deltas over the shard view's local adjacency and
+    /// patching the identical per-destination Eq 4 movement cost.
+    pub fn evaluate_all_moves<'s>(
+        &self,
+        env: &CloudEnv,
+        view: &ShardView,
+        v: VertexId,
+        scratch: &'s mut MoveScratch,
+    ) -> &'s [Objective] {
+        let lv = view.to_local(v).expect("agent must be local to its owner shard");
+        self.collect_deltas_into(view, v, lv, scratch);
+        self.core.evaluate_all_moves(env, lv, scratch);
+        let a = self.core.masters[lv as usize];
+        let loc = self.locations[lv as usize];
+        let size = self.data_sizes[lv as usize];
+        let base = self.core.movement_cost - geosim::cost::vertex_move_cost(env, loc, a, size);
+        for (d, obj) in scratch.objectives_mut().iter_mut().enumerate() {
+            if d != a as usize {
+                obj.movement_cost =
+                    base + geosim::cost::vertex_move_cost(env, loc, d as DcId, size);
+            }
+        }
+        scratch.objectives()
+    }
+
+    /// The local-id twin of `HybridState::collect_deltas_into`: identical
+    /// traversal (in-neighbors of a low `v`, then high out-neighbors, in
+    /// CSR order), identical deltas, local ids instead of global. The
+    /// sealed sort orders by local id — the same permutation as the global
+    /// sort because the mapping is monotone.
+    fn collect_deltas_into(
+        &self,
+        view: &ShardView,
+        v: VertexId,
+        lv: u32,
+        scratch: &mut MoveScratch,
+    ) {
+        scratch.begin_stage();
+        let mut self_delta = CntDelta::default();
+        if !self.core.is_high[lv as usize] {
+            for &lu in view.in_neighbors_of(v) {
+                self_delta.in_a -= 1;
+                self_delta.in_b += 1;
+                if lu == lv {
+                    self_delta.out_a -= 1;
+                    self_delta.out_b += 1;
+                } else {
+                    scratch
+                        .push_neighbor(lu, CntDelta { out_a: -1, out_b: 1, ..CntDelta::default() });
+                }
+            }
+        }
+        for &lw in view.out_neighbors_of(v) {
+            if !self.core.is_high[lw as usize] {
+                continue;
+            }
+            self_delta.out_a -= 1;
+            self_delta.out_b += 1;
+            if lw == lv {
+                self_delta.in_a -= 1;
+                self_delta.in_b += 1;
+            } else {
+                scratch.push_neighbor(lw, CntDelta { in_a: -1, in_b: 1, ..CntDelta::default() });
+            }
+        }
+        scratch.self_delta = self_delta;
+        scratch.seal();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HybridState;
+    use geograph::generators::{rmat, RmatConfig};
+    use geograph::locality::LocalityConfig;
+    use geograph::{GeoGraph, ShardSpec};
+    use geosim::regions::ec2_eight_regions;
+
+    fn setup() -> (GeoGraph, CloudEnv) {
+        let g = rmat(&RmatConfig::social(256, 1024), 5);
+        (GeoGraph::from_graph(g, &LocalityConfig::paper_default(5)), ec2_eight_regions())
+    }
+
+    /// Builds a fully synced replica of `state` for shard `s`.
+    fn replica(state: &HybridState<'_>, geo: &GeoGraph, view: &ShardView) -> ShardPlacement {
+        let m = state.core().num_dcs();
+        let mut p = ShardPlacement::new(m, view.num_locals(), state.core().num_iterations());
+        for (l, &v) in view.locals().iter().enumerate() {
+            let row =
+                export_row(state.core(), geo.locations[v as usize], geo.data_sizes[v as usize], v);
+            p.sync_row(l as u32, &row);
+        }
+        p.sync_loads(
+            state.core().gather_loads().clone(),
+            state.core().apply_loads().clone(),
+            state.core().movement_cost(),
+        );
+        p
+    }
+
+    #[test]
+    fn replica_scoring_is_bit_identical_to_global() {
+        let (geo, env) = setup();
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let state = HybridState::from_masters(&geo, &env, geo.locations.clone(), 8, profile, 10.0);
+        for shards in [1usize, 2, 4, 8] {
+            let spec = ShardSpec::contiguous(geo.num_vertices(), shards);
+            for s in 0..shards {
+                let view = ShardView::build(&geo.graph, &spec, s);
+                let p = replica(&state, &geo, &view);
+                let (start, end) = view.owned_range();
+                let mut global_scratch = MoveScratch::new();
+                let mut local_scratch = MoveScratch::new();
+                for v in start..end {
+                    let global = state.evaluate_all_moves(&env, v, &mut global_scratch).to_vec();
+                    let local = p.evaluate_all_moves(&env, &view, v, &mut local_scratch).to_vec();
+                    for (d, (g, l)) in global.iter().zip(&local).enumerate() {
+                        assert!(
+                            g.transfer_time.to_bits() == l.transfer_time.to_bits()
+                                && g.movement_cost.to_bits() == l.movement_cost.to_bits()
+                                && g.runtime_cost.to_bits() == l.runtime_cost.to_bits(),
+                            "shards={shards} shard={s} v={v} dest={d}: {g:?} != {l:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stale_replica_resyncs_after_migration() {
+        let (geo, env) = setup();
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let mut state =
+            HybridState::from_masters(&geo, &env, geo.locations.clone(), 8, profile, 10.0);
+        let spec = ShardSpec::contiguous(geo.num_vertices(), 2);
+        let view = ShardView::build(&geo.graph, &spec, 0);
+        let mut p = replica(&state, &geo, &view);
+
+        // Apply a move on the authoritative state, then re-sync only the
+        // touched rows + loads; the replica must agree again.
+        let v: VertexId = 3;
+        let to = (state.master(v) + 1) % env.num_dcs() as DcId;
+        let mut scratch = MoveScratch::new();
+        state.apply_move_with(&env, v, to, &mut scratch);
+
+        let mut dirty: Vec<VertexId> = vec![v];
+        dirty.extend_from_slice(geo.graph.in_neighbors(v));
+        dirty.extend_from_slice(geo.graph.out_neighbors(v));
+        dirty.sort_unstable();
+        dirty.dedup();
+        for d in dirty {
+            if let Some(l) = view.to_local(d) {
+                let row = export_row(
+                    state.core(),
+                    geo.locations[d as usize],
+                    geo.data_sizes[d as usize],
+                    d,
+                );
+                p.sync_row(l, &row);
+            }
+        }
+        p.sync_loads(
+            state.core().gather_loads().clone(),
+            state.core().apply_loads().clone(),
+            state.core().movement_cost(),
+        );
+
+        let (start, end) = view.owned_range();
+        let mut gs = MoveScratch::new();
+        let mut ls = MoveScratch::new();
+        for u in start..end {
+            let global = state.evaluate_all_moves(&env, u, &mut gs).to_vec();
+            let local = p.evaluate_all_moves(&env, &view, u, &mut ls).to_vec();
+            assert_eq!(global, local, "vertex {u} diverged after resync");
+        }
+    }
+}

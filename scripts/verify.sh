@@ -16,16 +16,43 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> trainer worker-pool bench smoke run (pool vs scope, BENCH_trainer.json)"
 mkdir -p EXPERIMENTS-data
 # The bench itself cross-checks that every (threads, dispatch) cell trains
-# a bit-identical plan. The speedup gate is a loose smoke ratio: the real
-# >=1.15x pool-vs-scope target only holds on hosts with >=4 physical
-# cores (single-core CI boxes measure pure noise around 1.0x, so 0.5 only
-# guards against a catastrophic dispatch regression).
+# a bit-identical plan. The >=1.15x pool-vs-scope speedup target only
+# holds on hosts with >=4 real cores to park workers on; underprovisioned
+# boxes measure pure noise around 1.0x, so the ratio gate is skipped there
+# EXPLICITLY (the bench still runs, still cross-checks determinism, and
+# records "underprovisioned_host": true in BENCH_trainer.json).
+HOST_CPUS=$(nproc)
+if [ "$HOST_CPUS" -ge 4 ]; then
+  echo "    host has $HOST_CPUS cpus: enforcing the >=1.15x pool-vs-scope gate"
+  SPEEDUP_GATE=(--assert-speedup 1.15)
+else
+  echo "    SKIPPING pool-vs-scope speedup gate: host has $HOST_CPUS cpu(s), gate needs >=4"
+  SPEEDUP_GATE=()
+fi
 cargo run --release -p geobench --bin bench_trainer -- \
   --scale 0.0002 --steps 3 --reps 2 --threads-list 1,4 \
-  --out EXPERIMENTS-data/BENCH_trainer.json --assert-speedup 0.5
+  --out EXPERIMENTS-data/BENCH_trainer.json "${SPEEDUP_GATE[@]}"
+grep -q '"underprovisioned_host"' EXPERIMENTS-data/BENCH_trainer.json \
+  || { echo "BENCH_trainer.json is missing the underprovisioned_host field"; exit 1; }
 
 echo "==> pool determinism cross-check (1 vs 4 threads)"
 cargo test -q -p rlcut deterministic_across_thread_counts
+
+echo "==> shard determinism gate (1 vs 2 vs 4 vs 8 shards, bit-identical masters)"
+# The sharded runtime's contract: trained masters are bit-identical to the
+# single-process trainer at any shard count, on the property-test graph
+# and across dynamic windows.
+cargo test -q -p rlcut sharded_masters_match_trainer
+cargo test -q -p rlcut sharded_windows_match_unsharded
+
+echo "==> shard runtime bench smoke run (BENCH_shard.json)"
+# The bench fails hard if any shard count trains a plan different from the
+# single-process trainer (the identical-plan cross-check is built in).
+cargo run --release -p geobench --bin bench_shard -- \
+  --scale 0.0002 --steps 3 --reps 1 --shards-list 1,2,4 \
+  --out EXPERIMENTS-data/BENCH_shard.json
+grep -q '"shuffle_bytes"' EXPERIMENTS-data/BENCH_shard.json \
+  || { echo "BENCH_shard.json is missing the shuffle_bytes column"; exit 1; }
 
 echo "==> adaptive-window bench smoke run (incremental vs rebuild, BENCH_adaptive.json)"
 # Both paths are driven over identical GraphDeltas; every incremental

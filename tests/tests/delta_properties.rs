@@ -67,6 +67,69 @@ fn geo_for(graph: &Graph, seed: u64, num_dcs: usize) -> GeoGraph {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
+    /// An empty `GraphDelta` is a strict no-op through every layer of the
+    /// pipeline: `Graph::apply_delta` returns an equal graph, the
+    /// placement-state delta apply performs zero work items and leaves the
+    /// plan bit-identical, and `AdaptiveRlCut::on_window_delta` reports a
+    /// zero-work window that preserves the carried masters.
+    #[test]
+    fn empty_delta_is_a_strict_noop((n, initial, _, seed) in arb_stream()) {
+        let env = ec2_eight_regions();
+        let graph = {
+            let mut b = GraphBuilder::new(n);
+            b.add_edges(initial);
+            b.build()
+        };
+        let empty = GraphDelta::from_events(&graph, &[]);
+        prop_assert!(empty.is_empty());
+        prop_assert_eq!(empty.touched().len(), 0);
+        prop_assert_eq!(empty.num_edge_changes(), 0);
+
+        // Layer 1: the CSR overlay.
+        let advanced = graph.apply_delta(&empty);
+        prop_assert_eq!(&advanced, &graph);
+
+        // Layer 2: the placement state. Zero work items, and the resumed
+        // plan is bit-identical on integer state (masters, classes) and
+        // survives the rebuild-and-compare.
+        let geo = geo_for(&graph, seed, env.num_dcs());
+        let theta = 3;
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let state = HybridState::from_masters(
+            &geo, &env, geo.locations.clone(), theta, profile.clone(), 10.0,
+        );
+        let masters_before = state.core().masters().to_vec();
+        let (core, th) = state.into_parts();
+        let (resumed, stats) =
+            HybridState::resume_from_parts(core, th, &geo, &env, &empty, &profile)
+                .expect("empty delta must resume");
+        prop_assert_eq!(stats.work_items(), 0, "empty delta must do zero work");
+        prop_assert_eq!(resumed.core().masters(), masters_before.as_slice());
+        resumed.validate_plan(&env).expect("no-op resume diverged from rebuild");
+
+        // Layer 3: the adaptive pipeline. A zero sample rate isolates the
+        // delta path — with no training moves, an empty delta must leave
+        // the carried masters untouched and report a zero-work window.
+        let config = RlCutConfig::new(f64::INFINITY)
+            .with_seed(seed)
+            .with_theta(3)
+            .with_fixed_sample_rate(0.0)
+            .with_max_steps(2);
+        let mut adaptive = AdaptiveRlCut::new(config, None);
+        let t_opt = Duration::from_millis(100);
+        adaptive
+            .on_window(&geo, &env, profile.clone(), 10.0, t_opt)
+            .expect("window 0");
+        let carried = adaptive.masters().to_vec();
+        let report = adaptive
+            .on_window_delta(&geo, &env, &empty, profile, 10.0, t_opt)
+            .expect("empty delta window");
+        let stats = report.delta_stats.expect("delta path must be taken");
+        prop_assert_eq!(stats.work_items(), 0, "empty window must report zero work items");
+        prop_assert_eq!(report.migrations, 0);
+        prop_assert_eq!(adaptive.masters(), carried.as_slice());
+    }
+
     /// Pure state-level equivalence: a placement state carried through
     /// `resume_from_parts` across every window must match a from-scratch
     /// `from_masters` rebuild bit-for-bit on integer state (f64 aggregates

@@ -128,10 +128,14 @@ fn single_dc_environment_degenerates_gracefully() {
 fn env_file_boundary_cases() {
     // Negative price rejected.
     assert!(geosim::env_io::parse_env(Cursor::new("a 1 1 -0.1\n")).is_err());
-    // 65 DCs exceed the bitmask limit — CloudEnv::new must panic, so the
-    // parser's caller sees it immediately rather than corrupting plans.
+    // 65 DCs exceed the bitmask limit — the parser rejects them with a
+    // typed error before the CloudEnv constructor's assert can trip.
     let many: String = (0..65).map(|i| format!("dc{i} 1 1 0.1\n")).collect();
-    let result =
-        std::panic::catch_unwind(|| geosim::env_io::parse_env(Cursor::new(many.as_bytes())));
-    assert!(result.is_err(), "65-DC environment must be rejected");
+    match geosim::env_io::parse_env(Cursor::new(many.as_bytes())) {
+        Err(geosim::env_io::EnvIoError::TooManyDcs { count, max }) => {
+            assert_eq!(count, 65);
+            assert_eq!(max, geograph::MAX_DCS);
+        }
+        other => panic!("65-DC environment must be rejected with TooManyDcs, got {other:?}"),
+    }
 }
