@@ -48,6 +48,10 @@ pub struct Options {
     pub topt_ms: u64,
     pub threads: usize,
     pub seed: u64,
+    /// WAL + snapshot directory (partition with rlcut only): first run
+    /// creates it, later runs recover the pipeline and train another
+    /// window on top of it.
+    pub durable_dir: Option<PathBuf>,
 }
 
 impl Default for Options {
@@ -60,6 +64,7 @@ impl Default for Options {
             topt_ms: 0,
             threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
             seed: 42,
+            durable_dir: None,
         }
     }
 }
@@ -90,7 +95,7 @@ usage:
   rlcut info      <edge-list>
   rlcut partition <edge-list> [--out plan.txt] [--method rlcut|ginger|hashpl|natural]
                   [--dcs N | --env dcs.txt] [--budget-frac F] [--topt-ms N]
-                  [--threads N] [--seed N]
+                  [--threads N] [--seed N] [--durable-dir DIR]
   rlcut evaluate  <edge-list> --plan plan.txt [--dcs N | --env dcs.txt] [--seed N]";
 
 /// Parses the argument vector (without the program name).
@@ -121,6 +126,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 options.threads = value()?.parse().map_err(|e| format!("--threads: {e}"))?
             }
             "--seed" => options.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--durable-dir" => options.durable_dir = Some(PathBuf::from(value()?.clone())),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
@@ -190,6 +196,9 @@ pub fn run(command: Command) -> Result<String, String> {
             ))
         }
         Command::Partition { graph, out, options } => {
+            if options.durable_dir.is_some() && options.method != Method::RlCut {
+                return Err("--durable-dir requires --method rlcut".to_string());
+            }
             let env = build_env(&options)?;
             let geo = load_geo(&graph, &env, options.seed)?;
             let budget = geosim::cost::default_budget(
@@ -201,6 +210,7 @@ pub fn run(command: Command) -> Result<String, String> {
             let theta = geograph::degree::suggest_theta(&geo.graph, 0.05);
             let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
             let start = std::time::Instant::now();
+            let mut durable_note: Option<String> = None;
             let masters: Vec<geograph::DcId> = match options.method {
                 Method::Natural => geo.locations.clone(),
                 Method::HashPl => {
@@ -226,11 +236,18 @@ pub fn run(command: Command) -> Result<String, String> {
                     if options.topt_ms > 0 {
                         config = config.with_t_opt(Duration::from_millis(options.topt_ms));
                     }
-                    rlcut::partition(&geo, &env, profile.clone(), 10.0, &config)
-                        .state
-                        .core()
-                        .masters()
-                        .to_vec()
+                    if let Some(dir) = &options.durable_dir {
+                        let (masters, note) =
+                            durable_partition(dir, &geo, &env, config, &options, profile.clone())?;
+                        durable_note = Some(note);
+                        masters
+                    } else {
+                        rlcut::partition(&geo, &env, profile.clone(), 10.0, &config)
+                            .state
+                            .core()
+                            .masters()
+                            .to_vec()
+                    }
                 }
             };
             let overhead = start.elapsed();
@@ -254,6 +271,9 @@ pub fn run(command: Command) -> Result<String, String> {
                 state.core().replication_factor(),
                 overhead,
             );
+            if let Some(note) = durable_note {
+                report.push_str(&format!("\ndurable dir   : {note}"));
+            }
             if let Some(path) = out {
                 geopart::plan_io::save_assignment(state.core().masters(), &path)
                     .map_err(|e| format!("{}: {e}", path.display()))?;
@@ -291,6 +311,61 @@ pub fn run(command: Command) -> Result<String, String> {
             ))
         }
     }
+}
+
+/// Runs the partition as one committed window of the durable pipeline.
+/// A fresh directory is created at genesis; an existing one is recovered
+/// (rolling back any uncommitted tail) and trained one window further, so
+/// repeated invocations against the same directory keep refining the same
+/// crash-safe placement.
+fn durable_partition(
+    dir: &std::path::Path,
+    geo: &GeoGraph,
+    env: &CloudEnv,
+    config: RlCutConfig,
+    options: &Options,
+    profile: TrafficProfile,
+) -> Result<(Vec<geograph::DcId>, String), String> {
+    let t_opt = if options.topt_ms > 0 {
+        Duration::from_millis(options.topt_ms)
+    } else {
+        Duration::from_secs(60)
+    };
+    let (mut durable, provenance) = if dir.join("wal").is_dir() {
+        let (d, summary) =
+            rlcut::DurableAdaptive::recover(dir, config, Some(options.budget_frac), env, 1)
+                .map_err(|e| format!("{}: recovery failed: {e}", dir.display()))?;
+        if d.geo().num_vertices() != geo.num_vertices() {
+            return Err(format!(
+                "{}: durable state holds {} vertices but the graph has {}",
+                dir.display(),
+                d.geo().num_vertices(),
+                geo.num_vertices()
+            ));
+        }
+        let note = format!(
+            "recovered at window {} ({} replayed{})",
+            summary.next_window,
+            summary.replayed_windows,
+            if summary.rolled_back { ", tail rolled back" } else { "" }
+        );
+        (d, note)
+    } else {
+        let d =
+            rlcut::DurableAdaptive::create(dir, config, Some(options.budget_frac), geo.clone(), 1)
+                .map_err(|e| format!("{}: {e}", dir.display()))?;
+        (d, "created".to_string())
+    };
+    durable
+        .window(env, None, &[], &[], profile, 10.0, t_opt)
+        .map_err(|e| format!("{}: {e}", dir.display()))?;
+    let committed = durable.next_window() - 1;
+    let (core, _) = durable
+        .inner()
+        .carried_parts()
+        .ok_or_else(|| format!("{}: committed window carried no state", dir.display()))?;
+    let note = format!("{} ({provenance}; window {committed} committed)", dir.display());
+    Ok((core.masters().to_vec(), note))
 }
 
 #[cfg(test)]
@@ -334,6 +409,13 @@ mod tests {
         assert_eq!(options.budget_frac, 0.2);
         assert_eq!(options.threads, 2);
         assert_eq!(options.seed, 7);
+    }
+
+    #[test]
+    fn parse_durable_dir() {
+        let cmd = parse_args(&args(&["partition", "g.txt", "--durable-dir", "state.d"])).unwrap();
+        let Command::Partition { options, .. } = cmd else { panic!() };
+        assert_eq!(options.durable_dir, Some(PathBuf::from("state.d")));
     }
 
     #[test]
@@ -433,6 +515,53 @@ mod tests {
             err.contains("badplan.plan") && err.contains("line 9") && err.contains("DC id 9"),
             "{err}"
         );
+    }
+
+    #[test]
+    fn durable_partition_creates_then_recovers() {
+        let graph = demo_graph_file("durable.txt");
+        let dir = std::env::temp_dir().join("rlcut_cli_tests/durable_state.d");
+        let _ = std::fs::remove_dir_all(&dir);
+        let options = Options {
+            topt_ms: 100,
+            threads: 2,
+            durable_dir: Some(dir.clone()),
+            ..Default::default()
+        };
+
+        // First invocation: genesis + window 0 committed to the WAL.
+        let report =
+            run(Command::Partition { graph: graph.clone(), out: None, options: options.clone() })
+                .unwrap();
+        assert!(report.contains("created; window 0 committed"), "{report}");
+        assert!(dir.join("wal").is_dir(), "first run must leave a WAL behind");
+
+        // Second invocation recovers the pipeline and trains window 1.
+        let report =
+            run(Command::Partition { graph, out: None, options: options.clone() }).unwrap();
+        assert!(report.contains("recovered at window 1"), "{report}");
+        assert!(report.contains("window 1 committed"), "{report}");
+
+        // A different graph against the same state directory is refused.
+        let other = demo_graph_file("durable_other.txt");
+        let big = geograph::generators::erdos_renyi(301, 2400, 3);
+        geograph::io::write_edge_list(&big, &other).unwrap();
+        let err = run(Command::Partition { graph: other, out: None, options }).unwrap_err();
+        assert!(err.contains("301"), "vertex-count mismatch must be typed: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_dir_requires_rlcut() {
+        let options = Options {
+            method: Method::Ginger,
+            durable_dir: Some(PathBuf::from("x.d")),
+            ..Default::default()
+        };
+        let err =
+            run(Command::Partition { graph: PathBuf::from("unused.txt"), out: None, options })
+                .unwrap_err();
+        assert!(err.contains("--durable-dir"), "{err}");
     }
 
     #[test]

@@ -142,6 +142,9 @@ pub struct AdaptiveRlCut {
     /// Shard views rebuilt by the last window (`None`: the last window
     /// was unsharded or built every view fresh).
     last_shard_refreshes: Option<usize>,
+    /// Ask each window's session to journal its applied moves (the
+    /// durable driver's WAL feed). Unsharded only.
+    journal_moves: bool,
 }
 
 impl AdaptiveRlCut {
@@ -159,7 +162,47 @@ impl AdaptiveRlCut {
             num_shards: None,
             shard_carry: None,
             last_shard_refreshes: None,
+            journal_moves: false,
         }
+    }
+
+    /// [`Self::new`] resuming from recovered state: `carried` is the
+    /// placement + theta of the last committed window (e.g. out of a
+    /// durable-store replay), adopted bit-for-bit — the next delta window
+    /// takes the incremental path exactly as if this process had trained
+    /// the previous window itself.
+    pub fn with_carried(
+        config: RlCutConfig,
+        budget_fraction: Option<f64>,
+        carried: (PlacementState, usize),
+    ) -> Self {
+        let mut adaptive = Self::new(config, budget_fraction);
+        adaptive.masters = carried.0.masters().to_vec();
+        adaptive.carried = Some(carried);
+        adaptive
+    }
+
+    /// Journals every applied migration of each window's session, handed
+    /// back through [`Self::take_window_journal`]. The durable driver's
+    /// WAL feed. Incompatible with [`Self::with_shards`] (the sharded
+    /// runtime applies moves shard-locally, outside the journaled path).
+    pub fn with_move_journal(mut self) -> Self {
+        self.journal_moves = true;
+        self
+    }
+
+    /// Takes the applied-move journal of the last window: `(step, moves)`
+    /// entries in exact apply order, the reconcile sweep last (under
+    /// [`crate::trainer::RECONCILE_STEP`]). Empty when journaling is off
+    /// or no window ran since the last take.
+    pub fn take_window_journal(&mut self) -> Vec<(u32, Vec<(geograph::VertexId, DcId)>)> {
+        self.resources.as_mut().and_then(|r| r.journal.take()).unwrap_or_default()
+    }
+
+    /// The carried placement + theta of the last window (`None` before
+    /// the first window completes).
+    pub fn carried_parts(&self) -> Option<&(PlacementState, usize)> {
+        self.carried.as_ref()
     }
 
     /// Forces the from-scratch rebuild every window (the ablation baseline
@@ -280,6 +323,11 @@ impl AdaptiveRlCut {
                 snapshot: geo.num_vertices(),
             });
         }
+        assert!(
+            !(self.journal_moves && self.num_shards.is_some()),
+            "move journaling is unsharded-only: the sharded runtime applies moves outside \
+             the journaled path"
+        );
         let mut config = self.config.clone().with_t_opt(t_opt);
         if let Some(fraction) = self.budget_fraction {
             config.budget =
@@ -375,6 +423,9 @@ impl AdaptiveRlCut {
                 config,
                 self.resources.take().unwrap_or_default(),
             );
+            if self.journal_moves {
+                session.enable_move_journal();
+            }
             if incremental {
                 // The delta's touched neighborhoods are where quality
                 // degraded: front them in the sampling order and floor the

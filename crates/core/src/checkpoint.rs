@@ -131,11 +131,14 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
-        if self.pos + n > self.buf.len() {
+        // Checked: a crafted length field must surface as a typed error,
+        // never an arithmetic panic.
+        let end = self.pos.checked_add(n).ok_or(CheckpointError::Truncated)?;
+        if end > self.buf.len() {
             return Err(CheckpointError::Truncated);
         }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
         Ok(s)
     }
 
@@ -156,14 +159,14 @@ impl<'a> Reader<'a> {
     }
 
     fn u32s(&mut self, n: usize) -> Result<Vec<u32>, CheckpointError> {
-        self.take(n * 4)?
+        self.take(n.checked_mul(4).ok_or(CheckpointError::Truncated)?)?
             .chunks_exact(4)
             .map(|c| Ok(u32::from_le_bytes(c.try_into().unwrap())))
             .collect()
     }
 
     fn f32s(&mut self, n: usize) -> Result<Vec<f32>, CheckpointError> {
-        self.take(n * 4)?
+        self.take(n.checked_mul(4).ok_or(CheckpointError::Truncated)?)?
             .chunks_exact(4)
             .map(|c| Ok(f32::from_le_bytes(c.try_into().unwrap())))
             .collect()
@@ -243,10 +246,11 @@ impl TrainerCheckpoint {
         let theta = r.u64()?;
         let n = r.u64()? as usize;
         let m = r.u32()?;
+        let per_agent = n.checked_mul(m as usize).ok_or(CheckpointError::Truncated)?;
         let masters = r.take(n)?.to_vec();
-        let probs = r.f32s(n * m as usize)?;
-        let plays = r.u32s(n * m as usize)?;
-        let mean_reward = r.f32s(n * m as usize)?;
+        let probs = r.f32s(per_agent)?;
+        let plays = r.u32s(per_agent)?;
+        let mean_reward = r.f32s(per_agent)?;
         let total_plays = r.u32s(n)?;
         let rng_state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
         let movement_cost = r.f64()?;
@@ -363,6 +367,27 @@ mod tests {
         match TrainerCheckpoint::from_bytes(&bytes) {
             Err(CheckpointError::UnsupportedVersion(99)) => {}
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn crafted_huge_lengths_error_instead_of_panicking() {
+        // A checksum-valid blob whose length fields claim u64::MAX agents:
+        // the reader's checked arithmetic must surface Truncated, never an
+        // overflow panic or a giant allocation.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&7u64.to_le_bytes()); // seed
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // step
+        bytes.extend_from_slice(&8u64.to_le_bytes()); // theta
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes()); // n
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // m
+        let checksum = super::fnv1a(&bytes);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+        match TrainerCheckpoint::from_bytes(&bytes) {
+            Err(CheckpointError::Truncated) => {}
+            other => panic!("expected Truncated, got {other:?}"),
         }
     }
 

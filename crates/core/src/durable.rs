@@ -1,0 +1,554 @@
+//! The durable dynamic-window driver: [`AdaptiveRlCut`] behind a WAL.
+//!
+//! [`DurableAdaptive`] owns the evolving [`GeoGraph`] and a
+//! [`geodur::DurableStore`], and wraps every window in the durable
+//! transaction protocol:
+//!
+//! 1. the window's inputs (delta, new-vertex suffixes, profile suffix,
+//!    fault flags) are logged and fsynced **before** training starts;
+//! 2. the window trains through the inner [`AdaptiveRlCut`] with move
+//!    journaling on;
+//! 3. the journal's accepted-migration batches and a commit record
+//!    (carried theta, final movement-cost bits, masters hash) are
+//!    appended and fsynced together — one group commit seals the window.
+//!
+//! [`DurableAdaptive::recover`] is the other half: latest valid snapshot
+//! plus WAL replay (see [`geodur::replay`]) reconstructs the pipeline
+//! bit-exactly at the last committed window boundary and returns a driver
+//! that continues as if the process had never died — the next window
+//! resumes the recovered placement through the same incremental path,
+//! with the same per-window config/RNG derivation, so the continued run's
+//! masters match an uninterrupted run's bit for bit.
+
+use std::path::Path;
+use std::time::Duration;
+
+use geodur::{
+    masters_fnv, Batch, Commit, DurableError, DurableStore, RecoveryReport, Snapshot, WindowStart,
+};
+use geograph::{DcId, GeoGraph, GraphDelta};
+use geopart::TrafficProfile;
+use geosim::CloudEnv;
+
+use crate::adaptive::{AdaptiveRlCut, WindowError, WindowReport};
+use crate::config::RlCutConfig;
+
+/// Why a durable window or recovery failed.
+#[derive(Debug)]
+pub enum DurableWindowError {
+    /// The training window itself failed.
+    Window(WindowError),
+    /// The durability layer failed (I/O, corruption, replay divergence).
+    Durable(DurableError),
+    /// The caller's window inputs are inconsistent (e.g. suffix lengths
+    /// that do not match the delta's vertex growth).
+    Input(&'static str),
+}
+
+impl std::fmt::Display for DurableWindowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableWindowError::Window(e) => write!(f, "window failed: {e}"),
+            DurableWindowError::Durable(e) => write!(f, "durability layer failed: {e}"),
+            DurableWindowError::Input(what) => write!(f, "inconsistent window inputs: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableWindowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurableWindowError::Window(e) => Some(e),
+            DurableWindowError::Durable(e) => Some(e),
+            DurableWindowError::Input(_) => None,
+        }
+    }
+}
+
+impl From<WindowError> for DurableWindowError {
+    fn from(e: WindowError) -> Self {
+        DurableWindowError::Window(e)
+    }
+}
+
+impl From<DurableError> for DurableWindowError {
+    fn from(e: DurableError) -> Self {
+        DurableWindowError::Durable(e)
+    }
+}
+
+/// What [`DurableAdaptive::recover`] found and rebuilt.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoverySummary {
+    /// Low-level scan report (torn bytes, skipped snapshots).
+    pub report: RecoveryReport,
+    /// Next window the driver expects (also how many windows are
+    /// committed in total).
+    pub next_window: u64,
+    /// Windows replayed from the WAL on top of the snapshot.
+    pub replayed_windows: u64,
+    /// `true` when an uncommitted window was found and rolled back — the
+    /// caller must re-feed that window's events.
+    pub rolled_back: bool,
+}
+
+/// [`AdaptiveRlCut`] wrapped in WAL + snapshot durability.
+#[derive(Debug)]
+pub struct DurableAdaptive {
+    inner: AdaptiveRlCut,
+    store: DurableStore,
+    geo: GeoGraph,
+    window: u64,
+    /// Fault flags noted since the last window, logged into the next
+    /// window's start record.
+    pending_dead: Option<Vec<bool>>,
+    /// Cut a snapshot every this many committed windows (0 = only on
+    /// explicit [`Self::snapshot_now`]).
+    snapshot_every: u64,
+    windows_since_snapshot: u64,
+}
+
+impl DurableAdaptive {
+    /// Initializes a fresh durable pipeline at `dir` starting from `geo`.
+    /// The initial masters are the vertices' home locations (the paper's
+    /// natural placement), which recovery re-derives from the logged
+    /// geo — callers wanting a different seed placement train it in
+    /// window 0.
+    pub fn create(
+        dir: &Path,
+        config: RlCutConfig,
+        budget_fraction: Option<f64>,
+        geo: GeoGraph,
+        snapshot_every: u64,
+    ) -> Result<DurableAdaptive, DurableError> {
+        let store = DurableStore::create(dir, &geo)?;
+        let inner = AdaptiveRlCut::new(config, budget_fraction).with_move_journal();
+        Ok(DurableAdaptive {
+            inner,
+            store,
+            geo,
+            window: 0,
+            pending_dead: None,
+            snapshot_every,
+            windows_since_snapshot: 0,
+        })
+    }
+
+    /// Recovers the pipeline from `dir` at its last committed window
+    /// boundary. `config` and `budget_fraction` must match what the dead
+    /// process ran with — they are the trainer's behavior, not logged
+    /// state — and `env` only needs the right DC count for replay.
+    pub fn recover(
+        dir: &Path,
+        config: RlCutConfig,
+        budget_fraction: Option<f64>,
+        env: &CloudEnv,
+        snapshot_every: u64,
+    ) -> Result<(DurableAdaptive, RecoverySummary), DurableError> {
+        let (recovered, report, store) = DurableStore::recover(dir, env)?;
+        let summary = RecoverySummary {
+            report,
+            next_window: recovered.next_window,
+            replayed_windows: recovered.replayed_windows,
+            rolled_back: recovered.rolled_back,
+        };
+        let inner = match recovered.parts {
+            Some(parts) => AdaptiveRlCut::with_carried(config, budget_fraction, parts),
+            None => AdaptiveRlCut::new(config, budget_fraction),
+        }
+        .with_move_journal();
+        let durable = DurableAdaptive {
+            inner,
+            store,
+            geo: recovered.geo,
+            window: recovered.next_window,
+            pending_dead: None,
+            snapshot_every,
+            windows_since_snapshot: 0,
+        };
+        Ok((durable, summary))
+    }
+
+    /// Notes a WAN fault (dead-DC flags) observed between windows; the
+    /// next window logs the flags, takes the rebuild path, and re-seeds
+    /// stranded masters — identically live and at replay.
+    pub fn note_fault(&mut self, dead: &[bool]) {
+        if dead.iter().any(|&d| d) {
+            self.pending_dead = Some(dead.to_vec());
+        }
+    }
+
+    /// Runs one durable window. `delta` + the suffixes describe the graph
+    /// growth since the previous window (all empty/`None` for a
+    /// stationary window, and for window 0, whose full graph is already
+    /// in the genesis snapshot); `profile` is the full traffic profile
+    /// over the grown graph, as in [`AdaptiveRlCut::on_window_delta`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn window(
+        &mut self,
+        env: &CloudEnv,
+        delta: Option<&GraphDelta>,
+        loc_suffix: &[DcId],
+        size_suffix: &[u64],
+        profile: TrafficProfile,
+        num_iterations: f64,
+        t_opt: Duration,
+    ) -> Result<WindowReport, DurableWindowError> {
+        // 1. Evolve the owned geo-graph and validate the inputs line up.
+        let old_n = self.geo.num_vertices();
+        let new_n = match delta {
+            Some(d) => {
+                if d.old_num_vertices() != old_n {
+                    return Err(DurableWindowError::Input("delta targets a different graph"));
+                }
+                d.new_num_vertices()
+            }
+            None => {
+                if !loc_suffix.is_empty() || !size_suffix.is_empty() {
+                    return Err(DurableWindowError::Input(
+                        "vertex suffixes require a delta that grows the graph",
+                    ));
+                }
+                old_n
+            }
+        };
+        if old_n + loc_suffix.len() != new_n || old_n + size_suffix.len() != new_n {
+            return Err(DurableWindowError::Input(
+                "location/size suffixes do not cover the delta's new vertices",
+            ));
+        }
+        if profile.len() != new_n {
+            return Err(DurableWindowError::Input("profile does not cover the grown graph"));
+        }
+        if let Some(d) = delta {
+            let graph = self.geo.graph.apply_delta(d);
+            let mut locations = std::mem::take(&mut self.geo.locations);
+            let mut sizes = std::mem::take(&mut self.geo.data_sizes);
+            locations.extend_from_slice(loc_suffix);
+            sizes.extend_from_slice(size_suffix);
+            self.geo = GeoGraph::new(graph, locations, sizes, self.geo.num_dcs);
+        }
+
+        // 2. Log the window's inputs durably BEFORE training touches them.
+        //    The profile suffix starts where the committed placement's
+        //    profile ends (window 0 logs the whole profile).
+        let dead = self.pending_dead.take();
+        let profile_base = self.inner.masters().len();
+        let ws = WindowStart {
+            window: self.window,
+            delta: delta.cloned(),
+            loc_suffix: loc_suffix.to_vec(),
+            size_suffix: size_suffix.to_vec(),
+            gather_suffix: profile.gather_bytes[profile_base..].to_vec(),
+            apply_suffix: profile.apply_bytes[profile_base..].to_vec(),
+            num_iterations,
+            dead: dead.clone(),
+        };
+        self.store.log_window_start(&ws)?;
+
+        // 3. Train the window (journaling every applied move).
+        if let Some(d) = &dead {
+            self.inner.note_fault(d);
+        }
+        let report = match delta {
+            Some(d) => {
+                self.inner.on_window_delta(&self.geo, env, d, profile, num_iterations, t_opt)?
+            }
+            None => self.inner.on_window(&self.geo, env, profile, num_iterations, t_opt)?,
+        };
+
+        // 4. Seal it: batches + commit under one fsync.
+        for (step, moves) in self.inner.take_window_journal() {
+            self.store.log_batch(&Batch { window: self.window, step, moves })?;
+        }
+        let (core, theta) = self.inner.carried_parts().expect("window completed, state is carried");
+        self.store.log_commit(&Commit {
+            window: self.window,
+            theta: *theta as u64,
+            movement_cost_bits: core.movement_cost().to_bits(),
+            masters_fnv: masters_fnv(core.masters()),
+        })?;
+        self.window += 1;
+
+        // 5. Snapshot cadence: cut at the committed boundary, prune behind.
+        self.windows_since_snapshot += 1;
+        if self.snapshot_every > 0 && self.windows_since_snapshot >= self.snapshot_every {
+            self.snapshot_now()?;
+        }
+        Ok(report)
+    }
+
+    /// Cuts a snapshot at the current committed boundary and prunes
+    /// snapshots and WAL segments behind it. Returns the snapshot's
+    /// encoded size.
+    pub fn snapshot_now(&mut self) -> Result<u64, DurableError> {
+        let placement = self.inner.carried_parts().cloned();
+        let snap = Snapshot {
+            lsn: self.store.next_lsn(),
+            window: self.window,
+            geo: self.geo.clone(),
+            placement,
+            trainer: None,
+        };
+        let bytes = self.store.write_snapshot(&snap)?;
+        self.windows_since_snapshot = 0;
+        Ok(bytes)
+    }
+
+    /// The current master assignment (home locations before window 0).
+    pub fn masters(&self) -> &[DcId] {
+        if self.inner.masters().is_empty() {
+            &self.geo.locations
+        } else {
+            self.inner.masters()
+        }
+    }
+
+    /// The geo-graph as of the last window.
+    pub fn geo(&self) -> &GeoGraph {
+        &self.geo
+    }
+
+    /// Index of the next window.
+    pub fn next_window(&self) -> u64 {
+        self.window
+    }
+
+    /// The underlying store (bench accounting: appended bytes, LSNs).
+    pub fn store(&self) -> &DurableStore {
+        &self.store
+    }
+
+    /// The inner adaptive trainer (read-only).
+    pub fn inner(&self) -> &AdaptiveRlCut {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geograph::dynamic::{apply_events, split_for_dynamic};
+    use geograph::generators::preferential::preferential_attachment_edges;
+    use geograph::locality::{assign_locations, LocalityConfig};
+    use geograph::GraphBuilder;
+    use geosim::regions::ec2_eight_regions;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rlcut_dur_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// theta pinned and the sample rate fixed so the wall-clock scheduler
+    /// cannot decide differently across the reference and durable runs.
+    fn pinned_config(seed: u64) -> RlCutConfig {
+        RlCutConfig::new(1.0)
+            .with_seed(seed)
+            .with_threads(2)
+            .with_theta(8)
+            .with_fixed_sample_rate(0.2)
+            .with_max_steps(2)
+    }
+
+    struct Workload {
+        geo0: GeoGraph,
+        /// Per delta window: the delta plus the new vertices' location and
+        /// data-size suffixes.
+        steps: Vec<(GraphDelta, Vec<DcId>, Vec<u64>)>,
+    }
+
+    fn workload() -> Workload {
+        let n = 400;
+        let edges = preferential_attachment_edges(n, 3, 23);
+        let (initial, stream) = split_for_dynamic(&edges, n, 0.6, 10_000);
+        let windows: Vec<_> = stream.windows(2_500).collect();
+        assert!(windows.len() >= 3, "need several delta windows, got {}", windows.len());
+        let full_graph = {
+            let mut b = GraphBuilder::new(n);
+            b.add_edges(initial.edges());
+            apply_events(&mut b, stream.events());
+            b.build()
+        };
+        let cfg = LocalityConfig::paper_default(23);
+        let locations = assign_locations(&full_graph, &cfg);
+        let sizes: Vec<u64> = (0..full_graph.num_vertices()).map(|_| 2048).collect();
+
+        let mut graph = initial;
+        let geo0 = GeoGraph::new(
+            graph.clone(),
+            locations[..graph.num_vertices()].to_vec(),
+            sizes[..graph.num_vertices()].to_vec(),
+            cfg.num_dcs,
+        );
+        let mut steps = Vec::new();
+        for window in &windows {
+            let delta = GraphDelta::from_events(&graph, window);
+            let old_n = graph.num_vertices();
+            graph = graph.apply_delta(&delta);
+            let new_n = graph.num_vertices();
+            steps.push((delta, locations[old_n..new_n].to_vec(), sizes[old_n..new_n].to_vec()));
+        }
+        Workload { geo0, steps }
+    }
+
+    fn evolve(geo: GeoGraph, delta: &GraphDelta, locs: &[DcId], sizes: &[u64]) -> GeoGraph {
+        let num_dcs = geo.num_dcs;
+        let graph = geo.graph.apply_delta(delta);
+        let mut locations = geo.locations;
+        let mut data_sizes = geo.data_sizes;
+        locations.extend_from_slice(locs);
+        data_sizes.extend_from_slice(sizes);
+        GeoGraph::new(graph, locations, data_sizes, num_dcs)
+    }
+
+    /// The uninterrupted reference: a plain `AdaptiveRlCut` over window 0
+    /// plus the first `upto` delta windows, with an optional fault noted
+    /// before window `fault_before`.
+    fn reference_after(
+        w: &Workload,
+        upto: usize,
+        env: &CloudEnv,
+        fault_before: Option<(usize, &[bool])>,
+    ) -> (Vec<DcId>, u64) {
+        let mut adaptive = AdaptiveRlCut::new(pinned_config(13), Some(0.4));
+        let t_opt = Duration::from_secs(60);
+        let p0 = TrafficProfile::uniform(w.geo0.num_vertices(), 8.0);
+        adaptive.on_window(&w.geo0, env, p0, 10.0, t_opt).expect("reference window 0");
+        let mut geo = w.geo0.clone();
+        for (i, (delta, locs, sizes)) in w.steps.iter().take(upto).enumerate() {
+            if let Some((at, dead)) = fault_before {
+                if at == i + 1 {
+                    adaptive.note_fault(dead);
+                }
+            }
+            geo = evolve(geo, delta, locs, sizes);
+            let p = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+            adaptive
+                .on_window_delta(&geo, env, delta, p, 10.0, t_opt)
+                .unwrap_or_else(|e| panic!("reference delta window {i}: {e}"));
+        }
+        let (core, _) = adaptive.carried_parts().expect("reference carried");
+        (core.masters().to_vec(), core.movement_cost().to_bits())
+    }
+
+    #[test]
+    fn kill_between_windows_recovers_and_continues_bit_exactly() {
+        let w = workload();
+        let env = ec2_eight_regions();
+        let t_opt = Duration::from_secs(60);
+        let dir = tmp_dir("continue");
+        let split = 2; // "die" after window 0 + 2 delta windows
+
+        {
+            let mut durable =
+                DurableAdaptive::create(&dir, pinned_config(13), Some(0.4), w.geo0.clone(), 2)
+                    .expect("create");
+            let p0 = TrafficProfile::uniform(w.geo0.num_vertices(), 8.0);
+            durable.window(&env, None, &[], &[], p0, 10.0, t_opt).expect("window 0");
+            for (delta, locs, sizes) in w.steps.iter().take(split) {
+                let p = TrafficProfile::uniform(delta.new_num_vertices(), 8.0);
+                durable.window(&env, Some(delta), locs, sizes, p, 10.0, t_opt).expect("delta");
+            }
+        } // everything committed is synced; dropping the driver = process death
+
+        let (mut recovered, summary) =
+            DurableAdaptive::recover(&dir, pinned_config(13), Some(0.4), &env, 2).expect("recover");
+        assert_eq!(summary.next_window, 1 + split as u64);
+        assert!(!summary.rolled_back, "all windows were committed");
+
+        // Recovered state is bit-identical to the uninterrupted run at
+        // the kill point...
+        let (mid_masters, mid_cost) = reference_after(&w, split, &env, None);
+        assert_eq!(recovered.masters(), &mid_masters[..], "recovered masters diverged");
+        let (core, _) = recovered.inner().carried_parts().expect("recovered carried");
+        assert_eq!(core.movement_cost().to_bits(), mid_cost, "movement cost not bit-exact");
+
+        // ...and the continuation lands exactly where the uninterrupted
+        // run lands.
+        for (delta, locs, sizes) in w.steps.iter().skip(split) {
+            let p = TrafficProfile::uniform(delta.new_num_vertices(), 8.0);
+            recovered.window(&env, Some(delta), locs, sizes, p, 10.0, t_opt).expect("continued");
+        }
+        let (final_masters, final_cost) = reference_after(&w, w.steps.len(), &env, None);
+        assert_eq!(recovered.masters(), &final_masters[..], "continuation diverged");
+        let (core, _) = recovered.inner().carried_parts().expect("continued carried");
+        assert_eq!(core.movement_cost().to_bits(), final_cost);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fault_window_recovers_identically() {
+        let w = workload();
+        let env = ec2_eight_regions();
+        let t_opt = Duration::from_secs(60);
+        let dir = tmp_dir("fault");
+        let mut dead = vec![false; env.num_dcs()];
+        dead[2] = true;
+
+        {
+            let mut durable =
+                DurableAdaptive::create(&dir, pinned_config(13), Some(0.4), w.geo0.clone(), 0)
+                    .expect("create");
+            let p0 = TrafficProfile::uniform(w.geo0.num_vertices(), 8.0);
+            durable.window(&env, None, &[], &[], p0, 10.0, t_opt).expect("window 0");
+            durable.note_fault(&dead);
+            let (delta, locs, sizes) = &w.steps[0];
+            let p = TrafficProfile::uniform(delta.new_num_vertices(), 8.0);
+            durable.window(&env, Some(delta), locs, sizes, p, 10.0, t_opt).expect("fault window");
+        }
+
+        let (recovered, summary) =
+            DurableAdaptive::recover(&dir, pinned_config(13), Some(0.4), &env, 0).expect("recover");
+        assert_eq!(summary.next_window, 2);
+        let (masters, cost) = reference_after(&w, 1, &env, Some((1, &dead[..])));
+        assert_eq!(recovered.masters(), &masters[..], "fault-window replay diverged");
+        let (core, _) = recovered.inner().carried_parts().expect("carried");
+        assert_eq!(core.movement_cost().to_bits(), cost);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn inconsistent_window_inputs_are_typed_errors() {
+        let w = workload();
+        let env = ec2_eight_regions();
+        let dir = tmp_dir("inputs");
+        let mut durable =
+            DurableAdaptive::create(&dir, pinned_config(13), Some(0.4), w.geo0.clone(), 0)
+                .expect("create");
+        let t_opt = Duration::from_millis(50);
+        let n = w.geo0.num_vertices();
+
+        // Suffixes without a delta.
+        let err = durable
+            .window(&env, None, &[0], &[2048], TrafficProfile::uniform(n, 8.0), 10.0, t_opt)
+            .expect_err("suffixes without delta");
+        assert!(matches!(err, DurableWindowError::Input(_)), "{err}");
+
+        // Profile over the wrong vertex count.
+        let err = durable
+            .window(&env, None, &[], &[], TrafficProfile::uniform(n + 1, 8.0), 10.0, t_opt)
+            .expect_err("oversized profile");
+        assert!(matches!(err, DurableWindowError::Input(_)), "{err}");
+
+        // Suffixes that do not cover the delta's growth (one location too
+        // many, whatever the actual growth is).
+        let (delta, locs, sizes) = &w.steps[0];
+        let mut long_locs = locs.clone();
+        long_locs.push(0);
+        let err = durable
+            .window(
+                &env,
+                Some(delta),
+                &long_locs,
+                sizes,
+                TrafficProfile::uniform(delta.new_num_vertices(), 8.0),
+                10.0,
+                t_opt,
+            )
+            .expect_err("mis-sized location suffix");
+        assert!(matches!(err, DurableWindowError::Input(_)), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

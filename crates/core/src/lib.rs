@@ -53,6 +53,7 @@ pub mod adaptive;
 pub mod agent;
 pub mod checkpoint;
 pub mod config;
+pub mod durable;
 pub mod observer;
 pub mod pool;
 pub mod recovery;
@@ -66,6 +67,7 @@ pub mod trainer;
 pub use adaptive::{AdaptiveRlCut, WindowError, WindowReport};
 pub use checkpoint::{CheckpointError, TrainerCheckpoint};
 pub use config::RlCutConfig;
+pub use durable::{DurableAdaptive, DurableWindowError, RecoverySummary};
 pub use pool::{PoolError, WorkerPool};
 pub use recovery::{train_under_faults, FaultTrainReport};
 pub use shard::{

@@ -437,7 +437,7 @@ impl<'g> ShardedTrainer<'g> {
         let scheduler = TrainerSession::build_scheduler(&config);
         let rng = SmallRng::seed_from_u64(config.seed ^ 0x0ddb_1a5e_5bad_5eed);
         let best = (state.core().masters().to_vec(), state.objective(env));
-        let SessionResources { pool: carried, scratch } = resources;
+        let SessionResources { pool: carried, scratch, journal: _ } = resources;
         let wants_pool = config.use_worker_pool && config.threads() > 1;
         let pool = match carried {
             Some(pool) if wants_pool && pool.threads() == config.threads() => Some(pool),
@@ -864,7 +864,7 @@ impl<'g> ShardedTrainer<'g> {
         }
         let views = self.shards.into_iter().map(|node| node.into_inner().view).collect::<Vec<_>>();
         let carry = ShardCarry { spec: self.spec, views };
-        let resources = SessionResources { pool: self.pool, scratch: self.scratch };
+        let resources = SessionResources { pool: self.pool, scratch: self.scratch, journal: None };
         let result = RlCutResult {
             state: self.state,
             steps: self.steps,

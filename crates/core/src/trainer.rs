@@ -136,11 +136,25 @@ pub struct SessionResources {
     pub(crate) pool: Option<WorkerPool>,
     /// Carried sequential scratch arena.
     pub(crate) scratch: MoveScratch,
+    /// Applied-move journal of the donor session (present only when the
+    /// donor had [`TrainerSession::enable_move_journal`] on): one entry
+    /// per step with accepted migrations, in exact apply order, plus the
+    /// reconcile sweep under [`RECONCILE_STEP`]. Rides *out* of a session;
+    /// incoming resources never seed a new session's journal.
+    pub(crate) journal: Option<MoveJournal>,
 }
+
+/// Journal step index of the end-of-session reconcile sweep
+/// (live plan → best plan) in [`SessionResources`]' move journal.
+pub const RECONCILE_STEP: u32 = u32::MAX;
+
+/// An applied-move journal: per step, the accepted migrations in exact
+/// apply order.
+pub type MoveJournal = Vec<(u32, Vec<(VertexId, DcId)>)>;
 
 impl Default for SessionResources {
     fn default() -> Self {
-        SessionResources { pool: None, scratch: MoveScratch::new() }
+        SessionResources { pool: None, scratch: MoveScratch::new(), journal: None }
     }
 }
 
@@ -202,6 +216,10 @@ pub struct TrainerSession<'g> {
     /// scoring, `batch_size = 1` migration, evacuation) — warm across
     /// steps just like the pool workers' arenas.
     scratch: MoveScratch,
+    /// Applied-move journal: `Some` while a durable driver needs every
+    /// accepted migration (in exact apply order) for its WAL. `None`
+    /// costs nothing on the training path.
+    journal: Option<MoveJournal>,
 }
 
 impl<'g> TrainerSession<'g> {
@@ -237,7 +255,7 @@ impl<'g> TrainerSession<'g> {
         let rng = SmallRng::seed_from_u64(config.seed ^ 0x0ddb_1a5e_5bad_5eed);
         let theta = state.theta();
         let best = (state.core().masters().to_vec(), state.objective(env));
-        let SessionResources { pool: carried, scratch } = resources;
+        let SessionResources { pool: carried, scratch, journal: _ } = resources;
         let wants_pool = config.use_worker_pool && config.threads() > 1;
         let pool = match carried {
             Some(pool) if wants_pool && pool.threads() == config.threads() => Some(pool),
@@ -261,6 +279,20 @@ impl<'g> TrainerSession<'g> {
             prior_duration: Duration::ZERO,
             pool,
             scratch,
+            journal: None,
+        }
+    }
+
+    /// Turns on the applied-move journal: from now on every accepted
+    /// migration is recorded `(step, moves)` in exact apply order, and
+    /// [`Self::finish_with_resources`] hands the journal back through
+    /// [`SessionResources`]. The durable driver feeds it to the WAL;
+    /// replaying the journal through `apply_move_with` reproduces the
+    /// placement accumulators bit-exactly (floating-point accumulation is
+    /// order-sensitive, so masters diffs alone would not).
+    pub fn enable_move_journal(&mut self) {
+        if self.journal.is_none() {
+            self.journal = Some(Vec::new());
         }
     }
 
@@ -356,6 +388,7 @@ impl<'g> TrainerSession<'g> {
             config,
             pool,
             scratch: MoveScratch::new(),
+            journal: None,
         }
     }
 
@@ -560,6 +593,7 @@ impl<'g> TrainerSession<'g> {
         // batches agents randomly, §V-A).
         proposals.shuffle(&mut self.rng);
         let migrate_start = Instant::now();
+        let mut step_moves = self.journal.as_ref().map(|_| Vec::new());
         let migrations = migration_phase(
             env,
             &self.state,
@@ -569,8 +603,14 @@ impl<'g> TrainerSession<'g> {
             self.pool.as_ref(),
             &mut self.scratch,
             &self.config,
+            step_moves.as_mut(),
         );
         let migrate_duration = migrate_start.elapsed();
+        if let (Some(journal), Some(moves)) = (self.journal.as_mut(), step_moves) {
+            if !moves.is_empty() {
+                journal.push((step as u32, moves));
+            }
+        }
 
         let duration = step_start.elapsed();
         self.scheduler.record(rate, duration.as_secs_f64());
@@ -689,12 +729,16 @@ impl<'g> TrainerSession<'g> {
                 .filter(|(_, (live, best))| live != best)
                 .map(|(v, (_, &best))| (v as VertexId, best))
                 .collect();
-            for (v, to) in diffs {
+            for &(v, to) in &diffs {
                 final_state.apply_move_with(env, v, to, &mut self.scratch);
             }
             debug_assert_eq!(final_state.core().masters(), best_masters.as_slice());
+            if let Some(journal) = self.journal.as_mut() {
+                journal.push((RECONCILE_STEP, diffs));
+            }
         }
-        let resources = SessionResources { pool: self.pool, scratch: self.scratch };
+        let resources =
+            SessionResources { pool: self.pool, scratch: self.scratch, journal: self.journal };
         let result = RlCutResult {
             state: final_state,
             steps: self.steps,
@@ -806,6 +850,13 @@ fn score_phase(
 /// (it is the same number), so the applied-move count is unchanged — the
 /// trainer bench cross-checks that across thread counts and dispatch
 /// modes.
+///
+/// When `journal` is `Some`, the accepted moves are appended to it in
+/// exact apply order. On the parallel paths only worker 0 applies, in
+/// chunk order over the per-proposal accept flags, so the sequence is
+/// reconstructed from those flags after the workers finish — the worker
+/// closures stay untouched and the journaled order *is* the applied
+/// order.
 #[allow(clippy::too_many_arguments)]
 fn migration_phase(
     env: &CloudEnv,
@@ -816,6 +867,7 @@ fn migration_phase(
     pool: Option<&WorkerPool>,
     seq_scratch: &mut MoveScratch,
     config: &RlCutConfig,
+    mut journal: Option<&mut Vec<(VertexId, DcId)>>,
 ) -> usize {
     if proposals.is_empty() {
         return 0;
@@ -840,6 +892,9 @@ fn migration_phase(
                 if ok {
                     st.apply_move_with(env, v, to, scratch);
                     applied += 1;
+                    if let Some(j) = journal.as_deref_mut() {
+                        j.push((v, to));
+                    }
                 }
             }
         }
@@ -938,6 +993,18 @@ fn migration_phase(
                 });
             }
         });
+    }
+    if let Some(j) = journal {
+        // Worker 0 applied accepted moves batch-by-batch in chunk order;
+        // replaying the accept flags in that same order reconstructs the
+        // exact apply sequence.
+        for (bi, chunk) in proposals.chunks(batch).enumerate() {
+            for (jj, &(v, to)) in chunk.iter().enumerate() {
+                if accept[bi * batch + jj].load(Ordering::Relaxed) {
+                    j.push((v, to));
+                }
+            }
+        }
     }
     applied.into_inner()
 }

@@ -1,0 +1,377 @@
+//! Typed WAL records and their wire codecs.
+//!
+//! One dynamic window is one WAL transaction, written as:
+//!
+//! 1. [`WindowStart`] — everything the window consumes that is not already
+//!    implied by prior state: the graph delta, the location / data-size /
+//!    traffic-profile *suffixes* for new vertices (prefixes are invariant
+//!    across windows, so logging them again would be redundant and would
+//!    let the log contradict itself), the iteration count, and the
+//!    dead-DC flags if a fault forced this window onto the rebuild path.
+//!    Logged and synced *before* training starts.
+//! 2. Zero or more [`Batch`] records — the accepted migration moves of one
+//!    training step, in exact apply order. The end-of-session reconcile
+//!    sweep (live → best plan) is a batch with `step ==`
+//!    [`Batch::RECONCILE_STEP`].
+//! 3. [`Commit`] — pins the window's outputs: carried theta, the final
+//!    `movement_cost` (the *only* environment-dependent placement field,
+//!    overridden at replay so recovery needs no environment), and an
+//!    FNV-1a hash of the master vector so replay divergence is detected
+//!    rather than trusted.
+//!
+//! Payloads are deliberately environment-free: replaying batches through
+//! [`geopart::HybridState::apply_move_with`] against *any* environment
+//! yields bit-identical placement accumulators, because every load/count
+//! mutation depends only on the graph, the profile, and the move sequence.
+
+use geograph::wire::{self, Reader, WireError};
+use geograph::{DcId, GraphDelta, VertexId, MAX_DCS};
+
+use crate::error::DurableError;
+
+/// Record kind byte for [`WindowStart`].
+pub const KIND_WINDOW_START: u8 = 1;
+/// Record kind byte for [`Batch`].
+pub const KIND_BATCH: u8 = 2;
+/// Record kind byte for [`Commit`].
+pub const KIND_COMMIT: u8 = 3;
+
+/// Opens window `window`: the inputs of one dynamic-window transaction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WindowStart {
+    pub window: u64,
+    /// Graph change entering this window; `None` for the genesis window
+    /// (full graph lives in the snapshot) and for rebuild-from-scratch
+    /// windows where the trainer ignores deltas.
+    pub delta: Option<GraphDelta>,
+    /// Master locations of vertices new in this window
+    /// (`geo.locations[old_n..]`).
+    pub loc_suffix: Vec<DcId>,
+    /// Data sizes of new vertices (`geo.data_sizes[old_n..]`).
+    pub size_suffix: Vec<u64>,
+    /// Traffic-profile gather bytes of new vertices.
+    pub gather_suffix: Vec<f32>,
+    /// Traffic-profile apply bytes of new vertices.
+    pub apply_suffix: Vec<f32>,
+    /// Analytics iteration count the window amortizes movement over.
+    pub num_iterations: f64,
+    /// Per-DC outage flags when a fault forced a rebuild + reseed window;
+    /// `None` on the incremental path.
+    pub dead: Option<Vec<bool>>,
+}
+
+/// Accepted migration moves of one training step, in exact apply order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Batch {
+    pub window: u64,
+    /// Training step index, or [`Self::RECONCILE_STEP`] for the
+    /// end-of-session reconcile sweep onto the best plan.
+    pub step: u32,
+    pub moves: Vec<(VertexId, DcId)>,
+}
+
+impl Batch {
+    /// Sentinel step index for the reconcile sweep that moves the live
+    /// state onto the best-seen plan after the last training step.
+    pub const RECONCILE_STEP: u32 = u32::MAX;
+}
+
+/// Seals window `window`: after these outputs the window is durable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Commit {
+    pub window: u64,
+    /// High-degree threshold carried out of the window.
+    pub theta: u64,
+    /// Final `movement_cost` accumulator bits. Replay overrides the
+    /// replayed state's accumulator with this value — it is the only
+    /// placement field whose evolution depends on the (unlogged)
+    /// environment.
+    pub movement_cost_bits: u64,
+    /// FNV-1a over the final master vector; replay cross-checks it.
+    pub masters_fnv: u64,
+}
+
+/// A decoded WAL record.
+///
+/// The variant sizes are inherently lopsided — a `WindowStart` carries
+/// the window's whole `GraphDelta` while a `Commit` is four words — and
+/// records are transient framing values, never held in bulk.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug, PartialEq)]
+pub enum Record {
+    WindowStart(WindowStart),
+    Batch(Batch),
+    Commit(Commit),
+}
+
+impl Record {
+    /// Kind byte stored in the WAL frame.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Record::WindowStart(_) => KIND_WINDOW_START,
+            Record::Batch(_) => KIND_BATCH,
+            Record::Commit(_) => KIND_COMMIT,
+        }
+    }
+
+    /// Serializes the record payload (kind byte travels in the frame).
+    pub fn to_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Record::WindowStart(ws) => {
+                out.extend_from_slice(&ws.window.to_le_bytes());
+                match &ws.delta {
+                    Some(d) => {
+                        out.push(1);
+                        wire::encode_delta(d, &mut out);
+                    }
+                    None => out.push(0),
+                }
+                out.extend_from_slice(&(ws.loc_suffix.len() as u64).to_le_bytes());
+                out.extend_from_slice(&ws.loc_suffix);
+                out.extend_from_slice(&(ws.size_suffix.len() as u64).to_le_bytes());
+                for &s in &ws.size_suffix {
+                    out.extend_from_slice(&s.to_le_bytes());
+                }
+                put_f32s(&mut out, &ws.gather_suffix);
+                put_f32s(&mut out, &ws.apply_suffix);
+                out.extend_from_slice(&ws.num_iterations.to_bits().to_le_bytes());
+                match &ws.dead {
+                    Some(dead) => {
+                        out.push(1);
+                        out.extend_from_slice(&(dead.len() as u64).to_le_bytes());
+                        out.extend(dead.iter().map(|&d| d as u8));
+                    }
+                    None => out.push(0),
+                }
+            }
+            Record::Batch(b) => {
+                out.extend_from_slice(&b.window.to_le_bytes());
+                out.extend_from_slice(&b.step.to_le_bytes());
+                out.extend_from_slice(&(b.moves.len() as u64).to_le_bytes());
+                for &(v, d) in &b.moves {
+                    out.extend_from_slice(&v.to_le_bytes());
+                    out.push(d);
+                }
+            }
+            Record::Commit(c) => {
+                out.extend_from_slice(&c.window.to_le_bytes());
+                out.extend_from_slice(&c.theta.to_le_bytes());
+                out.extend_from_slice(&c.movement_cost_bits.to_le_bytes());
+                out.extend_from_slice(&c.masters_fnv.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a record payload. `lsn` only labels errors.
+    pub fn from_payload(kind: u8, payload: &[u8], lsn: u64) -> Result<Record, DurableError> {
+        let mut r = Reader::new(payload);
+        let rec = match kind {
+            KIND_WINDOW_START => {
+                let window = r.u64()?;
+                let delta = match r.u8()? {
+                    0 => None,
+                    1 => Some(wire::decode_delta(&mut r)?),
+                    _ => return Err(WireError::Malformed("delta presence flag").into()),
+                };
+                let n_loc = r.len(1)?;
+                let loc_suffix = r.take(n_loc)?.to_vec();
+                if loc_suffix.iter().any(|&d| (d as usize) >= MAX_DCS) {
+                    return Err(WireError::Malformed("location suffix out of range").into());
+                }
+                let n_size = r.len(8)?;
+                let size_suffix = r.u64s(n_size)?;
+                let n_gather = r.len(4)?;
+                let gather_suffix = r.f32s(n_gather)?;
+                let n_apply = r.len(4)?;
+                let apply_suffix = r.f32s(n_apply)?;
+                let num_iterations = r.f64()?;
+                let dead = match r.u8()? {
+                    0 => None,
+                    1 => {
+                        let n = r.len(1)?;
+                        let flags = r.take(n)?;
+                        if flags.iter().any(|&b| b > 1) {
+                            return Err(WireError::Malformed("dead flag byte").into());
+                        }
+                        Some(flags.iter().map(|&b| b == 1).collect())
+                    }
+                    _ => return Err(WireError::Malformed("dead presence flag").into()),
+                };
+                Record::WindowStart(WindowStart {
+                    window,
+                    delta,
+                    loc_suffix,
+                    size_suffix,
+                    gather_suffix,
+                    apply_suffix,
+                    num_iterations,
+                    dead,
+                })
+            }
+            KIND_BATCH => {
+                let window = r.u64()?;
+                let step = r.u32()?;
+                let n = r.len(5)?;
+                let mut moves = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let v = r.u32()?;
+                    let d = r.u8()?;
+                    if (d as usize) >= MAX_DCS {
+                        return Err(WireError::Malformed("move destination out of range").into());
+                    }
+                    moves.push((v, d));
+                }
+                Record::Batch(Batch { window, step, moves })
+            }
+            KIND_COMMIT => {
+                let window = r.u64()?;
+                let theta = r.u64()?;
+                let movement_cost_bits = r.u64()?;
+                let masters_fnv = r.u64()?;
+                Record::Commit(Commit { window, theta, movement_cost_bits, masters_fnv })
+            }
+            kind => return Err(DurableError::UnknownRecordKind { lsn, kind }),
+        };
+        r.finish()?;
+        Ok(rec)
+    }
+}
+
+fn put_f32s(out: &mut Vec<u8>, xs: &[f32]) {
+    out.extend_from_slice(&(xs.len() as u64).to_le_bytes());
+    for &x in xs {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geograph::dynamic::{EdgeEvent, EventKind};
+    use geograph::GraphBuilder;
+
+    fn sample_delta() -> GraphDelta {
+        let mut b = GraphBuilder::new(6);
+        b.add_edges([(0u32, 1u32), (1, 2), (2, 3)]);
+        let g = b.build();
+        let events = vec![
+            EdgeEvent { src: 0, dst: 4, timestamp_ms: 0, kind: EventKind::Insert },
+            EdgeEvent { src: 1, dst: 2, timestamp_ms: 1, kind: EventKind::Delete },
+            EdgeEvent { src: 7, dst: 3, timestamp_ms: 2, kind: EventKind::Insert },
+        ];
+        GraphDelta::from_events(&g, &events)
+    }
+
+    fn round_trip(rec: &Record) -> Record {
+        Record::from_payload(rec.kind(), &rec.to_payload(), 0).unwrap()
+    }
+
+    #[test]
+    fn window_start_round_trips() {
+        let rec = Record::WindowStart(WindowStart {
+            window: 3,
+            delta: Some(sample_delta()),
+            loc_suffix: vec![2, 0],
+            size_suffix: vec![100, 250],
+            gather_suffix: vec![8.0, 1.5],
+            apply_suffix: vec![4.0, 0.25],
+            num_iterations: 10.0,
+            dead: Some(vec![false, true, false, false]),
+        });
+        assert_eq!(round_trip(&rec), rec);
+    }
+
+    #[test]
+    fn minimal_window_start_round_trips() {
+        let rec = Record::WindowStart(WindowStart {
+            window: 0,
+            delta: None,
+            loc_suffix: Vec::new(),
+            size_suffix: Vec::new(),
+            gather_suffix: Vec::new(),
+            apply_suffix: Vec::new(),
+            num_iterations: 1.0,
+            dead: None,
+        });
+        assert_eq!(round_trip(&rec), rec);
+    }
+
+    #[test]
+    fn batch_round_trips() {
+        let rec = Record::Batch(Batch {
+            window: 7,
+            step: Batch::RECONCILE_STEP,
+            moves: vec![(0, 3), (41, 0), (2, 7)],
+        });
+        assert_eq!(round_trip(&rec), rec);
+    }
+
+    #[test]
+    fn commit_round_trips() {
+        let rec = Record::Commit(Commit {
+            window: 9,
+            theta: 12,
+            movement_cost_bits: 4.75f64.to_bits(),
+            masters_fnv: 0xdead_beef,
+        });
+        assert_eq!(round_trip(&rec), rec);
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        for rec in [
+            Record::WindowStart(WindowStart {
+                window: 1,
+                delta: Some(sample_delta()),
+                loc_suffix: vec![1],
+                size_suffix: vec![5],
+                gather_suffix: vec![2.0],
+                apply_suffix: vec![1.0],
+                num_iterations: 5.0,
+                dead: Some(vec![true; 4]),
+            }),
+            Record::Batch(Batch { window: 1, step: 0, moves: vec![(3, 1)] }),
+            Record::Commit(Commit { window: 1, theta: 8, movement_cost_bits: 0, masters_fnv: 1 }),
+        ] {
+            let payload = rec.to_payload();
+            for len in 0..payload.len() {
+                assert!(
+                    Record::from_payload(rec.kind(), &payload[..len], 0).is_err(),
+                    "kind {} truncated to {len} decoded",
+                    rec.kind()
+                );
+            }
+            let mut long = payload.clone();
+            long.push(0);
+            assert!(Record::from_payload(rec.kind(), &long, 0).is_err());
+        }
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        match Record::from_payload(9, &[], 42) {
+            Err(DurableError::UnknownRecordKind { lsn: 42, kind: 9 }) => {}
+            other => panic!("expected UnknownRecordKind, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_flag_bytes_rejected() {
+        // Dead flag byte outside {0, 1}.
+        let rec = Record::WindowStart(WindowStart {
+            window: 0,
+            delta: None,
+            loc_suffix: Vec::new(),
+            size_suffix: Vec::new(),
+            gather_suffix: Vec::new(),
+            apply_suffix: Vec::new(),
+            num_iterations: 1.0,
+            dead: Some(vec![true]),
+        });
+        let mut payload = rec.to_payload();
+        *payload.last_mut().unwrap() = 2;
+        assert!(Record::from_payload(KIND_WINDOW_START, &payload, 0).is_err());
+    }
+}

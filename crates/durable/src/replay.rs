@@ -1,0 +1,342 @@
+//! Crash recovery: snapshot + WAL replay through the live mutation paths.
+//!
+//! Replay reconstructs the pipeline state a crashed process held at its
+//! last *committed* window boundary, **bit-exactly**. Three properties
+//! make that possible:
+//!
+//! 1. **Same code paths.** Windows are re-derived through the identical
+//!    calls the live trainer made — [`HybridState::resume_from_parts`]
+//!    for incremental windows, [`HybridState::from_masters`] (with the
+//!    same fault-reseed loop) for rebuilds — and every accepted migration
+//!    is re-applied through [`HybridState::apply_move_with`] in the exact
+//!    order the live run applied it. Floating-point accumulation is not
+//!    associative, so order fidelity is what buys bit-equality.
+//! 2. **Environment independence.** The only placement field whose
+//!    evolution reads the (unlogged, possibly fault-mutated) environment
+//!    is the movement-cost accumulator; the commit record pins its final
+//!    bits and replay overrides it, so recovery runs against any
+//!    environment with the right DC count.
+//! 3. **Window transactions.** A window missing its commit record is
+//!    rolled back entirely — the driver re-feeds those events — so replay
+//!    never has to reproduce a half-trained window.
+//!
+//! Every committed window's master vector is cross-checked against the
+//! FNV-1a hash its commit record pinned; disagreement is
+//! [`DurableError::ReplayDiverged`], not silently-wrong state.
+
+use geograph::GeoGraph;
+use geopart::{HybridState, MoveScratch, PlacementState, TrafficProfile};
+use geosim::CloudEnv;
+
+use crate::error::{fnv1a, DurableError};
+use crate::records::{Commit, Record, WindowStart, KIND_WINDOW_START};
+use crate::snapshot::Snapshot;
+use crate::wal::LoadedRecord;
+
+/// Pipeline state reconstructed at the last committed window boundary.
+#[derive(Debug)]
+pub struct RecoveredPipeline {
+    /// Geo-graph after all committed windows.
+    pub geo: GeoGraph,
+    /// Carried placement + theta; `None` only when no window ever
+    /// committed (recovering a store that crashed before window 0 sealed).
+    pub parts: Option<(PlacementState, usize)>,
+    /// Index of the next window the driver should feed.
+    pub next_window: u64,
+    /// WAL position just past the last committed record.
+    pub next_lsn: u64,
+    /// Windows re-applied from the log (not counting those already folded
+    /// into the snapshot).
+    pub replayed_windows: u64,
+    /// `true` when an uncommitted window start (and its batches) was
+    /// found past the last commit and rolled back.
+    pub rolled_back: bool,
+    /// Records dropped by the rollback.
+    pub dropped_records: u64,
+    /// Trainer checkpoint blob from the snapshot — only still meaningful
+    /// when no window was replayed past it, `None` otherwise.
+    pub trainer: Option<Vec<u8>>,
+}
+
+impl RecoveredPipeline {
+    /// Master locations at the recovery point (falls back to the vertex
+    /// home locations when no window ever committed).
+    pub fn masters(&self) -> &[geograph::DcId] {
+        match &self.parts {
+            Some((core, _)) => core.masters(),
+            None => &self.geo.locations,
+        }
+    }
+}
+
+/// One fully-committed window transaction parsed out of the log.
+struct WindowTxn {
+    start: WindowStart,
+    batches: Vec<(u64, crate::records::Batch)>,
+    commit: Commit,
+    commit_lsn: u64,
+}
+
+/// FNV-1a over a master vector (the hash commit records pin).
+pub fn masters_fnv(masters: &[geograph::DcId]) -> u64 {
+    fnv1a(masters)
+}
+
+/// Replays `records` on top of `snapshot`, returning the pipeline state
+/// at the last committed window boundary. `env` only needs the right DC
+/// count — see the module docs on environment independence.
+pub fn replay(
+    snapshot: Snapshot,
+    records: &[LoadedRecord],
+    env: &CloudEnv,
+) -> Result<RecoveredPipeline, DurableError> {
+    // Position the log at the snapshot's resume point.
+    let start = records.partition_point(|r| r.lsn < snapshot.lsn);
+    if let Some(first) = records.get(start) {
+        if first.lsn != snapshot.lsn {
+            return Err(DurableError::RecordSequence {
+                lsn: first.lsn,
+                reason: "log starts past the snapshot's resume point",
+            });
+        }
+    }
+    let records = &records[start..];
+
+    let mut geo = snapshot.geo;
+    let mut parts = snapshot.placement;
+    let mut profile = match &parts {
+        Some((core, _)) => core.profile().clone(),
+        None => TrafficProfile::uniform(0, 0.0),
+    };
+    let mut next_window = snapshot.window;
+    let mut next_lsn = snapshot.lsn;
+    let mut replayed_windows = 0u64;
+    let mut scratch = MoveScratch::new();
+
+    let mut pos = 0usize;
+    let mut rolled_back = false;
+    let mut dropped_records = 0u64;
+    while pos < records.len() {
+        match parse_window_txn(&records[pos..])? {
+            ParsedTxn::Committed { txn, consumed } => {
+                apply_window(
+                    &txn,
+                    &mut geo,
+                    &mut parts,
+                    &mut profile,
+                    env,
+                    next_window,
+                    &mut scratch,
+                )?;
+                next_window += 1;
+                next_lsn = txn.commit_lsn + 1;
+                replayed_windows += 1;
+                pos += consumed;
+            }
+            ParsedTxn::Uncommitted { consumed } => {
+                rolled_back = true;
+                dropped_records = consumed as u64;
+                break;
+            }
+        }
+    }
+
+    let trainer = if replayed_windows == 0 { snapshot.trainer } else { None };
+    Ok(RecoveredPipeline {
+        geo,
+        parts,
+        next_window,
+        next_lsn,
+        replayed_windows,
+        rolled_back,
+        dropped_records,
+        trainer,
+    })
+}
+
+enum ParsedTxn {
+    // Boxed: a WindowTxn carries a whole window's delta + batches.
+    Committed { txn: Box<WindowTxn>, consumed: usize },
+    Uncommitted { consumed: usize },
+}
+
+/// Parses one window transaction from the front of `records`. The whole
+/// transaction is parsed before anything is applied, so a window whose
+/// records are malformed is rejected atomically.
+fn parse_window_txn(records: &[LoadedRecord]) -> Result<ParsedTxn, DurableError> {
+    let first = &records[0];
+    if first.kind != KIND_WINDOW_START {
+        return Err(DurableError::RecordSequence {
+            lsn: first.lsn,
+            reason: "expected a window-start record",
+        });
+    }
+    let start = match Record::from_payload(first.kind, &first.payload, first.lsn)? {
+        Record::WindowStart(ws) => ws,
+        _ => unreachable!("kind dispatch"),
+    };
+    let mut batches = Vec::new();
+    for (i, rec) in records.iter().enumerate().skip(1) {
+        match Record::from_payload(rec.kind, &rec.payload, rec.lsn)? {
+            Record::WindowStart(_) => {
+                return Err(DurableError::RecordSequence {
+                    lsn: rec.lsn,
+                    reason: "window started before the previous one committed",
+                });
+            }
+            Record::Batch(b) => {
+                if b.window != start.window {
+                    return Err(DurableError::RecordSequence {
+                        lsn: rec.lsn,
+                        reason: "batch belongs to a different window",
+                    });
+                }
+                batches.push((rec.lsn, b));
+            }
+            Record::Commit(c) => {
+                if c.window != start.window {
+                    return Err(DurableError::RecordSequence {
+                        lsn: rec.lsn,
+                        reason: "commit belongs to a different window",
+                    });
+                }
+                return Ok(ParsedTxn::Committed {
+                    txn: Box::new(WindowTxn { start, batches, commit: c, commit_lsn: rec.lsn }),
+                    consumed: i + 1,
+                });
+            }
+        }
+    }
+    // Log ended inside the transaction: the window never committed.
+    Ok(ParsedTxn::Uncommitted { consumed: records.len() })
+}
+
+/// Applies one committed window to `(geo, parts, profile)` through the
+/// live mutation paths.
+#[allow(clippy::too_many_arguments)]
+fn apply_window(
+    txn: &WindowTxn,
+    geo: &mut GeoGraph,
+    parts: &mut Option<(PlacementState, usize)>,
+    profile: &mut TrafficProfile,
+    env: &CloudEnv,
+    expected_window: u64,
+    scratch: &mut MoveScratch,
+) -> Result<(), DurableError> {
+    let ws = &txn.start;
+    if ws.window != expected_window {
+        return Err(DurableError::RecordSequence {
+            lsn: txn.commit_lsn,
+            reason: "window index does not follow the previous commit",
+        });
+    }
+
+    // 1. Evolve the geo-graph: delta on the structure, suffixes on the
+    //    per-vertex arrays (prefixes are invariant across windows).
+    let old_n = geo.num_vertices();
+    let graph = match &ws.delta {
+        Some(delta) => {
+            if delta.old_num_vertices() != old_n {
+                return Err(DurableError::RecordSequence {
+                    lsn: txn.commit_lsn,
+                    reason: "logged delta does not target the current graph",
+                });
+            }
+            geo.graph.apply_delta(delta)
+        }
+        None => std::mem::replace(&mut geo.graph, geograph::Graph::from_edges(0, &[])),
+    };
+    let new_n = graph.num_vertices();
+    let mut locations = std::mem::take(&mut geo.locations);
+    let mut data_sizes = std::mem::take(&mut geo.data_sizes);
+    locations.extend_from_slice(&ws.loc_suffix);
+    data_sizes.extend_from_slice(&ws.size_suffix);
+    if locations.len() != new_n
+        || data_sizes.len() != new_n
+        || locations.iter().any(|&d| (d as usize) >= geo.num_dcs)
+    {
+        return Err(DurableError::RecordSequence {
+            lsn: txn.commit_lsn,
+            reason: "location/size suffixes do not match the window's vertex count",
+        });
+    }
+    let new_geo = GeoGraph::new(graph, locations, data_sizes, geo.num_dcs);
+    profile.gather_bytes.extend_from_slice(&ws.gather_suffix);
+    profile.apply_bytes.extend_from_slice(&ws.apply_suffix);
+    if profile.len() != new_n {
+        return Err(DurableError::RecordSequence {
+            lsn: txn.commit_lsn,
+            reason: "profile suffixes do not match the window's vertex count",
+        });
+    }
+
+    // 2. Re-derive the window's starting state through the same path the
+    //    live trainer chose. The discriminator mirrors `window_inner`'s
+    //    `incremental` condition (the durable driver forbids the
+    //    rebuild-per-window ablation, so it does not participate).
+    let incremental = ws.delta.is_some() && ws.dead.is_none() && parts.is_some();
+    let mut hybrid = if incremental {
+        let (core, theta) = parts.take().expect("checked by `incremental`");
+        if theta as u64 != txn.commit.theta {
+            return Err(DurableError::ReplayDiverged { window: ws.window });
+        }
+        let delta = ws.delta.as_ref().expect("checked by `incremental`");
+        let (state, _stats) =
+            HybridState::resume_from_parts(core, theta, &new_geo, env, delta, profile)?;
+        state
+    } else {
+        let mut masters = match parts.take() {
+            Some((core, _)) => core.masters().to_vec(),
+            None => Vec::new(),
+        };
+        masters.extend_from_slice(&new_geo.locations[masters.len()..]);
+        if let Some(dead) = &ws.dead {
+            if dead.len() != new_geo.num_dcs || dead.iter().all(|&d| d) {
+                return Err(DurableError::RecordSequence {
+                    lsn: txn.commit_lsn,
+                    reason: "dead-DC flags malformed",
+                });
+            }
+            // Mirror of the live fault-reseed loop in `window_inner`.
+            let fallback = dead.iter().position(|&d| !d).expect("checked above") as geograph::DcId;
+            for (v, m) in masters.iter_mut().enumerate() {
+                if dead[*m as usize] {
+                    let home = new_geo.locations[v];
+                    *m = if dead[home as usize] { fallback } else { home };
+                }
+            }
+        }
+        let theta = txn.commit.theta as usize;
+        HybridState::try_from_masters(
+            &new_geo,
+            env,
+            masters,
+            theta,
+            profile.clone(),
+            ws.num_iterations,
+        )?
+    };
+
+    // 3. Re-apply every accepted migration in logged order.
+    for (lsn, batch) in &txn.batches {
+        for &(v, d) in &batch.moves {
+            if (v as usize) >= new_n || (d as usize) >= new_geo.num_dcs {
+                return Err(DurableError::RecordSequence {
+                    lsn: *lsn,
+                    reason: "logged move out of range",
+                });
+            }
+            hybrid.apply_move_with(env, v, d, scratch);
+        }
+    }
+
+    // 4. Pin the environment-dependent accumulator and verify the result.
+    hybrid.override_movement_cost(f64::from_bits(txn.commit.movement_cost_bits));
+    if fnv1a(hybrid.core().masters()) != txn.commit.masters_fnv {
+        return Err(DurableError::ReplayDiverged { window: ws.window });
+    }
+
+    *parts = Some(hybrid.into_parts());
+    *geo = new_geo;
+    Ok(())
+}

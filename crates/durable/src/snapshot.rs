@@ -1,0 +1,328 @@
+//! Compact pipeline snapshots: `(GeoGraph, PlacementState, trainer blob)`
+//! at a WAL position.
+//!
+//! A snapshot pins everything replay would otherwise have to reconstruct
+//! from genesis: the graph as of some committed window, the verbatim
+//! placement accumulators (via [`geopart::snapshot`], every `f64` as raw
+//! bits), the carried theta, and optionally an opaque trainer checkpoint
+//! blob (the existing `TrainerCheckpoint` wire format — this layer stores
+//! the bytes, the trainer validates them). Recovery = newest decodable
+//! snapshot + WAL replay from its [`Snapshot::lsn`].
+//!
+//! Files are `snap-<lsn>.snap` under `<store>/snap/`, written atomically
+//! (tmp + rename + directory fsync) with an FNV-1a trailer over the whole
+//! payload. [`load_latest`] walks candidates newest-first and *skips*
+//! corrupt ones (reporting how many) — a torn or bit-flipped snapshot
+//! costs replay time, never correctness. The store writes a genesis
+//! snapshot (window 0, no placement) at creation, so an empty snapshot
+//! directory is always [`DurableError::NoValidSnapshot`], distinguishing
+//! "new store" from "store with its snapshots destroyed".
+
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use geograph::wire::{self, Reader, WireError};
+use geograph::GeoGraph;
+use geopart::snapshot::{decode_placement, encode_placement};
+use geopart::PlacementState;
+
+use crate::error::{fnv1a, DurableError};
+
+/// Magic bytes opening every snapshot file.
+pub const MAGIC: [u8; 4] = *b"RLSN";
+/// Current snapshot format version.
+pub const VERSION: u32 = 1;
+
+/// Pipeline state at a WAL position.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// First WAL record NOT reflected in this snapshot — replay resumes
+    /// here.
+    pub lsn: u64,
+    /// Next window index (windows `0..window` are folded in).
+    pub window: u64,
+    /// The geo-graph as of `window` windows applied.
+    pub geo: GeoGraph,
+    /// Carried placement + theta; `None` at genesis (no window committed
+    /// yet — the first `WindowStart` builds placement from scratch).
+    pub placement: Option<(PlacementState, usize)>,
+    /// Opaque trainer checkpoint bytes (`TrainerCheckpoint` format),
+    /// when the caller chose to persist mid-stream trainer state.
+    pub trainer: Option<Vec<u8>>,
+}
+
+fn snap_dir(store_dir: &Path) -> PathBuf {
+    store_dir.join("snap")
+}
+
+fn snap_name(lsn: u64) -> String {
+    format!("snap-{lsn:020}.snap")
+}
+
+impl Snapshot {
+    /// Serializes the snapshot, checksum trailer included.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.lsn.to_le_bytes());
+        out.extend_from_slice(&self.window.to_le_bytes());
+        wire::encode_geo(&self.geo, &mut out);
+        match &self.placement {
+            Some((state, theta)) => {
+                out.push(1);
+                out.extend_from_slice(&(*theta as u64).to_le_bytes());
+                encode_placement(state, &mut out);
+            }
+            None => out.push(0),
+        }
+        match &self.trainer {
+            Some(blob) => {
+                out.push(1);
+                out.extend_from_slice(&(blob.len() as u64).to_le_bytes());
+                out.extend_from_slice(blob);
+            }
+            None => out.push(0),
+        }
+        let sum = fnv1a(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Decodes and validates a snapshot blob (checksum first, then
+    /// structure, then cross-field consistency).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot, DurableError> {
+        if bytes.len() < MAGIC.len() + 12 {
+            return Err(WireError::Truncated.into());
+        }
+        let (payload, trailer) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(trailer.try_into().unwrap());
+        if stored != fnv1a(payload) {
+            return Err(WireError::Malformed("snapshot checksum mismatch").into());
+        }
+        let mut r = Reader::new(payload);
+        if r.take(4)? != MAGIC {
+            return Err(WireError::Malformed("snapshot magic").into());
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(DurableError::UnsupportedVersion { segment: 0, version });
+        }
+        let lsn = r.u64()?;
+        let window = r.u64()?;
+        let geo = wire::decode_geo(&mut r)?;
+        let placement = match r.u8()? {
+            0 => None,
+            1 => {
+                let theta = r.u64()? as usize;
+                let state = decode_placement(&mut r)?;
+                if state.num_vertices() != geo.num_vertices() || state.num_dcs() != geo.num_dcs {
+                    return Err(WireError::Malformed("placement does not match geo").into());
+                }
+                Some((state, theta))
+            }
+            _ => return Err(WireError::Malformed("placement presence flag").into()),
+        };
+        let trainer = match r.u8()? {
+            0 => None,
+            1 => {
+                let n = r.len(1)?;
+                Some(r.take(n)?.to_vec())
+            }
+            _ => return Err(WireError::Malformed("trainer presence flag").into()),
+        };
+        r.finish()?;
+        Ok(Snapshot { lsn, window, geo, placement, trainer })
+    }
+}
+
+/// Writes `snapshot` atomically under `store_dir` and returns its path
+/// and encoded size.
+pub fn write(store_dir: &Path, snapshot: &Snapshot) -> Result<(PathBuf, u64), DurableError> {
+    let dir = snap_dir(store_dir);
+    std::fs::create_dir_all(&dir)?;
+    let bytes = snapshot.to_bytes();
+    let tmp = dir.join(format!("{}.tmp", snap_name(snapshot.lsn)));
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    let path = dir.join(snap_name(snapshot.lsn));
+    std::fs::rename(&tmp, &path)?;
+    File::open(&dir)?.sync_all()?;
+    Ok((path, bytes.len() as u64))
+}
+
+/// Sorted snapshot files (oldest first) keyed by their LSN.
+pub fn snapshot_paths(store_dir: &Path) -> Result<Vec<(u64, PathBuf)>, DurableError> {
+    let dir = snap_dir(store_dir);
+    let mut out = Vec::new();
+    if !dir.exists() {
+        return Ok(out);
+    }
+    for entry in std::fs::read_dir(&dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(lsn) = name
+            .strip_prefix("snap-")
+            .and_then(|s| s.strip_suffix(".snap"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            out.push((lsn, entry.path()));
+        }
+    }
+    out.sort_unstable_by_key(|&(lsn, _)| lsn);
+    Ok(out)
+}
+
+/// Loads the newest decodable snapshot, skipping corrupt candidates.
+/// Returns the snapshot and how many candidates were skipped.
+pub fn load_latest(store_dir: &Path) -> Result<(Snapshot, usize), DurableError> {
+    let paths = snapshot_paths(store_dir)?;
+    let tried = paths.len();
+    let mut skipped = 0;
+    for (_, path) in paths.into_iter().rev() {
+        match std::fs::read(&path)
+            .map_err(DurableError::from)
+            .and_then(|b| Snapshot::from_bytes(&b))
+        {
+            Ok(snap) => return Ok((snap, skipped)),
+            Err(_) => skipped += 1,
+        }
+    }
+    Err(DurableError::NoValidSnapshot { tried })
+}
+
+/// Deletes all snapshots except the newest `keep` (by LSN). Returns how
+/// many were removed.
+pub fn prune(store_dir: &Path, keep: usize) -> Result<usize, DurableError> {
+    let paths = snapshot_paths(store_dir)?;
+    let mut removed = 0;
+    if paths.len() > keep {
+        for (_, path) in &paths[..paths.len() - keep] {
+            std::fs::remove_file(path)?;
+            removed += 1;
+        }
+        File::open(snap_dir(store_dir))?.sync_all()?;
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geograph::{GraphBuilder, LocalityConfig};
+    use geopart::{HybridState, TrafficProfile};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rlcut_snap_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample() -> Snapshot {
+        let mut b = GraphBuilder::new(24);
+        for i in 0..23u32 {
+            b.add_edges([(i, i + 1), (i, (i * 5 + 2) % 24)]);
+        }
+        let geo = GeoGraph::from_graph(b.build(), &LocalityConfig::uniform(8, 13));
+        let env = geosim::regions::ec2_eight_regions();
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let hybrid =
+            HybridState::try_from_masters(&geo, &env, geo.locations.clone(), 3, profile, 10.0)
+                .unwrap();
+        let (state, theta) = hybrid.into_parts();
+        Snapshot {
+            lsn: 17,
+            window: 4,
+            geo,
+            placement: Some((state, theta)),
+            trainer: Some(vec![1, 2, 3, 4, 5]),
+        }
+    }
+
+    #[test]
+    fn round_trips_bit_exactly() {
+        let snap = sample();
+        let restored = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(restored.lsn, snap.lsn);
+        assert_eq!(restored.window, snap.window);
+        assert_eq!(restored.geo.locations, snap.geo.locations);
+        assert_eq!(restored.trainer, snap.trainer);
+        let (a, ta) = snap.placement.as_ref().unwrap();
+        let (b, tb) = restored.placement.as_ref().unwrap();
+        assert_eq!(ta, tb);
+        assert_eq!(a.masters(), b.masters());
+        assert_eq!(a.movement_cost().to_bits(), b.movement_cost().to_bits());
+    }
+
+    #[test]
+    fn genesis_round_trips() {
+        let mut snap = sample();
+        snap.placement = None;
+        snap.trainer = None;
+        snap.lsn = 0;
+        snap.window = 0;
+        let restored = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert!(restored.placement.is_none());
+        assert_eq!(restored.window, 0);
+    }
+
+    #[test]
+    fn every_truncation_and_bit_flip_is_rejected() {
+        let bytes = sample().to_bytes();
+        for len in (0..bytes.len()).step_by(131) {
+            assert!(Snapshot::from_bytes(&bytes[..len]).is_err(), "len {len} decoded");
+        }
+        for i in (0..bytes.len()).step_by(97) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            assert!(Snapshot::from_bytes(&bad).is_err(), "flip at {i} decoded");
+        }
+    }
+
+    #[test]
+    fn load_latest_skips_corrupt_and_falls_back() {
+        let dir = tmp_dir("fallback");
+        let mut old = sample();
+        old.lsn = 5;
+        write(&dir, &old).unwrap();
+        let mut newer = sample();
+        newer.lsn = 11;
+        let (path, _) = write(&dir, &newer).unwrap();
+        // Corrupt the newest file; recovery must fall back to lsn 5.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let (snap, skipped) = load_latest(&dir).unwrap();
+        assert_eq!(snap.lsn, 5);
+        assert_eq!(skipped, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_dir_is_no_valid_snapshot() {
+        let dir = tmp_dir("empty");
+        assert!(matches!(load_latest(&dir), Err(DurableError::NoValidSnapshot { tried: 0 })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prune_keeps_newest() {
+        let dir = tmp_dir("prune");
+        for lsn in [3, 9, 20] {
+            let mut s = sample();
+            s.lsn = lsn;
+            write(&dir, &s).unwrap();
+        }
+        assert_eq!(prune(&dir, 1).unwrap(), 2);
+        let (snap, _) = load_latest(&dir).unwrap();
+        assert_eq!(snap.lsn, 20);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

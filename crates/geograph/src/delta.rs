@@ -90,7 +90,19 @@ impl GraphDelta {
         }
         inserted.sort_unstable();
         deleted.sort_unstable();
+        Self::from_net_edges(old_n, new_n, inserted, deleted)
+    }
 
+    /// Assembles a delta from its *net* edge lists (sorted, duplicate-free,
+    /// disjoint), deriving `touched` and the sparse degree changes exactly
+    /// as [`from_events`](Self::from_events) would. This is the wire-decode
+    /// path: the derived fields never travel, so they can't disagree.
+    pub(crate) fn from_net_edges(
+        old_n: usize,
+        new_n: usize,
+        inserted: Vec<(VertexId, VertexId)>,
+        deleted: Vec<(VertexId, VertexId)>,
+    ) -> GraphDelta {
         let mut touched: Vec<VertexId> = Vec::with_capacity(2 * (inserted.len() + deleted.len()));
         let mut degree_changes: FxHashMap<VertexId, (i64, i64)> = FxHashMap::default(); // (in, out)
         for &(u, v) in &inserted {

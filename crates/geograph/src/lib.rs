@@ -44,6 +44,7 @@ pub mod locality;
 pub mod shard;
 pub mod transform;
 pub mod weights;
+pub mod wire;
 
 pub use builder::GraphBuilder;
 pub use csr::Graph;

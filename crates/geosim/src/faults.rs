@@ -44,6 +44,18 @@ pub enum FaultKind {
     },
     /// Price restored to base.
     PriceRestore,
+    /// The link flaps: it oscillates between `factor` of base bandwidth
+    /// and full bandwidth *faster than one logical step*, spending `duty`
+    /// of the time degraded. Too fast to express as separate
+    /// degrade/restore events, so the step-level view materializes the
+    /// time-averaged throughput `1 - duty * (1 - factor)`. Ended by
+    /// [`FaultKind::LinkRestore`], like any bandwidth fault.
+    LinkFlap {
+        /// Bandwidth multiplier during the degraded phase, in `(0, 1)`.
+        factor: f64,
+        /// Fraction of each step spent degraded, in `(0, 1]`.
+        duty: f64,
+    },
 }
 
 impl FaultKind {
@@ -56,7 +68,16 @@ impl FaultKind {
             FaultKind::LinkRestore => 3,
             FaultKind::PriceSurge { .. } => 4,
             FaultKind::PriceRestore => 5,
+            // Appended, not inserted: existing schedules keep their
+            // canonical order byte-for-byte.
+            FaultKind::LinkFlap { .. } => 6,
         }
+    }
+
+    /// The effective bandwidth multiplier a flapping link delivers over a
+    /// step: `duty` of the time at `factor`, the rest at full rate.
+    pub fn flap_multiplier(factor: f64, duty: f64) -> f64 {
+        1.0 - duty * (1.0 - factor)
     }
 }
 
@@ -93,6 +114,28 @@ pub struct FaultModel {
     pub surge_factor: (f64, f64),
     /// Surge length in steps.
     pub surge_duration: (u64, u64),
+    /// Probability a DC's link starts flapping at a step (sub-step
+    /// degrade/restore oscillation, see [`FaultKind::LinkFlap`]).
+    pub flap_prob: f64,
+    /// Degraded-phase bandwidth multiplier drawn uniformly from this range.
+    pub flap_factor: (f64, f64),
+    /// Degraded duty cycle drawn uniformly from this range.
+    pub flap_duty: (f64, f64),
+    /// Flapping length in steps.
+    pub flap_duration: (u64, u64),
+    /// Probability (per region per step) that a whole geographic region
+    /// fails together — all its DCs go dark as one correlated event, or
+    /// all degrade together when a full-region blackout would leave no
+    /// live DC. Regional outages model one shared failure domain, so they
+    /// are exempt from `max_concurrent_outages` (but never kill every DC).
+    pub regional_outage_prob: f64,
+    /// Regional outage/degradation length in steps.
+    pub regional_duration: (u64, u64),
+    /// The geographic failure domains (DC ids per region), e.g.
+    /// [`crate::regions::geo_region_groups`]. Empty disables regional
+    /// faults *and* draws no randomness for them, so schedules generated
+    /// with the default model are byte-identical to pre-regional ones.
+    pub regions: Vec<Vec<DcId>>,
 }
 
 impl Default for FaultModel {
@@ -107,6 +150,13 @@ impl Default for FaultModel {
             surge_prob: 0.005,
             surge_factor: (1.5, 4.0),
             surge_duration: (3, 15),
+            flap_prob: 0.0,
+            flap_factor: (0.2, 0.8),
+            flap_duty: (0.2, 0.9),
+            flap_duration: (2, 10),
+            regional_outage_prob: 0.0,
+            regional_duration: (5, 20),
+            regions: Vec::new(),
         }
     }
 }
@@ -136,6 +186,10 @@ impl FaultSchedule {
             if let FaultKind::PriceSurge { factor } = e.kind {
                 assert!(factor > 1.0 && factor.is_finite(), "surge factor {factor} not > 1");
             }
+            if let FaultKind::LinkFlap { factor, duty } = e.kind {
+                assert!(factor > 0.0 && factor < 1.0, "flap factor {factor} not in (0, 1)");
+                assert!(duty > 0.0 && duty <= 1.0, "flap duty {duty} not in (0, 1]");
+            }
         }
         events.sort_by_key(|e| (e.step, e.dc, e.kind.rank()));
         FaultSchedule { num_dcs, horizon, events }
@@ -162,13 +216,62 @@ impl FaultSchedule {
     /// degrade again).
     pub fn generate(seed: u64, num_dcs: usize, horizon: u64, model: &FaultModel) -> Self {
         assert!((1..=geograph::MAX_DCS).contains(&num_dcs));
+        for group in &model.regions {
+            for &dc in group {
+                assert!(
+                    (dc as usize) < num_dcs,
+                    "region group references DC {dc} but the environment has {num_dcs}"
+                );
+            }
+        }
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xfa17_5eed_0bad_c10d);
         let mut events = Vec::new();
-        // First step a DC is free of each fault type again.
+        // First step a DC is free of each fault type again. Flapping
+        // shares `degrade_until` with degradations: both are bandwidth
+        // faults ended by `LinkRestore`, so they must never overlap.
         let mut outage_until = vec![0u64; num_dcs];
         let mut degrade_until = vec![0u64; num_dcs];
         let mut surge_until = vec![0u64; num_dcs];
         for step in 0..horizon {
+            // Correlated regional failures first: one draw per region,
+            // the whole failure domain goes together.
+            for group in &model.regions {
+                if group.iter().any(|&dc| outage_until[dc as usize] > step) {
+                    continue; // region (partly) dark already
+                }
+                if !rng.gen_bool(model.regional_outage_prob) {
+                    continue;
+                }
+                let d = rng.gen_range(model.regional_duration.0..=model.regional_duration.1);
+                let dark_now = outage_until.iter().filter(|&&u| u > step).count();
+                if dark_now + group.len() < num_dcs {
+                    for &dc in group {
+                        outage_until[dc as usize] = step + d;
+                        events.push(FaultEvent { step, dc, kind: FaultKind::Outage });
+                        events.push(FaultEvent { step: step + d, dc, kind: FaultKind::Recovery });
+                    }
+                } else {
+                    // A full-region blackout would leave no live DC:
+                    // degrade the whole region together instead.
+                    let factor = rng.gen_range(model.degrade_factor.0..model.degrade_factor.1);
+                    for &dc in group {
+                        if degrade_until[dc as usize] > step {
+                            continue;
+                        }
+                        degrade_until[dc as usize] = step + d;
+                        events.push(FaultEvent {
+                            step,
+                            dc,
+                            kind: FaultKind::LinkDegrade { factor },
+                        });
+                        events.push(FaultEvent {
+                            step: step + d,
+                            dc,
+                            kind: FaultKind::LinkRestore,
+                        });
+                    }
+                }
+            }
             let mut dark = outage_until.iter().filter(|&&u| u > step).count();
             for dc in 0..num_dcs {
                 if outage_until[dc] > step {
@@ -218,6 +321,27 @@ impl FaultSchedule {
                         step: step + d,
                         dc: dc as DcId,
                         kind: FaultKind::PriceRestore,
+                    });
+                }
+                // Guarded so the default (flap-free) model draws no
+                // randomness here and keeps legacy schedules byte-identical.
+                if model.flap_prob > 0.0
+                    && degrade_until[dc] <= step
+                    && rng.gen_bool(model.flap_prob)
+                {
+                    let factor = rng.gen_range(model.flap_factor.0..model.flap_factor.1);
+                    let duty = rng.gen_range(model.flap_duty.0..model.flap_duty.1);
+                    let d = rng.gen_range(model.flap_duration.0..=model.flap_duration.1);
+                    degrade_until[dc] = step + d;
+                    events.push(FaultEvent {
+                        step,
+                        dc: dc as DcId,
+                        kind: FaultKind::LinkFlap { factor, duty },
+                    });
+                    events.push(FaultEvent {
+                        step: step + d,
+                        dc: dc as DcId,
+                        kind: FaultKind::LinkRestore,
                     });
                 }
             }
@@ -284,6 +408,9 @@ impl FaultSchedule {
                 FaultKind::LinkRestore => bw_mult[d] = 1.0,
                 FaultKind::PriceSurge { factor } => price_mult[d] = factor,
                 FaultKind::PriceRestore => price_mult[d] = 1.0,
+                FaultKind::LinkFlap { factor, duty } => {
+                    bw_mult[d] = FaultKind::flap_multiplier(factor, duty)
+                }
             }
         }
         let dcs = base
@@ -319,6 +446,9 @@ impl FaultSchedule {
                     writeln!(out, "{} {} surge {factor}", e.step, e.dc)
                 }
                 FaultKind::PriceRestore => writeln!(out, "{} {} restore-price", e.step, e.dc),
+                FaultKind::LinkFlap { factor, duty } => {
+                    writeln!(out, "{} {} flap {factor} {duty}", e.step, e.dc)
+                }
             }
             .unwrap();
         }
@@ -486,6 +616,120 @@ mod tests {
             4,
             10,
             vec![FaultEvent { step: 0, dc: 0, kind: FaultKind::LinkDegrade { factor: 1.5 } }],
+        );
+    }
+
+    #[test]
+    fn link_flap_materializes_time_averaged_bandwidth() {
+        let base = ec2_eight_regions();
+        let events = vec![
+            FaultEvent { step: 2, dc: 3, kind: FaultKind::LinkFlap { factor: 0.2, duty: 0.5 } },
+            FaultEvent { step: 7, dc: 3, kind: FaultKind::LinkRestore },
+        ];
+        let s = FaultSchedule::from_events(8, 10, events);
+        assert!(!s.view_at(&base, 1).any_dead());
+        assert_eq!(s.view_at(&base, 1).env().uplink(3), base.uplink(3));
+        // Half the time at 0.2×, half at 1× → 0.6× effective throughput.
+        let v = s.view_at(&base, 4);
+        assert!((v.env().uplink(3) - base.uplink(3) * 0.6).abs() < 1e-6);
+        assert!((v.env().downlink(3) - base.downlink(3) * 0.6).abs() < 1e-6);
+        assert!(!v.is_dead(3), "flapping is degradation, not deadness");
+        // LinkRestore ends a flap like any bandwidth fault.
+        assert_eq!(s.view_at(&base, 7).env().uplink(3), base.uplink(3));
+    }
+
+    #[test]
+    fn regional_outages_take_the_whole_region_down() {
+        let model = FaultModel {
+            outage_prob: 0.0, // isolate the regional draw
+            regional_outage_prob: 0.05,
+            regional_duration: (5, 15),
+            regions: crate::regions::geo_region_groups(),
+            ..FaultModel::default()
+        };
+        let a = FaultSchedule::generate(29, 8, 300, &model);
+        let b = FaultSchedule::generate(29, 8, 300, &model);
+        assert_eq!(a.to_text(), b.to_text(), "same seed must replay identically");
+
+        // Every outage is correlated: the step one member of a group goes
+        // dark, every member of that group goes dark.
+        let outages: Vec<_> =
+            a.events().iter().filter(|e| matches!(e.kind, FaultKind::Outage)).collect();
+        assert!(!outages.is_empty(), "this seed should produce regional outages");
+        let mut saw_multi_dc_region = false;
+        for o in &outages {
+            let group = crate::regions::GEO_REGION_GROUPS[crate::regions::geo_region_of(o.dc)];
+            for &peer in group {
+                assert!(
+                    outages.iter().any(|p| p.step == o.step && p.dc == peer),
+                    "step {}: DC {} dark without its region peer {}",
+                    o.step,
+                    o.dc,
+                    peer
+                );
+            }
+            saw_multi_dc_region |= group.len() > 1;
+        }
+        assert!(saw_multi_dc_region, "a multi-DC region should have failed");
+
+        // Whole regions down together still never kills every DC.
+        let base = ec2_eight_regions();
+        for step in 0..300 {
+            assert!(a.view_at(&base, step).num_live() >= 1, "all DCs dark at step {step}");
+        }
+    }
+
+    #[test]
+    fn flap_generation_is_deterministic_and_never_overlaps_degrades() {
+        let model = FaultModel { flap_prob: 0.05, degrade_prob: 0.05, ..FaultModel::default() };
+        let a = FaultSchedule::generate(31, 8, 200, &model);
+        let b = FaultSchedule::generate(31, 8, 200, &model);
+        assert_eq!(a.to_text(), b.to_text());
+        assert!(
+            a.events().iter().any(|e| matches!(e.kind, FaultKind::LinkFlap { .. })),
+            "this seed should produce flaps"
+        );
+        // Bandwidth faults share one per-DC busy window: a flap never
+        // starts while a degrade is active and vice versa (their
+        // LinkRestores would otherwise cut each other short).
+        let mut busy_until = [0u64; 8];
+        for e in a.events() {
+            match e.kind {
+                FaultKind::LinkDegrade { .. } | FaultKind::LinkFlap { .. } => {
+                    assert!(
+                        busy_until[e.dc as usize] <= e.step,
+                        "overlapping bandwidth faults on DC {} at step {}",
+                        e.dc,
+                        e.step
+                    );
+                }
+                FaultKind::LinkRestore => busy_until[e.dc as usize] = e.step,
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn default_model_draws_no_new_randomness() {
+        // The richer surface is opt-in: a default model must generate the
+        // exact schedule it did before flaps and regional faults existed
+        // (seed 11 is the stream the concurrency-cap test has always pinned).
+        let s = FaultSchedule::generate(11, 8, 150, &FaultModel::default());
+        assert!(!s.events().iter().any(|e| matches!(e.kind, FaultKind::LinkFlap { .. })));
+        assert!(s.first_outage().is_some(), "legacy seeded stream shifted");
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_flap_duty_rejected() {
+        FaultSchedule::from_events(
+            4,
+            10,
+            vec![FaultEvent {
+                step: 0,
+                dc: 0,
+                kind: FaultKind::LinkFlap { factor: 0.5, duty: 0.0 },
+            }],
         );
     }
 }

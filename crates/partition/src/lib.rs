@@ -34,6 +34,7 @@ pub mod metrics;
 pub mod plan_io;
 pub mod profile;
 pub mod shard;
+pub mod snapshot;
 pub mod state;
 pub mod vertexcut;
 

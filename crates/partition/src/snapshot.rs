@@ -1,0 +1,231 @@
+//! Verbatim wire encoding of [`PlacementState`] for durable snapshots.
+//!
+//! Crash-exact recovery needs the restored state to be **bit-identical**
+//! to the live one — not merely equivalent under `validate_plan`'s f64
+//! tolerances. Rebuilding from masters would re-accumulate the stage
+//! loads in a different order and drift by ULPs, so the snapshot instead
+//! captures the incrementally-tracked accumulators exactly as they are:
+//! every `f64` travels as its raw bits.
+//!
+//! Only *authoritative* state travels. The packed kernel metadata
+//! (`VertexMeta`) and the per-DC edge balance are pure functions of the
+//! count lanes, the profile, and the master/class vectors:
+//!
+//! * `nnz` bit `d` is set iff cell `(v, d)` has a nonzero lane —
+//!   [`PlacementState::place_edge`] sets the bit when a lane becomes
+//!   nonzero and `unplace_edge` clears it when the pair empties, so
+//!   occupancy and the mask never disagree;
+//! * `g`/`a` are f32 copies of the profile, `master`/`high` copies of the
+//!   vectors;
+//! * `edges_per_dc[d]` is the sum of out-count lanes at `d` (each placed
+//!   edge increments exactly one out lane).
+//!
+//! The decoder re-derives them, so a snapshot cannot carry an
+//! inconsistent mask. Malformed bytes surface as typed
+//! [`WireError`]s — never panics, never a half-valid state.
+
+use geograph::wire::{Reader, WireError};
+use geograph::{DcId, MAX_DCS};
+use geosim::StageLoads;
+
+use crate::profile::TrafficProfile;
+use crate::state::{PlacementState, VertexMeta};
+
+fn put_loads(out: &mut Vec<u8>, loads: &StageLoads, m: usize) {
+    for d in 0..m {
+        out.extend_from_slice(&loads.up(d as DcId).to_bits().to_le_bytes());
+    }
+    for d in 0..m {
+        out.extend_from_slice(&loads.down(d as DcId).to_bits().to_le_bytes());
+    }
+}
+
+fn take_loads(r: &mut Reader<'_>, m: usize) -> Result<StageLoads, WireError> {
+    let mut loads = StageLoads::new(m);
+    // Adding onto a zero accumulator is exact, so the restored loads carry
+    // the encoded bits verbatim.
+    for d in 0..m {
+        loads.add_up(d as DcId, r.f64()?);
+    }
+    for d in 0..m {
+        loads.add_down(d as DcId, r.f64()?);
+    }
+    Ok(loads)
+}
+
+/// Appends the verbatim wire form of `state` to `out`.
+pub fn encode_placement(state: &PlacementState, out: &mut Vec<u8>) {
+    let n = state.masters.len();
+    let m = state.num_dcs;
+    out.extend_from_slice(&(n as u64).to_le_bytes());
+    out.extend_from_slice(&(m as u32).to_le_bytes());
+    out.extend_from_slice(&state.num_iterations.to_bits().to_le_bytes());
+    out.extend_from_slice(&state.movement_cost.to_bits().to_le_bytes());
+    out.extend_from_slice(&state.masters);
+    out.extend(state.is_high.iter().map(|&h| h as u8));
+    for &c in &state.counts {
+        out.extend_from_slice(&c.to_le_bytes());
+    }
+    put_loads(out, &state.gather, m);
+    put_loads(out, &state.apply, m);
+    for &g in &state.profile.gather_bytes {
+        out.extend_from_slice(&g.to_le_bytes());
+    }
+    for &a in &state.profile.apply_bytes {
+        out.extend_from_slice(&a.to_le_bytes());
+    }
+}
+
+/// Decodes one placement state from `r`, re-deriving the kernel metadata
+/// and per-DC balance from the authoritative arrays.
+pub fn decode_placement(r: &mut Reader<'_>) -> Result<PlacementState, WireError> {
+    let n = r.u64()? as usize;
+    let m = r.u32()? as usize;
+    if m == 0 || m > MAX_DCS {
+        return Err(WireError::Malformed("DC count out of range"));
+    }
+    // One u8 per vertex is the cheapest array; bound n by it before any
+    // sized allocation so a corrupt count fails as Truncated, not OOM.
+    if n > r.remaining() {
+        return Err(WireError::Truncated);
+    }
+    let num_iterations = r.f64()?;
+    let movement_cost = r.f64()?;
+    let masters: Vec<DcId> = r.take(n)?.to_vec();
+    if masters.iter().any(|&d| (d as usize) >= m) {
+        return Err(WireError::Malformed("master out of range"));
+    }
+    let is_high: Vec<bool> = r.take(n)?.iter().map(|&b| b != 0).collect();
+    let counts = r.u32s(n * m * 2)?;
+    let gather = take_loads(r, m)?;
+    let apply = take_loads(r, m)?;
+    let gather_bytes = r.f32s(n)?;
+    let apply_bytes = r.f32s(n)?;
+
+    let mut edges_per_dc = vec![0u64; m];
+    let meta: Vec<VertexMeta> = (0..n)
+        .map(|v| {
+            let row = &counts[v * m * 2..(v + 1) * m * 2];
+            let mut nnz = 0u64;
+            for (d, pair) in row.chunks_exact(2).enumerate() {
+                if pair[0] | pair[1] != 0 {
+                    nnz |= 1u64 << d;
+                }
+                edges_per_dc[d] += pair[1] as u64;
+            }
+            VertexMeta {
+                nnz,
+                g: gather_bytes[v],
+                a: apply_bytes[v],
+                master: masters[v],
+                high: is_high[v],
+            }
+        })
+        .collect();
+
+    Ok(PlacementState {
+        num_dcs: m,
+        masters,
+        is_high,
+        counts,
+        meta,
+        edges_per_dc,
+        gather,
+        apply,
+        movement_cost,
+        profile: TrafficProfile { gather_bytes, apply_bytes },
+        num_iterations,
+    })
+}
+
+/// `state` as a standalone byte blob.
+pub fn placement_to_bytes(state: &PlacementState) -> Vec<u8> {
+    let n = state.masters.len();
+    let mut out = Vec::with_capacity(64 + n * (10 + state.num_dcs * 8));
+    encode_placement(state, &mut out);
+    out
+}
+
+/// Decodes a standalone placement blob, requiring full consumption.
+pub fn placement_from_bytes(bytes: &[u8]) -> Result<PlacementState, WireError> {
+    let mut r = Reader::new(bytes);
+    let state = decode_placement(&mut r)?;
+    r.finish()?;
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hybrid::HybridState;
+    use geograph::{GeoGraph, GraphBuilder, LocalityConfig};
+    use geosim::CloudEnv;
+
+    fn build() -> (GeoGraph, CloudEnv, PlacementState, usize) {
+        let mut b = GraphBuilder::new(32);
+        for i in 0..31u32 {
+            b.add_edges([(i, i + 1), (i, (i * 7 + 3) % 32)]);
+        }
+        let geo = GeoGraph::from_graph(b.build(), &LocalityConfig::uniform(8, 11));
+        let env = geosim::regions::ec2_eight_regions();
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let hybrid =
+            HybridState::try_from_masters(&geo, &env, geo.locations.clone(), 3, profile, 10.0)
+                .unwrap();
+        let (state, theta) = hybrid.into_parts();
+        (geo, env, state, theta)
+    }
+
+    fn assert_identical(a: &PlacementState, b: &PlacementState) {
+        assert_eq!(a.num_dcs, b.num_dcs);
+        assert_eq!(a.masters, b.masters);
+        assert_eq!(a.is_high, b.is_high);
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.meta, b.meta);
+        assert_eq!(a.edges_per_dc, b.edges_per_dc);
+        assert_eq!(a.movement_cost.to_bits(), b.movement_cost.to_bits());
+        assert_eq!(a.num_iterations.to_bits(), b.num_iterations.to_bits());
+        assert_eq!(a.profile, b.profile);
+        for d in 0..a.num_dcs as DcId {
+            assert_eq!(a.gather.up(d).to_bits(), b.gather.up(d).to_bits());
+            assert_eq!(a.gather.down(d).to_bits(), b.gather.down(d).to_bits());
+            assert_eq!(a.apply.up(d).to_bits(), b.apply.up(d).to_bits());
+            assert_eq!(a.apply.down(d).to_bits(), b.apply.down(d).to_bits());
+        }
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        let (_, _, state, _) = build();
+        let restored = placement_from_bytes(&placement_to_bytes(&state)).unwrap();
+        assert_identical(&state, &restored);
+    }
+
+    #[test]
+    fn round_trip_survives_validate_plan() {
+        let (geo, env, state, theta) = build();
+        let restored = placement_from_bytes(&placement_to_bytes(&state)).unwrap();
+        let hybrid = HybridState::from_parts(restored, theta, &geo);
+        hybrid.validate_plan(&env).unwrap();
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let (_, _, state, _) = build();
+        let bytes = placement_to_bytes(&state);
+        for len in (0..bytes.len()).step_by(7) {
+            assert!(placement_from_bytes(&bytes[..len]).is_err(), "len {len} decoded");
+        }
+    }
+
+    #[test]
+    fn malformed_master_rejected() {
+        let (_, _, state, _) = build();
+        let mut bytes = placement_to_bytes(&state);
+        bytes[28] = 99; // first master, num_dcs = 4
+        assert!(matches!(
+            placement_from_bytes(&bytes),
+            Err(WireError::Malformed("master out of range"))
+        ));
+    }
+}

@@ -68,6 +68,23 @@ cargo test -q -p integration-tests --test delta_properties
 echo "==> cross-window pool persistence gate"
 cargo test -q -p rlcut delta_windows_reuse_the_worker_pool
 
+echo "==> crash-recovery gate (kill-at-100+-seeded-points harness)"
+# Trains a multi-window durable pipeline, truncates a copy of the WAL at
+# every record boundary plus seeded mid-record offsets, and recovers each
+# copy: masters must be bit-identical to the uninterrupted run at that
+# boundary and the movement-cost accumulator equal to the last f64 bit.
+cargo test -q -p integration-tests --test crash_recovery
+
+echo "==> durable recovery bench smoke run (BENCH_durable.json)"
+# The bench cross-checks both recovery paths (latest snapshot + WAL tail,
+# and full-log replay on a snapshot-free twin) bit-exact against the live
+# run; the gate additionally bounds the snapshot-path recovery time.
+cargo run --release -p geobench --bin bench_durable -- \
+  --scale 0.002 --windows 6 --snapshot-every 3 \
+  --out EXPERIMENTS-data/BENCH_durable.json --assert-max-recovery-ms 10000
+grep -q '"recovered_bit_exact": true' EXPERIMENTS-data/BENCH_durable.json \
+  || { echo "BENCH_durable.json is missing the bit-exact cross-check"; exit 1; }
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -1,0 +1,248 @@
+//! Kill-at-random-point crash-recovery harness — the headline durability
+//! proof.
+//!
+//! One multi-window durable run (graph deltas, a mid-run DC outage, a
+//! snapshot mid-stream) produces a WAL; the harness then simulates a
+//! process kill at 100+ seeded crash points — after every record boundary
+//! and at seeded mid-record truncations — by truncating a copy of the log
+//! there and recovering. Every recovery must land on a committed window
+//! boundary with masters bit-identical to the uninterrupted run at that
+//! boundary, the movement-cost accumulator equal to the last `f64` bit,
+//! and the recovered placement passing `validate_plan`.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use geograph::dynamic::{apply_events, split_for_dynamic};
+use geograph::generators::preferential::preferential_attachment_edges;
+use geograph::locality::{assign_locations, LocalityConfig};
+use geograph::{DcId, GeoGraph, GraphBuilder, GraphDelta};
+use geopart::TrafficProfile;
+use geosim::faults::FaultSchedule;
+use geosim::regions::ec2_eight_regions;
+use rand::prelude::*;
+use rlcut::{DurableAdaptive, RlCutConfig};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rlcut_crash_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        let to = dst.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_dir(&entry.path(), &to);
+        } else {
+            std::fs::copy(entry.path(), &to).unwrap();
+        }
+    }
+}
+
+/// theta pinned and the sample rate fixed so the wall-clock scheduler
+/// cannot make the reference and recovered runs diverge.
+fn pinned_config() -> RlCutConfig {
+    RlCutConfig::new(1.0)
+        .with_seed(13)
+        .with_threads(2)
+        .with_theta(8)
+        .with_fixed_sample_rate(0.2)
+        .with_max_steps(3)
+}
+
+struct Workload {
+    geo0: GeoGraph,
+    steps: Vec<(GraphDelta, Vec<DcId>, Vec<u64>)>,
+}
+
+fn workload() -> Workload {
+    let n = 400;
+    let edges = preferential_attachment_edges(n, 3, 23);
+    let (initial, stream) = split_for_dynamic(&edges, n, 0.6, 10_000);
+    let windows: Vec<_> = stream.windows(1_000).collect();
+    assert!(windows.len() >= 3, "need several delta windows, got {}", windows.len());
+    let full_graph = {
+        let mut b = GraphBuilder::new(n);
+        b.add_edges(initial.edges());
+        apply_events(&mut b, stream.events());
+        b.build()
+    };
+    let cfg = LocalityConfig::paper_default(23);
+    let locations = assign_locations(&full_graph, &cfg);
+    let sizes: Vec<u64> = (0..full_graph.num_vertices()).map(|_| 2048).collect();
+
+    let mut graph = initial;
+    let geo0 = GeoGraph::new(
+        graph.clone(),
+        locations[..graph.num_vertices()].to_vec(),
+        sizes[..graph.num_vertices()].to_vec(),
+        cfg.num_dcs,
+    );
+    let mut steps = Vec::new();
+    for window in &windows {
+        let delta = GraphDelta::from_events(&graph, window);
+        let old_n = graph.num_vertices();
+        graph = graph.apply_delta(&delta);
+        let new_n = graph.num_vertices();
+        steps.push((delta, locations[old_n..new_n].to_vec(), sizes[old_n..new_n].to_vec()));
+    }
+    Workload { geo0, steps }
+}
+
+#[test]
+fn kill_at_every_record_boundary_and_mid_record() {
+    let w = workload();
+    let env = ec2_eight_regions();
+    let t_opt = Duration::from_secs(60);
+    let base = tmp_dir("base");
+    // A DC outage lands before window 2, so the log carries a fault
+    // window (rebuild + stranded-master reseed) among the incremental
+    // ones.
+    let schedule = FaultSchedule::single_outage(8, 100, 2, 2);
+
+    // The uninterrupted run. expected[j] = (masters, movement-cost bits)
+    // at the boundary where `next_window == j`; index 0 is genesis.
+    let mut expected: Vec<(Vec<DcId>, u64)> = vec![(w.geo0.locations.clone(), 0)];
+    let mut durable = DurableAdaptive::create(&base, pinned_config(), Some(0.4), w.geo0.clone(), 2)
+        .expect("create durable dir");
+    let p0 = TrafficProfile::uniform(w.geo0.num_vertices(), 8.0);
+    durable.window(&env, None, &[], &[], p0, 10.0, t_opt).expect("window 0");
+    let push_state = |d: &DurableAdaptive, out: &mut Vec<(Vec<DcId>, u64)>| {
+        let (core, _) = d.inner().carried_parts().expect("committed window carries state");
+        out.push((core.masters().to_vec(), core.movement_cost().to_bits()));
+    };
+    push_state(&durable, &mut expected);
+    for (i, (delta, locs, sizes)) in w.steps.iter().enumerate() {
+        let step = (i + 1) as u64;
+        if schedule.changes_at(step) {
+            let view = schedule.view_at(&env, step);
+            if view.any_dead() {
+                durable.note_fault(view.dead_flags());
+            }
+        }
+        let p = TrafficProfile::uniform(delta.new_num_vertices(), 8.0);
+        durable
+            .window(&env, Some(delta), locs, sizes, p, 10.0, t_opt)
+            .unwrap_or_else(|e| panic!("delta window {i}: {e}"));
+        push_state(&durable, &mut expected);
+    }
+    drop(durable); // kill the "process"; committed state is on disk
+
+    // Enumerate crash points from the log itself: every record boundary
+    // plus seeded mid-record truncations.
+    let (records, report) = geodur::wal::load(&base).expect("scan base log");
+    assert_eq!(report.torn_tail_bytes, 0, "clean shutdown leaves no torn tail");
+    let segments = geodur::wal::segment_paths(&base).expect("list segments");
+    assert_eq!(segments.len(), 1, "workload should fit one segment");
+    let seg_name = segments[0].1.file_name().unwrap().to_owned();
+
+    let mut rng = SmallRng::seed_from_u64(0x6b31_6c6c); // "k1ll"
+    let mut cuts: Vec<u64> = Vec::new();
+    let mut prev_end = geodur::wal::HEADER_BYTES;
+    for r in &records {
+        cuts.push(r.end_offset); // kill exactly at the record boundary
+        let len = r.end_offset - prev_end;
+        cuts.push(r.end_offset - 1); // one byte short: torn checksum
+        for _ in 0..4 {
+            cuts.push(prev_end + rng.gen_range(1..len)); // seeded mid-record
+        }
+        prev_end = r.end_offset;
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+    assert!(
+        cuts.len() >= 100,
+        "need at least 100 distinct crash points, got {} over {} records",
+        cuts.len(),
+        records.len()
+    );
+
+    for (k, &cut) in cuts.iter().enumerate() {
+        let scratch = tmp_dir(&format!("cut{k}"));
+        copy_dir(&base, &scratch);
+        let seg = scratch.join("wal").join(&seg_name);
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&seg)
+            .and_then(|f| f.set_len(cut))
+            .unwrap_or_else(|e| panic!("cut {k}: truncating to {cut} bytes: {e}"));
+
+        let (recovered, summary) =
+            DurableAdaptive::recover(&scratch, pinned_config(), Some(0.4), &env, 2)
+                .unwrap_or_else(|e| panic!("cut {k} at byte {cut}: recovery failed: {e}"));
+        let j = summary.next_window as usize;
+        assert!(j < expected.len(), "cut {k}: recovered past the end of the run");
+        let (exp_masters, exp_cost) = &expected[j];
+        assert_eq!(
+            recovered.masters(),
+            &exp_masters[..],
+            "cut {k} at byte {cut}: masters diverged at window boundary {j}"
+        );
+        if j > 0 {
+            let (core, _) = recovered.inner().carried_parts().expect("committed boundary");
+            assert_eq!(
+                core.movement_cost().to_bits(),
+                *exp_cost,
+                "cut {k} at byte {cut}: movement cost not bit-exact at boundary {j}"
+            );
+            assert!(
+                recovered
+                    .inner()
+                    .validate_carried(recovered.geo(), &env)
+                    .unwrap_or_else(|e| panic!("cut {k}: validate_plan failed: {e}")),
+                "cut {k}: nothing carried at boundary {j}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// A crash image whose WAL ends in an uncommitted window must recover to
+/// the previous boundary and accept the re-fed window, converging with the
+/// uninterrupted run — the retry path a driver takes after rollback.
+#[test]
+fn rolled_back_window_can_be_refed() {
+    let w = workload();
+    let env = ec2_eight_regions();
+    let t_opt = Duration::from_secs(60);
+    let base = tmp_dir("refeed");
+
+    let mut durable = DurableAdaptive::create(&base, pinned_config(), Some(0.4), w.geo0.clone(), 0)
+        .expect("create durable dir");
+    let p0 = TrafficProfile::uniform(w.geo0.num_vertices(), 8.0);
+    durable.window(&env, None, &[], &[], p0, 10.0, t_opt).expect("window 0");
+    let (delta, locs, sizes) = &w.steps[0];
+    let p = TrafficProfile::uniform(delta.new_num_vertices(), 8.0);
+    durable.window(&env, Some(delta), locs, sizes, p.clone(), 10.0, t_opt).expect("window 1");
+    let (core, _) = durable.inner().carried_parts().expect("carried");
+    let final_masters = core.masters().to_vec();
+    let final_cost = core.movement_cost().to_bits();
+    drop(durable);
+
+    // Truncate the log into window 1: keep its WindowStart, drop the rest.
+    let (records, _) = geodur::wal::load(&base).expect("scan");
+    let start_w1 =
+        records.iter().find(|r| r.kind == 1 && r.lsn > 0).expect("window 1 start record");
+    let segments = geodur::wal::segment_paths(&base).expect("segments");
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&segments[0].1)
+        .and_then(|f| f.set_len(start_w1.end_offset))
+        .expect("truncate");
+
+    let (mut recovered, summary) =
+        DurableAdaptive::recover(&base, pinned_config(), Some(0.4), &env, 0).expect("recover");
+    assert!(summary.rolled_back, "window 1 must roll back");
+    assert_eq!(summary.next_window, 1);
+
+    // Re-feed window 1; the retry must land where the first try landed.
+    recovered.window(&env, Some(delta), locs, sizes, p, 10.0, t_opt).expect("re-fed window");
+    let (core, _) = recovered.inner().carried_parts().expect("carried");
+    assert_eq!(core.masters(), &final_masters[..], "re-fed window diverged");
+    assert_eq!(core.movement_cost().to_bits(), final_cost);
+    let _ = std::fs::remove_dir_all(&base);
+}
