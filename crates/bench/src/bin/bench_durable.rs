@@ -146,8 +146,9 @@ fn main() {
             sizes[..graph.num_vertices()].to_vec(),
             cfg.num_dcs,
         );
-        let mut durable = DurableAdaptive::create(run_dir, config.clone(), Some(0.4), geo0, 0)
-            .expect("create durable dir");
+        let mut durable =
+            DurableAdaptive::create(run_dir, config.clone(), Some(0.4), geo0, &env, 0)
+                .expect("create durable dir");
 
         let mut records: Vec<WindowRecord> = Vec::new();
         let mut snapshot_sizes: Vec<u64> = Vec::new();

@@ -1,0 +1,423 @@
+//! Serving-layer bench: lookup latency under live re-partitioning.
+//!
+//! The scenario the serving daemon exists for, end to end:
+//!
+//!   1. a durable pipeline commits window 0 and "dies";
+//!   2. a [`geoserve::PlacementServer`] **boots from the store** — no
+//!      retraining — and starts answering lookups;
+//!   3. reader threads drive an open-loop Zipf-skewed lookup stream
+//!      (millions of vertex → master batches) while the recovered
+//!      trainer keeps committing delta windows, each commit flipping a
+//!      fresh routing table in under the readers;
+//!   4. the process "dies" again and a second boot must serve masters
+//!      bit-identical to the last table the live server published.
+//!
+//! Measured: per-batch lookup latency (p50/p99/p999 over a log-bucket
+//! histogram), sustained throughput, plan flips observed, and the two
+//! flip-stall signals — hazard-pin retries (reads that raced a flip) and
+//! the latency of the first batch each reader serves on a new epoch.
+//! Writes a machine-readable `BENCH_serve.json` (format documented in
+//! `DESIGN.md` §3h).
+//!
+//! Usage:
+//!   bench_serve [--scale f] [--seed n] [--windows n] [--readers n]
+//!               [--threads n] [--lookups n] [--batch n] [--zipf s]
+//!               [--out path] [--assert-min-flips n]
+//!
+//! `--assert-min-flips n` exits non-zero unless at least `n` plan flips
+//! were published while traffic was flowing (used by `scripts/verify.sh`
+//! to smoke the mid-traffic flip path).
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use geograph::dynamic::split_for_dynamic;
+use geograph::generators::preferential::preferential_attachment_edges;
+use geograph::locality::{assign_locations, LocalityConfig};
+use geograph::{Dataset, GeoGraph, GraphDelta, VertexId};
+use geopart::TrafficProfile;
+use geoserve::PlacementServer;
+use geosim::regions::ec2_eight_regions;
+use rand::prelude::*;
+use rand::rngs::SmallRng;
+use rlcut::{DurableAdaptive, RlCutConfig};
+
+struct Args {
+    scale: f64,
+    seed: u64,
+    windows: u64,
+    readers: usize,
+    threads: usize,
+    lookups: u64,
+    batch: usize,
+    zipf: f64,
+    out: String,
+    assert_min_flips: Option<u64>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: 0.004,
+        seed: 42,
+        windows: 6,
+        readers: 4,
+        threads: 2,
+        lookups: 1_500_000,
+        batch: 256,
+        zipf: 0.99,
+        out: "BENCH_serve.json".to_string(),
+        assert_min_flips: None,
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i + 1 < argv.len() {
+        let value = &argv[i + 1];
+        match argv[i].as_str() {
+            "--scale" => args.scale = value.parse().expect("--scale takes a float"),
+            "--seed" => args.seed = value.parse().expect("--seed takes an integer"),
+            "--windows" => args.windows = value.parse().expect("--windows takes an integer"),
+            "--readers" => args.readers = value.parse().expect("--readers takes an integer"),
+            "--threads" => args.threads = value.parse().expect("--threads takes an integer"),
+            "--lookups" => args.lookups = value.parse().expect("--lookups takes an integer"),
+            "--batch" => args.batch = value.parse().expect("--batch takes an integer"),
+            "--zipf" => args.zipf = value.parse().expect("--zipf takes a float"),
+            "--out" => args.out = value.clone(),
+            "--assert-min-flips" => {
+                args.assert_min_flips =
+                    Some(value.parse().expect("--assert-min-flips takes an integer"))
+            }
+            other => panic!("unknown option {other}"),
+        }
+        i += 2;
+    }
+    assert!(args.windows >= 1, "--windows must be >= 1");
+    assert!(args.readers >= 1 && args.batch >= 1 && args.lookups >= 1);
+    args
+}
+
+/// Zipf(s) sampler over `[0, n)`: precomputed CDF + binary search, so a
+/// draw is one `gen_range` and one `partition_point`.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Zipf {
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for rank in 1..=n {
+            acc += (rank as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    fn draw(&self, rng: &mut SmallRng) -> VertexId {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u) as VertexId
+    }
+}
+
+/// 64-bucket log2 histogram of nanosecond latencies.
+#[derive(Clone)]
+struct LatencyHist {
+    buckets: [u64; 64],
+    max_ns: u64,
+    count: u64,
+}
+
+impl LatencyHist {
+    fn new() -> LatencyHist {
+        LatencyHist { buckets: [0; 64], max_ns: 0, count: 0 }
+    }
+
+    fn record(&mut self, ns: u64) {
+        let b = (64 - ns.max(1).leading_zeros() as usize).min(63);
+        self.buckets[b] += 1;
+        self.max_ns = self.max_ns.max(ns);
+        self.count += 1;
+    }
+
+    fn merge(&mut self, other: &LatencyHist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.count += other.count;
+    }
+
+    /// Upper bound of the bucket holding quantile `q` (conservative).
+    fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q).ceil() as u64;
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return 1u64 << b;
+            }
+        }
+        self.max_ns
+    }
+}
+
+struct ReaderStats {
+    hist: LatencyHist,
+    flip_hist: LatencyHist,
+    batches: u64,
+    epochs_seen: u64,
+    retries: u64,
+}
+
+fn main() {
+    let args = parse_args();
+    let n = Dataset::LiveJournal.scaled_vertices(args.scale);
+    let epv = (Dataset::LiveJournal.paper_edges() as f64
+        / Dataset::LiveJournal.paper_vertices() as f64)
+        .round() as usize;
+    let edges = preferential_attachment_edges(n, epv, args.seed);
+    let (initial, stream) = split_for_dynamic(&edges, n, 0.7, args.windows * 1_000);
+    let windows: Vec<_> = stream.windows(1_000).take(args.windows as usize).collect();
+    assert!(!windows.is_empty(), "need >= 1 delta window");
+
+    let final_graph = {
+        let mut g = initial.clone();
+        for w in &windows {
+            g = g.apply_delta(&GraphDelta::from_events(&g, w));
+        }
+        g
+    };
+    let cfg = LocalityConfig::paper_default(args.seed);
+    let locations = assign_locations(&final_graph, &cfg);
+    let sizes: Vec<u64> = (0..final_graph.num_vertices()).map(|_| 65536).collect();
+    let env = ec2_eight_regions();
+    let dir = std::env::temp_dir().join(format!("rlcut_bench_serve_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let config = RlCutConfig::new(1.0)
+        .with_seed(args.seed)
+        .with_threads(args.threads)
+        .with_theta(geograph::degree::suggest_theta(&final_graph, 0.05))
+        .with_fixed_sample_rate(0.05)
+        .with_max_steps(2);
+    let t_opt = Duration::from_secs(60);
+    let n0 = initial.num_vertices();
+    eprintln!(
+        "bench_serve: LJ-analog scale={} ({n} vertices), {} delta windows, {} readers x batch {}, \
+         target {} Zipf({}) lookups, dir {}",
+        args.scale,
+        windows.len(),
+        args.readers,
+        args.batch,
+        args.lookups,
+        args.zipf,
+        dir.display(),
+    );
+
+    // 1. Seed the store: commit window 0, then "die".
+    {
+        let geo0 = GeoGraph::new(
+            initial.clone(),
+            locations[..n0].to_vec(),
+            sizes[..n0].to_vec(),
+            cfg.num_dcs,
+        );
+        let mut durable = DurableAdaptive::create(&dir, config.clone(), Some(0.4), geo0, &env, 0)
+            .expect("create durable dir");
+        let p0 = TrafficProfile::uniform(n0, 8.0);
+        durable.window(&env, None, &[], &[], p0, 10.0, t_opt).expect("window 0");
+    }
+
+    // 2. Boot the serving daemon from the store alone.
+    let boot_start = Instant::now();
+    let (server, boot) = PlacementServer::boot_from_store(&dir, &env).expect("boot from store");
+    let boot_secs = boot_start.elapsed().as_secs_f64();
+    assert_eq!(boot.window, 1, "exactly window 0 should be committed");
+    eprintln!(
+        "  booted window {} in {:.1}ms (masters fnv {:#018x}), serving while retraining...",
+        boot.window,
+        boot_secs * 1e3,
+        boot.masters_fnv,
+    );
+
+    // 3. Readers hammer the board while the recovered trainer flips plans.
+    let board = server.board();
+    let stop = Arc::new(AtomicBool::new(false));
+    let served = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for r in 0..args.readers {
+        let mut reader = board.reader();
+        let stop = Arc::clone(&stop);
+        let served = Arc::clone(&served);
+        let zipf_s = args.zipf;
+        let batch_size = args.batch;
+        let seed = args.seed ^ (0xb1ade << 8) ^ r as u64;
+        handles.push(std::thread::spawn(move || {
+            // Lookups stay within the boot-time vertex range: always valid,
+            // the graph only grows.
+            let zipf = Zipf::new(n0, zipf_s);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut batch: Vec<VertexId> = Vec::with_capacity(batch_size);
+            let mut out = Vec::new();
+            let mut stats = ReaderStats {
+                hist: LatencyHist::new(),
+                flip_hist: LatencyHist::new(),
+                batches: 0,
+                epochs_seen: 1,
+                retries: 0,
+            };
+            let mut last_epoch = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                batch.clear();
+                for _ in 0..batch_size {
+                    batch.push(zipf.draw(&mut rng));
+                }
+                let t0 = Instant::now();
+                let epoch = reader.lookup_many(&batch, &mut out);
+                let ns = t0.elapsed().as_nanos() as u64;
+                stats.hist.record(ns);
+                if epoch != last_epoch {
+                    if last_epoch != 0 {
+                        stats.epochs_seen += 1;
+                        // First batch served off a freshly flipped table.
+                        stats.flip_hist.record(ns);
+                    }
+                    last_epoch = epoch;
+                }
+                stats.batches += 1;
+                served.fetch_add(batch_size as u64, Ordering::Relaxed);
+                std::hint::black_box(&out);
+            }
+            stats.retries = reader.flip_retries();
+            stats
+        }));
+    }
+
+    // The recovered trainer re-partitions live; every commit flips a plan
+    // under the readers through the server's commit hook.
+    let (mut trainer, summary) =
+        DurableAdaptive::recover(&dir, config.clone(), Some(0.4), &env, 0).expect("recover");
+    assert_eq!(summary.next_window, 1);
+    server.attach(&mut trainer);
+    let mut graph = initial.clone();
+    let train_start = Instant::now();
+    for (i, window) in windows.iter().enumerate() {
+        let delta = GraphDelta::from_events(&graph, window);
+        let old_n = graph.num_vertices();
+        graph = graph.apply_delta(&delta);
+        let new_n = graph.num_vertices();
+        let p = TrafficProfile::uniform(new_n, 8.0);
+        trainer
+            .window(
+                &env,
+                Some(&delta),
+                &locations[old_n..new_n],
+                &sizes[old_n..new_n],
+                p,
+                10.0,
+                t_opt,
+            )
+            .unwrap_or_else(|e| panic!("window {}: {e}", i + 1));
+    }
+    let train_secs = train_start.elapsed().as_secs_f64();
+
+    // Keep traffic flowing until the lookup target is met, then shut down.
+    while served.load(Ordering::Relaxed) < args.lookups {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    stop.store(true, Ordering::Relaxed);
+    let mut hist = LatencyHist::new();
+    let mut flip_hist = LatencyHist::new();
+    let (mut batches, mut retries, mut max_epochs) = (0u64, 0u64, 0u64);
+    for h in handles {
+        let s = h.join().expect("reader panicked");
+        hist.merge(&s.hist);
+        flip_hist.merge(&s.flip_hist);
+        batches += s.batches;
+        retries += s.retries;
+        max_epochs = max_epochs.max(s.epochs_seen);
+    }
+    let total_lookups = served.load(Ordering::Relaxed);
+    let elapsed = boot_start.elapsed().as_secs_f64();
+    let throughput = total_lookups as f64 / elapsed.max(1e-9);
+    let flips = board.flips();
+    let per_lookup = |ns: u64| ns as f64 / args.batch as f64;
+
+    // 4. Restart: a fresh boot must serve the last published plan
+    //    bit-exactly, without retraining.
+    let (final_masters, final_window) = {
+        let mut reader = server.reader();
+        let guard = reader.pin();
+        (guard.masters().to_vec(), guard.window())
+    };
+    drop(trainer); // second "death"
+    let (reborn, reboot) = PlacementServer::boot_from_store(&dir, &env).expect("reboot");
+    assert_eq!(reboot.window, final_window, "reboot lost committed windows");
+    let restart_bit_exact = {
+        let mut reader = reborn.reader();
+        let guard = reader.pin();
+        assert_eq!(guard.masters(), &final_masters[..], "reboot diverged from served plan");
+        true
+    };
+
+    eprintln!(
+        "  {total_lookups} lookups in {elapsed:.2}s ({:.2}M/s) across {flips} flips; \
+         batch p50 {:.0}ns p99 {:.0}ns p999 {:.0}ns ({:.1}ns/lookup p50); \
+         {retries} pin retries, flip-batch p99 {:.0}ns; reboot bit-exact OK",
+        throughput / 1e6,
+        hist.quantile_ns(0.50) as f64,
+        hist.quantile_ns(0.99) as f64,
+        hist.quantile_ns(0.999) as f64,
+        per_lookup(hist.quantile_ns(0.50)),
+        flip_hist.quantile_ns(0.99) as f64,
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"serve\",");
+    let _ = writeln!(json, "  \"dataset\": \"livejournal_analog\",");
+    let _ = writeln!(json, "  \"scale\": {},", args.scale);
+    let _ = writeln!(json, "  \"seed\": {},", args.seed);
+    let _ = writeln!(json, "  \"vertices\": {n0},");
+    let _ = writeln!(json, "  \"readers\": {},", args.readers);
+    let _ = writeln!(json, "  \"batch\": {},", args.batch);
+    let _ = writeln!(json, "  \"zipf_s\": {},", args.zipf);
+    let _ = writeln!(json, "  \"boot_secs\": {boot_secs:.6},");
+    let _ = writeln!(json, "  \"train_secs\": {train_secs:.6},");
+    let _ = writeln!(json, "  \"windows_trained\": {},", windows.len());
+    let _ = writeln!(json, "  \"lookups\": {total_lookups},");
+    let _ = writeln!(json, "  \"batches\": {batches},");
+    let _ = writeln!(json, "  \"elapsed_secs\": {elapsed:.6},");
+    let _ = writeln!(json, "  \"throughput_lookups_per_sec\": {throughput:.1},");
+    let _ = writeln!(json, "  \"batch_p50_ns\": {},", hist.quantile_ns(0.50));
+    let _ = writeln!(json, "  \"batch_p99_ns\": {},", hist.quantile_ns(0.99));
+    let _ = writeln!(json, "  \"batch_p999_ns\": {},", hist.quantile_ns(0.999));
+    let _ = writeln!(json, "  \"batch_max_ns\": {},", hist.max_ns);
+    let _ = writeln!(json, "  \"lookup_p50_ns\": {:.2},", per_lookup(hist.quantile_ns(0.50)));
+    let _ = writeln!(json, "  \"lookup_p99_ns\": {:.2},", per_lookup(hist.quantile_ns(0.99)));
+    let _ = writeln!(json, "  \"lookup_p999_ns\": {:.2},", per_lookup(hist.quantile_ns(0.999)));
+    let _ = writeln!(json, "  \"plan_flips\": {flips},");
+    let _ = writeln!(json, "  \"max_epochs_seen_by_one_reader\": {max_epochs},");
+    let _ = writeln!(json, "  \"flip_pin_retries\": {retries},");
+    let _ = writeln!(json, "  \"flip_batch_p99_ns\": {},", flip_hist.quantile_ns(0.99));
+    let _ = writeln!(json, "  \"flip_batches\": {},", flip_hist.count);
+    let _ = writeln!(json, "  \"restart_bit_exact\": {restart_bit_exact}");
+    json.push_str("}\n");
+    std::fs::write(&args.out, &json)
+        .unwrap_or_else(|e| panic!("could not write {}: {e}", args.out));
+    eprintln!("  wrote {}", args.out);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if let Some(min) = args.assert_min_flips {
+        assert!(flips >= min, "only {flips} plan flips published (need >= {min})");
+    }
+    assert!(total_lookups >= args.lookups, "lookup target missed");
+}

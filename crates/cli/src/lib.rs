@@ -4,6 +4,7 @@
 //! rlcut info      <edge-list>
 //! rlcut partition <edge-list> --out <plan> [options]
 //! rlcut evaluate  <edge-list> --plan <plan> [options]
+//! rlcut serve     <durable-dir> [--lookups N] [options]
 //! ```
 //!
 //! Works on plain SNAP/LAW-style edge lists. `partition` geo-distributes
@@ -11,6 +12,9 @@
 //! one), runs the chosen method, prints the objective, and persists the
 //! master assignment with `geopart::plan_io`. `evaluate` re-loads a plan
 //! and scores it, so plans can be compared across runs and methods.
+//! `serve` boots the placement-serving daemon from a durable directory
+//! written by `partition --durable-dir` — no retraining — and answers a
+//! batch of routing lookups against the recovered plan.
 //!
 //! Logic lives here (string-in/string-out) so it is unit-testable; the
 //! binary in `main.rs` is a thin shell.
@@ -31,6 +35,7 @@ pub enum Command {
     Info { graph: PathBuf },
     Partition { graph: PathBuf, out: Option<PathBuf>, options: Options },
     Evaluate { graph: PathBuf, plan: PathBuf, options: Options },
+    Serve { store: PathBuf, lookups: u64, options: Options },
 }
 
 /// Options shared by `partition` and `evaluate`.
@@ -96,7 +101,8 @@ usage:
   rlcut partition <edge-list> [--out plan.txt] [--method rlcut|ginger|hashpl|natural]
                   [--dcs N | --env dcs.txt] [--budget-frac F] [--topt-ms N]
                   [--threads N] [--seed N] [--durable-dir DIR]
-  rlcut evaluate  <edge-list> --plan plan.txt [--dcs N | --env dcs.txt] [--seed N]";
+  rlcut evaluate  <edge-list> --plan plan.txt [--dcs N | --env dcs.txt] [--seed N]
+  rlcut serve     <durable-dir> [--lookups N] [--dcs N | --env dcs.txt]";
 
 /// Parses the argument vector (without the program name).
 pub fn parse_args(args: &[String]) -> Result<Command, String> {
@@ -105,6 +111,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let graph = PathBuf::from(iter.next().ok_or("missing <edge-list> argument")?.clone());
     let mut out = None;
     let mut plan = None;
+    let mut lookups = 100_000u64;
     let mut options = Options::default();
     while let Some(flag) = iter.next() {
         let mut value = || -> Result<&String, String> {
@@ -127,6 +134,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             }
             "--seed" => options.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--durable-dir" => options.durable_dir = Some(PathBuf::from(value()?.clone())),
+            "--lookups" => lookups = value()?.parse().map_err(|e| format!("--lookups: {e}"))?,
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
@@ -137,6 +145,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let plan = plan.ok_or("evaluate needs --plan <file>")?;
             Ok(Command::Evaluate { graph, plan, options })
         }
+        "serve" => Ok(Command::Serve { store: graph, lookups, options }),
         other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
     }
 }
@@ -310,6 +319,57 @@ pub fn run(command: Command) -> Result<String, String> {
                 state.core().wan_bytes_per_iteration() / 1024.0,
             ))
         }
+        Command::Serve { store, lookups, options } => {
+            let env = build_env(&options)?;
+            let (server, boot) = geoserve::PlacementServer::boot_from_store(&store, &env)
+                .map_err(|e| format!("{}: {e}", store.display()))?;
+            let mut reader = server.reader();
+            let n = {
+                let guard = reader.pin();
+                if guard.num_vertices() == 0 {
+                    return Err(format!("{}: recovered an empty graph", store.display()));
+                }
+                guard.num_vertices() as u64
+            };
+            // A deterministic full-period probe stream (Weyl sequence), so
+            // repeated invocations route the identical lookups.
+            let mut out = Vec::new();
+            let mut per_dc = vec![0u64; env.num_dcs()];
+            let batch_size = 1024;
+            let mut batch: Vec<geograph::VertexId> = Vec::with_capacity(batch_size);
+            let start = std::time::Instant::now();
+            let mut served = 0u64;
+            while served < lookups {
+                batch.clear();
+                let take = batch_size.min((lookups - served) as usize);
+                for i in 0..take as u64 {
+                    batch.push((((served + i).wrapping_mul(0x9e37_79b9_7f4a_7c15)) % n) as u32);
+                }
+                reader.lookup_many(&batch, &mut out);
+                for &m in &out {
+                    per_dc[m as usize] += 1;
+                }
+                served += take as u64;
+            }
+            let elapsed = start.elapsed();
+            let rate = served as f64 / elapsed.as_secs_f64().max(1e-9);
+            let dist = per_dc
+                .iter()
+                .enumerate()
+                .map(|(d, &c)| format!("{d}:{:.1}%", 100.0 * c as f64 / served.max(1) as f64))
+                .collect::<Vec<_>>()
+                .join(" ");
+            Ok(format!(
+                "store         : {}\nserved window : {} ({} replayed{})\nmasters fnv   : {:#018x}\n\
+                 epoch         : {}\nlookups       : {served} ({rate:.0}/s)\nmaster mix    : {dist}",
+                store.display(),
+                boot.window,
+                boot.replayed_windows,
+                if boot.rolled_back { ", uncommitted tail ignored" } else { "" },
+                boot.masters_fnv,
+                server.published_epoch(),
+            ))
+        }
     }
 }
 
@@ -351,9 +411,15 @@ fn durable_partition(
         );
         (d, note)
     } else {
-        let d =
-            rlcut::DurableAdaptive::create(dir, config, Some(options.budget_frac), geo.clone(), 1)
-                .map_err(|e| format!("{}: {e}", dir.display()))?;
+        let d = rlcut::DurableAdaptive::create(
+            dir,
+            config,
+            Some(options.budget_frac),
+            geo.clone(),
+            env,
+            1,
+        )
+        .map_err(|e| format!("{}: {e}", dir.display()))?;
         (d, "created".to_string())
     };
     durable
@@ -546,9 +612,29 @@ mod tests {
         let other = demo_graph_file("durable_other.txt");
         let big = geograph::generators::erdos_renyi(301, 2400, 3);
         geograph::io::write_edge_list(&big, &other).unwrap();
-        let err = run(Command::Partition { graph: other, out: None, options }).unwrap_err();
+        let err = run(Command::Partition { graph: other, out: None, options: options.clone() })
+            .unwrap_err();
         assert!(err.contains("301"), "vertex-count mismatch must be typed: {err}");
+
+        // `serve` boots the committed plan out of the same directory —
+        // no graph file, no retraining — and answers lookups from it.
+        let report = run(Command::Serve { store: dir.clone(), lookups: 5_000, options }).unwrap();
+        assert!(report.contains("served window : 2"), "{report}");
+        assert!(report.contains("lookups       : 5000"), "{report}");
+        assert!(report.contains("epoch         : 1"), "{report}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parse_serve() {
+        let cmd = parse_args(&args(&["serve", "state.d", "--lookups", "250000"])).unwrap();
+        match cmd {
+            Command::Serve { store, lookups, .. } => {
+                assert_eq!(store, PathBuf::from("state.d"));
+                assert_eq!(lookups, 250_000);
+            }
+            other => panic!("parsed {other:?}"),
+        }
     }
 
     #[test]

@@ -24,7 +24,8 @@ use std::path::Path;
 use std::time::Duration;
 
 use geodur::{
-    masters_fnv, Batch, Commit, DurableError, DurableStore, RecoveryReport, Snapshot, WindowStart,
+    env_fingerprint, masters_fnv, Batch, Commit, DurableError, DurableStore, RecoveryReport,
+    Snapshot, WindowStart,
 };
 use geograph::{DcId, GeoGraph, GraphDelta};
 use geopart::TrafficProfile;
@@ -92,13 +93,20 @@ pub struct RecoverySummary {
     pub rolled_back: bool,
 }
 
+/// Called after every committed window with the committed window index
+/// and the sealed placement state — the serving layer's plan-publish
+/// hook ([`geoserve`-style daemons] snapshot a routing table from it).
+pub type CommitHook = Box<dyn FnMut(u64, &geopart::PlacementState) + Send>;
+
 /// [`AdaptiveRlCut`] wrapped in WAL + snapshot durability.
-#[derive(Debug)]
 pub struct DurableAdaptive {
     inner: AdaptiveRlCut,
     store: DurableStore,
     geo: GeoGraph,
     window: u64,
+    /// Fingerprint of the environment the last window trained under
+    /// (stamped into window starts and snapshots).
+    env_fp: u64,
     /// Fault flags noted since the last window, logged into the next
     /// window's start record.
     pending_dead: Option<Vec<bool>>,
@@ -106,6 +114,19 @@ pub struct DurableAdaptive {
     /// explicit [`Self::snapshot_now`]).
     snapshot_every: u64,
     windows_since_snapshot: u64,
+    /// Plan-publish hook, run strictly *after* the commit fsync so a
+    /// published plan is always a durable plan.
+    on_commit: Option<CommitHook>,
+}
+
+impl std::fmt::Debug for DurableAdaptive {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableAdaptive")
+            .field("window", &self.window)
+            .field("snapshot_every", &self.snapshot_every)
+            .field("has_commit_hook", &self.on_commit.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl DurableAdaptive {
@@ -119,25 +140,29 @@ impl DurableAdaptive {
         config: RlCutConfig,
         budget_fraction: Option<f64>,
         geo: GeoGraph,
+        env: &CloudEnv,
         snapshot_every: u64,
     ) -> Result<DurableAdaptive, DurableError> {
-        let store = DurableStore::create(dir, &geo)?;
+        let store = DurableStore::create(dir, &geo, env)?;
         let inner = AdaptiveRlCut::new(config, budget_fraction).with_move_journal();
         Ok(DurableAdaptive {
             inner,
             store,
             geo,
             window: 0,
+            env_fp: env_fingerprint(env),
             pending_dead: None,
             snapshot_every,
             windows_since_snapshot: 0,
+            on_commit: None,
         })
     }
 
     /// Recovers the pipeline from `dir` at its last committed window
     /// boundary. `config` and `budget_fraction` must match what the dead
     /// process ran with — they are the trainer's behavior, not logged
-    /// state — and `env` only needs the right DC count for replay.
+    /// state — and `env` must fingerprint-match the environment the store
+    /// was written under.
     pub fn recover(
         dir: &Path,
         config: RlCutConfig,
@@ -162,11 +187,20 @@ impl DurableAdaptive {
             store,
             geo: recovered.geo,
             window: recovered.next_window,
+            env_fp: env_fingerprint(env),
             pending_dead: None,
             snapshot_every,
             windows_since_snapshot: 0,
+            on_commit: None,
         };
         Ok((durable, summary))
+    }
+
+    /// Installs the plan-publish hook: called after every window's commit
+    /// record is fsynced, with the committed window index and the sealed
+    /// placement. Replaces any previous hook.
+    pub fn set_commit_hook(&mut self, hook: CommitHook) {
+        self.on_commit = Some(hook);
     }
 
     /// Notes a WAN fault (dead-DC flags) observed between windows; the
@@ -243,7 +277,9 @@ impl DurableAdaptive {
             apply_suffix: profile.apply_bytes[profile_base..].to_vec(),
             num_iterations,
             dead: dead.clone(),
+            env_fp: env_fingerprint(env),
         };
+        self.env_fp = ws.env_fp;
         self.store.log_window_start(&ws)?;
 
         // 3. Train the window (journaling every applied move).
@@ -268,6 +304,9 @@ impl DurableAdaptive {
             movement_cost_bits: core.movement_cost().to_bits(),
             masters_fnv: masters_fnv(core.masters()),
         })?;
+        if let Some(hook) = &mut self.on_commit {
+            hook(self.window, core);
+        }
         self.window += 1;
 
         // 5. Snapshot cadence: cut at the committed boundary, prune behind.
@@ -286,6 +325,7 @@ impl DurableAdaptive {
         let snap = Snapshot {
             lsn: self.store.next_lsn(),
             window: self.window,
+            env_fp: self.env_fp,
             geo: self.geo.clone(),
             placement,
             trainer: None,
@@ -442,9 +482,15 @@ mod tests {
         let split = 2; // "die" after window 0 + 2 delta windows
 
         {
-            let mut durable =
-                DurableAdaptive::create(&dir, pinned_config(13), Some(0.4), w.geo0.clone(), 2)
-                    .expect("create");
+            let mut durable = DurableAdaptive::create(
+                &dir,
+                pinned_config(13),
+                Some(0.4),
+                w.geo0.clone(),
+                &env,
+                2,
+            )
+            .expect("create");
             let p0 = TrafficProfile::uniform(w.geo0.num_vertices(), 8.0);
             durable.window(&env, None, &[], &[], p0, 10.0, t_opt).expect("window 0");
             for (delta, locs, sizes) in w.steps.iter().take(split) {
@@ -488,9 +534,15 @@ mod tests {
         dead[2] = true;
 
         {
-            let mut durable =
-                DurableAdaptive::create(&dir, pinned_config(13), Some(0.4), w.geo0.clone(), 0)
-                    .expect("create");
+            let mut durable = DurableAdaptive::create(
+                &dir,
+                pinned_config(13),
+                Some(0.4),
+                w.geo0.clone(),
+                &env,
+                0,
+            )
+            .expect("create");
             let p0 = TrafficProfile::uniform(w.geo0.num_vertices(), 8.0);
             durable.window(&env, None, &[], &[], p0, 10.0, t_opt).expect("window 0");
             durable.note_fault(&dead);
@@ -515,7 +567,7 @@ mod tests {
         let env = ec2_eight_regions();
         let dir = tmp_dir("inputs");
         let mut durable =
-            DurableAdaptive::create(&dir, pinned_config(13), Some(0.4), w.geo0.clone(), 0)
+            DurableAdaptive::create(&dir, pinned_config(13), Some(0.4), w.geo0.clone(), &env, 0)
                 .expect("create");
         let t_opt = Duration::from_millis(50);
         let n = w.geo0.num_vertices();

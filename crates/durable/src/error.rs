@@ -8,6 +8,7 @@
 
 use geograph::wire::WireError;
 use geopart::PlanError;
+use geosim::CloudEnv;
 
 /// Why a durable load, append, or replay failed.
 #[derive(Debug)]
@@ -49,6 +50,12 @@ pub enum DurableError {
     /// commit record pinned (masters hash mismatch) — the log and the
     /// apply paths disagree, so the recovered state cannot be trusted.
     ReplayDiverged { window: u64 },
+    /// The environment offered at recovery is not the environment the
+    /// store was written under (snapshot or window-start fingerprint
+    /// mismatch). Replay is computationally environment-independent, but
+    /// *continuing* against a different environment silently re-prices
+    /// every objective — so a mismatch is refused, not replayed onto.
+    EnvMismatch { stored: u64, offered: u64, at: &'static str },
 }
 
 impl std::fmt::Display for DurableError {
@@ -86,6 +93,11 @@ impl std::fmt::Display for DurableError {
             DurableError::ReplayDiverged { window } => write!(
                 f,
                 "replay of window {window} produced masters that contradict the commit record"
+            ),
+            DurableError::EnvMismatch { stored, offered, at } => write!(
+                f,
+                "environment mismatch at {at}: store written under fingerprint {stored:#018x}, \
+                 recovery offered {offered:#018x} — pass the environment the store was created with"
             ),
         }
     }
@@ -129,4 +141,22 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
     hash
+}
+
+/// Identity fingerprint of a cloud environment: FNV-1a over the DC count
+/// and every DC's name, uplink/downlink bits, and price bits. Stamped
+/// into snapshots and window-start records so recovery can refuse to
+/// replay a store against an environment it was not written under
+/// ([`DurableError::EnvMismatch`]).
+pub fn env_fingerprint(env: &CloudEnv) -> u64 {
+    let mut bytes = Vec::with_capacity(8 + env.num_dcs() * 40);
+    bytes.extend_from_slice(&(env.num_dcs() as u64).to_le_bytes());
+    for dc in env.dcs() {
+        bytes.extend_from_slice(&(dc.name.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(dc.name.as_bytes());
+        bytes.extend_from_slice(&dc.uplink_bps.to_bits().to_le_bytes());
+        bytes.extend_from_slice(&dc.downlink_bps.to_bits().to_le_bytes());
+        bytes.extend_from_slice(&dc.upload_price_per_byte.to_bits().to_le_bytes());
+    }
+    fnv1a(&bytes)
 }

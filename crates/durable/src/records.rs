@@ -58,6 +58,9 @@ pub struct WindowStart {
     /// Per-DC outage flags when a fault forced a rebuild + reseed window;
     /// `None` on the incremental path.
     pub dead: Option<Vec<bool>>,
+    /// [`crate::error::env_fingerprint`] of the environment this window
+    /// trained under; replay refuses a store offered a different one.
+    pub env_fp: u64,
 }
 
 /// Accepted migration moves of one training step, in exact apply order.
@@ -144,6 +147,7 @@ impl Record {
                     }
                     None => out.push(0),
                 }
+                out.extend_from_slice(&ws.env_fp.to_le_bytes());
             }
             Record::Batch(b) => {
                 out.extend_from_slice(&b.window.to_le_bytes());
@@ -199,6 +203,7 @@ impl Record {
                     }
                     _ => return Err(WireError::Malformed("dead presence flag").into()),
                 };
+                let env_fp = r.u64()?;
                 Record::WindowStart(WindowStart {
                     window,
                     delta,
@@ -208,6 +213,7 @@ impl Record {
                     apply_suffix,
                     num_iterations,
                     dead,
+                    env_fp,
                 })
             }
             KIND_BATCH => {
@@ -279,6 +285,7 @@ mod tests {
             apply_suffix: vec![4.0, 0.25],
             num_iterations: 10.0,
             dead: Some(vec![false, true, false, false]),
+            env_fp: 0x0123_4567_89ab_cdef,
         });
         assert_eq!(round_trip(&rec), rec);
     }
@@ -294,6 +301,7 @@ mod tests {
             apply_suffix: Vec::new(),
             num_iterations: 1.0,
             dead: None,
+            env_fp: 7,
         });
         assert_eq!(round_trip(&rec), rec);
     }
@@ -331,6 +339,7 @@ mod tests {
                 apply_suffix: vec![1.0],
                 num_iterations: 5.0,
                 dead: Some(vec![true; 4]),
+                env_fp: 0xfeed,
             }),
             Record::Batch(Batch { window: 1, step: 0, moves: vec![(3, 1)] }),
             Record::Commit(Commit { window: 1, theta: 8, movement_cost_bits: 0, masters_fnv: 1 }),
@@ -369,9 +378,12 @@ mod tests {
             apply_suffix: Vec::new(),
             num_iterations: 1.0,
             dead: Some(vec![true]),
+            env_fp: 0,
         });
         let mut payload = rec.to_payload();
-        *payload.last_mut().unwrap() = 2;
+        // The dead-flag byte sits just before the trailing 8-byte env_fp.
+        let flag_at = payload.len() - 9;
+        payload[flag_at] = 2;
         assert!(Record::from_payload(KIND_WINDOW_START, &payload, 0).is_err());
     }
 }

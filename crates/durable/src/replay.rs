@@ -11,11 +11,15 @@
 //!    is re-applied through [`HybridState::apply_move_with`] in the exact
 //!    order the live run applied it. Floating-point accumulation is not
 //!    associative, so order fidelity is what buys bit-equality.
-//! 2. **Environment independence.** The only placement field whose
-//!    evolution reads the (unlogged, possibly fault-mutated) environment
-//!    is the movement-cost accumulator; the commit record pins its final
-//!    bits and replay overrides it, so recovery runs against any
-//!    environment with the right DC count.
+//! 2. **Environment independence, enforced.** The only placement field
+//!    whose evolution reads the (unlogged, possibly fault-mutated)
+//!    environment is the movement-cost accumulator; the commit record
+//!    pins its final bits and replay overrides it. Replay is therefore
+//!    *computationally* environment-independent — but continuing a
+//!    recovered pipeline against a different environment would silently
+//!    re-price every objective, so snapshots and window starts carry an
+//!    [`env_fingerprint`] and replay refuses a mismatch with
+//!    [`DurableError::EnvMismatch`] instead of guessing.
 //! 3. **Window transactions.** A window missing its commit record is
 //!    rolled back entirely — the driver re-feeds those events — so replay
 //!    never has to reproduce a half-trained window.
@@ -28,7 +32,7 @@ use geograph::GeoGraph;
 use geopart::{HybridState, MoveScratch, PlacementState, TrafficProfile};
 use geosim::CloudEnv;
 
-use crate::error::{fnv1a, DurableError};
+use crate::error::{env_fingerprint, fnv1a, DurableError};
 use crate::records::{Commit, Record, WindowStart, KIND_WINDOW_START};
 use crate::snapshot::Snapshot;
 use crate::wal::LoadedRecord;
@@ -83,13 +87,23 @@ pub fn masters_fnv(masters: &[geograph::DcId]) -> u64 {
 }
 
 /// Replays `records` on top of `snapshot`, returning the pipeline state
-/// at the last committed window boundary. `env` only needs the right DC
-/// count — see the module docs on environment independence.
+/// at the last committed window boundary. `env` must be the environment
+/// the store was written under — its fingerprint is checked against the
+/// snapshot and every window-start record.
 pub fn replay(
     snapshot: Snapshot,
     records: &[LoadedRecord],
     env: &CloudEnv,
 ) -> Result<RecoveredPipeline, DurableError> {
+    let offered_fp = env_fingerprint(env);
+    if snapshot.env_fp != offered_fp {
+        return Err(DurableError::EnvMismatch {
+            stored: snapshot.env_fp,
+            offered: offered_fp,
+            at: "snapshot",
+        });
+    }
+
     // Position the log at the snapshot's resume point.
     let start = records.partition_point(|r| r.lsn < snapshot.lsn);
     if let Some(first) = records.get(start) {
@@ -228,6 +242,14 @@ fn apply_window(
         return Err(DurableError::RecordSequence {
             lsn: txn.commit_lsn,
             reason: "window index does not follow the previous commit",
+        });
+    }
+    let offered_fp = env_fingerprint(env);
+    if ws.env_fp != offered_fp {
+        return Err(DurableError::EnvMismatch {
+            stored: ws.env_fp,
+            offered: offered_fp,
+            at: "window-start",
         });
     }
 

@@ -31,8 +31,9 @@ use crate::error::{fnv1a, DurableError};
 
 /// Magic bytes opening every snapshot file.
 pub const MAGIC: [u8; 4] = *b"RLSN";
-/// Current snapshot format version.
-pub const VERSION: u32 = 1;
+/// Current snapshot format version. v2 added the environment fingerprint
+/// (`env_fp`) so recovery refuses a mismatched environment.
+pub const VERSION: u32 = 2;
 
 /// Pipeline state at a WAL position.
 #[derive(Debug)]
@@ -42,6 +43,9 @@ pub struct Snapshot {
     pub lsn: u64,
     /// Next window index (windows `0..window` are folded in).
     pub window: u64,
+    /// [`crate::error::env_fingerprint`] of the environment the pipeline
+    /// ran under; recovery cross-checks it against the offered one.
+    pub env_fp: u64,
     /// The geo-graph as of `window` windows applied.
     pub geo: GeoGraph,
     /// Carried placement + theta; `None` at genesis (no window committed
@@ -68,6 +72,7 @@ impl Snapshot {
         out.extend_from_slice(&VERSION.to_le_bytes());
         out.extend_from_slice(&self.lsn.to_le_bytes());
         out.extend_from_slice(&self.window.to_le_bytes());
+        out.extend_from_slice(&self.env_fp.to_le_bytes());
         wire::encode_geo(&self.geo, &mut out);
         match &self.placement {
             Some((state, theta)) => {
@@ -111,6 +116,7 @@ impl Snapshot {
         }
         let lsn = r.u64()?;
         let window = r.u64()?;
+        let env_fp = r.u64()?;
         let geo = wire::decode_geo(&mut r)?;
         let placement = match r.u8()? {
             0 => None,
@@ -133,7 +139,7 @@ impl Snapshot {
             _ => return Err(WireError::Malformed("trainer presence flag").into()),
         };
         r.finish()?;
-        Ok(Snapshot { lsn, window, geo, placement, trainer })
+        Ok(Snapshot { lsn, window, env_fp, geo, placement, trainer })
     }
 }
 
@@ -239,6 +245,7 @@ mod tests {
         Snapshot {
             lsn: 17,
             window: 4,
+            env_fp: crate::error::env_fingerprint(&env),
             geo,
             placement: Some((state, theta)),
             trainer: Some(vec![1, 2, 3, 4, 5]),
@@ -251,6 +258,7 @@ mod tests {
         let restored = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
         assert_eq!(restored.lsn, snap.lsn);
         assert_eq!(restored.window, snap.window);
+        assert_eq!(restored.env_fp, snap.env_fp);
         assert_eq!(restored.geo.locations, snap.geo.locations);
         assert_eq!(restored.trainer, snap.trainer);
         let (a, ta) = snap.placement.as_ref().unwrap();

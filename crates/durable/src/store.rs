@@ -19,7 +19,7 @@ use std::path::{Path, PathBuf};
 use geograph::GeoGraph;
 use geosim::CloudEnv;
 
-use crate::error::DurableError;
+use crate::error::{env_fingerprint, DurableError};
 use crate::records::{Batch, Commit, Record, WindowStart};
 use crate::replay::{replay, RecoveredPipeline};
 use crate::snapshot::{self, Snapshot};
@@ -47,21 +47,33 @@ pub struct DurableStore {
 
 impl DurableStore {
     /// Initializes `dir` as a durable store for a pipeline starting from
-    /// `geo`: fresh WAL plus a genesis snapshot (window 0, no placement),
-    /// so recovery always finds *some* valid snapshot and an empty
-    /// snapshot directory is unambiguously an error.
-    pub fn create(dir: &Path, geo: &GeoGraph) -> Result<DurableStore, DurableError> {
+    /// `geo` under `env`: fresh WAL plus a genesis snapshot (window 0, no
+    /// placement) stamped with the environment fingerprint, so recovery
+    /// always finds *some* valid snapshot and an empty snapshot directory
+    /// is unambiguously an error.
+    pub fn create(
+        dir: &Path,
+        geo: &GeoGraph,
+        env: &CloudEnv,
+    ) -> Result<DurableStore, DurableError> {
         std::fs::create_dir_all(dir)?;
         let wal = Wal::create(dir)?;
-        let genesis =
-            Snapshot { lsn: 0, window: 0, geo: geo.clone(), placement: None, trainer: None };
+        let genesis = Snapshot {
+            lsn: 0,
+            window: 0,
+            env_fp: env_fingerprint(env),
+            geo: geo.clone(),
+            placement: None,
+            trainer: None,
+        };
         snapshot::write(dir, &genesis)?;
         Ok(DurableStore { dir: dir.to_path_buf(), wal })
     }
 
     /// Recovers the pipeline state from `dir` (latest valid snapshot +
     /// WAL replay) and returns the store positioned for new appends.
-    /// `env` only needs the right DC count.
+    /// `env` must fingerprint-match the environment the store was written
+    /// under ([`DurableError::EnvMismatch`] otherwise).
     pub fn recover(
         dir: &Path,
         env: &CloudEnv,
@@ -173,7 +185,7 @@ mod tests {
         let env = geosim::regions::ec2_eight_regions();
         let geo0 = build_geo(40);
         let n0 = geo0.num_vertices();
-        let mut store = DurableStore::create(&dir, &geo0).unwrap();
+        let mut store = DurableStore::create(&dir, &geo0, &env).unwrap();
         let mut scratch = MoveScratch::new();
 
         // Window 0: rebuild from home locations, three accepted moves.
@@ -188,6 +200,7 @@ mod tests {
                 apply_suffix: profile0.apply_bytes.clone(),
                 num_iterations: 10.0,
                 dead: None,
+                env_fp: env_fingerprint(&env),
             })
             .unwrap();
         let theta0 = 4usize;
@@ -245,6 +258,7 @@ mod tests {
                 apply_suffix: vec![1.0, 2.0],
                 num_iterations: 10.0,
                 dead: None,
+                env_fp: env_fingerprint(&env),
             })
             .unwrap();
         let (core0, th0) = parts0;
@@ -292,7 +306,7 @@ mod tests {
         let dir = tmp_dir("rollback");
         let env = geosim::regions::ec2_eight_regions();
         let geo = build_geo(24);
-        let mut store = DurableStore::create(&dir, &geo).unwrap();
+        let mut store = DurableStore::create(&dir, &geo, &env).unwrap();
         store
             .log_window_start(&WindowStart {
                 window: 0,
@@ -303,6 +317,7 @@ mod tests {
                 apply_suffix: vec![8.0; 24],
                 num_iterations: 5.0,
                 dead: None,
+                env_fp: env_fingerprint(&env),
             })
             .unwrap();
         store.log_batch(&Batch { window: 0, step: 0, moves: vec![(1, 2)] }).unwrap();
@@ -325,7 +340,7 @@ mod tests {
         let dir = tmp_dir("snapshot");
         let env = geosim::regions::ec2_eight_regions();
         let geo = build_geo(32);
-        let mut store = DurableStore::create(&dir, &geo).unwrap();
+        let mut store = DurableStore::create(&dir, &geo, &env).unwrap();
         let profile = TrafficProfile::uniform(32, 8.0);
         store
             .log_window_start(&WindowStart {
@@ -337,6 +352,7 @@ mod tests {
                 apply_suffix: profile.apply_bytes.clone(),
                 num_iterations: 10.0,
                 dead: None,
+                env_fp: env_fingerprint(&env),
             })
             .unwrap();
         let mut scratch = MoveScratch::new();
@@ -356,6 +372,7 @@ mod tests {
         let snap = Snapshot {
             lsn: store.next_lsn(),
             window: 1,
+            env_fp: env_fingerprint(&env),
             geo: geo.clone(),
             placement: Some((core, theta)),
             trainer: Some(vec![9, 9, 9]),
@@ -369,6 +386,71 @@ mod tests {
         assert_eq!(recovered.next_window, 1);
         assert_eq!(recovered.trainer, Some(vec![9, 9, 9]));
         assert!(recovered.parts.is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Recovering a store against a different environment must be the
+    /// typed [`DurableError::EnvMismatch`], not a silently re-priced
+    /// replay — caught at the genesis snapshot and, when the snapshot is
+    /// somehow current, at the first window-start record.
+    #[test]
+    fn recovering_with_a_different_env_is_a_typed_error() {
+        let dir = tmp_dir("env_mismatch");
+        let env = geosim::regions::ec2_eight_regions();
+        let geo = build_geo(24);
+        let mut store = DurableStore::create(&dir, &geo, &env).unwrap();
+        let profile = TrafficProfile::uniform(24, 8.0);
+        store
+            .log_window_start(&WindowStart {
+                window: 0,
+                delta: None,
+                loc_suffix: Vec::new(),
+                size_suffix: Vec::new(),
+                gather_suffix: profile.gather_bytes.clone(),
+                apply_suffix: profile.apply_bytes.clone(),
+                num_iterations: 5.0,
+                dead: None,
+                env_fp: env_fingerprint(&env),
+            })
+            .unwrap();
+        let mut live =
+            HybridState::from_masters(&geo, &env, geo.locations.clone(), 3, profile, 5.0);
+        let mut scratch = MoveScratch::new();
+        live.apply_move_with(&env, 4, 2, &mut scratch);
+        store.log_batch(&Batch { window: 0, step: 0, moves: vec![(4, 2)] }).unwrap();
+        store
+            .log_commit(&Commit {
+                window: 0,
+                theta: 3,
+                movement_cost_bits: live.core().movement_cost().to_bits(),
+                masters_fnv: masters_fnv(live.core().masters()),
+            })
+            .unwrap();
+        drop(store);
+
+        // Same DC count, different bandwidths/prices: the DC-count checks
+        // alone would let this through, the fingerprint must not.
+        let other = CloudEnv::new(
+            env.dcs()
+                .iter()
+                .map(|dc| geosim::Datacenter {
+                    name: dc.name.clone(),
+                    uplink_bps: dc.uplink_bps * 2.0,
+                    downlink_bps: dc.downlink_bps,
+                    upload_price_per_byte: dc.upload_price_per_byte,
+                })
+                .collect(),
+        );
+        match DurableStore::recover(&dir, &other) {
+            Err(DurableError::EnvMismatch { stored, offered, at: "snapshot" }) => {
+                assert_eq!(stored, env_fingerprint(&env));
+                assert_eq!(offered, env_fingerprint(&other));
+            }
+            other => panic!("expected EnvMismatch at the snapshot, got {other:?}"),
+        }
+        // The right environment still recovers cleanly.
+        let (recovered, _, _) = DurableStore::recover(&dir, &env).unwrap();
+        assert_eq!(recovered.replayed_windows, 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

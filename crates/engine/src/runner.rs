@@ -5,7 +5,7 @@ use geograph::{DcId, GeoGraph, VertexId};
 use geopart::state::PlacementState;
 use geopart::EdgeCutState;
 use geosim::faults::FaultSchedule;
-use geosim::{CloudEnv, StageLoads};
+use geosim::{CloudEnv, PairLoads, StageLoads};
 
 use crate::algorithm::Algorithm;
 use crate::algorithms::{bfs_levels, pagerank, triangle_count, wcc};
@@ -106,6 +106,9 @@ struct ReplicaTraffic<'a> {
     profile: geopart::TrafficProfile,
     gather: StageLoads,
     apply: StageLoads,
+    /// Per-directed-pair byte matrices, tracked only by the fault-injected
+    /// executor (a `PairDegrade` cannot be priced from per-DC rows alone).
+    pair_loads: Option<(PairLoads, PairLoads)>,
     is_sender: Vec<bool>,
     receiver_stamp: Vec<u32>,
     dc_seen: Vec<bool>,
@@ -118,6 +121,7 @@ impl<'a> ReplicaTraffic<'a> {
         in_edge_dcs: Option<&'a [DcId]>,
         profile: geopart::TrafficProfile,
         num_dcs: usize,
+        track_pairs: bool,
     ) -> Self {
         let n = geo.num_vertices();
         ReplicaTraffic {
@@ -127,6 +131,7 @@ impl<'a> ReplicaTraffic<'a> {
             profile,
             gather: StageLoads::new(num_dcs),
             apply: StageLoads::new(num_dcs),
+            pair_loads: track_pairs.then(|| (PairLoads::new(num_dcs), PairLoads::new(num_dcs))),
             is_sender: vec![false; n],
             receiver_stamp: vec![u32::MAX; n],
             dc_seen: vec![false; num_dcs],
@@ -145,6 +150,10 @@ impl<'a> ReplicaTraffic<'a> {
         let geo = self.geo;
         self.gather.clear();
         self.apply.clear();
+        if let Some((gp, ap)) = self.pair_loads.as_mut() {
+            gp.clear();
+            ap.clear();
+        }
         for &u in senders {
             self.is_sender[u as usize] = true;
         }
@@ -172,6 +181,9 @@ impl<'a> ReplicaTraffic<'a> {
                     if d != master && !self.dc_seen[d as usize] {
                         self.dc_seen[d as usize] = true;
                         self.gather.add_transfer(d, master, g);
+                        if let Some((gp, _)) = self.pair_loads.as_mut() {
+                            gp.add_transfer(d, master, g);
+                        }
                     }
                 }
                 self.dc_seen.iter_mut().for_each(|s| *s = false);
@@ -186,6 +198,9 @@ impl<'a> ReplicaTraffic<'a> {
                 let d = mask.trailing_zeros() as DcId;
                 mask &= mask - 1;
                 self.apply.add_transfer(master, d, a);
+                if let Some((_, ap)) = self.pair_loads.as_mut() {
+                    ap.add_transfer(master, d, a);
+                }
             }
         }
         for &u in senders {
@@ -209,7 +224,8 @@ pub fn execute_plan(
 ) -> ExecutionReport {
     assert_eq!(plan.num_vertices(), geo.num_vertices());
     let rounds = plan_rounds(geo, algo);
-    let mut traffic = ReplicaTraffic::new(geo, plan, in_edge_dcs, algo.profile(geo), env.num_dcs());
+    let mut traffic =
+        ReplicaTraffic::new(geo, plan, in_edge_dcs, algo.profile(geo), env.num_dcs(), false);
 
     let mut per_iteration_time = Vec::with_capacity(rounds.senders.len());
     let (mut total_time, mut total_cost, mut total_bytes) = (0.0, 0.0, 0.0);
@@ -278,7 +294,7 @@ pub fn execute_plan_under_faults(
             mask &= mask - 1;
         }
     }
-    let mut traffic = ReplicaTraffic::new(geo, plan, in_edge_dcs, algo.profile(geo), m);
+    let mut traffic = ReplicaTraffic::new(geo, plan, in_edge_dcs, algo.profile(geo), m, true);
 
     let mut per_iteration_time = Vec::with_capacity(rounds.senders.len());
     let (mut total_time, mut total_cost, mut total_bytes) = (0.0, 0.0, 0.0);
@@ -292,15 +308,33 @@ pub fn execute_plan_under_faults(
             break;
         }
         let env = view.env();
-        if env != base_env {
+        if env != base_env || view.has_pair_faults() {
             degraded_rounds += 1;
         }
-        let (gather, apply) = traffic.round(round, senders, changed);
-        let t = gather.transfer_time(env) + apply.transfer_time(env);
+        let (gather_t, apply_t, cost, bytes) = {
+            let (gather, apply) = traffic.round(round, senders, changed);
+            (
+                gather.transfer_time(env),
+                apply.transfer_time(env),
+                gather.upload_cost(env) + apply.upload_cost(env),
+                gather.total_up() + apply.total_up(),
+            )
+        };
+        // A degraded directed pair bottlenecks each stage independently of
+        // the per-DC Eq 2/3 rows: the stage drains when its slowest
+        // constraint — DC link or degraded pair — drains.
+        let t = match view.pair_mults() {
+            Some(mults) => {
+                let (gp, ap) = traffic.pair_loads.as_ref().expect("fault executor tracks pairs");
+                gather_t.max(gp.stage_time_under(env, mults))
+                    + apply_t.max(ap.stage_time_under(env, mults))
+            }
+            None => gather_t + apply_t,
+        };
         per_iteration_time.push(t);
         total_time += t;
-        total_cost += gather.upload_cost(env) + apply.upload_cost(env);
-        total_bytes += gather.total_up() + apply.total_up();
+        total_cost += cost;
+        total_bytes += bytes;
     }
 
     FaultedExecutionReport {
@@ -507,6 +541,69 @@ mod tests {
             faulted.report.per_iteration_time[4] > plain.per_iteration_time[4],
             "halved bandwidth must inflate Eq 1"
         );
+    }
+
+    #[test]
+    fn pair_degrade_inflates_only_rounds_crossing_that_path() {
+        use geosim::faults::{FaultEvent, FaultKind};
+        let (geo, env) = setup();
+        let algo = Algorithm::pagerank();
+        let plan = hybrid(&geo, &env, &algo);
+        // Find a directed pair the plan actually uses: some mirror of
+        // vertex 0's master. Fall back to scanning vertices if 0 has none.
+        let (src, dst) = (0..geo.num_vertices() as geograph::VertexId)
+            .find_map(|v| {
+                let m = plan.core().mirror_mask(v);
+                (m != 0).then(|| (plan.core().master(v), m.trailing_zeros() as DcId))
+            })
+            .expect("plan should replicate something");
+        let schedule = FaultSchedule::from_events(
+            env.num_dcs(),
+            64,
+            vec![FaultEvent {
+                step: 4,
+                dc: src,
+                kind: FaultKind::PairDegrade { dst, factor: 0.05 },
+            }],
+        );
+        let faulted = execute_plan_under_faults(&geo, &env, plan.core(), None, &algo, &schedule, 0);
+        let plain = execute_plan(&geo, &env, plan.core(), None, &algo);
+        assert!(faulted.aborted_at.is_none());
+        assert_eq!(faulted.degraded_rounds, 6, "rounds 4..10 run pair-degraded");
+        assert_eq!(faulted.report.per_iteration_time[3], plain.per_iteration_time[3]);
+        assert!(
+            faulted.report.per_iteration_time[4] >= plain.per_iteration_time[4],
+            "a degraded pair never speeds a round up"
+        );
+        assert!(
+            faulted.report.per_iteration_time[4] > plain.per_iteration_time[4],
+            "the apply stage syncs {src}→{dst} mirrors, so a 20× slower \
+             pair must dominate the stage"
+        );
+        // Costs are unchanged: a slow path re-prices time, not Eq 5 uploads.
+        assert_eq!(faulted.report.wan_bytes, plain.wan_bytes);
+    }
+
+    #[test]
+    fn pair_degrade_is_deterministic_across_runs() {
+        use geosim::faults::{FaultEvent, FaultKind};
+        let (geo, env) = setup();
+        let algo = Algorithm::pagerank();
+        let plan = hybrid(&geo, &env, &algo);
+        let schedule = FaultSchedule::from_events(
+            env.num_dcs(),
+            64,
+            vec![FaultEvent {
+                step: 2,
+                dc: 0,
+                kind: FaultKind::PairDegrade { dst: 1, factor: 0.3 },
+            }],
+        );
+        let a = execute_plan_under_faults(&geo, &env, plan.core(), None, &algo, &schedule, 0);
+        let b = execute_plan_under_faults(&geo, &env, plan.core(), None, &algo, &schedule, 0);
+        let ta: Vec<u64> = a.report.per_iteration_time.iter().map(|t| t.to_bits()).collect();
+        let tb: Vec<u64> = b.report.per_iteration_time.iter().map(|t| t.to_bits()).collect();
+        assert_eq!(ta, tb, "pair-degraded execution must be bit-deterministic");
     }
 
     #[test]

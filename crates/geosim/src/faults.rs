@@ -56,6 +56,24 @@ pub enum FaultKind {
         /// Fraction of each step spent degraded, in `(0, 1]`.
         duty: f64,
     },
+    /// One *directed* WAN link degrades: traffic from the event's `dc`
+    /// (source) to `dst` flows at `factor` of the pair's base rate, while
+    /// both DCs — and the reverse direction — stay healthy. Unlike
+    /// [`FaultKind::LinkDegrade`], which models a DC-wide uplink problem,
+    /// this captures a single slow peering path; the view keeps it in a
+    /// per-pair multiplier matrix ([`FaultyEnv::pair_mults`]) because it
+    /// cannot be expressed as any per-DC bandwidth scaling.
+    PairDegrade {
+        /// Destination DC of the degraded directed link.
+        dst: DcId,
+        /// Bandwidth multiplier for the `dc → dst` path, in `(0, 1)`.
+        factor: f64,
+    },
+    /// The directed `dc → dst` link returns to its base rate.
+    PairRestore {
+        /// Destination DC of the restored directed link.
+        dst: DcId,
+    },
 }
 
 impl FaultKind {
@@ -71,6 +89,8 @@ impl FaultKind {
             // Appended, not inserted: existing schedules keep their
             // canonical order byte-for-byte.
             FaultKind::LinkFlap { .. } => 6,
+            FaultKind::PairDegrade { .. } => 7,
+            FaultKind::PairRestore { .. } => 8,
         }
     }
 
@@ -123,6 +143,16 @@ pub struct FaultModel {
     pub flap_duty: (f64, f64),
     /// Flapping length in steps.
     pub flap_duration: (u64, u64),
+    /// Probability (per DC per step) that one of the DC's *directed*
+    /// outgoing links degrades on its own (see [`FaultKind::PairDegrade`]).
+    /// Zero disables pair faults *and* draws no randomness for them, so
+    /// schedules generated with the default model stay byte-identical to
+    /// pre-pair-fault ones.
+    pub pair_degrade_prob: f64,
+    /// Pair bandwidth multiplier drawn uniformly from this range.
+    pub pair_degrade_factor: (f64, f64),
+    /// Pair degradation length in steps.
+    pub pair_degrade_duration: (u64, u64),
     /// Probability (per region per step) that a whole geographic region
     /// fails together — all its DCs go dark as one correlated event, or
     /// all degrade together when a full-region blackout would leave no
@@ -154,6 +184,9 @@ impl Default for FaultModel {
             flap_factor: (0.2, 0.8),
             flap_duty: (0.2, 0.9),
             flap_duration: (2, 10),
+            pair_degrade_prob: 0.0,
+            pair_degrade_factor: (0.1, 0.6),
+            pair_degrade_duration: (3, 15),
             regional_outage_prob: 0.0,
             regional_duration: (5, 20),
             regions: Vec::new(),
@@ -189,6 +222,23 @@ impl FaultSchedule {
             if let FaultKind::LinkFlap { factor, duty } = e.kind {
                 assert!(factor > 0.0 && factor < 1.0, "flap factor {factor} not in (0, 1)");
                 assert!(duty > 0.0 && duty <= 1.0, "flap duty {duty} not in (0, 1]");
+            }
+            if let FaultKind::PairDegrade { dst, factor } = e.kind {
+                assert!(
+                    (dst as usize) < num_dcs,
+                    "pair event references DC {dst} but the environment has {num_dcs}"
+                );
+                assert!(
+                    dst != e.dc,
+                    "pair fault on the intra-DC path {dst} → {dst} is meaningless"
+                );
+                assert!(factor > 0.0 && factor < 1.0, "pair factor {factor} not in (0, 1)");
+            }
+            if let FaultKind::PairRestore { dst } = e.kind {
+                assert!(
+                    (dst as usize) < num_dcs,
+                    "pair event references DC {dst} but the environment has {num_dcs}"
+                );
             }
         }
         events.sort_by_key(|e| (e.step, e.dc, e.kind.rank()));
@@ -232,6 +282,8 @@ impl FaultSchedule {
         let mut outage_until = vec![0u64; num_dcs];
         let mut degrade_until = vec![0u64; num_dcs];
         let mut surge_until = vec![0u64; num_dcs];
+        // One active directed-pair fault per source DC at a time.
+        let mut pair_until = vec![0u64; num_dcs];
         for step in 0..horizon {
             // Correlated regional failures first: one draw per region,
             // the whole failure domain goes together.
@@ -344,6 +396,33 @@ impl FaultSchedule {
                         kind: FaultKind::LinkRestore,
                     });
                 }
+                // Guarded so the default (pair-fault-free) model draws no
+                // randomness here and keeps legacy schedules byte-identical.
+                if model.pair_degrade_prob > 0.0
+                    && num_dcs > 1
+                    && pair_until[dc] <= step
+                    && rng.gen_bool(model.pair_degrade_prob)
+                {
+                    // Uniform over the other DCs: draw from a range one
+                    // short and skip over the source.
+                    let pick = rng.gen_range(0..num_dcs - 1);
+                    let dst = if pick >= dc { pick + 1 } else { pick } as DcId;
+                    let factor =
+                        rng.gen_range(model.pair_degrade_factor.0..model.pair_degrade_factor.1);
+                    let d = rng
+                        .gen_range(model.pair_degrade_duration.0..=model.pair_degrade_duration.1);
+                    pair_until[dc] = step + d;
+                    events.push(FaultEvent {
+                        step,
+                        dc: dc as DcId,
+                        kind: FaultKind::PairDegrade { dst, factor },
+                    });
+                    events.push(FaultEvent {
+                        step: step + d,
+                        dc: dc as DcId,
+                        kind: FaultKind::PairRestore { dst },
+                    });
+                }
             }
         }
         Self::from_events(num_dcs, horizon, events)
@@ -396,6 +475,9 @@ impl FaultSchedule {
         let mut dead = vec![false; self.num_dcs];
         let mut bw_mult = vec![1.0f64; self.num_dcs];
         let mut price_mult = vec![1.0f64; self.num_dcs];
+        // Directed per-pair multipliers, row = source DC; allocated lazily
+        // so pair-fault-free schedules keep the legacy representation.
+        let mut pair_mult: Option<Vec<f64>> = None;
         for e in &self.events {
             if e.step > step {
                 break; // events are sorted by step
@@ -411,7 +493,21 @@ impl FaultSchedule {
                 FaultKind::LinkFlap { factor, duty } => {
                     bw_mult[d] = FaultKind::flap_multiplier(factor, duty)
                 }
+                FaultKind::PairDegrade { dst, factor } => {
+                    let m = pair_mult.get_or_insert_with(|| vec![1.0; self.num_dcs * self.num_dcs]);
+                    m[d * self.num_dcs + dst as usize] = factor;
+                }
+                FaultKind::PairRestore { dst } => {
+                    if let Some(m) = pair_mult.as_mut() {
+                        m[d * self.num_dcs + dst as usize] = 1.0;
+                    }
+                }
             }
+        }
+        // Fully restored matrices collapse back to None so a view after
+        // the last PairRestore equals a never-pair-faulted view.
+        if pair_mult.as_ref().is_some_and(|m| m.iter().all(|&x| x == 1.0)) {
+            pair_mult = None;
         }
         let dcs = base
             .dcs()
@@ -424,7 +520,7 @@ impl FaultSchedule {
                 upload_price_per_byte: dc.upload_price_per_byte * price_mult[d],
             })
             .collect();
-        FaultyEnv { env: CloudEnv::new(dcs), dead }
+        FaultyEnv { env: CloudEnv::new(dcs), dead, pair_mult }
     }
 
     /// Stable textual serialization — one event per line in canonical
@@ -449,6 +545,12 @@ impl FaultSchedule {
                 FaultKind::LinkFlap { factor, duty } => {
                     writeln!(out, "{} {} flap {factor} {duty}", e.step, e.dc)
                 }
+                FaultKind::PairDegrade { dst, factor } => {
+                    writeln!(out, "{} {} pair-degrade {dst} {factor}", e.step, e.dc)
+                }
+                FaultKind::PairRestore { dst } => {
+                    writeln!(out, "{} {} pair-restore {dst}", e.step, e.dc)
+                }
             }
             .unwrap();
         }
@@ -464,13 +566,18 @@ impl FaultSchedule {
 pub struct FaultyEnv {
     env: CloudEnv,
     dead: Vec<bool>,
+    /// Directed per-pair bandwidth multipliers, `num_dcs × num_dcs` row-major
+    /// (row = source DC). `None` means every pair is at its base rate — the
+    /// common case, kept as the absence of the matrix so per-DC consumers
+    /// pay nothing for the feature.
+    pair_mult: Option<Vec<f64>>,
 }
 
 impl FaultyEnv {
     /// A view with no active faults.
     pub fn healthy(env: CloudEnv) -> Self {
         let dead = vec![false; env.num_dcs()];
-        FaultyEnv { env, dead }
+        FaultyEnv { env, dead, pair_mult: None }
     }
 
     /// The (possibly degraded) environment the transfer/cost model reads.
@@ -501,6 +608,32 @@ impl FaultyEnv {
     /// Number of live DCs.
     pub fn num_live(&self) -> usize {
         self.dead.iter().filter(|&&d| !d).count()
+    }
+
+    /// Whether any *directed pair* is degraded. Per-DC consumers of
+    /// [`env`](Self::env) never see pair faults — a degraded pair cannot be
+    /// expressed as a per-DC bandwidth scale — so callers that model
+    /// asymmetric paths must check this and apply
+    /// [`pair_mults`](Self::pair_mults) themselves (e.g. via
+    /// [`crate::transfer::PairLoads::stage_time_under`]).
+    pub fn has_pair_faults(&self) -> bool {
+        self.pair_mult.is_some()
+    }
+
+    /// The directed per-pair bandwidth-multiplier matrix, `num_dcs²`
+    /// row-major with row = source DC, or `None` when every pair is at its
+    /// base rate (a fully restored matrix collapses back to `None`).
+    pub fn pair_mults(&self) -> Option<&[f64]> {
+        self.pair_mult.as_deref()
+    }
+
+    /// Bandwidth multiplier of the directed `src → dst` path (1.0 unless a
+    /// pair fault is active on it).
+    pub fn pair_mult(&self, src: DcId, dst: DcId) -> f64 {
+        match &self.pair_mult {
+            Some(m) => m[src as usize * self.env.num_dcs() + dst as usize],
+            None => 1.0,
+        }
     }
 }
 
@@ -716,7 +849,114 @@ mod tests {
         // (seed 11 is the stream the concurrency-cap test has always pinned).
         let s = FaultSchedule::generate(11, 8, 150, &FaultModel::default());
         assert!(!s.events().iter().any(|e| matches!(e.kind, FaultKind::LinkFlap { .. })));
+        assert!(!s.events().iter().any(|e| matches!(
+            e.kind,
+            FaultKind::PairDegrade { .. } | FaultKind::PairRestore { .. }
+        )));
         assert!(s.first_outage().is_some(), "legacy seeded stream shifted");
+    }
+
+    #[test]
+    fn pair_degrade_is_directed_and_leaves_the_dc_row_alone() {
+        let base = ec2_eight_regions();
+        let events = vec![
+            FaultEvent { step: 2, dc: 1, kind: FaultKind::PairDegrade { dst: 4, factor: 0.25 } },
+            FaultEvent { step: 6, dc: 1, kind: FaultKind::PairRestore { dst: 4 } },
+        ];
+        let s = FaultSchedule::from_events(8, 10, events);
+
+        let before = s.view_at(&base, 1);
+        assert!(!before.has_pair_faults());
+        assert_eq!(before.pair_mult(1, 4), 1.0);
+
+        let v = s.view_at(&base, 3);
+        assert!(v.has_pair_faults());
+        assert_eq!(v.pair_mult(1, 4), 0.25);
+        // Directed: the reverse path and every other pair stay at base rate.
+        assert_eq!(v.pair_mult(4, 1), 1.0);
+        assert_eq!(v.pair_mult(1, 3), 1.0);
+        // The per-DC env is untouched — a slow peering path is not a slow DC.
+        assert_eq!(v.env(), &base);
+        assert!(!v.any_dead());
+
+        // After the restore the matrix collapses back to None, so the view
+        // is indistinguishable from a never-pair-faulted one.
+        let after = s.view_at(&base, 6);
+        assert_eq!(after, FaultyEnv::healthy(base.clone()));
+    }
+
+    #[test]
+    fn pair_generation_is_deterministic_and_one_per_source() {
+        let model = FaultModel { pair_degrade_prob: 0.05, ..FaultModel::default() };
+        let a = FaultSchedule::generate(37, 8, 200, &model);
+        let b = FaultSchedule::generate(37, 8, 200, &model);
+        assert_eq!(a.to_text(), b.to_text());
+        let pairs: Vec<_> =
+            a.events().iter().filter(|e| matches!(e.kind, FaultKind::PairDegrade { .. })).collect();
+        assert!(!pairs.is_empty(), "this seed should produce pair faults");
+        for p in &pairs {
+            let FaultKind::PairDegrade { dst, factor } = p.kind else { unreachable!() };
+            assert_ne!(dst, p.dc, "generator drew an intra-DC pair");
+            assert!(factor > 0.0 && factor < 1.0);
+        }
+        // At most one active pair fault per source DC at a time.
+        let mut busy_until = [0u64; 8];
+        for e in a.events() {
+            match e.kind {
+                FaultKind::PairDegrade { .. } => {
+                    assert!(
+                        busy_until[e.dc as usize] <= e.step,
+                        "overlapping pair faults from DC {} at step {}",
+                        e.dc,
+                        e.step
+                    );
+                }
+                FaultKind::PairRestore { .. } => busy_until[e.dc as usize] = e.step,
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn pair_knob_does_not_shift_the_legacy_rng_stream() {
+        // Turning the pair feature off must reproduce the pre-feature
+        // schedule byte-for-byte: the guarded draw takes no randomness.
+        let legacy = FaultSchedule::generate(11, 8, 150, &FaultModel::default());
+        let explicit_off = FaultSchedule::generate(
+            11,
+            8,
+            150,
+            &FaultModel { pair_degrade_prob: 0.0, ..FaultModel::default() },
+        );
+        assert_eq!(legacy.to_text(), explicit_off.to_text());
+    }
+
+    #[test]
+    #[should_panic]
+    fn intra_dc_pair_rejected() {
+        FaultSchedule::from_events(
+            4,
+            10,
+            vec![FaultEvent {
+                step: 0,
+                dc: 2,
+                kind: FaultKind::PairDegrade { dst: 2, factor: 0.5 },
+            }],
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_pair_dst_rejected() {
+        FaultSchedule::from_events(
+            4,
+            10,
+            vec![FaultEvent {
+                step: 0,
+                dc: 0,
+                kind: FaultKind::PairDegrade { dst: 4, factor: 0.5 },
+            }],
+        );
     }
 
     #[test]

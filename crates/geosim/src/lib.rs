@@ -27,7 +27,7 @@ pub mod transfer;
 pub use datacenter::{CloudEnv, Datacenter};
 pub use faults::{FaultEvent, FaultKind, FaultModel, FaultSchedule, FaultyEnv};
 pub use heterogeneity::Heterogeneity;
-pub use transfer::StageLoads;
+pub use transfer::{PairLoads, StageLoads};
 
 /// Re-exported DC identifier (defined next to the graph types so both
 /// crates agree on the representation).

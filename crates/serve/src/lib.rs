@@ -1,0 +1,37 @@
+//! # geoserve — the placement-serving daemon
+//!
+//! Long-running serving layer for the adaptive partitioner: analytics
+//! frontends ask it *where a vertex's master lives* and *where an edge
+//! is processed*, millions of times a second, while the trainer keeps
+//! re-partitioning underneath.
+//!
+//! Three pieces:
+//!
+//! * [`RoutingTable`] — an immutable, read-optimized snapshot of one
+//!   committed placement: vertex → master, vertex → replica set, and the
+//!   hybrid-cut edge → placement rule, all batched
+//!   ([`RoutingTable::lookup_many`]).
+//! * [`PlanBoard`] — the lock-free publication point. A plan flip is one
+//!   atomic pointer swap; readers pin tables through per-reader hazard
+//!   slots and never take a lock, so a reader mid-batch keeps its table
+//!   while the trainer commits the next window (see [`board`] for the
+//!   reclamation argument).
+//! * [`PlacementServer`] — the writer: boots the last committed plan
+//!   straight out of a [`geodur::DurableStore`] (no retraining after a
+//!   restart), attaches to a live [`rlcut::DurableAdaptive`] trainer as
+//!   its commit hook, and evacuates dead DCs with the trainer's own
+//!   reseed rule so service continues through a
+//!   [`geosim::FaultSchedule`] outage.
+//!
+//! The consistency contract, end to end: **every response is served from
+//! exactly one published epoch.** Readers racing a window commit or an
+//! evacuation observe the previous table or the new one, never a blend
+//! and never a torn read.
+
+pub mod board;
+pub mod server;
+pub mod table;
+
+pub use board::{PlanBoard, PlanReader, TableGuard};
+pub use server::{BootReport, PlacementServer, ServeError};
+pub use table::RoutingTable;

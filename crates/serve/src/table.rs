@@ -1,0 +1,244 @@
+//! The immutable routing table: a read-optimized snapshot of one
+//! committed placement.
+//!
+//! A [`RoutingTable`] answers the two questions analytics frontends ask
+//! the placement layer:
+//!
+//! * **vertex → master DC** — where a vertex's authoritative replica
+//!   lives (writes, scatter targets);
+//! * **edge → placement DC** — where an in-edge `(u, v)` is processed,
+//!   which is the hybrid-cut rule the partitioner itself placed it
+//!   under: at `v`'s master when `v` is low-degree, at `u`'s master when
+//!   `v` is high-degree (the edge was cut on the source side).
+//!
+//! Tables are *immutable* once built — every field is plain owned data,
+//! so a `&RoutingTable` is safely shared across any number of threads
+//! with no interior locking. Live re-partitioning never mutates a
+//! table; it builds a new one and flips it in through the
+//! [`crate::board::PlanBoard`].
+
+use geograph::{DcId, VertexId};
+use geopart::PlacementState;
+
+/// A read-only snapshot of one published placement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoutingTable {
+    /// Unique publication sequence number, assigned by the board at
+    /// publish time (0 = never published).
+    pub(crate) epoch: u64,
+    /// Committed trainer window this table was snapshotted from (the
+    /// table's *provenance*; evacuations re-publish the same window).
+    window: u64,
+    num_dcs: u8,
+    /// Master DC per vertex.
+    masters: Vec<DcId>,
+    /// Full replica set per vertex as a DC bitmask (master bit included).
+    replicas: Vec<u64>,
+    /// Hybrid-cut degree class per vertex (drives [`Self::edge_placement`]).
+    high: Vec<bool>,
+}
+
+impl RoutingTable {
+    /// Snapshots a routing table from a sealed placement state.
+    pub fn from_placement(window: u64, core: &PlacementState) -> RoutingTable {
+        let n = core.num_vertices();
+        let mut masters = Vec::with_capacity(n);
+        let mut replicas = Vec::with_capacity(n);
+        let mut high = Vec::with_capacity(n);
+        for v in 0..n as VertexId {
+            let m = core.master(v);
+            masters.push(m);
+            replicas.push(core.mirror_mask(v) | (1u64 << m));
+            high.push(core.is_high(v));
+        }
+        RoutingTable { epoch: 0, window, num_dcs: core.num_dcs() as u8, masters, replicas, high }
+    }
+
+    /// A table for a pipeline with no committed placement yet: every
+    /// vertex is served from its home location, single replica, all
+    /// low-degree (no training ever classified them).
+    pub fn from_homes(window: u64, homes: &[DcId], num_dcs: usize) -> RoutingTable {
+        RoutingTable {
+            epoch: 0,
+            window,
+            num_dcs: num_dcs as u8,
+            masters: homes.to_vec(),
+            replicas: homes.iter().map(|&d| 1u64 << d).collect(),
+            high: vec![false; homes.len()],
+        }
+    }
+
+    /// Publication sequence number (unique per published table).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Committed trainer window this table reflects.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Number of routable vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.masters.len()
+    }
+
+    /// Number of data centers.
+    pub fn num_dcs(&self) -> usize {
+        self.num_dcs as usize
+    }
+
+    /// Master DC of every vertex.
+    pub fn masters(&self) -> &[DcId] {
+        &self.masters
+    }
+
+    /// Master DC of `v`.
+    #[inline]
+    pub fn master(&self, v: VertexId) -> DcId {
+        self.masters[v as usize]
+    }
+
+    /// Replica set of `v` as a DC bitmask (master included).
+    #[inline]
+    pub fn replica_set(&self, v: VertexId) -> u64 {
+        self.replicas[v as usize]
+    }
+
+    /// Where the in-edge `(src, dst)` is processed under the hybrid cut.
+    #[inline]
+    pub fn edge_placement(&self, src: VertexId, dst: VertexId) -> DcId {
+        if self.high[dst as usize] {
+            self.masters[src as usize]
+        } else {
+            self.masters[dst as usize]
+        }
+    }
+
+    /// Batched vertex → master lookup: clears `out` and fills it with
+    /// the master of every vertex in `vs`. One bounds-checked pass, no
+    /// per-lookup allocation.
+    pub fn lookup_many(&self, vs: &[VertexId], out: &mut Vec<DcId>) {
+        out.clear();
+        out.reserve(vs.len());
+        out.extend(vs.iter().map(|&v| self.masters[v as usize]));
+    }
+
+    /// Batched edge → placement lookup over `(src, dst)` pairs.
+    pub fn edge_placement_many(&self, edges: &[(VertexId, VertexId)], out: &mut Vec<DcId>) {
+        out.clear();
+        out.reserve(edges.len());
+        out.extend(edges.iter().map(|&(u, v)| self.edge_placement(u, v)));
+    }
+
+    /// The table this one becomes when the DCs flagged in `dead` fail:
+    /// every vertex mastered on a dead DC is re-routed with the *same*
+    /// rule the trainer's fault-window reseed uses — its home location if
+    /// alive, else the first live DC — so the evacuated table matches the
+    /// placement the next fault window will resume from. Dead DCs are
+    /// also stripped from every replica set.
+    ///
+    /// # Panics
+    /// If `dead` does not cover the DC count, `homes` does not cover the
+    /// vertices, or every DC is dead.
+    pub fn evacuated(&self, dead: &[bool], homes: &[DcId]) -> RoutingTable {
+        assert_eq!(dead.len(), self.num_dcs as usize, "dead flags must cover every DC");
+        assert_eq!(homes.len(), self.masters.len(), "homes must cover every vertex");
+        let fallback = dead.iter().position(|&d| !d).expect("at least one DC must survive") as DcId;
+        let mut dead_mask = 0u64;
+        for (d, &is_dead) in dead.iter().enumerate() {
+            if is_dead {
+                dead_mask |= 1u64 << d;
+            }
+        }
+        let mut out = self.clone();
+        for v in 0..out.masters.len() {
+            if dead[out.masters[v] as usize] {
+                let home = homes[v];
+                out.masters[v] = if dead[home as usize] { fallback } else { home };
+            }
+            out.replicas[v] = (out.replicas[v] & !dead_mask) | (1u64 << out.masters[v]);
+        }
+        out.epoch = 0; // re-assigned at publish
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geograph::{GeoGraph, GraphBuilder, LocalityConfig};
+    use geopart::{HybridState, TrafficProfile};
+    use geosim::regions::ec2_eight_regions;
+
+    fn small_geo() -> GeoGraph {
+        let n = 60;
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n as u32 {
+            // A hub at vertex 0 so the theta cut has high-degree vertices.
+            b.add_edges([(i, 0), (i, (i + 1) % n as u32)]);
+        }
+        GeoGraph::from_graph(b.build(), &LocalityConfig::uniform(8, 5))
+    }
+
+    #[test]
+    fn table_mirrors_the_placement_it_snapshots() {
+        let geo = small_geo();
+        let env = ec2_eight_regions();
+        let n = geo.num_vertices();
+        let state = HybridState::from_masters(
+            &geo,
+            &env,
+            geo.locations.clone(),
+            3,
+            TrafficProfile::uniform(n, 8.0),
+            10.0,
+        );
+        let t = RoutingTable::from_placement(7, state.core());
+        assert_eq!(t.window(), 7);
+        assert_eq!(t.num_vertices(), n);
+        for v in 0..n as VertexId {
+            assert_eq!(t.master(v), state.core().master(v));
+            assert_eq!(t.replica_set(v), state.core().mirror_mask(v) | (1 << t.master(v)));
+            // The edge rule matches the partitioner's placement rule.
+            let u = (v + 1) % n as VertexId;
+            let expect = if state.core().is_high(v) {
+                state.core().master(u)
+            } else {
+                state.core().master(v)
+            };
+            assert_eq!(t.edge_placement(u, v), expect);
+        }
+        let vs: Vec<VertexId> = (0..n as VertexId).rev().collect();
+        let mut out = Vec::new();
+        t.lookup_many(&vs, &mut out);
+        assert_eq!(out.len(), n);
+        for (i, &v) in vs.iter().enumerate() {
+            assert_eq!(out[i], t.master(v));
+        }
+    }
+
+    #[test]
+    fn evacuation_reroutes_exactly_like_the_trainer_reseed() {
+        let geo = small_geo();
+        let t = RoutingTable::from_homes(0, &geo.locations, geo.num_dcs);
+        let mut dead = vec![false; geo.num_dcs];
+        dead[2] = true;
+        dead[5] = true;
+        let evac = t.evacuated(&dead, &geo.locations);
+        for v in 0..t.num_vertices() as VertexId {
+            let m = evac.master(v);
+            assert!(!dead[m as usize], "vertex {v} still mastered on a dead DC");
+            // Home was dead, so the fallback is the first live DC (0).
+            let home = geo.locations[v as usize];
+            let expect = if dead[home as usize] { 0 } else { home };
+            assert_eq!(m, expect);
+            assert_eq!(evac.replica_set(v) & ((1 << 2) | (1 << 5)), 0, "dead replica kept");
+            assert_ne!(evac.replica_set(v) & (1 << m), 0, "master missing from replica set");
+        }
+        // A healthy evacuation is the identity on masters.
+        let all_live = vec![false; geo.num_dcs];
+        let noop = t.evacuated(&all_live, &geo.locations);
+        assert_eq!(noop.masters(), t.masters());
+    }
+}

@@ -85,6 +85,34 @@ cargo run --release -p geobench --bin bench_durable -- \
 grep -q '"recovered_bit_exact": true' EXPERIMENTS-data/BENCH_durable.json \
   || { echo "BENCH_durable.json is missing the bit-exact cross-check"; exit 1; }
 
+echo "==> env-mismatch recovery guard gate"
+# Recovering a durable store against a CloudEnv other than the one it was
+# created under must be a typed EnvMismatch error, never a silent recovery.
+cargo test -q -p geodur recovering_with_a_different_env_is_a_typed_error
+
+echo "==> per-pair link fault determinism gate"
+# Per-pair degradation must be deterministic per seed and leave the outage
+# RNG stream untouched when unused.
+cargo test -q -p geosim pair_
+
+echo "==> serving consistency gates (exactly-one-epoch, evacuation, boot-from-store)"
+# The serving layer's contract: every response is served from exactly one
+# published epoch across concurrent plan flips, a DC killed mid-traffic
+# never yields a dead-master response after the evacuation epoch, and a
+# daemon rebooted from the DurableStore serves bit-exact masters without
+# retraining.
+cargo test -q -p integration-tests --test serving
+
+echo "==> serving bench smoke run (boot from store, lookups under live flips, BENCH_serve.json)"
+# Boots from a committed store, serves 100k+ Zipf lookups from 4 reader
+# threads while the recovered trainer commits a window mid-traffic (the
+# --assert-min-flips 1 gate), then reboots and asserts bit-exact masters.
+cargo run --release -p geobench --bin bench_serve -- \
+  --scale 0.001 --windows 1 --lookups 100000 \
+  --out EXPERIMENTS-data/BENCH_serve.json --assert-min-flips 1
+grep -q '"restart_bit_exact": true' EXPERIMENTS-data/BENCH_serve.json \
+  || { echo "BENCH_serve.json is missing the restart bit-exact cross-check"; exit 1; }
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

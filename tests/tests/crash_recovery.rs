@@ -106,8 +106,9 @@ fn kill_at_every_record_boundary_and_mid_record() {
     // The uninterrupted run. expected[j] = (masters, movement-cost bits)
     // at the boundary where `next_window == j`; index 0 is genesis.
     let mut expected: Vec<(Vec<DcId>, u64)> = vec![(w.geo0.locations.clone(), 0)];
-    let mut durable = DurableAdaptive::create(&base, pinned_config(), Some(0.4), w.geo0.clone(), 2)
-        .expect("create durable dir");
+    let mut durable =
+        DurableAdaptive::create(&base, pinned_config(), Some(0.4), w.geo0.clone(), &env, 2)
+            .expect("create durable dir");
     let p0 = TrafficProfile::uniform(w.geo0.num_vertices(), 8.0);
     durable.window(&env, None, &[], &[], p0, 10.0, t_opt).expect("window 0");
     let push_state = |d: &DurableAdaptive, out: &mut Vec<(Vec<DcId>, u64)>| {
@@ -211,8 +212,9 @@ fn rolled_back_window_can_be_refed() {
     let t_opt = Duration::from_secs(60);
     let base = tmp_dir("refeed");
 
-    let mut durable = DurableAdaptive::create(&base, pinned_config(), Some(0.4), w.geo0.clone(), 0)
-        .expect("create durable dir");
+    let mut durable =
+        DurableAdaptive::create(&base, pinned_config(), Some(0.4), w.geo0.clone(), &env, 0)
+            .expect("create durable dir");
     let p0 = TrafficProfile::uniform(w.geo0.num_vertices(), 8.0);
     durable.window(&env, None, &[], &[], p0, 10.0, t_opt).expect("window 0");
     let (delta, locs, sizes) = &w.steps[0];
