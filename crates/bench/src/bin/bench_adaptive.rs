@@ -239,6 +239,12 @@ fn main() {
     let _ = writeln!(json, "  \"incremental_prep_secs\": {inc_prep:.6},");
     let _ = writeln!(json, "  \"rebuild_prep_secs\": {reb_prep:.6},");
     let _ = writeln!(json, "  \"rebuild_vs_incremental_overhead\": {headline:.4},");
+    let mut mem = geograph::MemReport::new(final_graph.num_edges() as u64);
+    mem.add("final_graph_csr", final_graph.heap_bytes());
+    if let Some((state, _)) = incremental.carried_parts() {
+        mem.add("carried_state", state.heap_bytes());
+    }
+    json.push_str(&geobench::mem_json_field(&mem));
     let _ = writeln!(json, "  \"validated_windows\": {}", records.len());
     json.push_str("}\n");
     std::fs::write(&args.out, &json)

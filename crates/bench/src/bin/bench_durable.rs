@@ -297,6 +297,9 @@ fn main() {
     let _ = writeln!(json, "  \"recovery_snapshot_replayed_windows\": {tail_windows},");
     let _ = writeln!(json, "  \"recovery_full_secs\": {:.6},", recovery_full.as_secs_f64());
     let _ = writeln!(json, "  \"recovery_full_replayed_windows\": {committed},");
+    let mut mem = geograph::MemReport::new(final_graph.num_edges() as u64);
+    mem.add("final_graph_csr", final_graph.heap_bytes());
+    json.push_str(&geobench::mem_json_field(&mem));
     let _ = writeln!(json, "  \"recovered_bit_exact\": true");
     json.push_str("}\n");
     std::fs::write(&args.out, &json)

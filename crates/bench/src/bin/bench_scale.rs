@@ -1,0 +1,225 @@
+//! Paper-scale substrate bench: streamed CSR ingest of the LiveJournal
+//! analog at full Table II size, plus the memory-footprint gate.
+//!
+//! At `--scale 1.0` this builds the 4.8M-vertex / ~69M-edge LJ analog
+//! through the two-pass streaming path (no staged edge list — peak build
+//! memory must stay within `--assert-build-ratio` of the final CSR),
+//! measures the delta-compressed cold-adjacency footprint, runs a short
+//! scan-capped training window over the result, and writes a
+//! machine-readable `BENCH_scale.json` (format documented in `DESIGN.md`
+//! §3i) with peak RSS, per-component bytes/edge, build edges/s and
+//! training steps/s.
+//!
+//! Usage:
+//!   bench_scale [--scale f] [--seed n] [--threads n] [--chunk-edges n]
+//!               [--steps n] [--sample-rate f] [--max-scan n] [--out path]
+//!               [--assert-max-bytes-per-edge f] [--assert-build-ratio f]
+//!
+//! `--assert-max-bytes-per-edge f` exits non-zero unless the CSR costs at
+//! most `f` bytes per directed edge; `--assert-build-ratio f` gates the
+//! streamed build's peak-over-final memory ratio. Both are used by
+//! `scripts/verify.sh`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use geograph::datasets::DEFAULT_CHUNK_EDGES;
+use geograph::generators::rmat_streamed;
+use geograph::locality::LocalityConfig;
+use geograph::{CompressPolicy, CompressedGraph, Dataset, GeoGraph, MemReport};
+use geosim::regions::ec2_eight_regions;
+use rlcut::{RlCutConfig, WorkerPool};
+
+struct Args {
+    scale: f64,
+    seed: u64,
+    threads: usize,
+    chunk_edges: usize,
+    steps: usize,
+    sample_rate: f64,
+    max_scan: usize,
+    out: String,
+    assert_max_bytes_per_edge: Option<f64>,
+    assert_build_ratio: Option<f64>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: 1.0,
+        seed: 42,
+        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        chunk_edges: DEFAULT_CHUNK_EDGES,
+        steps: 3,
+        sample_rate: 0.05,
+        max_scan: 100_000,
+        out: "BENCH_scale.json".to_string(),
+        assert_max_bytes_per_edge: None,
+        assert_build_ratio: None,
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i + 1 < argv.len() {
+        let value = &argv[i + 1];
+        match argv[i].as_str() {
+            "--scale" => args.scale = value.parse().expect("--scale takes a float"),
+            "--seed" => args.seed = value.parse().expect("--seed takes an integer"),
+            "--threads" => args.threads = value.parse().expect("--threads takes an integer"),
+            "--chunk-edges" => {
+                args.chunk_edges = value.parse().expect("--chunk-edges takes an integer")
+            }
+            "--steps" => args.steps = value.parse().expect("--steps takes an integer"),
+            "--sample-rate" => {
+                args.sample_rate = value.parse().expect("--sample-rate takes a float")
+            }
+            "--max-scan" => args.max_scan = value.parse().expect("--max-scan takes an integer"),
+            "--out" => args.out = value.clone(),
+            "--assert-max-bytes-per-edge" => {
+                args.assert_max_bytes_per_edge =
+                    Some(value.parse().expect("--assert-max-bytes-per-edge takes a float"))
+            }
+            "--assert-build-ratio" => {
+                args.assert_build_ratio =
+                    Some(value.parse().expect("--assert-build-ratio takes a float"))
+            }
+            other => panic!("unknown option {other}"),
+        }
+        i += 2;
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let dataset = Dataset::LiveJournal;
+    let (rmat_config, derived_seed) = dataset.rmat_setup(args.scale, args.seed);
+    let pool = WorkerPool::new(args.threads.max(1));
+    eprintln!(
+        "bench_scale: LJ-analog scale={} ({} vertices, {} edges target), chunk {} edges, {} threads",
+        args.scale,
+        dataset.scaled_vertices(args.scale),
+        dataset.scaled_edges(args.scale),
+        args.chunk_edges,
+        args.threads,
+    );
+
+    // 1. Streamed two-pass build: the only O(E) arrays ever allocated are
+    //    the final CSR and the 8n-byte degree/cursor counters.
+    let build_start = Instant::now();
+    let (graph, report) = rmat_streamed(&rmat_config, derived_seed, args.chunk_edges, &pool)
+        .unwrap_or_else(|e| panic!("streamed build failed: {e}"));
+    let build_secs = build_start.elapsed().as_secs_f64();
+    let build_eps = report.edges as f64 / build_secs.max(1e-9);
+    let csr_bpe = report.csr_bytes as f64 / report.edges.max(1) as f64;
+    eprintln!(
+        "  build: {} kept edges ({} raw) in {build_secs:.2}s ({:.2}M edges/s); \
+         csr {} B ({csr_bpe:.2} B/edge), peak/final ratio {:.3}",
+        report.edges,
+        report.raw_edges,
+        build_eps / 1e6,
+        report.csr_bytes,
+        report.build_ratio(),
+    );
+
+    // 2. Cold-adjacency compression: what the same adjacency costs with
+    //    low-degree rows delta-encoded (built and dropped before training
+    //    so its arena does not inflate the training-phase RSS).
+    let compress_start = Instant::now();
+    let (compressed_bytes, compressed_bpe, hot_rows) = {
+        let compressed = CompressedGraph::from_graph(&graph, CompressPolicy::auto());
+        (compressed.heap_bytes(), compressed.bytes_per_edge(), compressed.hot_rows())
+    };
+    eprintln!(
+        "  compressed: {} B ({compressed_bpe:.2} B/edge, {hot_rows} hot rows kept raw) in {:.2}s",
+        compressed_bytes,
+        compress_start.elapsed().as_secs_f64(),
+    );
+
+    // 3. A short scan-capped training window over the freshly built graph.
+    let geo = GeoGraph::from_graph(graph, &LocalityConfig::paper_default(args.seed));
+    let env = ec2_eight_regions();
+    let budget = geosim::cost::default_budget(&env, &geo.locations, &geo.data_sizes, 0.4);
+    let config = RlCutConfig::new(budget)
+        .with_seed(args.seed)
+        .with_threads(args.threads.max(1))
+        .with_fixed_sample_rate(args.sample_rate.clamp(0.0, 1.0))
+        .with_max_scan(args.max_scan)
+        .with_max_steps(args.steps);
+    let profile = geopart::TrafficProfile::uniform(geo.num_vertices(), 8.0);
+    let result = rlcut::partition(&geo, &env, profile, 10.0, &config);
+    let train_secs = result.total_duration.as_secs_f64();
+    let steps_per_sec = result.steps.len() as f64 / train_secs.max(1e-9);
+    let agents_per_step = result.steps.iter().map(|s| s.num_agents).max().unwrap_or(0);
+    eprintln!(
+        "  window: {} steps in {train_secs:.2}s ({steps_per_sec:.2} steps/s), \
+         <= {agents_per_step} agents/step (cap {}), {} migrations",
+        result.steps.len(),
+        args.max_scan,
+        result.total_migrations(),
+    );
+
+    // 4. The footprint report. `geo_metadata` is the location/data-size
+    //    overlay GeoGraph adds on top of the CSR.
+    let mut mem = MemReport::new(report.edges as u64);
+    mem.add("csr", geo.graph.heap_bytes());
+    mem.add("geo_metadata", geo.heap_bytes() - geo.graph.heap_bytes());
+    mem.add("build_transient", report.transient_bytes);
+    mem.add("compressed_csr", compressed_bytes);
+    mem.add("placement_state", result.state.heap_bytes());
+    let peak = geograph::peak_rss_bytes();
+    eprintln!(
+        "  mem: accounted {:.2} B/edge over {} components; peak RSS {}",
+        mem.bytes_per_edge(),
+        mem.components().len(),
+        peak.map(|b| format!("{:.1} MiB", b as f64 / (1 << 20) as f64))
+            .unwrap_or_else(|| "n/a".to_string()),
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"scale_substrate\",");
+    let _ = writeln!(json, "  \"dataset\": \"livejournal_analog\",");
+    let _ = writeln!(json, "  \"scale\": {},", args.scale);
+    let _ = writeln!(json, "  \"seed\": {},", args.seed);
+    let _ = writeln!(json, "  \"threads\": {},", args.threads);
+    let _ = writeln!(json, "  \"chunk_edges\": {},", args.chunk_edges);
+    let _ = writeln!(json, "  \"vertices\": {},", geo.num_vertices());
+    let _ = writeln!(json, "  \"edges\": {},", report.edges);
+    let _ = writeln!(json, "  \"raw_edges\": {},", report.raw_edges);
+    let _ = writeln!(json, "  \"self_loops_dropped\": {},", report.self_loops_dropped);
+    let _ = writeln!(json, "  \"duplicates_removed\": {},", report.duplicates_removed);
+    let _ = writeln!(json, "  \"build_secs\": {build_secs:.6},");
+    let _ = writeln!(json, "  \"build_edges_per_sec\": {build_eps:.1},");
+    let _ = writeln!(json, "  \"build_peak_over_final_ratio\": {:.4},", report.build_ratio());
+    let _ = writeln!(json, "  \"csr_bytes\": {},", report.csr_bytes);
+    let _ = writeln!(json, "  \"csr_bytes_per_edge\": {csr_bpe:.3},");
+    let _ = writeln!(json, "  \"compressed_bytes\": {compressed_bytes},");
+    let _ = writeln!(json, "  \"compressed_bytes_per_edge\": {compressed_bpe:.3},");
+    let _ = writeln!(json, "  \"hot_rows\": {hot_rows},");
+    let _ = writeln!(json, "  \"train_steps\": {},", result.steps.len());
+    let _ = writeln!(json, "  \"train_secs\": {train_secs:.6},");
+    let _ = writeln!(json, "  \"train_steps_per_sec\": {steps_per_sec:.4},");
+    let _ = writeln!(json, "  \"max_scan\": {},", args.max_scan);
+    let _ = writeln!(json, "  \"agents_per_step\": {agents_per_step},");
+    let _ = writeln!(json, "  \"migrations\": {},", result.total_migrations());
+    json.push_str(&geobench::mem_json_field(&mem));
+    let _ = writeln!(json, "  \"sample_rate\": {}", args.sample_rate);
+    json.push_str("}\n");
+    std::fs::write(&args.out, &json)
+        .unwrap_or_else(|e| panic!("could not write {}: {e}", args.out));
+    eprintln!("  wrote {}", args.out);
+
+    if let Some(ceiling) = args.assert_max_bytes_per_edge {
+        assert!(
+            csr_bpe <= ceiling,
+            "CSR costs {csr_bpe:.3} B/edge (ceiling {ceiling}): adjacency storage regressed"
+        );
+    }
+    if let Some(ceiling) = args.assert_build_ratio {
+        let ratio = report.build_ratio();
+        assert!(
+            ratio <= ceiling,
+            "streamed build peaked at {ratio:.3}x the final CSR (ceiling {ceiling}x): \
+             an O(E) staging copy crept back into the ingest path"
+        );
+    }
+}

@@ -409,6 +409,10 @@ fn main() {
     let _ = writeln!(json, "  \"flip_pin_retries\": {retries},");
     let _ = writeln!(json, "  \"flip_batch_p99_ns\": {},", flip_hist.quantile_ns(0.99));
     let _ = writeln!(json, "  \"flip_batches\": {},", flip_hist.count);
+    let mut mem = geograph::MemReport::new(final_graph.num_edges() as u64);
+    mem.add("final_graph_csr", final_graph.heap_bytes());
+    mem.add("published_plan", final_masters.len() * std::mem::size_of::<geograph::DcId>());
+    json.push_str(&geobench::mem_json_field(&mem));
     let _ = writeln!(json, "  \"restart_bit_exact\": {restart_bit_exact}");
     json.push_str("}\n");
     std::fs::write(&args.out, &json)

@@ -227,7 +227,12 @@ fn main() {
         );
         json.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }
-    json.push_str("  ]\n");
+    json.push_str("  ],\n");
+    let mut mem = geograph::MemReport::new(geo.num_edges() as u64);
+    mem.add("geo_graph", geo.heap_bytes());
+    mem.add("placement_state", baseline.state.heap_bytes());
+    json.push_str(&geobench::mem_json_field(&mem));
+    let _ = writeln!(json, "  \"baseline_migrations\": {}", baseline.total_migrations());
     json.push_str("}\n");
     std::fs::write(&args.out, &json)
         .unwrap_or_else(|e| panic!("could not write {}: {e}", args.out));

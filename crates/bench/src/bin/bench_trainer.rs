@@ -96,7 +96,7 @@ fn run_cell(
     threads: usize,
     pool: bool,
     reps: usize,
-) -> (RunRecord, Vec<geograph::DcId>) {
+) -> (RunRecord, Vec<geograph::DcId>, usize) {
     let config = base.clone().with_threads(threads).with_worker_pool(pool);
     let profile = geopart::TrafficProfile::uniform(geo.num_vertices(), 8.0);
     let mut best: Option<(RunRecord, RlCutResult<'_>)> = None;
@@ -116,7 +116,8 @@ fn run_cell(
         }
     }
     let (record, result) = best.expect("reps >= 1");
-    (record, result.state.core().masters().to_vec())
+    let state_bytes = result.state.heap_bytes();
+    (record, result.state.core().masters().to_vec(), state_bytes)
 }
 
 fn main() {
@@ -143,9 +144,11 @@ fn main() {
 
     let mut records: Vec<RunRecord> = Vec::new();
     let mut reference: Option<(Vec<geograph::DcId>, usize)> = None;
+    let mut state_bytes = 0usize;
     for &threads in &args.threads_list {
         for pool in [true, false] {
-            let (record, masters) = run_cell(&geo, &env, &base, threads, pool, args.reps);
+            let (record, masters, sb) = run_cell(&geo, &env, &base, threads, pool, args.reps);
+            state_bytes = sb;
             eprintln!(
                 "  threads={:<2} dispatch={:<5} {:>7.2} steps/s  (score {:.3}s, migrate {:.3}s, {} migrations)",
                 record.threads,
@@ -244,6 +247,10 @@ fn main() {
             let _ = writeln!(json, "  \"best_pool_vs_scope_speedup\": null,");
         }
     }
+    let mut mem = geograph::MemReport::new(geo.num_edges() as u64);
+    mem.add("geo_graph", geo.heap_bytes());
+    mem.add("placement_state", state_bytes);
+    json.push_str(&geobench::mem_json_field(&mem));
     let _ = writeln!(json, "  \"max_threads\": {max_threads}");
     json.push_str("}\n");
     std::fs::write(&args.out, &json)

@@ -257,6 +257,14 @@ impl Table {
     }
 }
 
+/// Renders `report` as the standard `"mem"` field every `BENCH_*.json`
+/// carries (two-space indent, trailing comma) — append it to the JSON body
+/// before the final comma-less field so memory cost reads uniformly across
+/// benches.
+pub fn mem_json_field(report: &geograph::MemReport) -> String {
+    format!("  \"mem\": {},\n", report.to_json("  "))
+}
+
 /// Formats a float with 3 significant-ish digits, falling back to
 /// scientific notation for values that would round to 0.000.
 pub fn f3(x: f64) -> String {
@@ -320,6 +328,16 @@ mod tests {
             "rlcut {} vs best feasible {best_feasible}",
             rlcut.transfer_time
         );
+    }
+
+    #[test]
+    fn mem_json_field_shape() {
+        let mut r = geograph::MemReport::new(10);
+        r.add("csr", 90);
+        let field = mem_json_field(&r);
+        assert!(field.starts_with("  \"mem\": {"), "{field}");
+        assert!(field.ends_with("},\n"), "{field}");
+        assert!(field.contains("\"bytes_per_edge\": 9.000"), "{field}");
     }
 
     #[test]

@@ -85,6 +85,15 @@ pub struct RlCutConfig {
     /// Stop when a step migrates fewer than this fraction of its sampled
     /// agents.
     pub convergence_fraction: f64,
+    /// Working-set cap on the per-step candidate scan (CUTTANA-style).
+    /// `Some(cap)` limits each step to at most `cap` of the sampled agents,
+    /// rotating the window across steps so successive steps cover
+    /// successive slices of the sampled prefix. Bounds per-step latency and
+    /// the score phase's touched working set on paper-scale graphs where
+    /// even a 1 % sample is hundreds of thousands of agents. `None` (the
+    /// default) scans the whole sample — bit-identical to the pre-knob
+    /// trainer, consuming the same RNG stream.
+    pub max_scan: Option<usize>,
     pub seed: u64,
 }
 
@@ -110,6 +119,7 @@ impl RlCutConfig {
             sample_strategy: SampleStrategy::default(),
             sampling_recency: None,
             convergence_fraction: 0.001,
+            max_scan: None,
             seed: 42,
         }
     }
@@ -177,6 +187,13 @@ impl RlCutConfig {
         self
     }
 
+    /// Builder-style per-step scan cap (see [`RlCutConfig::max_scan`]).
+    pub fn with_max_scan(mut self, cap: usize) -> Self {
+        assert!(cap >= 1, "a zero scan cap would stall every step");
+        self.max_scan = Some(cap);
+        self
+    }
+
     /// Effective worker-thread count.
     pub fn threads(&self) -> usize {
         self.num_threads
@@ -197,6 +214,18 @@ mod tests {
         assert_eq!(c.initial_sample_rate, 0.01);
         assert_eq!(c.parallel_threshold, 64);
         assert!(c.use_worker_pool);
+        assert_eq!(c.max_scan, None);
+    }
+
+    #[test]
+    fn max_scan_builder() {
+        assert_eq!(RlCutConfig::new(1.0).with_max_scan(5000).max_scan, Some(5000));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_scan_cap_rejected() {
+        RlCutConfig::new(1.0).with_max_scan(0);
     }
 
     #[test]

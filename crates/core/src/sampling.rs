@@ -167,6 +167,32 @@ pub fn sample_prefix(order: &[VertexId], rate: f64) -> &[VertexId] {
     &order[..k]
 }
 
+/// CUTTANA-style working-set cap: the at-most-`cap` slice of `prefix` that
+/// step `step_index` scans.
+///
+/// The window start rotates deterministically — `(step_index * cap) %
+/// prefix.len()` — so consecutive steps cover consecutive slices of the
+/// sampled prefix and every agent keeps getting turns; the rotation is a
+/// pure function of the step index, so it needs no state in the checkpoint
+/// and consumes no randomness. Wrap-around windows are materialized (the
+/// two arms of the ring are not contiguous); callers avoid the copy by not
+/// calling this at all when `cap >= prefix.len()`.
+pub fn scan_window(prefix: &[VertexId], cap: usize, step_index: usize) -> Vec<VertexId> {
+    assert!(cap >= 1, "a zero scan cap would stall every step");
+    if prefix.is_empty() {
+        return Vec::new();
+    }
+    if cap >= prefix.len() {
+        return prefix.to_vec();
+    }
+    let start = ((step_index as u128 * cap as u128) % prefix.len() as u128) as usize;
+    let mut window = Vec::with_capacity(cap);
+    let first = (prefix.len() - start).min(cap);
+    window.extend_from_slice(&prefix[start..start + first]);
+    window.extend_from_slice(&prefix[..cap - first]);
+    window
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,6 +213,36 @@ mod tests {
         assert_eq!(sample_prefix(&order, 1.0).len(), 5);
         assert_eq!(sample_prefix(&order, 0.0).len(), 0);
         assert_eq!(sample_prefix(&order, 0.01), &[5]); // at least one
+    }
+
+    #[test]
+    fn scan_window_rotates_and_covers_the_prefix() {
+        let prefix = vec![10, 11, 12, 13, 14];
+        // cap 2 over 5 agents: starts rotate 0, 2, 4, 1, 3, 0, …
+        assert_eq!(scan_window(&prefix, 2, 0), &[10, 11]);
+        assert_eq!(scan_window(&prefix, 2, 1), &[12, 13]);
+        assert_eq!(scan_window(&prefix, 2, 2), &[14, 10]); // wraps
+        assert_eq!(scan_window(&prefix, 2, 3), &[11, 12]);
+        // Five consecutive steps touch every agent at least once.
+        let mut seen: std::collections::HashSet<VertexId> = Default::default();
+        for step in 0..5 {
+            seen.extend(scan_window(&prefix, 2, step));
+        }
+        assert_eq!(seen.len(), prefix.len());
+    }
+
+    #[test]
+    fn scan_window_huge_cap_is_identity() {
+        let prefix = vec![3, 1, 4];
+        assert_eq!(scan_window(&prefix, 3, 7), prefix);
+        assert_eq!(scan_window(&prefix, usize::MAX, 7), prefix);
+        assert!(scan_window(&[], 4, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn scan_window_rejects_zero_cap() {
+        scan_window(&[1, 2], 0, 0);
     }
 
     #[test]

@@ -537,11 +537,23 @@ impl<'g> TrainerSession<'g> {
             self.exhausted = true;
             return None;
         };
-        let sampled = sample_prefix(&self.order, rate);
-        if sampled.is_empty() {
+        let prefix = sample_prefix(&self.order, rate);
+        if prefix.is_empty() {
             self.exhausted = true;
             return None;
         }
+        // Optional working-set cap (CUTTANA-style): scan only a rotating
+        // `max_scan`-sized window of the sampled prefix this step. With the
+        // cap disabled (or larger than the sample) this arm is never taken
+        // and the step is bit-identical to the uncapped trainer.
+        let capped: Option<Vec<VertexId>> = match self.config.max_scan {
+            Some(cap) if cap < prefix.len() => {
+                Some(crate::sampling::scan_window(prefix, cap, step))
+            }
+            _ => None,
+        };
+        let full_scan = capped.is_none();
+        let sampled: &[VertexId] = capped.as_deref().unwrap_or(prefix);
         let step_start = Instant::now();
         let step_obj = self.state.read().objective(env);
         if step_obj.transfer_time == 0.0 && step_obj.total_cost() <= self.config.budget {
@@ -633,8 +645,10 @@ impl<'g> TrainerSession<'g> {
         self.step_index += 1;
         // Convergence is only meaningful when (nearly) all agents took
         // part — a tiny early sample moving nothing says nothing about the
-        // full solution space.
-        if rate >= 0.999
+        // full solution space, and a scan-capped step saw only a window of
+        // it.
+        if full_scan
+            && rate >= 0.999
             && (migrations as f64) < self.config.convergence_fraction * sampled.len() as f64
         {
             self.converged = true;
@@ -1115,6 +1129,44 @@ mod tests {
         let scoped = partition(&geo, &env, profile, 10.0, &base.with_worker_pool(false));
         assert_eq!(pooled.state.core().masters(), scoped.state.core().masters());
         assert_eq!(pooled.total_migrations(), scoped.total_migrations());
+    }
+
+    #[test]
+    fn oversized_scan_cap_is_bit_identical_to_uncapped() {
+        // `max_scan: None` and a cap that never binds must both take the
+        // untouched pre-knob path: same RNG stream, same masters, same
+        // per-step telemetry.
+        let (geo, env) = setup(16);
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let base = default_config(&geo, &env).with_fixed_sample_rate(1.0).with_max_steps(3);
+        let uncapped = partition(&geo, &env, profile.clone(), 10.0, &base.clone());
+        let capped = partition(&geo, &env, profile, 10.0, &base.with_max_scan(usize::MAX));
+        assert_eq!(uncapped.state.core().masters(), capped.state.core().masters());
+        assert_eq!(uncapped.total_migrations(), capped.total_migrations());
+    }
+
+    #[test]
+    fn scan_cap_bounds_every_step_and_blocks_convergence() {
+        let (geo, env) = setup(17);
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let config = default_config(&geo, &env)
+            .with_fixed_sample_rate(1.0)
+            .with_max_scan(100)
+            .with_max_steps(6);
+        let theta = geograph::degree::suggest_theta(&geo.graph, 0.05);
+        let state =
+            HybridState::from_masters(&geo, &env, geo.locations.clone(), theta, profile, 10.0);
+        let mut session = TrainerSession::new(&geo, &env, state, config);
+        while session.step(&env).is_some() {}
+        assert_eq!(session.steps().len(), 6, "capped steps must not converge early");
+        assert!(!session.converged(), "a capped scan sees only a window — no convergence claim");
+        let mut starts = std::collections::HashSet::new();
+        for stats in session.steps() {
+            assert!(stats.num_agents <= 100, "step scanned {} agents", stats.num_agents);
+            starts.insert(stats.num_agents);
+        }
+        // Full 1024-agent sample, cap 100: every window is exactly full.
+        assert_eq!(starts.into_iter().collect::<Vec<_>>(), vec![100]);
     }
 
     #[test]

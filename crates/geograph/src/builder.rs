@@ -1,6 +1,7 @@
 //! Mutable edge accumulation with cleaning, producing [`Graph`] snapshots.
 
 use crate::csr::Graph;
+use crate::stream::BuildError;
 use crate::VertexId;
 
 /// Accumulates directed edges and builds CSR [`Graph`] snapshots.
@@ -86,6 +87,38 @@ impl GraphBuilder {
         }
         Graph::from_edges(self.num_vertices, &edges)
     }
+
+    /// Non-panicking [`GraphBuilder::build`]: out-of-range ids and offset
+    /// overflow come back as typed [`BuildError`]s. Release builds skip the
+    /// `add_edge` debug range check, so this is the path that makes
+    /// untrusted edge streams safe end to end.
+    pub fn try_build(&self) -> Result<Graph, BuildError> {
+        let mut edges = self.edges.clone();
+        Self::clean(&mut edges, self.dedup, self.drop_self_loops);
+        Graph::try_from_edges(self.num_vertices, &edges)
+    }
+
+    /// Consumes the builder, cleaning its edge list **in place** — no
+    /// clone. `build` holds two copies of the edge list at peak (the
+    /// accumulated list plus the cleaned clone) on top of the CSR being
+    /// constructed; `finish` holds one. Use it whenever the builder is not
+    /// rebuilt across windows.
+    pub fn finish(mut self) -> Result<Graph, BuildError> {
+        Self::clean(&mut self.edges, self.dedup, self.drop_self_loops);
+        let g = Graph::try_from_edges(self.num_vertices, &self.edges)?;
+        drop(self.edges);
+        Ok(g)
+    }
+
+    fn clean(edges: &mut Vec<(VertexId, VertexId)>, dedup: bool, drop_self_loops: bool) {
+        if drop_self_loops {
+            edges.retain(|&(u, v)| u != v);
+        }
+        if dedup {
+            edges.sort_unstable();
+            edges.dedup();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -135,6 +168,24 @@ mod tests {
         let g2 = b.build();
         assert_eq!(g1.num_edges(), 1);
         assert_eq!(g2.num_edges(), 2);
+    }
+
+    #[test]
+    fn finish_matches_build() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edges([(0, 1), (0, 1), (2, 2), (3, 0), (1, 2)]);
+        let built = b.build();
+        assert_eq!(b.finish().unwrap(), built);
+    }
+
+    #[test]
+    fn try_build_reports_out_of_range() {
+        let mut b = GraphBuilder::new(2).keep_self_loops().keep_duplicates();
+        b.edges.push((0, 9)); // bypasses the debug_assert in add_edge
+        assert!(matches!(
+            b.try_build(),
+            Err(crate::stream::BuildError::EdgeOutOfRange { u: 0, v: 9, n: 2 })
+        ));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Immutable compressed-sparse-row graph with both adjacency directions.
 
 use crate::delta::GraphDelta;
+use crate::stream::BuildError;
 use crate::VertexId;
 
 /// A directed graph in CSR form, storing both out-edges (`v -> ?`) and
@@ -33,15 +34,39 @@ impl Graph {
     /// use [`crate::GraphBuilder`] for cleaning.
     pub fn from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Self {
         assert!(n < VertexId::MAX as usize, "vertex count exceeds VertexId range");
+        for &(u, v) in edges {
+            assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range for n={n}");
+        }
+        Self::build_validated(n, edges).expect("offset accumulation overflowed usize")
+    }
+
+    /// Non-panicking [`Graph::from_edges`]: every range and overflow
+    /// condition is a typed [`BuildError`]. At paper scale (>2^31 edges)
+    /// these are data errors a caller must be able to handle, not
+    /// programming errors.
+    pub fn try_from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Result<Self, BuildError> {
+        if n >= VertexId::MAX as usize {
+            return Err(BuildError::TooManyVertices { n });
+        }
+        for &(u, v) in edges {
+            if (u as usize) >= n || (v as usize) >= n {
+                return Err(BuildError::EdgeOutOfRange { u, v, n });
+            }
+        }
+        Self::build_validated(n, edges)
+    }
+
+    /// Count/scatter/sort over pre-validated edges; offset accumulation is
+    /// the one remaining failure point (checked).
+    fn build_validated(n: usize, edges: &[(VertexId, VertexId)]) -> Result<Self, BuildError> {
         let mut out_degree = vec![0usize; n];
         let mut in_degree = vec![0usize; n];
         for &(u, v) in edges {
-            assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range for n={n}");
             out_degree[u as usize] += 1;
             in_degree[v as usize] += 1;
         }
-        let out_offsets = prefix_sum(&out_degree);
-        let in_offsets = prefix_sum(&in_degree);
+        let out_offsets = prefix_sum(&out_degree).ok_or(BuildError::OffsetOverflow)?;
+        let in_offsets = prefix_sum(&in_degree).ok_or(BuildError::OffsetOverflow)?;
         let mut out_targets = vec![0 as VertexId; edges.len()];
         let mut in_sources = vec![0 as VertexId; edges.len()];
         let mut out_cursor = out_offsets.clone();
@@ -58,7 +83,46 @@ impl Graph {
             out_targets[out_offsets[v]..out_offsets[v + 1]].sort_unstable();
             in_sources[in_offsets[v]..in_offsets[v + 1]].sort_unstable();
         }
+        Ok(Graph { n, out_offsets, out_targets, in_offsets, in_sources })
+    }
+
+    /// Assembles a graph directly from CSR arrays. Used by the streaming
+    /// ingest path ([`crate::stream`]) and the compressed-adjacency decoder
+    /// ([`crate::compress`]), which produce canonical (sorted-run) arrays
+    /// without ever materializing an edge list.
+    ///
+    /// Invariants (checked in debug builds): offset arrays have `n + 1`
+    /// monotone entries starting at 0 and ending at the flat length, both
+    /// directions hold the same edge count, and every run is sorted.
+    pub(crate) fn from_csr_parts(
+        n: usize,
+        out_offsets: Vec<usize>,
+        out_targets: Vec<VertexId>,
+        in_offsets: Vec<usize>,
+        in_sources: Vec<VertexId>,
+    ) -> Self {
+        debug_assert_eq!(out_offsets.len(), n + 1);
+        debug_assert_eq!(in_offsets.len(), n + 1);
+        debug_assert_eq!(out_offsets[0], 0);
+        debug_assert_eq!(in_offsets[0], 0);
+        debug_assert_eq!(out_offsets[n], out_targets.len());
+        debug_assert_eq!(in_offsets[n], in_sources.len());
+        debug_assert_eq!(out_targets.len(), in_sources.len());
+        #[cfg(debug_assertions)]
+        for v in 0..n {
+            debug_assert!(out_offsets[v] <= out_offsets[v + 1]);
+            debug_assert!(in_offsets[v] <= in_offsets[v + 1]);
+            debug_assert!(out_targets[out_offsets[v]..out_offsets[v + 1]].is_sorted());
+            debug_assert!(in_sources[in_offsets[v]..in_offsets[v + 1]].is_sorted());
+        }
         Graph { n, out_offsets, out_targets, in_offsets, in_sources }
+    }
+
+    /// Heap bytes held by the CSR arrays (capacity, both directions).
+    pub fn heap_bytes(&self) -> usize {
+        (self.out_offsets.capacity() + self.in_offsets.capacity()) * std::mem::size_of::<usize>()
+            + (self.out_targets.capacity() + self.in_sources.capacity())
+                * std::mem::size_of::<VertexId>()
     }
 
     /// Number of vertices.
@@ -282,15 +346,15 @@ fn overlay_direction(
     (offsets, flat)
 }
 
-fn prefix_sum(counts: &[usize]) -> Vec<usize> {
+fn prefix_sum(counts: &[usize]) -> Option<Vec<usize>> {
     let mut offsets = Vec::with_capacity(counts.len() + 1);
     let mut acc = 0usize;
     offsets.push(0);
     for &c in counts {
-        acc += c;
+        acc = acc.checked_add(c)?;
         offsets.push(acc);
     }
-    offsets
+    Some(offsets)
 }
 
 #[cfg(test)]
@@ -369,6 +433,32 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_edge_panics() {
         Graph::from_edges(2, &[(0, 2)]);
+    }
+
+    #[test]
+    fn try_from_edges_matches_panicking_path() {
+        let edges = [(0, 1), (0, 2), (1, 3), (2, 3)];
+        assert_eq!(Graph::try_from_edges(4, &edges).unwrap(), Graph::from_edges(4, &edges));
+    }
+
+    #[test]
+    fn try_from_edges_typed_errors() {
+        assert_eq!(
+            Graph::try_from_edges(2, &[(0, 2)]),
+            Err(BuildError::EdgeOutOfRange { u: 0, v: 2, n: 2 })
+        );
+        assert_eq!(
+            Graph::try_from_edges(u32::MAX as usize, &[]),
+            Err(BuildError::TooManyVertices { n: u32::MAX as usize })
+        );
+    }
+
+    #[test]
+    fn heap_bytes_counts_all_four_arrays() {
+        let g = diamond();
+        // 2 offset arrays of (4+1) usizes + 2 flat arrays of 4 u32s, at
+        // least — capacity may exceed length.
+        assert!(g.heap_bytes() >= 2 * 5 * 8 + 2 * 4 * 4);
     }
 
     mod overlay {

@@ -9,7 +9,13 @@
 //! host allows.
 
 use crate::csr::Graph;
-use crate::generators::{rmat, RmatConfig};
+use crate::generators::{rmat, rmat_streamed, RmatConfig};
+use crate::stream::{BuildError, IngestPool, IngestReport};
+
+/// Default edges-per-chunk for streamed dataset generation. 2^20 edges
+/// keeps per-chunk RNG setup amortized while giving hundreds of chunks at
+/// paper scale for the ingest pool to balance.
+pub const DEFAULT_CHUNK_EDGES: usize = 1 << 20;
 
 /// The five evaluation graphs of the paper (Table II).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -85,6 +91,31 @@ impl Dataset {
             if self.is_web_graph() { RmatConfig::web(n, m) } else { RmatConfig::social(n, m) };
         rmat(&config, seed ^ (self as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15))
     }
+
+    /// The R-MAT config and derived seed [`Dataset::generate`] would use at
+    /// this scale — exposed so streaming callers build the same analog.
+    pub fn rmat_setup(self, scale: f64, seed: u64) -> (RmatConfig, u64) {
+        let n = self.scaled_vertices(scale);
+        let m = self.scaled_edges(scale);
+        let config =
+            if self.is_web_graph() { RmatConfig::web(n, m) } else { RmatConfig::social(n, m) };
+        (config, seed ^ (self as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Generates the analog through streaming two-pass ingest — no staged
+    /// edge list, so peak build memory stays near the final CSR size even
+    /// at `scale = 1.0` (LiveJournal: 4.8M vertices / ~69M edges).
+    /// Deterministic for `(self, scale, seed)` at any `pool.threads()`;
+    /// a distinct pinned stream from [`Dataset::generate`]'s.
+    pub fn generate_streamed(
+        self,
+        scale: f64,
+        seed: u64,
+        pool: &dyn IngestPool,
+    ) -> Result<(Graph, IngestReport), BuildError> {
+        let (config, seed) = self.rmat_setup(scale, seed);
+        rmat_streamed(&config, seed, DEFAULT_CHUNK_EDGES, pool)
+    }
 }
 
 impl std::fmt::Display for Dataset {
@@ -121,6 +152,16 @@ mod tests {
         let ot = Dataset::Orkut.generate(0.0002, 1);
         assert_eq!(lj, lj2);
         assert_ne!(lj, ot);
+    }
+
+    #[test]
+    fn streamed_generation_deterministic_across_threads() {
+        use crate::stream::ScopedPool;
+        let (a, _) = Dataset::LiveJournal.generate_streamed(0.0005, 1, &ScopedPool(1)).unwrap();
+        let (b, rep) = Dataset::LiveJournal.generate_streamed(0.0005, 1, &ScopedPool(4)).unwrap();
+        assert_eq!(a, b);
+        assert!(rep.build_ratio() < 1.2, "ratio {}", rep.build_ratio());
+        assert_eq!(a.num_vertices(), Dataset::LiveJournal.scaled_vertices(0.0005));
     }
 
     #[test]

@@ -10,7 +10,9 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use super::rmat::chunk_seed;
 use crate::csr::Graph;
+use crate::stream::{build_chunked, BuildError, ChunkedEdges, IngestPool, IngestReport};
 use crate::GraphBuilder;
 use crate::VertexId;
 
@@ -53,12 +55,13 @@ pub struct CommunityGraph {
     pub communities: Vec<u32>,
 }
 
-/// Generates a community-structured digraph. Deterministic per config.
-pub fn community_graph(config: &CommunityConfig) -> CommunityGraph {
+/// Deterministic (RNG-free) community layout: per-vertex labels plus
+/// `(start, len)` boundaries per community. Shared by the staged and
+/// streamed generators so both see identical community structure.
+fn community_layout(config: &CommunityConfig) -> (Vec<u32>, Vec<(usize, usize)>) {
     assert!(config.num_vertices >= config.num_communities);
     assert!(config.num_communities >= 1);
     assert!((0.0..=1.0).contains(&config.intra_probability));
-    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0xe07a_b367_11cd_4021);
     let n = config.num_vertices;
     let k = config.num_communities;
 
@@ -91,34 +94,114 @@ pub fn community_graph(config: &CommunityConfig) -> CommunityGraph {
         cursor += size;
     }
     debug_assert_eq!(communities.len(), n);
+    (communities, boundaries)
+}
 
-    // Skewed member sampling: index ~ floor(size * u^(1+skew)) biases small
-    // indices, giving each community internal hubs.
-    let pick = |rng: &mut SmallRng, start: usize, len: usize, skew: f64| -> VertexId {
-        let u: f64 = rng.gen();
-        (start + ((len as f64) * u.powf(1.0 + skew)) as usize).min(start + len - 1) as VertexId
+/// Skewed member sampling: index ~ floor(size * u^(1+skew)) biases small
+/// indices, giving each community internal hubs.
+#[inline]
+fn pick(rng: &mut SmallRng, start: usize, len: usize, skew: f64) -> VertexId {
+    let u: f64 = rng.gen();
+    (start + ((len as f64) * u.powf(1.0 + skew)) as usize).min(start + len - 1) as VertexId
+}
+
+/// One community edge draw. Draw order (source community, source pick,
+/// intra roll, [other community], destination pick) is part of the pinned
+/// output contract for both the staged and chunked paths.
+#[inline]
+fn sample_edge(
+    config: &CommunityConfig,
+    boundaries: &[(usize, usize)],
+    rng: &mut SmallRng,
+) -> (VertexId, VertexId) {
+    let k = config.num_communities;
+    let c_src = rng.gen_range(0..k);
+    let (s_start, s_len) = boundaries[c_src];
+    let u = pick(rng, s_start, s_len, config.degree_skew);
+    let c_dst = if rng.gen::<f64>() < config.intra_probability {
+        c_src
+    } else {
+        // Uniform over the other communities.
+        let mut other = rng.gen_range(0..k - 1);
+        if other >= c_src {
+            other += 1;
+        }
+        other
     };
+    let (d_start, d_len) = boundaries[c_dst];
+    let v = pick(rng, d_start, d_len, config.degree_skew);
+    (u, v)
+}
 
-    let mut builder = GraphBuilder::new(n).with_edge_capacity(config.num_edges);
+/// Generates a community-structured digraph. Deterministic per config.
+pub fn community_graph(config: &CommunityConfig) -> CommunityGraph {
+    let (communities, boundaries) = community_layout(config);
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0xe07a_b367_11cd_4021);
+    let mut builder = GraphBuilder::new(config.num_vertices).with_edge_capacity(config.num_edges);
     for _ in 0..config.num_edges {
-        let c_src = rng.gen_range(0..k);
-        let (s_start, s_len) = boundaries[c_src];
-        let u = pick(&mut rng, s_start, s_len, config.degree_skew);
-        let c_dst = if rng.gen::<f64>() < config.intra_probability {
-            c_src
-        } else {
-            // Uniform over the other communities.
-            let mut other = rng.gen_range(0..k - 1);
-            if other >= c_src {
-                other += 1;
-            }
-            other
-        };
-        let (d_start, d_len) = boundaries[c_dst];
-        let v = pick(&mut rng, d_start, d_len, config.degree_skew);
+        let (u, v) = sample_edge(config, &boundaries, &mut rng);
         builder.add_edge(u, v);
     }
     CommunityGraph { graph: builder.build(), communities }
+}
+
+/// The community model as a re-emittable chunked stream (edges are i.i.d.
+/// given the layout, so any chunk regenerates independently from its own
+/// `(seed, chunk)` RNG). Deterministic for a fixed
+/// `(config, chunk_edges)`; a distinct stream from [`community_graph`]'s.
+pub struct CommunityChunks {
+    config: CommunityConfig,
+    boundaries: Vec<(usize, usize)>,
+    chunk_edges: usize,
+}
+
+impl CommunityChunks {
+    pub fn new(config: CommunityConfig, chunk_edges: usize) -> Self {
+        assert!(chunk_edges >= 1, "chunk_edges must be positive");
+        let (_, boundaries) = community_layout(&config);
+        CommunityChunks { config, boundaries, chunk_edges }
+    }
+}
+
+impl ChunkedEdges for CommunityChunks {
+    fn num_vertices(&self) -> usize {
+        self.config.num_vertices
+    }
+
+    fn num_chunks(&self) -> usize {
+        self.config.num_edges.div_ceil(self.chunk_edges)
+    }
+
+    fn edges_hint(&self) -> Option<u64> {
+        Some(self.config.num_edges as u64)
+    }
+
+    fn emit(&self, chunk: usize, sink: &mut dyn FnMut(VertexId, VertexId)) {
+        let lo = chunk * self.chunk_edges;
+        let hi = (lo + self.chunk_edges).min(self.config.num_edges);
+        let mut rng = SmallRng::seed_from_u64(chunk_seed(
+            self.config.seed ^ 0xe07a_b367_11cd_4021,
+            chunk as u64,
+        ));
+        for _ in lo..hi {
+            let (u, v) = sample_edge(&self.config, &self.boundaries, &mut rng);
+            sink(u, v);
+        }
+    }
+}
+
+/// Generates a community graph through the streaming two-pass ingest — no
+/// staged edge list, same cleaning as [`community_graph`]. Bit-identical
+/// for a fixed `(config, chunk_edges)` at any `pool.threads()`.
+pub fn community_graph_streamed(
+    config: &CommunityConfig,
+    chunk_edges: usize,
+    pool: &dyn IngestPool,
+) -> Result<(CommunityGraph, IngestReport), BuildError> {
+    let (communities, _) = community_layout(config);
+    let src = CommunityChunks::new(config.clone(), chunk_edges);
+    let (graph, report) = build_chunked(&src, crate::stream::StreamConfig::cleaned(), pool)?;
+    Ok((CommunityGraph { graph, communities }, report))
 }
 
 /// Fraction of edges internal to their ground-truth community.
@@ -191,6 +274,57 @@ mod tests {
             stats.max_in,
             stats.mean_in
         );
+    }
+
+    #[test]
+    fn legacy_stream_unchanged_by_sampler_extraction() {
+        // The edge loop exactly as it stood before `sample_edge` was
+        // factored out; the staged generator must reproduce it draw for
+        // draw (seeded community graphs feed the locality experiments).
+        let config = cfg();
+        let (communities, boundaries) = community_layout(&config);
+        let mut rng = SmallRng::seed_from_u64(config.seed ^ 0xe07a_b367_11cd_4021);
+        let k = config.num_communities;
+        let pick = |rng: &mut SmallRng, start: usize, len: usize, skew: f64| -> VertexId {
+            let u: f64 = rng.gen();
+            (start + ((len as f64) * u.powf(1.0 + skew)) as usize).min(start + len - 1) as VertexId
+        };
+        let mut builder = GraphBuilder::new(config.num_vertices);
+        for _ in 0..config.num_edges {
+            let c_src = rng.gen_range(0..k);
+            let (s_start, s_len) = boundaries[c_src];
+            let u = pick(&mut rng, s_start, s_len, config.degree_skew);
+            let c_dst = if rng.gen::<f64>() < config.intra_probability {
+                c_src
+            } else {
+                let mut other = rng.gen_range(0..k - 1);
+                if other >= c_src {
+                    other += 1;
+                }
+                other
+            };
+            let (d_start, d_len) = boundaries[c_dst];
+            let v = pick(&mut rng, d_start, d_len, config.degree_skew);
+            builder.add_edge(u, v);
+        }
+        let expected = CommunityGraph { graph: builder.build(), communities };
+        let got = community_graph(&config);
+        assert_eq!(got.graph, expected.graph);
+        assert_eq!(got.communities, expected.communities);
+    }
+
+    #[test]
+    fn streamed_deterministic_and_structured() {
+        use crate::stream::ScopedPool;
+        let (a, _) = community_graph_streamed(&cfg(), 1024, &ScopedPool(1)).unwrap();
+        let (b, rep) = community_graph_streamed(&cfg(), 1024, &ScopedPool(4)).unwrap();
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.communities, b.communities);
+        assert_eq!(rep.raw_edges, 16_000);
+        // Community structure survives the chunked RNG: intra fraction
+        // still tracks intra_probability (0.7 default).
+        let f = intra_community_fraction(&a);
+        assert!(f > 0.5, "intra fraction {f}");
     }
 
     #[test]

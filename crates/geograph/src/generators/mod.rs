@@ -19,7 +19,9 @@ pub mod erdos;
 pub mod preferential;
 pub mod rmat;
 
-pub use community::{community_graph, CommunityConfig, CommunityGraph};
+pub use community::{
+    community_graph, community_graph_streamed, CommunityChunks, CommunityConfig, CommunityGraph,
+};
 pub use erdos::erdos_renyi;
-pub use preferential::preferential_attachment;
-pub use rmat::{rmat, RmatConfig};
+pub use preferential::{preferential_attachment, preferential_attachment_streamed, PrefIter};
+pub use rmat::{rmat, rmat_streamed, RmatChunks, RmatConfig};

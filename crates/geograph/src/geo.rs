@@ -58,6 +58,14 @@ impl GeoGraph {
         GeoGraph { num_dcs: config.num_dcs, locations, data_sizes, graph }
     }
 
+    /// Heap bytes: the CSR plus the per-vertex location and data-size
+    /// arrays.
+    pub fn heap_bytes(&self) -> usize {
+        self.graph.heap_bytes()
+            + self.locations.capacity() * std::mem::size_of::<DcId>()
+            + self.data_sizes.capacity() * std::mem::size_of::<u64>()
+    }
+
     /// Number of vertices.
     pub fn num_vertices(&self) -> usize {
         self.graph.num_vertices()

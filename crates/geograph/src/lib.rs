@@ -31,6 +31,7 @@
 //! bit-for-bit reproducible.
 
 pub mod builder;
+pub mod compress;
 pub mod csr;
 pub mod datasets;
 pub mod degree;
@@ -41,12 +42,15 @@ pub mod generators;
 pub mod geo;
 pub mod io;
 pub mod locality;
+pub mod mem;
 pub mod shard;
+pub mod stream;
 pub mod transform;
 pub mod weights;
 pub mod wire;
 
 pub use builder::GraphBuilder;
+pub use compress::{CompressPolicy, CompressedGraph};
 pub use csr::Graph;
 pub use datasets::Dataset;
 pub use degree::DegreeStats;
@@ -54,7 +58,12 @@ pub use delta::GraphDelta;
 pub use dynamic::{AppliedEvents, EdgeEvent, EdgeStream, EventKind, WindowSplitError, Windows};
 pub use geo::GeoGraph;
 pub use locality::LocalityConfig;
+pub use mem::{current_rss_bytes, peak_rss_bytes, MemReport};
 pub use shard::{route_delta, ShardDelta, ShardSpec, ShardView};
+pub use stream::{
+    build_chunked, build_streamed, BuildError, ChunkedEdges, IngestPool, IngestReport, ScopedPool,
+    StreamConfig,
+};
 
 /// Identifier of a vertex. Graphs are limited to `u32::MAX - 1` vertices,
 /// which keeps adjacency arrays at half the size of `usize` ids and is far

@@ -1,0 +1,621 @@
+//! Streaming two-pass CSR ingest: build a [`Graph`] from a re-emittable
+//! edge stream without ever staging a `Vec<(VertexId, VertexId)>`.
+//!
+//! The staged path ([`Graph::from_edges`] fed by [`crate::GraphBuilder`])
+//! holds three copies of every edge at peak: the builder's pair list, the
+//! cleaned clone, and the CSR arrays — ~3× the final footprint, which is
+//! what has kept benchmarks on toy scales. This module replaces staging
+//! with two passes over a [`ChunkedEdges`] source:
+//!
+//! 1. **Count** — every chunk is emitted once and per-vertex degrees are
+//!    accumulated into atomic counters (8 bytes/vertex transient, both
+//!    directions together).
+//! 2. **Scatter** — offsets come from a checked prefix sum, the chunks are
+//!    emitted again, and each edge is written straight into its CSR run
+//!    through a per-vertex atomic cursor.
+//!
+//! A third parallel sweep sorts each adjacency run, which is what makes the
+//! result *bit-identical* to [`Graph::from_edges`] at any thread count: the
+//! scatter order is racy, but a sorted run has one canonical layout.
+//! Optional cleaning (self-loop drop at emit time, per-run dedup compaction
+//! after the sort) reproduces [`crate::GraphBuilder`]'s global
+//! sort+dedup semantics exactly, because duplicates of `(u, v)` are
+//! adjacent in `u`'s sorted out-run and in `v`'s sorted in-run.
+//!
+//! Peak transient memory is the two counter planes (`8n` bytes, reused as
+//! scatter cursors) — for paper-density graphs (~14 edges/vertex) that is
+//! well under 0.2× the final CSR, vs ~2× for the staged path.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+use crate::csr::Graph;
+use crate::VertexId;
+
+/// Typed failure of a graph build — overflow and range conditions that the
+/// panicking [`Graph::from_edges`] path treats as programming errors become
+/// recoverable errors here, because at paper scale they are *data* errors
+/// (a 2^31-edge stream is a real input, not a bug).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// The vertex count does not fit [`VertexId`] (ids are `u32`; the
+    /// all-ones value is reserved).
+    TooManyVertices { n: usize },
+    /// The stream emitted ≥ 2^32 kept edges. Streamed ingest tracks
+    /// per-vertex degrees in `u32` counters (that is what keeps the
+    /// transient footprint at 8 bytes/vertex), so a stream at or past
+    /// 2^32 edges could wrap a counter; the exact total is tracked in
+    /// 64 bits so the condition is detected, not wrapped.
+    TooManyEdges { edges: u64 },
+    /// An emitted edge references a vertex `>= n`.
+    EdgeOutOfRange { u: VertexId, v: VertexId, n: usize },
+    /// CSR offset accumulation overflowed `usize`.
+    OffsetOverflow,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::TooManyVertices { n } => {
+                write!(f, "vertex count {n} exceeds VertexId range")
+            }
+            BuildError::TooManyEdges { edges } => {
+                write!(f, "edge stream emitted {edges} kept edges (streamed ingest caps at 2^32-1)")
+            }
+            BuildError::EdgeOutOfRange { u, v, n } => {
+                write!(f, "edge ({u},{v}) out of range for n={n}")
+            }
+            BuildError::OffsetOverflow => write!(f, "CSR offset accumulation overflowed usize"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// An edge source that can re-emit any chunk of its stream on demand.
+///
+/// The contract that makes two-pass ingest sound: **`emit(chunk, ·)` must
+/// produce the identical edge sequence every time it is called** for a
+/// given chunk. Generators satisfy this by deriving a fresh RNG from
+/// `(seed, chunk)`; file loaders by re-reading a byte range. Chunks may be
+/// emitted in any order, concurrently, on any thread.
+pub trait ChunkedEdges: Sync {
+    /// Number of vertices of the output graph.
+    fn num_vertices(&self) -> usize;
+    /// Number of chunks the stream is split into.
+    fn num_chunks(&self) -> usize;
+    /// Emits every edge of `chunk` (0-based) into `sink`, in a
+    /// deterministic per-chunk order.
+    fn emit(&self, chunk: usize, sink: &mut dyn FnMut(VertexId, VertexId));
+    /// Optional total-edge hint (pre-cleaning), for progress reporting.
+    fn edges_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Minimal thread-pool abstraction for ingest, so `geograph` can run on the
+/// trainer's persistent `WorkerPool` (which lives upstream in `rlcut` and
+/// therefore cannot be named here) or on plain scoped threads.
+///
+/// `run` must invoke `job(i)` exactly once for every `i in 0..threads()`,
+/// concurrently or not, and return only after all invocations finish.
+pub trait IngestPool {
+    /// Number of workers `run` will invoke.
+    fn threads(&self) -> usize;
+    /// Runs `job(0..threads())` to completion.
+    fn run(&self, job: &(dyn Fn(usize) + Sync));
+}
+
+/// The built-in [`IngestPool`]: spawns scoped threads per call. Zero setup
+/// cost, good enough for one-shot builds; long-lived training sessions pass
+/// their persistent pool instead.
+#[derive(Clone, Copy, Debug)]
+pub struct ScopedPool(pub usize);
+
+impl IngestPool for ScopedPool {
+    fn threads(&self) -> usize {
+        self.0.max(1)
+    }
+
+    fn run(&self, job: &(dyn Fn(usize) + Sync)) {
+        let t = self.threads();
+        if t == 1 {
+            job(0);
+            return;
+        }
+        std::thread::scope(|s| {
+            for i in 1..t {
+                s.spawn(move || job(i));
+            }
+            job(0);
+        });
+    }
+}
+
+/// Cleaning options for streamed builds, mirroring [`crate::GraphBuilder`]'s
+/// defaults.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamConfig {
+    /// Remove duplicate `(u, v)` edges (post-sort compaction).
+    pub dedup: bool,
+    /// Drop `(v, v)` edges at emit time.
+    pub drop_self_loops: bool,
+}
+
+impl StreamConfig {
+    /// `GraphBuilder` semantics: dedup + drop self-loops. A streamed build
+    /// with this config is bit-identical to `GraphBuilder::build` over the
+    /// same edge multiset.
+    pub fn cleaned() -> Self {
+        StreamConfig { dedup: true, drop_self_loops: true }
+    }
+
+    /// `Graph::from_edges` semantics: keep everything. A streamed build
+    /// with this config is bit-identical to `from_edges` over the same
+    /// edge multiset.
+    pub fn verbatim() -> Self {
+        StreamConfig { dedup: false, drop_self_loops: false }
+    }
+}
+
+/// What a streamed build did and what it cost in memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Edges emitted by the source (pre-cleaning).
+    pub raw_edges: u64,
+    /// Edges in the built graph.
+    pub edges: usize,
+    /// Self-loops dropped at emit time.
+    pub self_loops_dropped: u64,
+    /// Duplicate edges removed by compaction.
+    pub duplicates_removed: u64,
+    /// Heap bytes of the final CSR (both directions, offsets + targets).
+    pub csr_bytes: usize,
+    /// Peak transient heap held *in addition to* the CSR during the build
+    /// (the two atomic counter/cursor planes).
+    pub transient_bytes: usize,
+}
+
+impl IngestReport {
+    /// Peak accounted build footprint: final CSR plus transients.
+    pub fn peak_bytes(&self) -> usize {
+        self.csr_bytes + self.transient_bytes
+    }
+
+    /// Peak footprint as a multiple of the final CSR size. The staged path
+    /// sits near 2–3×; streamed ingest must stay under ~1.2×.
+    pub fn build_ratio(&self) -> f64 {
+        if self.csr_bytes == 0 {
+            return 1.0;
+        }
+        self.peak_bytes() as f64 / self.csr_bytes as f64
+    }
+}
+
+/// Shared mutable slice for the scatter pass. Each write index is claimed
+/// by a `fetch_add` on the owning vertex's cursor, so no two threads ever
+/// write the same slot.
+struct SharedSlice<T>(*mut T);
+unsafe impl<T: Send> Sync for SharedSlice<T> {}
+
+impl<T> SharedSlice<T> {
+    #[inline]
+    unsafe fn write(&self, idx: usize, value: T) {
+        unsafe { self.0.add(idx).write(value) }
+    }
+
+    /// The base pointer. A method (rather than field access) so closures
+    /// capture the whole `Sync` wrapper, not the raw pointer field.
+    #[inline]
+    fn base(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Builds a [`Graph`] from a chunked edge stream in two passes, without a
+/// staging edge list. Deterministic — bit-identical output for a fixed
+/// source and config — at any `pool.threads()`.
+pub fn build_chunked<S: ChunkedEdges + ?Sized>(
+    src: &S,
+    cfg: StreamConfig,
+    pool: &dyn IngestPool,
+) -> Result<(Graph, IngestReport), BuildError> {
+    let n = src.num_vertices();
+    if n >= VertexId::MAX as usize {
+        return Err(BuildError::TooManyVertices { n });
+    }
+    let num_chunks = src.num_chunks();
+
+    // ---- Pass 1: count degrees. ------------------------------------------
+    // One u32 counter per vertex per direction; wrap is impossible below
+    // 2^32 total kept edges, and the exact total is tracked in 64 bits so
+    // the >= 2^32 case is a typed error, never a silent wrap.
+    let out_cnt: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    let in_cnt: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    let raw_edges = AtomicU64::new(0);
+    let loops_dropped = AtomicU64::new(0);
+    // First out-of-range edge, packed (u << 32) | v; u64::MAX = none.
+    let bad_edge = AtomicU64::new(u64::MAX);
+
+    let next_chunk = AtomicUsize::new(0);
+    pool.run(&|_worker| {
+        let mut local_raw = 0u64;
+        let mut local_loops = 0u64;
+        loop {
+            let c = next_chunk.fetch_add(1, Ordering::Relaxed);
+            if c >= num_chunks {
+                break;
+            }
+            src.emit(c, &mut |u, v| {
+                local_raw += 1;
+                if (u as usize) >= n || (v as usize) >= n {
+                    let packed = ((u as u64) << 32) | v as u64;
+                    let _ = bad_edge.compare_exchange(
+                        u64::MAX,
+                        packed,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    );
+                    return;
+                }
+                if cfg.drop_self_loops && u == v {
+                    local_loops += 1;
+                    return;
+                }
+                out_cnt[u as usize].fetch_add(1, Ordering::Relaxed);
+                in_cnt[v as usize].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        raw_edges.fetch_add(local_raw, Ordering::Relaxed);
+        loops_dropped.fetch_add(local_loops, Ordering::Relaxed);
+    });
+
+    let raw_edges = raw_edges.into_inner();
+    let loops_dropped = loops_dropped.into_inner();
+    let bad = bad_edge.into_inner();
+    if bad != u64::MAX {
+        return Err(BuildError::EdgeOutOfRange {
+            u: (bad >> 32) as VertexId,
+            v: bad as VertexId,
+            n,
+        });
+    }
+    let kept = raw_edges - loops_dropped;
+    if kept > VertexId::MAX as u64 {
+        return Err(BuildError::TooManyEdges { edges: kept });
+    }
+
+    // ---- Prefix sums (checked) and allocation. ---------------------------
+    let mut out_offsets = Vec::with_capacity(n + 1);
+    let mut in_offsets = Vec::with_capacity(n + 1);
+    {
+        let mut acc_out = 0usize;
+        let mut acc_in = 0usize;
+        out_offsets.push(0);
+        in_offsets.push(0);
+        for v in 0..n {
+            acc_out = acc_out
+                .checked_add(out_cnt[v].load(Ordering::Relaxed) as usize)
+                .ok_or(BuildError::OffsetOverflow)?;
+            acc_in = acc_in
+                .checked_add(in_cnt[v].load(Ordering::Relaxed) as usize)
+                .ok_or(BuildError::OffsetOverflow)?;
+            out_offsets.push(acc_out);
+            in_offsets.push(acc_in);
+        }
+    }
+    let m = out_offsets[n];
+    debug_assert_eq!(m as u64, kept);
+    debug_assert_eq!(in_offsets[n], m);
+    let mut out_targets = vec![0 as VertexId; m];
+    let mut in_sources = vec![0 as VertexId; m];
+
+    // Reuse the counter planes as scatter cursors.
+    for c in &out_cnt {
+        c.store(0, Ordering::Relaxed);
+    }
+    for c in &in_cnt {
+        c.store(0, Ordering::Relaxed);
+    }
+
+    // ---- Pass 2: scatter. ------------------------------------------------
+    {
+        let out_slots = SharedSlice(out_targets.as_mut_ptr());
+        let in_slots = SharedSlice(in_sources.as_mut_ptr());
+        let out_offsets = &out_offsets;
+        let in_offsets = &in_offsets;
+        let out_cnt = &out_cnt;
+        let in_cnt = &in_cnt;
+        let next_chunk = AtomicUsize::new(0);
+        pool.run(&|_worker| loop {
+            let c = next_chunk.fetch_add(1, Ordering::Relaxed);
+            if c >= num_chunks {
+                break;
+            }
+            src.emit(c, &mut |u, v| {
+                let (ui, vi) = (u as usize, v as usize);
+                assert!(
+                    ui < n && vi < n,
+                    "ChunkedEdges emitted edge ({u},{v}) in pass 2 absent from pass 1"
+                );
+                if cfg.drop_self_loops && u == v {
+                    return;
+                }
+                let slot = out_cnt[ui].fetch_add(1, Ordering::Relaxed) as usize;
+                let idx = out_offsets[ui] + slot;
+                assert!(
+                    idx < out_offsets[ui + 1],
+                    "pass 2 emitted more out-edges of {u} than pass 1"
+                );
+                // SAFETY: idx is inside vertex u's run (checked above) and
+                // uniquely claimed by the fetch_add.
+                unsafe { out_slots.write(idx, v) };
+                let slot = in_cnt[vi].fetch_add(1, Ordering::Relaxed) as usize;
+                let idx = in_offsets[vi] + slot;
+                assert!(
+                    idx < in_offsets[vi + 1],
+                    "pass 2 emitted more in-edges of {v} than pass 1"
+                );
+                // SAFETY: as above, for the in-direction.
+                unsafe { in_slots.write(idx, u) };
+            });
+        });
+    }
+
+    // ---- Pass 3: canonicalize runs (parallel per-vertex-block sort). -----
+    // The scatter order within a run depends on thread interleaving; the
+    // sort erases it. This matches `Graph::from_edges`, which sorts every
+    // run, so the streamed result is bit-identical to the staged one.
+    {
+        const BLOCK: usize = 4096;
+        let num_blocks = n.div_ceil(BLOCK);
+        let out_ptr = SharedSlice(out_targets.as_mut_ptr());
+        let in_ptr = SharedSlice(in_sources.as_mut_ptr());
+        let out_offsets = &out_offsets;
+        let in_offsets = &in_offsets;
+        let next_block = AtomicUsize::new(0);
+        pool.run(&|_worker| loop {
+            let b = next_block.fetch_add(1, Ordering::Relaxed);
+            if b >= num_blocks {
+                break;
+            }
+            let lo = b * BLOCK;
+            let hi = (lo + BLOCK).min(n);
+            for v in lo..hi {
+                // SAFETY: runs [offsets[v], offsets[v+1]) are disjoint per
+                // vertex, and each vertex belongs to exactly one block.
+                unsafe {
+                    let run = std::slice::from_raw_parts_mut(
+                        out_ptr.base().add(out_offsets[v]),
+                        out_offsets[v + 1] - out_offsets[v],
+                    );
+                    run.sort_unstable();
+                    let run = std::slice::from_raw_parts_mut(
+                        in_ptr.base().add(in_offsets[v]),
+                        in_offsets[v + 1] - in_offsets[v],
+                    );
+                    run.sort_unstable();
+                }
+            }
+        });
+        let _ = (out_ptr, in_ptr);
+    }
+
+    // ---- Optional dedup compaction (sequential, in place). ---------------
+    // Duplicates of (u, v) sit adjacent in u's sorted out-run *and* in v's
+    // sorted in-run, so per-run dedup removes exactly the same edge set in
+    // both directions — equivalent to GraphBuilder's global sort+dedup.
+    let mut duplicates_removed = 0u64;
+    if cfg.dedup {
+        let before = out_targets.len();
+        compact_runs(&mut out_offsets, &mut out_targets);
+        compact_runs(&mut in_offsets, &mut in_sources);
+        debug_assert_eq!(out_targets.len(), in_sources.len());
+        duplicates_removed = (before - out_targets.len()) as u64;
+    }
+
+    let transient_bytes = 2 * n * std::mem::size_of::<AtomicU32>();
+    drop(out_cnt);
+    drop(in_cnt);
+
+    let graph = Graph::from_csr_parts(n, out_offsets, out_targets, in_offsets, in_sources);
+    let csr_bytes = graph.heap_bytes();
+    let report = IngestReport {
+        raw_edges,
+        edges: graph.num_edges(),
+        self_loops_dropped: loops_dropped,
+        duplicates_removed,
+        csr_bytes,
+        transient_bytes,
+    };
+    Ok((graph, report))
+}
+
+/// Removes adjacent duplicates from every sorted run, shifting the flat
+/// array left and rewriting offsets in place. The flat vector is truncated
+/// but not shrunk — reallocating to reclaim the slack would transiently
+/// hold two copies, defeating the footprint goal; the slack equals the
+/// duplicate count (4 bytes each), negligible for generator streams.
+fn compact_runs(offsets: &mut [usize], flat: &mut Vec<VertexId>) {
+    let n = offsets.len() - 1;
+    let mut w = 0usize;
+    let mut run_start = offsets[0];
+    for v in 0..n {
+        let run_end = offsets[v + 1];
+        let mut prev: Option<VertexId> = None;
+        for i in run_start..run_end {
+            let t = flat[i];
+            if prev != Some(t) {
+                flat[w] = t;
+                w += 1;
+                prev = Some(t);
+            }
+        }
+        run_start = run_end;
+        offsets[v + 1] = w;
+    }
+    flat.truncate(w);
+}
+
+/// Adapter: a re-creatable sequential iterator as a one-chunk stream. The
+/// factory is called once per pass.
+struct IterSource<F> {
+    n: usize,
+    make_iter: F,
+}
+
+impl<I, F> ChunkedEdges for IterSource<F>
+where
+    I: Iterator<Item = (VertexId, VertexId)>,
+    F: Fn() -> I + Sync,
+{
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    fn num_chunks(&self) -> usize {
+        1
+    }
+
+    fn emit(&self, _chunk: usize, sink: &mut dyn FnMut(VertexId, VertexId)) {
+        for (u, v) in (self.make_iter)() {
+            sink(u, v);
+        }
+    }
+}
+
+/// Builds a [`Graph`] from a sequential edge stream that can be replayed
+/// from scratch (`make_iter` is called once per pass). For inherently
+/// sequential sources — preferential attachment, arrival-ordered event
+/// logs — where chunk-parallel emission is impossible but the staging copy
+/// is still worth eliminating.
+pub fn build_streamed<I, F>(
+    n: usize,
+    make_iter: F,
+    cfg: StreamConfig,
+) -> Result<(Graph, IngestReport), BuildError>
+where
+    I: Iterator<Item = (VertexId, VertexId)>,
+    F: Fn() -> I + Sync,
+{
+    build_chunked(&IterSource { n, make_iter }, cfg, &ScopedPool(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// A fixed edge list exposed as a chunked stream.
+    struct VecSource {
+        n: usize,
+        chunk: usize,
+        edges: Vec<(VertexId, VertexId)>,
+    }
+
+    impl ChunkedEdges for VecSource {
+        fn num_vertices(&self) -> usize {
+            self.n
+        }
+        fn num_chunks(&self) -> usize {
+            self.edges.len().div_ceil(self.chunk).max(1)
+        }
+        fn emit(&self, chunk: usize, sink: &mut dyn FnMut(VertexId, VertexId)) {
+            let lo = chunk * self.chunk;
+            let hi = (lo + self.chunk).min(self.edges.len());
+            for &(u, v) in &self.edges[lo..hi] {
+                sink(u, v);
+            }
+        }
+    }
+
+    fn messy_edges() -> Vec<(VertexId, VertexId)> {
+        // Duplicates, self-loops, out-of-order, hub vertex 0.
+        let mut e = vec![(3, 3), (1, 0), (0, 2), (0, 2), (2, 1), (0, 1), (4, 0), (0, 3)];
+        for i in 0..50 {
+            e.push((0, (i % 5) as VertexId));
+            e.push(((i % 5) as VertexId, 0));
+        }
+        e
+    }
+
+    #[test]
+    fn verbatim_matches_from_edges() {
+        let edges = messy_edges();
+        let staged = Graph::from_edges(5, &edges);
+        for threads in [1, 2, 4] {
+            for chunk in [1, 3, 1000] {
+                let src = VecSource { n: 5, chunk, edges: edges.clone() };
+                let (g, rep) =
+                    build_chunked(&src, StreamConfig::verbatim(), &ScopedPool(threads)).unwrap();
+                assert_eq!(g, staged, "threads={threads} chunk={chunk}");
+                assert_eq!(rep.raw_edges as usize, edges.len());
+                assert_eq!(rep.edges, edges.len());
+            }
+        }
+    }
+
+    #[test]
+    fn cleaned_matches_graph_builder() {
+        let edges = messy_edges();
+        let mut b = GraphBuilder::new(5);
+        b.add_edges(edges.iter().copied());
+        let staged = b.build();
+        for threads in [1, 3] {
+            let src = VecSource { n: 5, chunk: 4, edges: edges.clone() };
+            let (g, rep) =
+                build_chunked(&src, StreamConfig::cleaned(), &ScopedPool(threads)).unwrap();
+            assert_eq!(g, staged, "threads={threads}");
+            // (3,3) plus the 20 (0,0) pairs from the hub loop.
+            assert_eq!(rep.self_loops_dropped, 21);
+            assert!(rep.duplicates_removed > 0);
+            assert_eq!(rep.edges, staged.num_edges());
+        }
+    }
+
+    #[test]
+    fn empty_stream() {
+        let src = VecSource { n: 3, chunk: 8, edges: vec![] };
+        let (g, rep) = build_chunked(&src, StreamConfig::cleaned(), &ScopedPool(2)).unwrap();
+        assert_eq!(g, Graph::empty(3));
+        assert_eq!(rep.raw_edges, 0);
+        // Offset arrays still exist, so the ratio is finite and >= 1.
+        assert!(rep.build_ratio() >= 1.0);
+    }
+
+    #[test]
+    fn out_of_range_is_typed_error() {
+        let src = VecSource { n: 3, chunk: 8, edges: vec![(0, 1), (5, 1)] };
+        let err = build_chunked(&src, StreamConfig::verbatim(), &ScopedPool(1)).unwrap_err();
+        assert_eq!(err, BuildError::EdgeOutOfRange { u: 5, v: 1, n: 3 });
+    }
+
+    #[test]
+    fn too_many_vertices_is_typed_error() {
+        let src = VecSource { n: u32::MAX as usize, chunk: 8, edges: vec![] };
+        let err = build_chunked(&src, StreamConfig::verbatim(), &ScopedPool(1)).unwrap_err();
+        assert!(matches!(err, BuildError::TooManyVertices { .. }));
+    }
+
+    #[test]
+    fn sequential_stream_matches_staged() {
+        let edges = messy_edges();
+        let staged = Graph::from_edges(5, &edges);
+        let (g, _) = build_streamed(5, || edges.iter().copied(), StreamConfig::verbatim()).unwrap();
+        assert_eq!(g, staged);
+    }
+
+    #[test]
+    fn report_accounts_transients() {
+        let src = VecSource { n: 5, chunk: 4, edges: messy_edges() };
+        let (g, rep) = build_chunked(&src, StreamConfig::verbatim(), &ScopedPool(2)).unwrap();
+        assert_eq!(rep.csr_bytes, g.heap_bytes());
+        assert_eq!(rep.transient_bytes, 2 * 5 * 4);
+        assert!(rep.build_ratio() > 1.0);
+    }
+
+    #[test]
+    fn display_messages() {
+        assert!(BuildError::OffsetOverflow.to_string().contains("overflow"));
+        assert!(BuildError::EdgeOutOfRange { u: 1, v: 2, n: 1 }.to_string().contains("(1,2)"));
+    }
+}

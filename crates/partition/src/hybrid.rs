@@ -329,6 +329,12 @@ impl<'g> HybridState<'g> {
         &self.core
     }
 
+    /// Heap bytes of the owned placement state (the borrowed graph is the
+    /// caller's to account).
+    pub fn heap_bytes(&self) -> usize {
+        self.core.heap_bytes()
+    }
+
     /// The graph this plan partitions.
     pub fn geo(&self) -> &'g GeoGraph {
         self.geo

@@ -222,6 +222,33 @@ impl MoveScratch {
         let m = self.m;
         &mut self.objectives[..m]
     }
+
+    /// Heap bytes held by this arena: the staged-neighbor buffer plus the
+    /// fourteen len-M projection rows, four M×M destination arenas and the
+    /// per-destination objectives.
+    pub fn heap_bytes(&self) -> usize {
+        let f64s = self.mid_gu.capacity()
+            + self.mid_gd.capacity()
+            + self.mid_au.capacity()
+            + self.mid_ad.capacity()
+            + self.one_gu.capacity()
+            + self.one_gd.capacity()
+            + self.one_au.capacity()
+            + self.one_ad.capacity()
+            + self.row_gu.capacity()
+            + self.row_gd.capacity()
+            + self.row_au.capacity()
+            + self.row_ad.capacity()
+            + self.def_g.capacity()
+            + self.def_a.capacity()
+            + self.dest_gu.capacity()
+            + self.dest_gd.capacity()
+            + self.dest_au.capacity()
+            + self.dest_ad.capacity();
+        f64s * std::mem::size_of::<f64>()
+            + self.neighbors.capacity() * std::mem::size_of::<(VertexId, CntDelta)>()
+            + self.objectives.capacity() * std::mem::size_of::<Objective>()
+    }
 }
 
 /// Capacity snapshot of a [`MoveScratch`] (see [`MoveScratch::stats`]).

@@ -417,6 +417,33 @@ impl PlacementState {
         self.num_dcs
     }
 
+    /// Named heap components of this state, for memory reports. The count
+    /// planes (`2·M` u32 lanes per vertex) dominate; everything else is
+    /// per-vertex scalars or per-DC accumulators.
+    pub fn mem_components(&self) -> Vec<(&'static str, usize)> {
+        vec![
+            ("counts", self.counts.capacity() * std::mem::size_of::<u32>()),
+            ("vertex_meta", self.meta.capacity() * std::mem::size_of::<VertexMeta>()),
+            ("masters", self.masters.capacity() * std::mem::size_of::<DcId>()),
+            ("is_high", self.is_high.capacity() * std::mem::size_of::<bool>()),
+            (
+                "traffic_profile",
+                (self.profile.gather_bytes.capacity() + self.profile.apply_bytes.capacity())
+                    * std::mem::size_of::<f32>(),
+            ),
+            (
+                "dc_accumulators",
+                self.edges_per_dc.capacity() * std::mem::size_of::<u64>()
+                    + 2 * 2 * self.num_dcs * std::mem::size_of::<f64>(),
+            ),
+        ]
+    }
+
+    /// Total heap bytes of this state (sum of [`Self::mem_components`]).
+    pub fn heap_bytes(&self) -> usize {
+        self.mem_components().iter().map(|(_, b)| b).sum()
+    }
+
     /// Master location of every vertex — the RL *state* (§IV-B).
     pub fn masters(&self) -> &[DcId] {
         &self.masters

@@ -1,0 +1,186 @@
+//! Property tests of the paper-scale graph substrate: streamed chunked CSR
+//! ingest must be bit-identical to the staged builders at any thread count
+//! and chunking, and the delta-compressed cold-adjacency representation
+//! must be observationally equal to the raw CSR on every row shape.
+
+use geograph::generators::{rmat_streamed, RmatConfig};
+use geograph::{
+    build_chunked, ChunkedEdges, CompressPolicy, CompressedGraph, Graph, GraphBuilder, ScopedPool,
+    StreamConfig, VertexId,
+};
+use proptest::prelude::*;
+
+/// A deterministic in-memory chunk source over a pre-split edge list.
+struct VecChunks {
+    n: usize,
+    chunks: Vec<Vec<(VertexId, VertexId)>>,
+}
+
+impl VecChunks {
+    /// Splits `edges` into `num_chunks` contiguous runs.
+    fn split(n: usize, edges: &[(VertexId, VertexId)], num_chunks: usize) -> VecChunks {
+        let per = edges.len().div_ceil(num_chunks.max(1)).max(1);
+        VecChunks { n, chunks: edges.chunks(per).map(<[_]>::to_vec).collect() }
+    }
+}
+
+impl ChunkedEdges for VecChunks {
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+    fn num_chunks(&self) -> usize {
+        self.chunks.len().max(1)
+    }
+    fn emit(&self, chunk: usize, sink: &mut dyn FnMut(VertexId, VertexId)) {
+        if let Some(c) = self.chunks.get(chunk) {
+            for &(u, v) in c {
+                sink(u, v);
+            }
+        }
+    }
+}
+
+/// `(n, edges)` with duplicate- and self-loop-heavy edge lists: endpoints
+/// are drawn from a small range so collisions are the norm, not the
+/// exception.
+fn arb_edges() -> impl Strategy<Value = (usize, Vec<(VertexId, VertexId)>)> {
+    (2usize..24).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as VertexId, 0..n as VertexId), 0..120);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    /// The verify.sh-gated contract: for any edge list (duplicates and
+    /// self-loops included), any chunking, and any thread count, the
+    /// streamed two-pass build equals `Graph::from_edges` bit-for-bit in
+    /// verbatim mode and `GraphBuilder::build` in cleaned mode.
+    #[test]
+    fn streamed_build_matches_staged((n, edges) in arb_edges()) {
+        let staged = Graph::from_edges(n, &edges);
+        let built = {
+            let mut b = GraphBuilder::new(n);
+            for &(u, v) in &edges {
+                if u != v {
+                    b.add_edge(u, v);
+                }
+            }
+            b.build()
+        };
+        for num_chunks in [1usize, 3, 7] {
+            let src = VecChunks::split(n, &edges, num_chunks);
+            for threads in [1usize, 2, 4, 8] {
+                let pool = ScopedPool(threads);
+                let (verbatim, _) = build_chunked(&src, StreamConfig::verbatim(), &pool)
+                    .expect("verbatim build");
+                prop_assert_eq!(
+                    &verbatim, &staged,
+                    "verbatim diverged at {} chunks / {} threads", num_chunks, threads
+                );
+                let (cleaned, report) = build_chunked(&src, StreamConfig::cleaned(), &pool)
+                    .expect("cleaned build");
+                prop_assert_eq!(
+                    &cleaned, &built,
+                    "cleaned diverged at {} chunks / {} threads", num_chunks, threads
+                );
+                prop_assert_eq!(report.edges, cleaned.num_edges());
+            }
+        }
+    }
+
+    /// Compressed adjacency is observationally equal to the raw CSR for
+    /// every row — degrees, neighbor runs (duplicates preserved), and the
+    /// exact round-trip — under every hot/cold split.
+    #[test]
+    fn compressed_matches_raw((n, edges) in arb_edges()) {
+        let graph = Graph::from_edges(n, &edges);
+        for policy in [
+            CompressPolicy::all_cold(),
+            CompressPolicy::auto(),
+            CompressPolicy { hot_min_degree: 1 },
+        ] {
+            let compressed = CompressedGraph::from_graph(&graph, policy);
+            let mut buf = Vec::new();
+            for v in 0..n as VertexId {
+                prop_assert_eq!(compressed.out_degree(v), graph.out_degree(v));
+                prop_assert_eq!(compressed.in_degree(v), graph.in_degree(v));
+                prop_assert_eq!(compressed.out_neighbors(v, &mut buf), graph.out_neighbors(v));
+                let iterated: Vec<VertexId> = compressed.in_neighbors_iter(v).collect();
+                prop_assert_eq!(&iterated[..], graph.in_neighbors(v));
+            }
+            prop_assert_eq!(&compressed.to_graph(), &graph);
+        }
+    }
+}
+
+#[test]
+fn streamed_rmat_deterministic_across_thread_counts() {
+    let config = RmatConfig::social(1 << 11, 1 << 14);
+    let (reference, report) = rmat_streamed(&config, 9, 1 << 10, &ScopedPool(1)).unwrap();
+    assert!(report.edges > 0);
+    for threads in [2usize, 4, 8] {
+        let (g, r) = rmat_streamed(&config, 9, 1 << 10, &ScopedPool(threads)).unwrap();
+        assert_eq!(g, reference, "streamed R-MAT diverged at {threads} threads");
+        assert_eq!(r.edges, report.edges);
+    }
+}
+
+#[test]
+fn compressed_handles_empty_and_max_degree_rows() {
+    // Vertex 0 is a maximal-degree hub in both directions; vertices past
+    // the fan are fully isolated (empty rows in both directions).
+    let n = 600usize;
+    let mut edges = Vec::new();
+    for v in 1..300 as VertexId {
+        edges.push((0, v));
+        edges.push((v, 0));
+    }
+    let graph = Graph::from_edges(n, &edges);
+    for policy in [CompressPolicy::all_cold(), CompressPolicy::auto()] {
+        let compressed = CompressedGraph::from_graph(&graph, policy);
+        let mut buf = Vec::new();
+        assert_eq!(compressed.out_neighbors(0, &mut buf), graph.out_neighbors(0));
+        assert_eq!(compressed.out_degree(0), 299);
+        for v in 300..n as VertexId {
+            assert_eq!(compressed.out_degree(v), 0);
+            assert!(compressed.out_neighbors(v, &mut buf).is_empty());
+            assert!(compressed.in_neighbors_iter(v).next().is_none());
+        }
+        assert_eq!(compressed.to_graph(), graph);
+    }
+}
+
+#[test]
+fn compression_shrinks_a_dense_tail() {
+    // Degree ~12 per vertex with mostly-local targets: gap encoding packs
+    // each neighbor into 1–2 bytes vs 4 raw, comfortably beating the
+    // second offset array the compressed form carries. (The sparse hub
+    // fixture above is the opposite regime — per-vertex overhead dominates
+    // at degree 1 and compression rightly loses there.)
+    let n = 600usize;
+    let mut edges = Vec::new();
+    for v in 0..n as VertexId {
+        for k in 1..=12 {
+            edges.push((v, (v + k) % n as VertexId));
+        }
+    }
+    let graph = Graph::from_edges(n, &edges);
+    let cold = CompressedGraph::from_graph(&graph, CompressPolicy::all_cold());
+    assert!(
+        cold.heap_bytes() < graph.heap_bytes(),
+        "compression saved nothing: {} vs raw {}",
+        cold.heap_bytes(),
+        graph.heap_bytes()
+    );
+    assert_eq!(cold.to_graph(), graph);
+}
+
+#[test]
+fn empty_graph_streams_and_compresses() {
+    let src = VecChunks::split(5, &[], 1);
+    let (g, report) = build_chunked(&src, StreamConfig::cleaned(), &ScopedPool(4)).unwrap();
+    assert_eq!(g, Graph::empty(5));
+    assert_eq!(report.edges, 0);
+    let compressed = CompressedGraph::from_graph(&g, CompressPolicy::auto());
+    assert_eq!(compressed.to_graph(), g);
+}
