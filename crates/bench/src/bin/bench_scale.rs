@@ -14,10 +14,16 @@
 //!   bench_scale [--scale f] [--seed n] [--threads n] [--chunk-edges n]
 //!               [--steps n] [--sample-rate f] [--max-scan n] [--out path]
 //!               [--assert-max-bytes-per-edge f] [--assert-build-ratio f]
+//!               [--shards n] [--assert-shard-peak-frac f]
 //!
 //! `--assert-max-bytes-per-edge f` exits non-zero unless the CSR costs at
 //! most `f` bytes per directed edge; `--assert-build-ratio f` gates the
-//! streamed build's peak-over-final memory ratio. Both are used by
+//! streamed build's peak-over-final memory ratio. `--shards n` replays
+//! the same chunked source through the shard-resident ingest
+//! ([`geograph::ShardView::build_streamed`]) — each shard's view is
+//! cross-checked bit-identical against the staged build, and
+//! `--assert-shard-peak-frac f` gates every shard's peak footprint
+//! (view + transients) at `f` times the full CSR. All gates are used by
 //! `scripts/verify.sh`.
 
 use std::fmt::Write as _;
@@ -41,6 +47,8 @@ struct Args {
     out: String,
     assert_max_bytes_per_edge: Option<f64>,
     assert_build_ratio: Option<f64>,
+    shards: usize,
+    assert_shard_peak_frac: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -55,6 +63,8 @@ fn parse_args() -> Args {
         out: "BENCH_scale.json".to_string(),
         assert_max_bytes_per_edge: None,
         assert_build_ratio: None,
+        shards: 0,
+        assert_shard_peak_frac: None,
     };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -80,6 +90,11 @@ fn parse_args() -> Args {
             "--assert-build-ratio" => {
                 args.assert_build_ratio =
                     Some(value.parse().expect("--assert-build-ratio takes a float"))
+            }
+            "--shards" => args.shards = value.parse().expect("--shards takes an integer"),
+            "--assert-shard-peak-frac" => {
+                args.assert_shard_peak_frac =
+                    Some(value.parse().expect("--assert-shard-peak-frac takes a float"))
             }
             other => panic!("unknown option {other}"),
         }
@@ -134,7 +149,50 @@ fn main() {
         compress_start.elapsed().as_secs_f64(),
     );
 
-    // 3. A short scan-capped training window over the freshly built graph.
+    // 3. Shard-resident ingest: replay the same chunked source into one
+    //    view per shard without the global CSR. Each view is cross-checked
+    //    bit-identical against the staged build, and the per-shard peak
+    //    (view + transient planes) is what a shard node would actually
+    //    resident — the quantity `--assert-shard-peak-frac` gates.
+    let mut shard_rows: Vec<(usize, usize, usize, usize, f64)> = Vec::new();
+    let mut shard_peak_frac_max = 0.0_f64;
+    if args.shards > 0 {
+        let shard_start = Instant::now();
+        let src =
+            geograph::generators::RmatChunks::new(rmat_config, derived_seed, args.chunk_edges);
+        // Edge-balanced contiguous ranges: R-MAT piles its hubs into the
+        // low id region, so an even vertex split would leave shard 0
+        // holding most of the adjacency. (A pure shard-resident deployment
+        // derives the same boundaries from a degree-counting pass.)
+        let spec = geograph::ShardSpec::balanced(&graph, args.shards);
+        for s in 0..args.shards {
+            let (view, shard_report) = geograph::ShardView::build_streamed(
+                &src,
+                geograph::StreamConfig::cleaned(),
+                &spec,
+                s,
+                &pool,
+            )
+            .unwrap_or_else(|e| panic!("shard {s} streamed build failed: {e}"));
+            assert_eq!(
+                view,
+                geograph::ShardView::build(&graph, &spec, s),
+                "shard {s}: streamed view diverged from the staged build"
+            );
+            let peak = shard_report.peak_bytes();
+            let frac = peak as f64 / report.csr_bytes.max(1) as f64;
+            shard_peak_frac_max = shard_peak_frac_max.max(frac);
+            shard_rows.push((s, view.heap_bytes(), shard_report.transient_bytes, peak, frac));
+        }
+        eprintln!(
+            "  shards: {} shard-resident ingests in {:.2}s; max peak {:.1}% of the full CSR",
+            args.shards,
+            shard_start.elapsed().as_secs_f64(),
+            shard_peak_frac_max * 100.0,
+        );
+    }
+
+    // 4. A short scan-capped training window over the freshly built graph.
     let geo = GeoGraph::from_graph(graph, &LocalityConfig::paper_default(args.seed));
     let env = ec2_eight_regions();
     let budget = geosim::cost::default_budget(&env, &geo.locations, &geo.data_sizes, 0.4);
@@ -157,7 +215,7 @@ fn main() {
         result.total_migrations(),
     );
 
-    // 4. The footprint report. `geo_metadata` is the location/data-size
+    // 5. The footprint report. `geo_metadata` is the location/data-size
     //    overlay GeoGraph adds on top of the CSR.
     let mut mem = MemReport::new(report.edges as u64);
     mem.add("csr", geo.graph.heap_bytes());
@@ -192,6 +250,7 @@ fn main() {
     let _ = writeln!(json, "  \"build_peak_over_final_ratio\": {:.4},", report.build_ratio());
     let _ = writeln!(json, "  \"csr_bytes\": {},", report.csr_bytes);
     let _ = writeln!(json, "  \"csr_bytes_per_edge\": {csr_bpe:.3},");
+    let _ = writeln!(json, "  \"offset_width_bits\": {},", geo.graph.offset_width().bytes() * 8);
     let _ = writeln!(json, "  \"compressed_bytes\": {compressed_bytes},");
     let _ = writeln!(json, "  \"compressed_bytes_per_edge\": {compressed_bpe:.3},");
     let _ = writeln!(json, "  \"hot_rows\": {hot_rows},");
@@ -201,6 +260,21 @@ fn main() {
     let _ = writeln!(json, "  \"max_scan\": {},", args.max_scan);
     let _ = writeln!(json, "  \"agents_per_step\": {agents_per_step},");
     let _ = writeln!(json, "  \"migrations\": {},", result.total_migrations());
+    let _ = writeln!(json, "  \"shards\": {},", args.shards);
+    if !shard_rows.is_empty() {
+        json.push_str("  \"shard_resident\": [\n");
+        for (i, (s, view_bytes, transient_bytes, peak, frac)) in shard_rows.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "    {{\"shard\": {s}, \"view_bytes\": {view_bytes}, \
+                 \"transient_bytes\": {transient_bytes}, \"peak_bytes\": {peak}, \
+                 \"peak_frac_of_csr\": {frac:.4}}}{}",
+                if i + 1 < shard_rows.len() { "," } else { "" },
+            );
+        }
+        json.push_str("  ],\n");
+        let _ = writeln!(json, "  \"shard_peak_frac_max\": {shard_peak_frac_max:.4},");
+    }
     json.push_str(&geobench::mem_json_field(&mem));
     let _ = writeln!(json, "  \"sample_rate\": {}", args.sample_rate);
     json.push_str("}\n");
@@ -220,6 +294,15 @@ fn main() {
             ratio <= ceiling,
             "streamed build peaked at {ratio:.3}x the final CSR (ceiling {ceiling}x): \
              an O(E) staging copy crept back into the ingest path"
+        );
+    }
+    if let Some(ceiling) = args.assert_shard_peak_frac {
+        assert!(args.shards > 0, "--assert-shard-peak-frac requires --shards");
+        assert!(
+            shard_peak_frac_max <= ceiling,
+            "a shard-resident ingest peaked at {:.3}x the full CSR (ceiling {ceiling}x): \
+             the per-shard footprint is no longer a fraction of the graph",
+            shard_peak_frac_max,
         );
     }
 }

@@ -353,10 +353,10 @@ fn main() {
 
     // 4. Restart: a fresh boot must serve the last published plan
     //    bit-exactly, without retraining.
-    let (final_masters, final_window) = {
+    let (final_masters, final_window, table_bytes) = {
         let mut reader = server.reader();
         let guard = reader.pin();
-        (guard.masters().to_vec(), guard.window())
+        (guard.masters().to_vec(), guard.window(), guard.heap_bytes())
     };
     drop(trainer); // second "death"
     let (reborn, reboot) = PlacementServer::boot_from_store(&dir, &env).expect("reboot");
@@ -412,6 +412,13 @@ fn main() {
     let mut mem = geograph::MemReport::new(final_graph.num_edges() as u64);
     mem.add("final_graph_csr", final_graph.heap_bytes());
     mem.add("published_plan", final_masters.len() * std::mem::size_of::<geograph::DcId>());
+    mem.add("routing_table", table_bytes);
+    let _ = writeln!(json, "  \"routing_table_bytes\": {table_bytes},");
+    let _ = writeln!(
+        json,
+        "  \"routing_table_bytes_per_vertex\": {:.3},",
+        table_bytes as f64 / final_masters.len().max(1) as f64,
+    );
     json.push_str(&geobench::mem_json_field(&mem));
     let _ = writeln!(json, "  \"restart_bit_exact\": {restart_bit_exact}");
     json.push_str("}\n");

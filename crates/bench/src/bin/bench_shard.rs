@@ -78,6 +78,12 @@ struct RunRecord {
     migrations: usize,
     shuffle_bytes: u64,
     ghost_vertices: usize,
+    /// Largest single shard's view footprint — the graph-plane bytes one
+    /// shard node keeps resident.
+    view_bytes_max: usize,
+    /// Sum of all view footprints (owned rows appear once; fringe rows
+    /// are the replication overhead vs the global CSR).
+    view_bytes_total: usize,
 }
 
 impl RunRecord {
@@ -97,6 +103,15 @@ fn run_cell(
     reps: usize,
 ) -> (RunRecord, Vec<geograph::DcId>) {
     let profile = geopart::TrafficProfile::uniform(geo.num_vertices(), 8.0);
+    // The same views ShardedTrainer::new builds, measured for the
+    // resident-bytes columns (reps reuse the numbers — views are a pure
+    // function of graph + spec).
+    let spec = geograph::ShardSpec::contiguous(geo.num_vertices(), shards);
+    let view_sizes: Vec<usize> = (0..shards)
+        .map(|s| geograph::ShardView::build(&geo.graph, &spec, s).heap_bytes())
+        .collect();
+    let view_bytes_max = view_sizes.iter().copied().max().unwrap_or(0);
+    let view_bytes_total = view_sizes.iter().sum();
     let mut best: Option<(RunRecord, Vec<geograph::DcId>)> = None;
     for _ in 0..reps.max(1) {
         let state = HybridState::from_masters(
@@ -122,6 +137,8 @@ fn run_cell(
             migrations: result.total_migrations(),
             shuffle_bytes,
             ghost_vertices,
+            view_bytes_max,
+            view_bytes_total,
         };
         let masters = result.state.core().masters().to_vec();
         if best.as_ref().is_none_or(|(b, _)| record.total < b.total) {
@@ -215,7 +232,7 @@ fn main() {
     for (i, r) in records.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"shards\": {}, \"steps_per_sec\": {:.4}, \"total_secs\": {:.6}, \"score_secs\": {:.6}, \"migrate_secs\": {:.6}, \"migrations\": {}, \"shuffle_bytes\": {}, \"ghost_vertices\": {}}}",
+            "    {{\"shards\": {}, \"steps_per_sec\": {:.4}, \"total_secs\": {:.6}, \"score_secs\": {:.6}, \"migrate_secs\": {:.6}, \"migrations\": {}, \"shuffle_bytes\": {}, \"ghost_vertices\": {}, \"shard_resident_bytes_max\": {}, \"shard_resident_bytes_total\": {}}}",
             r.shards,
             r.steps_per_sec(),
             r.total.as_secs_f64(),
@@ -224,6 +241,8 @@ fn main() {
             r.migrations,
             r.shuffle_bytes,
             r.ghost_vertices,
+            r.view_bytes_max,
+            r.view_bytes_total,
         );
         json.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }

@@ -71,8 +71,8 @@ pub use durable::{DurableAdaptive, DurableWindowError, RecoverySummary};
 pub use pool::{PoolError, WorkerPool};
 pub use recovery::{train_under_faults, FaultTrainReport};
 pub use shard::{
-    partition_sharded, refresh_views, InProcessShuffle, ShardCarry, ShardError, ShardedTrainer,
-    ShuffleMsg, ShuffleTransport,
+    partition_sharded, refresh_views, shard_carry_streamed, InProcessShuffle, ShardCarry,
+    ShardError, ShardedTrainer, ShuffleMsg, ShuffleTransport,
 };
 pub use stats::{RlCutResult, StepStats};
 pub use trainer::{partition, partition_from, SessionResources, TrainerSession};

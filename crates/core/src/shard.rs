@@ -40,7 +40,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use geograph::shard::ShardDelta;
-use geograph::{DcId, GeoGraph, GraphDelta, ShardSpec, ShardView, VertexId};
+use geograph::{
+    BuildError, ChunkedEdges, DcId, GeoGraph, GraphDelta, IngestPool, ShardIngestReport, ShardSpec,
+    ShardView, StreamConfig, VertexId,
+};
 use geopart::shard::{export_row, RowSync, ShardPlacement};
 use geopart::{HybridState, MoveScratch, Objective, TrafficProfile};
 use geosim::{CloudEnv, StageLoads};
@@ -362,6 +365,32 @@ pub fn refresh_views(carry: &mut ShardCarry, graph: &geograph::Graph, delta: &Gr
         }
     }
     rebuilt
+}
+
+/// Builds a [`ShardCarry`] straight from a chunked edge stream, one
+/// shard-resident ingest per shard — the global CSR is never
+/// materialized, so the peak footprint is a single shard's view plus its
+/// transient planes rather than the whole graph. The resulting views are
+/// bit-identical to `ShardView::build` over the staged graph (see
+/// [`ShardView::build_streamed`]), so a trainer constructed from this
+/// carry via [`ShardedTrainer::with_parts`] trains the exact same
+/// masters. Returns the per-shard ingest reports alongside the carry for
+/// footprint accounting.
+pub fn shard_carry_streamed<S: ChunkedEdges + ?Sized>(
+    src: &S,
+    cfg: StreamConfig,
+    num_shards: usize,
+    pool: &dyn IngestPool,
+) -> Result<(ShardCarry, Vec<ShardIngestReport>), BuildError> {
+    let spec = ShardSpec::contiguous(src.num_vertices(), num_shards);
+    let mut views = Vec::with_capacity(num_shards);
+    let mut reports = Vec::with_capacity(num_shards);
+    for s in 0..num_shards {
+        let (view, report) = ShardView::build_streamed(src, cfg, &spec, s, pool)?;
+        views.push(view);
+        reports.push(report);
+    }
+    Ok((ShardCarry { spec, views }, reports))
 }
 
 /// The sharded twin of [`TrainerSession`]: same Fig 5 loop, same Fig 7
@@ -1024,5 +1053,112 @@ mod tests {
         let rebuilt = refresh_views(&mut carry, &next, &delta);
         assert_eq!(rebuilt, 1, "only the owning shard's view must refresh");
         assert_eq!(carry.views[1].out_neighbors_of(5).len(), 1);
+    }
+
+    /// Chunked replay of an in-memory edge list, for driving the
+    /// shard-resident ingest path.
+    struct VecSource {
+        n: usize,
+        chunk: usize,
+        edges: Vec<(VertexId, VertexId)>,
+    }
+
+    impl geograph::ChunkedEdges for VecSource {
+        fn num_vertices(&self) -> usize {
+            self.n
+        }
+
+        fn num_chunks(&self) -> usize {
+            self.edges.len().div_ceil(self.chunk).max(1)
+        }
+
+        fn emit(&self, chunk: usize, sink: &mut dyn FnMut(VertexId, VertexId)) {
+            let lo = chunk * self.chunk;
+            let hi = (lo + self.chunk).min(self.edges.len());
+            for &(u, v) in &self.edges[lo..hi] {
+                sink(u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_carry_trains_identical_masters_across_windows() {
+        use geograph::dynamic::{EdgeEvent, EventKind};
+
+        let (geo, env) = setup(37);
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let cfg = config(&geo, &env);
+
+        // Shard-resident ingest of the snapshot's edge multiset: the
+        // global CSR is never rebuilt, yet every view must be bit-identical
+        // to the staged build over `geo.graph`.
+        let edges: Vec<(VertexId, VertexId)> = (0..geo.num_vertices() as VertexId)
+            .flat_map(|u| geo.graph.out_neighbors(u).iter().map(move |&v| (u, v)))
+            .collect();
+        let src = VecSource { n: geo.num_vertices(), chunk: 97, edges };
+        let (carry, reports) = shard_carry_streamed(
+            &src,
+            geograph::StreamConfig::verbatim(),
+            4,
+            &geograph::ScopedPool(2),
+        )
+        .expect("streamed carry");
+        assert_eq!(reports.len(), 4);
+        for (s, view) in carry.views.iter().enumerate() {
+            assert_eq!(*view, ShardView::build(&geo.graph, &carry.spec, s), "shard {s} view");
+            assert!(reports[s].peak_bytes() > 0);
+        }
+
+        let train = |geo: &GeoGraph, carry: ShardCarry| {
+            let theta = geograph::degree::suggest_theta(&geo.graph, 0.05);
+            let state = HybridState::from_masters(
+                geo,
+                &env,
+                geo.locations.clone(),
+                theta,
+                profile.clone(),
+                10.0,
+            );
+            let mut t = ShardedTrainer::with_parts(
+                geo,
+                &env,
+                state,
+                cfg.clone(),
+                SessionResources::default(),
+                carry,
+                Box::new(InProcessShuffle::new(4)),
+            )
+            .expect("trainer");
+            t.run(&env).expect("run");
+            let (result, _resources, carry) = t.finish_with_parts(&env);
+            (result.state.core().masters().to_vec(), result.total_migrations(), carry)
+        };
+
+        // Window 1: the streamed carry must train the exact masters the
+        // staged pipeline trains.
+        let staged = partition_sharded(&geo, &env, profile.clone(), 10.0, &cfg, 4).expect("staged");
+        let (masters1, migrations1, mut carry) = train(&geo, carry);
+        assert_eq!(staged.state.core().masters(), &masters1[..]);
+        assert_eq!(staged.total_migrations(), migrations1);
+
+        // Window 2: a delta refreshes only the affected views inside the
+        // streamed-origin carry; retraining must still match a carry built
+        // from scratch against the updated snapshot.
+        let events = vec![
+            EdgeEvent { src: 3, dst: 200, timestamp_ms: 0, kind: EventKind::Insert },
+            EdgeEvent { src: 400, dst: 7, timestamp_ms: 0, kind: EventKind::Insert },
+        ];
+        let delta = GraphDelta::from_events(&geo.graph, &events);
+        let next_graph = geo.graph.apply_delta(&delta);
+        let next =
+            GeoGraph::new(next_graph, geo.locations.clone(), geo.data_sizes.clone(), geo.num_dcs);
+        refresh_views(&mut carry, &next.graph, &delta);
+        let fresh_views =
+            (0..4).map(|s| ShardView::build(&next.graph, &carry.spec, s)).collect::<Vec<_>>();
+        let fresh = ShardCarry { spec: carry.spec.clone(), views: fresh_views };
+        let (masters2, migrations2, _) = train(&next, carry);
+        let (masters2_fresh, migrations2_fresh, _) = train(&next, fresh);
+        assert_eq!(masters2_fresh, masters2, "window 2 diverged from a from-scratch carry");
+        assert_eq!(migrations2_fresh, migrations2);
     }
 }

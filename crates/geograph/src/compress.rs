@@ -17,6 +17,7 @@
 //! results.
 
 use crate::csr::Graph;
+use crate::offsets::Offsets;
 use crate::VertexId;
 
 /// When a row stays raw.
@@ -50,10 +51,14 @@ impl Default for CompressPolicy {
 /// One adjacency direction: raw rows in a flat `u32` array, cold rows in a
 /// flat varint byte array, each with its own n+1 offset array. A row lives
 /// in exactly one of the two (its run in the other has zero length).
+/// Offset arrays are width-adaptive ([`Offsets`]) — compressing a graph
+/// must not *widen* its indexes, and the packed byte array is shorter than
+/// the flat edge array it encodes, so both directions' offsets narrow to
+/// `u32` whenever the source graph's did.
 struct Direction {
-    raw_offsets: Vec<usize>,
+    raw_offsets: Offsets,
     raw: Vec<VertexId>,
-    packed_offsets: Vec<usize>,
+    packed_offsets: Offsets,
     packed: Vec<u8>,
 }
 
@@ -84,16 +89,22 @@ impl Direction {
         }
         raw.shrink_to_fit();
         packed.shrink_to_fit();
-        Direction { raw_offsets, raw, packed_offsets, packed }
+        Direction {
+            raw_offsets: Offsets::from_usize(raw_offsets),
+            raw,
+            packed_offsets: Offsets::from_usize(packed_offsets),
+            packed,
+        }
     }
 
     #[inline]
     fn degree(&self, v: usize) -> usize {
-        let raw_len = self.raw_offsets[v + 1] - self.raw_offsets[v];
-        if raw_len > 0 {
-            return raw_len;
+        let (rs, re) = self.raw_offsets.run(v);
+        if re > rs {
+            return re - rs;
         }
-        let bytes = &self.packed[self.packed_offsets[v]..self.packed_offsets[v + 1]];
+        let (ps, pe) = self.packed_offsets.run(v);
+        let bytes = &self.packed[ps..pe];
         if bytes.is_empty() {
             0
         } else {
@@ -104,12 +115,13 @@ impl Direction {
     /// The row as a slice: raw rows zero-copy, cold rows decoded into
     /// `buf`.
     fn neighbors<'a>(&'a self, v: usize, buf: &'a mut Vec<VertexId>) -> &'a [VertexId] {
-        let (rs, re) = (self.raw_offsets[v], self.raw_offsets[v + 1]);
+        let (rs, re) = self.raw_offsets.run(v);
         if re > rs {
             return &self.raw[rs..re];
         }
         buf.clear();
-        let bytes = &self.packed[self.packed_offsets[v]..self.packed_offsets[v + 1]];
+        let (ps, pe) = self.packed_offsets.run(v);
+        let bytes = &self.packed[ps..pe];
         if bytes.is_empty() {
             return buf;
         }
@@ -125,11 +137,12 @@ impl Direction {
     }
 
     fn iter(&self, v: usize) -> NeighborIter<'_> {
-        let (rs, re) = (self.raw_offsets[v], self.raw_offsets[v + 1]);
+        let (rs, re) = self.raw_offsets.run(v);
         if re > rs {
             return NeighborIter::Raw(self.raw[rs..re].iter());
         }
-        let bytes = &self.packed[self.packed_offsets[v]..self.packed_offsets[v + 1]];
+        let (ps, pe) = self.packed_offsets.run(v);
+        let bytes = &self.packed[ps..pe];
         if bytes.is_empty() {
             return NeighborIter::Packed { bytes: &[], remaining: 0, prev: 0, first: false };
         }
@@ -138,8 +151,8 @@ impl Direction {
     }
 
     fn heap_bytes(&self) -> usize {
-        (self.raw_offsets.capacity() + self.packed_offsets.capacity())
-            * std::mem::size_of::<usize>()
+        self.raw_offsets.heap_bytes()
+            + self.packed_offsets.heap_bytes()
             + self.raw.capacity() * std::mem::size_of::<VertexId>()
             + self.packed.capacity()
     }
@@ -268,7 +281,12 @@ impl CompressedGraph {
 
     /// Number of rows kept raw (out-direction).
     pub fn hot_rows(&self) -> usize {
-        (0..self.n).filter(|&v| self.out.raw_offsets[v + 1] > self.out.raw_offsets[v]).count()
+        (0..self.n)
+            .filter(|&v| {
+                let (s, e) = self.out.raw_offsets.run(v);
+                e > s
+            })
+            .count()
     }
 
     /// Decompresses back to the exact source [`Graph`] — bit-identical,
@@ -286,7 +304,13 @@ impl CompressedGraph {
             out_offsets.push(out_flat.len());
             in_offsets.push(in_flat.len());
         }
-        Graph::from_csr_parts(self.n, out_offsets, out_flat, in_offsets, in_flat)
+        Graph::from_csr_parts(
+            self.n,
+            Offsets::from_usize(out_offsets),
+            out_flat,
+            Offsets::from_usize(in_offsets),
+            in_flat,
+        )
     }
 
     /// Heap bytes of the compressed structure.

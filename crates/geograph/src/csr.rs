@@ -1,6 +1,7 @@
 //! Immutable compressed-sparse-row graph with both adjacency directions.
 
 use crate::delta::GraphDelta;
+use crate::offsets::{OffsetWidth, Offsets};
 use crate::stream::BuildError;
 use crate::VertexId;
 
@@ -12,6 +13,11 @@ use crate::VertexId;
 /// iteration must be as cheap as out-edge iteration; we pay the memory to
 /// store both directions.
 ///
+/// Offset arrays are width-adaptive ([`Offsets`]): 4-byte entries whenever
+/// the edge count fits `u32`, selected at build time. Equality is over
+/// logical content, so graphs at different offset widths compare equal
+/// when they hold the same adjacency.
+///
 /// Construction is via [`Graph::from_edges`] or [`crate::GraphBuilder`];
 /// once built the structure is immutable. Dynamic workloads rebuild
 /// snapshots per time window (see [`crate::dynamic`]), matching the paper's
@@ -19,9 +25,9 @@ use crate::VertexId;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Graph {
     n: usize,
-    out_offsets: Vec<usize>,
+    out_offsets: Offsets,
     out_targets: Vec<VertexId>,
-    in_offsets: Vec<usize>,
+    in_offsets: Offsets,
     in_sources: Vec<VertexId>,
 }
 
@@ -57,7 +63,8 @@ impl Graph {
     }
 
     /// Count/scatter/sort over pre-validated edges; offset accumulation is
-    /// the one remaining failure point (checked).
+    /// the one remaining failure point (checked). The final offset arrays
+    /// narrow to the width the edge count needs.
     fn build_validated(n: usize, edges: &[(VertexId, VertexId)]) -> Result<Self, BuildError> {
         let mut out_degree = vec![0usize; n];
         let mut in_degree = vec![0usize; n];
@@ -83,46 +90,78 @@ impl Graph {
             out_targets[out_offsets[v]..out_offsets[v + 1]].sort_unstable();
             in_sources[in_offsets[v]..in_offsets[v + 1]].sort_unstable();
         }
-        Ok(Graph { n, out_offsets, out_targets, in_offsets, in_sources })
+        Ok(Graph {
+            n,
+            out_offsets: Offsets::from_usize(out_offsets),
+            out_targets,
+            in_offsets: Offsets::from_usize(in_offsets),
+            in_sources,
+        })
     }
 
     /// Assembles a graph directly from CSR arrays. Used by the streaming
-    /// ingest path ([`crate::stream`]) and the compressed-adjacency decoder
-    /// ([`crate::compress`]), which produce canonical (sorted-run) arrays
-    /// without ever materializing an edge list.
+    /// ingest path ([`crate::stream`]), the compressed-adjacency decoder
+    /// ([`crate::compress`]) and the wire decoder ([`crate::wire`]), which
+    /// produce canonical (sorted-run) arrays without ever materializing an
+    /// edge list.
     ///
     /// Invariants (checked in debug builds): offset arrays have `n + 1`
     /// monotone entries starting at 0 and ending at the flat length, both
     /// directions hold the same edge count, and every run is sorted.
     pub(crate) fn from_csr_parts(
         n: usize,
-        out_offsets: Vec<usize>,
+        out_offsets: Offsets,
         out_targets: Vec<VertexId>,
-        in_offsets: Vec<usize>,
+        in_offsets: Offsets,
         in_sources: Vec<VertexId>,
     ) -> Self {
         debug_assert_eq!(out_offsets.len(), n + 1);
         debug_assert_eq!(in_offsets.len(), n + 1);
-        debug_assert_eq!(out_offsets[0], 0);
-        debug_assert_eq!(in_offsets[0], 0);
-        debug_assert_eq!(out_offsets[n], out_targets.len());
-        debug_assert_eq!(in_offsets[n], in_sources.len());
+        debug_assert_eq!(out_offsets.get(0), 0);
+        debug_assert_eq!(in_offsets.get(0), 0);
+        debug_assert_eq!(out_offsets.get(n), out_targets.len());
+        debug_assert_eq!(in_offsets.get(n), in_sources.len());
         debug_assert_eq!(out_targets.len(), in_sources.len());
         #[cfg(debug_assertions)]
         for v in 0..n {
-            debug_assert!(out_offsets[v] <= out_offsets[v + 1]);
-            debug_assert!(in_offsets[v] <= in_offsets[v + 1]);
-            debug_assert!(out_targets[out_offsets[v]..out_offsets[v + 1]].is_sorted());
-            debug_assert!(in_sources[in_offsets[v]..in_offsets[v + 1]].is_sorted());
+            let (os, oe) = out_offsets.run(v);
+            let (is, ie) = in_offsets.run(v);
+            debug_assert!(os <= oe);
+            debug_assert!(is <= ie);
+            debug_assert!(out_targets[os..oe].is_sorted());
+            debug_assert!(in_sources[is..ie].is_sorted());
         }
         Graph { n, out_offsets, out_targets, in_offsets, in_sources }
     }
 
     /// Heap bytes held by the CSR arrays (capacity, both directions).
     pub fn heap_bytes(&self) -> usize {
-        (self.out_offsets.capacity() + self.in_offsets.capacity()) * std::mem::size_of::<usize>()
+        self.out_offsets.heap_bytes()
+            + self.in_offsets.heap_bytes()
             + (self.out_targets.capacity() + self.in_sources.capacity())
                 * std::mem::size_of::<VertexId>()
+    }
+
+    /// Storage width of the offset arrays — [`OffsetWidth::U32`] whenever
+    /// the edge count fits, which is every graph below 2^32 edges.
+    #[inline]
+    pub fn offset_width(&self) -> OffsetWidth {
+        self.out_offsets.width()
+    }
+
+    /// Re-encodes the offset arrays at `width` (adjacency is unchanged and
+    /// the result compares equal to `self`). Narrowing a graph whose edge
+    /// count exceeds the target width fails with
+    /// [`BuildError::OffsetOverflow`]. Mostly useful for pinning
+    /// narrow ≡ wide equivalence in tests.
+    pub fn with_offset_width(&self, width: OffsetWidth) -> Result<Graph, BuildError> {
+        Ok(Graph {
+            n: self.n,
+            out_offsets: self.out_offsets.with_width(width)?,
+            out_targets: self.out_targets.clone(),
+            in_offsets: self.in_offsets.with_width(width)?,
+            in_sources: self.in_sources.clone(),
+        })
     }
 
     /// Number of vertices.
@@ -140,31 +179,31 @@ impl Graph {
     /// Out-neighbors of `v` (sorted).
     #[inline]
     pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
-        let v = v as usize;
-        &self.out_targets[self.out_offsets[v]..self.out_offsets[v + 1]]
+        let (s, e) = self.out_offsets.run(v as usize);
+        &self.out_targets[s..e]
     }
 
     /// In-neighbors of `v` (sorted). These are the sources of `v`'s
     /// in-edges — the edges hybrid-cut assigns by `v`'s degree class.
     #[inline]
     pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
-        let v = v as usize;
-        &self.in_sources[self.in_offsets[v]..self.in_offsets[v + 1]]
+        let (s, e) = self.in_offsets.run(v as usize);
+        &self.in_sources[s..e]
     }
 
     /// Out-degree of `v`.
     #[inline]
     pub fn out_degree(&self, v: VertexId) -> usize {
-        let v = v as usize;
-        self.out_offsets[v + 1] - self.out_offsets[v]
+        let (s, e) = self.out_offsets.run(v as usize);
+        e - s
     }
 
     /// In-degree of `v`. Hybrid-cut classifies `v` as high-degree when this
     /// is at least the threshold θ (paper §III-B).
     #[inline]
     pub fn in_degree(&self, v: VertexId) -> usize {
-        let v = v as usize;
-        self.in_offsets[v + 1] - self.in_offsets[v]
+        let (s, e) = self.in_offsets.run(v as usize);
+        e - s
     }
 
     /// Total degree (in + out) of `v`.
@@ -181,9 +220,8 @@ impl Graph {
     /// Iterates all directed edges `(src, dst)` in source order.
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
         (0..self.n).flat_map(move |u| {
-            self.out_targets[self.out_offsets[u]..self.out_offsets[u + 1]]
-                .iter()
-                .map(move |&v| (u as VertexId, v))
+            let (s, e) = self.out_offsets.run(u);
+            self.out_targets[s..e].iter().map(move |&v| (u as VertexId, v))
         })
     }
 
@@ -194,7 +232,7 @@ impl Graph {
     /// [`crate::weights::EdgeWeights`] is keyed by.
     #[inline]
     pub fn out_edge_offset(&self, v: VertexId) -> usize {
-        self.out_offsets[v as usize]
+        self.out_offsets.get(v as usize)
     }
 
     /// Offset of `v`'s first in-edge in the flat in-edge array. Together
@@ -203,7 +241,7 @@ impl Graph {
     /// (e.g. vertex-cut DC assignments) can be keyed by.
     #[inline]
     pub fn in_edge_offset(&self, v: VertexId) -> usize {
-        self.in_offsets[v as usize]
+        self.in_offsets.get(v as usize)
     }
 
     /// True if the directed edge `(u, v)` exists (binary search).
@@ -222,7 +260,9 @@ impl Graph {
     /// (old ∖ deleted ∪ inserted), so no edge list is re-sorted and no
     /// builder replay happens. The offset arrays are re-emitted with a
     /// running shift (O(n) scalar adds; the flat edge arrays, which
-    /// dominate, are memcpy'd).
+    /// dominate, are memcpy'd) at the width the successor's exact edge
+    /// count needs — a snapshot chain stays narrow until it genuinely
+    /// outgrows `u32`.
     ///
     /// `delta` must target this graph (`delta.old_num_vertices() == n`,
     /// checked) and honor the [`GraphDelta`] cleaning contract: deltas
@@ -238,10 +278,15 @@ impl Graph {
             self.n
         );
         let n = delta.new_num_vertices();
+        // The cleaning contract makes the successor's edge count exact:
+        // every inserted edge is new, every deleted edge exists.
+        let new_m = self.num_edges() + delta.inserted().len() - delta.deleted().len();
+        let width = OffsetWidth::for_len(new_m);
         // `inserted`/`deleted` are sorted by (src, dst) — ready for the
         // out-direction. The in-direction needs (dst, src) order.
         let (out_offsets, out_targets) = overlay_direction(
             n,
+            width,
             &self.out_offsets,
             &self.out_targets,
             delta.inserted(),
@@ -253,8 +298,14 @@ impl Graph {
             delta.deleted().iter().map(|&(u, v)| (v, u)).collect();
         ins_by_dst.sort_unstable();
         del_by_dst.sort_unstable();
-        let (in_offsets, in_sources) =
-            overlay_direction(n, &self.in_offsets, &self.in_sources, &ins_by_dst, &del_by_dst);
+        let (in_offsets, in_sources) = overlay_direction(
+            n,
+            width,
+            &self.in_offsets,
+            &self.in_sources,
+            &ins_by_dst,
+            &del_by_dst,
+        );
         Graph { n, out_offsets, out_targets, in_offsets, in_sources }
     }
 }
@@ -263,13 +314,14 @@ impl Graph {
 /// pairs sorted by `(key, neighbor)`; untouched keys' runs are bulk-copied.
 fn overlay_direction(
     new_n: usize,
-    old_offsets: &[usize],
+    width: OffsetWidth,
+    old_offsets: &Offsets,
     old_flat: &[VertexId],
     ins: &[(VertexId, VertexId)],
     del: &[(VertexId, VertexId)],
-) -> (Vec<usize>, Vec<VertexId>) {
+) -> (Offsets, Vec<VertexId>) {
     let old_n = old_offsets.len() - 1;
-    let mut offsets: Vec<usize> = Vec::with_capacity(new_n + 1);
+    let mut offsets = Offsets::with_capacity(width, new_n + 1);
     let mut flat: Vec<VertexId> = Vec::with_capacity(old_flat.len() + ins.len());
     offsets.push(0);
     let mut ins_i = 0usize;
@@ -286,16 +338,18 @@ fn overlay_direction(
             // Untouched old vertices: one memcpy of their runs.
             let hi = next_key.min(old_n);
             if hi > done {
-                let lo_off = old_offsets[done];
-                flat.extend_from_slice(&old_flat[lo_off..old_offsets[hi]]);
+                let lo_off = old_offsets.get(done);
+                flat.extend_from_slice(&old_flat[lo_off..old_offsets.get(hi)]);
                 // Wrapping: deletions earlier in the array make the shift
                 // negative; the additions below re-wrap to the right value.
-                let shift = offsets[done].wrapping_sub(lo_off);
-                offsets.extend(old_offsets[done + 1..=hi].iter().map(|&o| o.wrapping_add(shift)));
+                let shift = offsets.get(done).wrapping_sub(lo_off);
+                for v in done + 1..=hi {
+                    offsets.push(old_offsets.get(v).wrapping_add(shift));
+                }
             }
             // Untouched new vertices are isolated in this direction.
             for _ in hi.max(done)..next_key {
-                offsets.push(*offsets.last().unwrap());
+                offsets.push(offsets.last());
             }
             done = next_key;
         }
@@ -304,8 +358,12 @@ fn overlay_direction(
         }
         // Merge vertex `done`: old run minus deletions, union insertions.
         let v = done;
-        let old_run: &[VertexId] =
-            if v < old_n { &old_flat[old_offsets[v]..old_offsets[v + 1]] } else { &[] };
+        let old_run: &[VertexId] = if v < old_n {
+            let (s, e) = old_offsets.run(v);
+            &old_flat[s..e]
+        } else {
+            &[]
+        };
         let ins_start = ins_i;
         while ins_i < ins.len() && ins[ins_i].0 as usize == v {
             ins_i += 1;
@@ -454,11 +512,35 @@ mod tests {
     }
 
     #[test]
+    fn builds_narrow_by_default() {
+        let g = diamond();
+        assert_eq!(g.offset_width(), OffsetWidth::U32);
+    }
+
+    #[test]
     fn heap_bytes_counts_all_four_arrays() {
         let g = diamond();
-        // 2 offset arrays of (4+1) usizes + 2 flat arrays of 4 u32s, at
-        // least — capacity may exceed length.
-        assert!(g.heap_bytes() >= 2 * 5 * 8 + 2 * 4 * 4);
+        // 2 offset arrays of (4+1) narrow (u32) entries + 2 flat arrays of
+        // 4 u32s, at least — capacity may exceed length.
+        assert!(g.heap_bytes() >= 2 * 5 * 4 + 2 * 4 * 4);
+        // Widening costs exactly 4 extra bytes per offset entry.
+        let wide = g.with_offset_width(OffsetWidth::U64).unwrap();
+        assert!(wide.heap_bytes() >= g.heap_bytes() + 2 * 5 * 4);
+    }
+
+    #[test]
+    fn narrow_and_wide_graphs_compare_equal() {
+        let g = diamond();
+        let wide = g.with_offset_width(OffsetWidth::U64).unwrap();
+        assert_eq!(wide.offset_width(), OffsetWidth::U64);
+        assert_eq!(g, wide);
+        // Same adjacency through the accessors, too.
+        for v in g.vertices() {
+            assert_eq!(g.out_neighbors(v), wide.out_neighbors(v));
+            assert_eq!(g.in_neighbors(v), wide.in_neighbors(v));
+        }
+        // And the round-trip back down narrows losslessly.
+        assert_eq!(wide.with_offset_width(OffsetWidth::U32).unwrap(), g);
     }
 
     mod overlay {
@@ -489,6 +571,20 @@ mod tests {
             let overlaid = g.apply_delta(&delta);
             let rebuilt = clean(7, &[(0, 1), (2, 3), (3, 4), (4, 0), (6, 3)]);
             assert_eq!(overlaid, rebuilt);
+        }
+
+        #[test]
+        fn overlay_from_wide_source_stays_correct() {
+            // A wide-offset source graph overlays to the same successor as
+            // its narrow twin (the successor re-narrows to its own width).
+            let g = clean(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+            let wide = g.with_offset_width(OffsetWidth::U64).unwrap();
+            let events = vec![ev(4, 0, EventKind::Insert), ev(0, 2, EventKind::Delete)];
+            let delta = GraphDelta::from_events(&g, &events);
+            let from_narrow = g.apply_delta(&delta);
+            let from_wide = wide.apply_delta(&delta);
+            assert_eq!(from_narrow, from_wide);
+            assert_eq!(from_wide.offset_width(), OffsetWidth::U32);
         }
 
         #[test]

@@ -23,20 +23,55 @@ pub struct DegreeStats {
 }
 
 impl DegreeStats {
-    /// Computes stats in one pass over the degree arrays.
+    /// Computes stats in one pass over the degree arrays. The in-degree
+    /// scratch copy is `u32` whenever the edge count fits (every graph the
+    /// substrate builds narrow — a per-vertex degree is bounded by the
+    /// total edge count), halving the transient allocation; the widened
+    /// path only exists for a hypothetical >2^32-edge graph.
     pub fn compute(graph: &Graph) -> Self {
         let n = graph.num_vertices().max(1);
-        let mut in_degrees: Vec<usize> = (0..n as VertexId).map(|v| graph.in_degree(v)).collect();
         let max_out = (0..n as VertexId).map(|v| graph.out_degree(v)).max().unwrap_or(0);
-        in_degrees.sort_unstable();
-        let max_in = *in_degrees.last().unwrap_or(&0);
-        let total: usize = in_degrees.iter().sum();
+        if graph.num_edges() <= u32::MAX as usize {
+            let mut in_degrees: Vec<u32> =
+                (0..n as VertexId).map(|v| graph.in_degree(v) as u32).collect();
+            in_degrees.sort_unstable();
+            Self::from_sorted(&in_degrees, max_out, n)
+        } else {
+            let mut in_degrees: Vec<usize> =
+                (0..n as VertexId).map(|v| graph.in_degree(v)).collect();
+            in_degrees.sort_unstable();
+            Self::from_sorted(&in_degrees, max_out, n)
+        }
+    }
+
+    /// The percentile/skew arithmetic, generic over the scratch width.
+    fn from_sorted<T: DegreeCount>(in_degrees: &[T], max_out: usize, n: usize) -> Self {
+        let max_in = in_degrees.last().map(|&d| d.as_u64() as usize).unwrap_or(0);
+        let total: u64 = in_degrees.iter().map(|&d| d.as_u64()).sum();
         let mean_in = total as f64 / n as f64;
-        let p99_in = in_degrees[((n - 1) as f64 * 0.99) as usize];
+        let p99_in = in_degrees[((n - 1) as f64 * 0.99) as usize].as_u64() as usize;
         let top = n.div_ceil(100);
-        let top_edges: usize = in_degrees[n - top..].iter().sum();
+        let top_edges: u64 = in_degrees[n - top..].iter().map(|&d| d.as_u64()).sum();
         let top1pct_edge_share = if total == 0 { 0.0 } else { top_edges as f64 / total as f64 };
         DegreeStats { max_in, max_out, mean_in, p99_in, top1pct_edge_share }
+    }
+}
+
+/// Degree scratch element: `u32` on the narrow path, `usize` on the
+/// widened fallback.
+trait DegreeCount: Copy + Ord {
+    fn as_u64(self) -> u64;
+}
+
+impl DegreeCount for u32 {
+    fn as_u64(self) -> u64 {
+        self as u64
+    }
+}
+
+impl DegreeCount for usize {
+    fn as_u64(self) -> u64 {
+        self as u64
     }
 }
 
@@ -46,16 +81,25 @@ impl DegreeStats {
 /// PowerLyra's evaluation found thresholds around 100 work well for natural
 /// graphs; scaled-down analogs need a proportionally lower θ, so the
 /// reproduction picks it from the degree distribution instead of hardcoding.
+/// Like [`DegreeStats::compute`], the scratch degree copy stays `u32`
+/// whenever the edge count fits.
 pub fn suggest_theta(graph: &Graph, high_fraction: f64) -> usize {
     assert!((0.0..=1.0).contains(&high_fraction));
     let n = graph.num_vertices();
     if n == 0 {
         return 1;
     }
-    let mut in_degrees: Vec<usize> = (0..n as VertexId).map(|v| graph.in_degree(v)).collect();
-    in_degrees.sort_unstable();
-    let idx = ((n as f64) * (1.0 - high_fraction)) as usize;
-    in_degrees[idx.min(n - 1)].max(1)
+    let idx = (((n as f64) * (1.0 - high_fraction)) as usize).min(n - 1);
+    if graph.num_edges() <= u32::MAX as usize {
+        let mut in_degrees: Vec<u32> =
+            (0..n as VertexId).map(|v| graph.in_degree(v) as u32).collect();
+        in_degrees.sort_unstable();
+        (in_degrees[idx] as usize).max(1)
+    } else {
+        let mut in_degrees: Vec<usize> = (0..n as VertexId).map(|v| graph.in_degree(v)).collect();
+        in_degrees.sort_unstable();
+        in_degrees[idx].max(1)
+    }
 }
 
 /// Classifies every vertex: `true` = high-degree (`in_degree >= theta`).

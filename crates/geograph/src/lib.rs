@@ -43,6 +43,7 @@ pub mod geo;
 pub mod io;
 pub mod locality;
 pub mod mem;
+pub mod offsets;
 pub mod shard;
 pub mod stream;
 pub mod transform;
@@ -59,7 +60,8 @@ pub use dynamic::{AppliedEvents, EdgeEvent, EdgeStream, EventKind, WindowSplitEr
 pub use geo::GeoGraph;
 pub use locality::LocalityConfig;
 pub use mem::{current_rss_bytes, peak_rss_bytes, MemReport};
-pub use shard::{route_delta, ShardDelta, ShardSpec, ShardView};
+pub use offsets::{OffsetWidth, Offsets};
+pub use shard::{route_delta, ShardDelta, ShardIngestReport, ShardSpec, ShardView};
 pub use stream::{
     build_chunked, build_streamed, BuildError, ChunkedEdges, IngestPool, IngestReport, ScopedPool,
     StreamConfig,

@@ -20,9 +20,23 @@
 //! [`route_delta`] splits a [`GraphDelta`] by owning shard so a dynamic
 //! window refreshes only the shards (and only the fringes) the delta
 //! actually touches.
+//!
+//! **Shard-resident ingest** ([`ShardView::build_streamed`]) runs the
+//! two-pass streamed build directly against a [`ChunkedEdges`] source,
+//! keeping only the rows the shard owns plus its ghost fringe — a shard
+//! worker never materializes the global CSR. The view's offset arrays are
+//! fixed-narrow `u32` by construction: streamed ingest caps kept edges at
+//! `u32` range globally ([`BuildError::TooManyEdges`]), and a shard's
+//! owned edges are a subset of that, so the narrow width is a proven
+//! invariant here rather than a build-time choice.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 use crate::csr::Graph;
 use crate::delta::GraphDelta;
+use crate::stream::{
+    compact_runs, BuildError, ChunkedEdges, IngestPool, SharedSlice, StreamConfig,
+};
 use crate::VertexId;
 
 /// A contiguous partition of the vertex id space into shards.
@@ -51,6 +65,38 @@ impl ShardSpec {
             start += len;
         }
         debug_assert_eq!(start, n);
+        ShardSpec { ranges }
+    }
+
+    /// Splits the vertex id space into `num_shards` contiguous ranges of
+    /// near-equal **edge mass** (out-degree + in-degree): boundary `s` is
+    /// placed where the cumulative degree crosses `s/num_shards` of the
+    /// total. On skewed graphs whose hubs cluster in one id region —
+    /// R-MAT concentrates them at low ids — an even vertex split leaves
+    /// one shard holding most of the adjacency; the balanced split keeps
+    /// every shard's resident footprint near `1/num_shards` of the CSR,
+    /// which is the property the shard-resident ingest path exists for.
+    pub fn balanced(graph: &Graph, num_shards: usize) -> ShardSpec {
+        assert!(num_shards >= 1, "at least one shard required");
+        let n = graph.num_vertices();
+        let total: u64 = 2 * graph.num_edges() as u64;
+        let mut ranges = Vec::with_capacity(num_shards);
+        let mut cum = 0u64;
+        let mut start = 0usize;
+        let mut v = 0usize;
+        for s in 0..num_shards {
+            // Everything past `s`'s share belongs to later shards; the
+            // last shard absorbs the remainder (and any trailing
+            // zero-degree vertices).
+            let target = total * (s as u64 + 1) / num_shards as u64;
+            while v < n && (cum < target || s + 1 == num_shards) {
+                cum += (graph.out_degree(v as VertexId) + graph.in_degree(v as VertexId)) as u64;
+                v += 1;
+            }
+            ranges.push((start as VertexId, v as VertexId));
+            start = v;
+        }
+        debug_assert_eq!(v, n);
         ShardSpec { ranges }
     }
 
@@ -97,7 +143,11 @@ impl ShardSpec {
 /// The view copies its slices out of the global CSR, so it stays valid
 /// after the snapshot that built it is dropped — dynamic drivers carry
 /// unaffected views across windows verbatim.
-#[derive(Clone, Debug)]
+///
+/// Equality is structural over the local-id CSR, ghosts and range —
+/// [`ShardView::build_streamed`] is pinned bit-identical to
+/// [`ShardView::build`] through it.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ShardView {
     shard: usize,
     start: VertexId,
@@ -183,6 +233,314 @@ impl ShardView {
         }
     }
 
+    /// Builds shard `shard`'s view straight from a chunked edge stream,
+    /// without ever materializing the global CSR — the shard-resident
+    /// footprint is the owned rows, the ghost fringe, and two transient
+    /// planes (owned-range `u32` counters plus one ghost bit per global
+    /// vertex).
+    ///
+    /// The result is **bit-identical** to
+    /// `ShardView::build(&build_chunked(src, cfg, pool)?.0, spec, shard)`
+    /// at any chunk count and thread count: pass 1 counts owned degrees
+    /// and marks cross-range neighbors, pass 2 scatters local ids through
+    /// atomic cursors, pass 3 sorts each run (the local↔global mapping is
+    /// monotone, so sorted-local equals mapped sorted-global), and the
+    /// optional dedup compaction mirrors the full build's. Error
+    /// conditions are also identical — an out-of-range edge or a stream
+    /// at 2^32 kept edges fails here exactly as it fails the global
+    /// build, even when the offending edge is owned by another shard.
+    pub fn build_streamed<S: ChunkedEdges + ?Sized>(
+        src: &S,
+        cfg: StreamConfig,
+        spec: &ShardSpec,
+        shard: usize,
+        pool: &dyn IngestPool,
+    ) -> Result<(ShardView, ShardIngestReport), BuildError> {
+        let n = src.num_vertices();
+        if n >= VertexId::MAX as usize {
+            return Err(BuildError::TooManyVertices { n });
+        }
+        assert_eq!(
+            spec.num_vertices(),
+            n,
+            "shard spec covers {} vertices, stream has {}",
+            spec.num_vertices(),
+            n
+        );
+        let (start, end) = spec.range(shard);
+        let owned = (end - start) as usize;
+        let num_chunks = src.num_chunks();
+
+        // ---- Pass 1: count owned degrees, mark the ghost fringe. ---------
+        let out_cnt: Vec<AtomicU32> = (0..owned).map(|_| AtomicU32::new(0)).collect();
+        let in_cnt: Vec<AtomicU32> = (0..owned).map(|_| AtomicU32::new(0)).collect();
+        // One bit per global vertex: set when it is a cross-range neighbor
+        // of an owned vertex. n/8 bytes — bounded regardless of how many
+        // per-thread ghost candidates a skewed stream produces.
+        let ghost_bits: Vec<AtomicU64> = (0..n.div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
+        let raw_edges = AtomicU64::new(0);
+        let loops_dropped = AtomicU64::new(0);
+        let bad_edge = AtomicU64::new(u64::MAX);
+
+        let next_chunk = AtomicUsize::new(0);
+        pool.run(&|_worker| {
+            let mut local_raw = 0u64;
+            let mut local_loops = 0u64;
+            loop {
+                let c = next_chunk.fetch_add(1, Ordering::Relaxed);
+                if c >= num_chunks {
+                    break;
+                }
+                src.emit(c, &mut |u, v| {
+                    local_raw += 1;
+                    if (u as usize) >= n || (v as usize) >= n {
+                        let packed = ((u as u64) << 32) | v as u64;
+                        let _ = bad_edge.compare_exchange(
+                            u64::MAX,
+                            packed,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        );
+                        return;
+                    }
+                    if cfg.drop_self_loops && u == v {
+                        local_loops += 1;
+                        return;
+                    }
+                    let u_owned = u >= start && u < end;
+                    let v_owned = v >= start && v < end;
+                    if u_owned {
+                        out_cnt[(u - start) as usize].fetch_add(1, Ordering::Relaxed);
+                        if !v_owned {
+                            ghost_bits[(v as usize) >> 6]
+                                .fetch_or(1 << (v & 63), Ordering::Relaxed);
+                        }
+                    }
+                    if v_owned {
+                        in_cnt[(v - start) as usize].fetch_add(1, Ordering::Relaxed);
+                        if !u_owned {
+                            ghost_bits[(u as usize) >> 6]
+                                .fetch_or(1 << (u & 63), Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+            raw_edges.fetch_add(local_raw, Ordering::Relaxed);
+            loops_dropped.fetch_add(local_loops, Ordering::Relaxed);
+        });
+
+        let raw_edges = raw_edges.into_inner();
+        let loops_dropped = loops_dropped.into_inner();
+        let bad = bad_edge.into_inner();
+        if bad != u64::MAX {
+            return Err(BuildError::EdgeOutOfRange {
+                u: (bad >> 32) as VertexId,
+                v: bad as VertexId,
+                n,
+            });
+        }
+        let kept = raw_edges - loops_dropped;
+        if kept > VertexId::MAX as u64 {
+            return Err(BuildError::TooManyEdges { edges: kept });
+        }
+
+        // ---- Ghost fringe and local-id table. ----------------------------
+        // Only non-owned vertices ever get a bit, and the bitmap scan walks
+        // ascending ids — the fringe comes out sorted and deduplicated.
+        let mut ghosts: Vec<VertexId> = Vec::new();
+        for (w, word) in ghost_bits.iter().enumerate() {
+            let mut bits = word.load(Ordering::Relaxed);
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                ghosts.push((w * 64 + b) as VertexId);
+                bits &= bits - 1;
+            }
+        }
+        let ghost_words = ghost_bits.len();
+        drop(ghost_bits);
+
+        let below = ghosts.partition_point(|&g| g < start);
+        let mut locals = Vec::with_capacity(owned + ghosts.len());
+        locals.extend_from_slice(&ghosts[..below]);
+        locals.extend(start..end);
+        locals.extend_from_slice(&ghosts[below..]);
+        debug_assert!(locals.windows(2).all(|w| w[0] < w[1]));
+
+        let ghosts_ref = &ghosts;
+        let to_local = move |v: VertexId| -> u32 {
+            if v >= start && v < end {
+                below as u32 + (v - start)
+            } else if v < start {
+                ghosts_ref[..below].binary_search(&v).expect("fringe covers every neighbor") as u32
+            } else {
+                (below + owned + ghosts_ref[below..].binary_search(&v).expect("fringe")) as u32
+            }
+        };
+
+        // ---- Prefix sums (narrow by invariant) and allocation. -----------
+        let mut out_offsets: Vec<u32> = Vec::with_capacity(owned + 1);
+        let mut in_offsets: Vec<u32> = Vec::with_capacity(owned + 1);
+        {
+            let mut acc_out = 0u32;
+            let mut acc_in = 0u32;
+            out_offsets.push(0);
+            in_offsets.push(0);
+            for v in 0..owned {
+                acc_out = acc_out
+                    .checked_add(out_cnt[v].load(Ordering::Relaxed))
+                    .ok_or(BuildError::OffsetOverflow)?;
+                acc_in = acc_in
+                    .checked_add(in_cnt[v].load(Ordering::Relaxed))
+                    .ok_or(BuildError::OffsetOverflow)?;
+                out_offsets.push(acc_out);
+                in_offsets.push(acc_in);
+            }
+        }
+        let mut out_targets = vec![0u32; out_offsets[owned] as usize];
+        let mut in_sources = vec![0u32; in_offsets[owned] as usize];
+
+        // Reuse the counter planes as scatter cursors.
+        for c in &out_cnt {
+            c.store(0, Ordering::Relaxed);
+        }
+        for c in &in_cnt {
+            c.store(0, Ordering::Relaxed);
+        }
+
+        // ---- Pass 2: scatter owned edges as local ids. -------------------
+        {
+            let out_slots = SharedSlice(out_targets.as_mut_ptr());
+            let in_slots = SharedSlice(in_sources.as_mut_ptr());
+            let out_offsets = &out_offsets;
+            let in_offsets = &in_offsets;
+            let out_cnt = &out_cnt;
+            let in_cnt = &in_cnt;
+            let to_local = &to_local;
+            let next_chunk = AtomicUsize::new(0);
+            pool.run(&|_worker| loop {
+                let c = next_chunk.fetch_add(1, Ordering::Relaxed);
+                if c >= num_chunks {
+                    break;
+                }
+                src.emit(c, &mut |u, v| {
+                    assert!(
+                        (u as usize) < n && (v as usize) < n,
+                        "ChunkedEdges emitted edge ({u},{v}) in pass 2 absent from pass 1"
+                    );
+                    if cfg.drop_self_loops && u == v {
+                        return;
+                    }
+                    if u >= start && u < end {
+                        let i = (u - start) as usize;
+                        let slot = out_cnt[i].fetch_add(1, Ordering::Relaxed) as usize;
+                        let idx = out_offsets[i] as usize + slot;
+                        assert!(
+                            idx < out_offsets[i + 1] as usize,
+                            "pass 2 emitted more out-edges of {u} than pass 1"
+                        );
+                        // SAFETY: idx is inside vertex u's run (checked
+                        // above) and uniquely claimed by the fetch_add.
+                        unsafe { out_slots.write(idx, to_local(v)) };
+                    }
+                    if v >= start && v < end {
+                        let i = (v - start) as usize;
+                        let slot = in_cnt[i].fetch_add(1, Ordering::Relaxed) as usize;
+                        let idx = in_offsets[i] as usize + slot;
+                        assert!(
+                            idx < in_offsets[i + 1] as usize,
+                            "pass 2 emitted more in-edges of {v} than pass 1"
+                        );
+                        // SAFETY: as above, for the in-direction.
+                        unsafe { in_slots.write(idx, to_local(u)) };
+                    }
+                });
+            });
+        }
+
+        // ---- Pass 3: canonicalize runs. ----------------------------------
+        // The local↔global mapping is monotone, so sorting runs of local
+        // ids yields exactly the mapped image of the global build's sorted
+        // runs — this is what pins streamed ≡ staged per shard.
+        {
+            const BLOCK: usize = 4096;
+            let num_blocks = owned.div_ceil(BLOCK);
+            let out_ptr = SharedSlice(out_targets.as_mut_ptr());
+            let in_ptr = SharedSlice(in_sources.as_mut_ptr());
+            let out_offsets = &out_offsets;
+            let in_offsets = &in_offsets;
+            let next_block = AtomicUsize::new(0);
+            pool.run(&|_worker| loop {
+                let b = next_block.fetch_add(1, Ordering::Relaxed);
+                if b >= num_blocks {
+                    break;
+                }
+                let lo = b * BLOCK;
+                let hi = (lo + BLOCK).min(owned);
+                for v in lo..hi {
+                    // SAFETY: runs are disjoint per vertex, and each vertex
+                    // belongs to exactly one block.
+                    unsafe {
+                        let run = std::slice::from_raw_parts_mut(
+                            out_ptr.base().add(out_offsets[v] as usize),
+                            (out_offsets[v + 1] - out_offsets[v]) as usize,
+                        );
+                        run.sort_unstable();
+                        let run = std::slice::from_raw_parts_mut(
+                            in_ptr.base().add(in_offsets[v] as usize),
+                            (in_offsets[v + 1] - in_offsets[v]) as usize,
+                        );
+                        run.sort_unstable();
+                    }
+                }
+            });
+            let _ = (out_ptr, in_ptr);
+        }
+
+        // ---- Optional dedup compaction. ----------------------------------
+        // Mirrors the full build: duplicates of an owned edge sit adjacent
+        // in its sorted local runs, so per-run compaction removes exactly
+        // what GraphBuilder's global dedup would.
+        let mut duplicates_removed = 0u64;
+        if cfg.dedup {
+            let before = out_targets.len() + in_sources.len();
+            compact_runs(&mut out_offsets, &mut out_targets);
+            compact_runs(&mut in_offsets, &mut in_sources);
+            duplicates_removed = (before - out_targets.len() - in_sources.len()) as u64;
+            // Like the full build: hand the compaction slack back, since
+            // `heap_bytes` charges capacity and the view lives for the
+            // whole window.
+            out_targets.shrink_to_fit();
+            in_sources.shrink_to_fit();
+        }
+
+        let transient_bytes =
+            2 * owned * std::mem::size_of::<AtomicU32>() + ghost_words * std::mem::size_of::<u64>();
+        drop(out_cnt);
+        drop(in_cnt);
+
+        let view = ShardView {
+            shard,
+            start,
+            end,
+            ghosts,
+            locals,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+        };
+        let report = ShardIngestReport {
+            raw_edges,
+            owned_out_edges: view.out_targets.len(),
+            owned_in_edges: view.in_sources.len(),
+            self_loops_dropped: loops_dropped,
+            duplicates_removed,
+            view_bytes: view.heap_bytes(),
+            transient_bytes,
+        };
+        Ok((view, report))
+    }
+
     /// The shard this view belongs to.
     pub fn shard(&self) -> usize {
         self.shard
@@ -260,6 +618,53 @@ impl ShardView {
         let i = (v - self.start) as usize;
         &self.in_sources[self.in_offsets[i] as usize..self.in_offsets[i + 1] as usize]
     }
+
+    /// Heap bytes held by the view (capacity): ghost/local id tables plus
+    /// the owned local-id CSR, all `u32` — the per-shard resident
+    /// footprint the memory gates account.
+    pub fn heap_bytes(&self) -> usize {
+        (self.ghosts.capacity()
+            + self.locals.capacity()
+            + self.out_offsets.capacity()
+            + self.out_targets.capacity()
+            + self.in_offsets.capacity()
+            + self.in_sources.capacity())
+            * std::mem::size_of::<u32>()
+    }
+}
+
+/// What a shard-resident streamed build did and what it cost in memory.
+///
+/// The full-stream totals (`raw_edges`, `self_loops_dropped`) are global —
+/// every shard observes the whole stream even though it only keeps its
+/// owned rows — while the edge and byte figures are this shard's alone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardIngestReport {
+    /// Edges emitted by the source (pre-cleaning, whole stream).
+    pub raw_edges: u64,
+    /// Out-edges of owned vertices kept in the view.
+    pub owned_out_edges: usize,
+    /// In-edges of owned vertices kept in the view.
+    pub owned_in_edges: usize,
+    /// Self-loops dropped at emit time (whole stream).
+    pub self_loops_dropped: u64,
+    /// Duplicate adjacency entries removed by compaction, summed over both
+    /// owned directions.
+    pub duplicates_removed: u64,
+    /// Heap bytes of the finished view ([`ShardView::heap_bytes`]).
+    pub view_bytes: usize,
+    /// Peak transient heap held *in addition to* the view during the build:
+    /// the owned-range counter/cursor planes plus the global ghost bitmap
+    /// (one bit per vertex).
+    pub transient_bytes: usize,
+}
+
+impl ShardIngestReport {
+    /// Peak accounted build footprint: finished view plus transients. The
+    /// number the `--shards` gate compares against the full-CSR build.
+    pub fn peak_bytes(&self) -> usize {
+        self.view_bytes + self.transient_bytes
+    }
 }
 
 /// The slice of a [`GraphDelta`] relevant to one shard.
@@ -315,9 +720,124 @@ pub fn route_delta(delta: &GraphDelta, spec: &ShardSpec) -> Vec<ShardDelta> {
 mod tests {
     use super::*;
     use crate::dynamic::{EdgeEvent, EventKind};
+    use crate::stream::{build_chunked, ScopedPool};
+    use crate::GraphBuilder;
 
     fn ev(src: u32, dst: u32, ts: u64, kind: EventKind) -> EdgeEvent {
         EdgeEvent { src, dst, timestamp_ms: ts, kind }
+    }
+
+    /// A fixed edge list exposed as a chunked stream.
+    struct VecSource {
+        n: usize,
+        chunk: usize,
+        edges: Vec<(VertexId, VertexId)>,
+    }
+
+    impl ChunkedEdges for VecSource {
+        fn num_vertices(&self) -> usize {
+            self.n
+        }
+        fn num_chunks(&self) -> usize {
+            self.edges.len().div_ceil(self.chunk).max(1)
+        }
+        fn emit(&self, chunk: usize, sink: &mut dyn FnMut(VertexId, VertexId)) {
+            let lo = chunk * self.chunk;
+            let hi = (lo + self.chunk).min(self.edges.len());
+            for &(u, v) in &self.edges[lo..hi] {
+                sink(u, v);
+            }
+        }
+    }
+
+    fn messy_edges() -> Vec<(VertexId, VertexId)> {
+        // Duplicates, self-loops, out-of-order, hub vertex 0, cross-range
+        // edges in both directions for any 2..=4-way contiguous split.
+        let mut e = vec![(3, 3), (1, 0), (0, 2), (0, 2), (2, 1), (7, 0), (4, 7), (0, 3), (6, 5)];
+        for i in 0..60 {
+            e.push((0, (i % 8) as VertexId));
+            e.push(((i % 8) as VertexId, (i % 3) as VertexId));
+        }
+        e
+    }
+
+    #[test]
+    fn streamed_view_matches_staged_at_every_split() {
+        let edges = messy_edges();
+        for cfg in [StreamConfig::verbatim(), StreamConfig::cleaned()] {
+            let pool = ScopedPool(2);
+            let src = VecSource { n: 8, chunk: 7, edges: edges.clone() };
+            let (global, _) = build_chunked(&src, cfg, &pool).unwrap();
+            for num_shards in [1, 2, 3, 4, 8] {
+                let spec = ShardSpec::contiguous(8, num_shards);
+                for s in 0..num_shards {
+                    let staged = ShardView::build(&global, &spec, s);
+                    for threads in [1, 4] {
+                        let (streamed, rep) =
+                            ShardView::build_streamed(&src, cfg, &spec, s, &ScopedPool(threads))
+                                .unwrap();
+                        assert_eq!(
+                            streamed, staged,
+                            "shards={num_shards} shard={s} threads={threads} dedup={}",
+                            cfg.dedup
+                        );
+                        assert_eq!(rep.raw_edges as usize, edges.len());
+                        // Every vertex 0..8 has adjacency in messy_edges.
+                        assert!(rep.owned_out_edges + rep.owned_in_edges > 0);
+                        assert_eq!(rep.view_bytes, streamed.heap_bytes());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_view_report_mirrors_global_cleaning() {
+        let edges = messy_edges();
+        let mut b = GraphBuilder::new(8);
+        b.add_edges(edges.iter().copied());
+        let cleaned = b.build();
+        let spec = ShardSpec::contiguous(8, 2);
+        let src = VecSource { n: 8, chunk: 5, edges };
+        let (view, rep) =
+            ShardView::build_streamed(&src, StreamConfig::cleaned(), &spec, 0, &ScopedPool(2))
+                .unwrap();
+        assert_eq!(view, ShardView::build(&cleaned, &spec, 0));
+        // Every kept owned out-edge of shard 0 is an edge of the cleaned
+        // graph whose source lies in [0, 4).
+        let expected: usize = (0..4u32).map(|v| cleaned.out_degree(v)).sum();
+        assert_eq!(rep.owned_out_edges, expected);
+        assert!(rep.self_loops_dropped > 0);
+        assert!(rep.duplicates_removed > 0);
+        assert!(rep.transient_bytes > 0);
+        assert_eq!(rep.peak_bytes(), rep.view_bytes + rep.transient_bytes);
+    }
+
+    #[test]
+    fn streamed_view_typed_errors_match_global_build() {
+        // Out-of-range edges fail the shard build even when neither
+        // endpoint is owned — error semantics match the global build.
+        let src = VecSource { n: 4, chunk: 8, edges: vec![(0, 1), (9, 3)] };
+        let spec = ShardSpec::contiguous(4, 2);
+        let err =
+            ShardView::build_streamed(&src, StreamConfig::verbatim(), &spec, 0, &ScopedPool(1))
+                .unwrap_err();
+        assert_eq!(err, BuildError::EdgeOutOfRange { u: 9, v: 3, n: 4 });
+    }
+
+    #[test]
+    fn empty_shard_view_streams() {
+        // More shards than vertices: the tail shard owns nothing and its
+        // streamed view is empty but well-formed.
+        let src = VecSource { n: 3, chunk: 2, edges: vec![(0, 1), (1, 2), (2, 0)] };
+        let spec = ShardSpec::contiguous(3, 5);
+        let (global, _) = build_chunked(&src, StreamConfig::verbatim(), &ScopedPool(1)).unwrap();
+        for s in 0..5 {
+            let (streamed, _) =
+                ShardView::build_streamed(&src, StreamConfig::verbatim(), &spec, s, &ScopedPool(2))
+                    .unwrap();
+            assert_eq!(streamed, ShardView::build(&global, &spec, s));
+        }
     }
 
     #[test]
@@ -332,6 +852,60 @@ mod tests {
             let (a, b) = spec.range(s);
             assert!(a <= v && v < b, "vertex {v} routed to shard {s} [{a},{b})");
         }
+    }
+
+    #[test]
+    fn balanced_ranges_equalize_edge_mass_on_skew() {
+        // A hub-heavy graph: vertex 0 touches everyone, the tail is sparse.
+        let mut edges = Vec::new();
+        for v in 1..64u32 {
+            edges.push((0, v));
+        }
+        edges.push((60, 61));
+        let g = Graph::from_edges(64, &edges);
+        let spec = ShardSpec::balanced(&g, 4);
+        assert_eq!(spec.num_shards(), 4);
+        assert_eq!(spec.num_vertices(), 64);
+        let mass = |s: usize| -> u64 {
+            let (a, b) = spec.range(s);
+            (a..b).map(|v| (g.out_degree(v) + g.in_degree(v)) as u64).sum()
+        };
+        // The hub alone crosses shard 0's quarter-share, so it owns just
+        // vertex 0 — an even split would hand shard 0 a quarter of the id
+        // space *and* the whole hub adjacency.
+        assert_eq!(spec.range(0), (0, 1));
+        let total: u64 = (0..4).map(mass).sum();
+        assert_eq!(total, 2 * g.num_edges() as u64);
+        let even = ShardSpec::contiguous(64, 4);
+        let even_mass = |s: usize| -> u64 {
+            let (a, b) = even.range(s);
+            (a..b).map(|v| (g.out_degree(v) + g.in_degree(v)) as u64).sum()
+        };
+        let max_balanced = (0..4).map(mass).max().unwrap();
+        let max_even = (0..4).map(even_mass).max().unwrap();
+        assert!(max_balanced < max_even, "balanced {max_balanced} vs even {max_even}");
+        // Routing still works over the uneven boundaries.
+        for v in 0..64u32 {
+            let s = spec.owner_of(v);
+            let (a, b) = spec.range(s);
+            assert!(a <= v && v < b, "vertex {v} routed to shard {s} [{a},{b})");
+        }
+        // Views built under a balanced spec cover the graph exactly.
+        let owned: usize = (0..4).map(|s| ShardView::build(&g, &spec, s).num_owned()).sum();
+        assert_eq!(owned, 64);
+    }
+
+    #[test]
+    fn balanced_spec_handles_empty_and_tiny_graphs() {
+        let empty = Graph::empty(0);
+        let spec = ShardSpec::balanced(&empty, 3);
+        assert_eq!(spec.num_vertices(), 0);
+        assert_eq!(spec.num_shards(), 3);
+        let tiny = Graph::from_edges(2, &[(0, 1)]);
+        let spec = ShardSpec::balanced(&tiny, 8);
+        assert_eq!(spec.num_vertices(), 2);
+        let owned: usize = (0..8).map(|s| (spec.range(s).1 - spec.range(s).0) as usize).sum();
+        assert_eq!(owned, 2);
     }
 
     #[test]

@@ -25,10 +25,16 @@
 //! Peak transient memory is the two counter planes (`8n` bytes, reused as
 //! scatter cursors) — for paper-density graphs (~14 edges/vertex) that is
 //! well under 0.2× the final CSR, vs ~2× for the staged path.
+//!
+//! Because the kept-edge count is capped at `u32` (that is what keeps the
+//! counter planes at 4 bytes/vertex/direction), the prefix sums build
+//! narrow [`Offsets`] directly — the streamed path never widens an offset
+//! to `usize` at any point of the build.
 
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 use crate::csr::Graph;
+use crate::offsets::Offsets;
 use crate::VertexId;
 
 /// Typed failure of a graph build — overflow and range conditions that the
@@ -193,20 +199,22 @@ impl IngestReport {
 
 /// Shared mutable slice for the scatter pass. Each write index is claimed
 /// by a `fetch_add` on the owning vertex's cursor, so no two threads ever
-/// write the same slot.
-struct SharedSlice<T>(*mut T);
+/// write the same slot. Shared with the shard-resident ingest
+/// ([`crate::shard::ShardView::build_streamed`]), which scatters the same
+/// way into per-shard arrays.
+pub(crate) struct SharedSlice<T>(pub(crate) *mut T);
 unsafe impl<T: Send> Sync for SharedSlice<T> {}
 
 impl<T> SharedSlice<T> {
     #[inline]
-    unsafe fn write(&self, idx: usize, value: T) {
+    pub(crate) unsafe fn write(&self, idx: usize, value: T) {
         unsafe { self.0.add(idx).write(value) }
     }
 
     /// The base pointer. A method (rather than field access) so closures
     /// capture the whole `Sync` wrapper, not the raw pointer field.
     #[inline]
-    fn base(&self) -> *mut T {
+    pub(crate) fn base(&self) -> *mut T {
         self.0
     }
 }
@@ -285,27 +293,29 @@ pub fn build_chunked<S: ChunkedEdges + ?Sized>(
     }
 
     // ---- Prefix sums (checked) and allocation. ---------------------------
-    let mut out_offsets = Vec::with_capacity(n + 1);
-    let mut in_offsets = Vec::with_capacity(n + 1);
+    // `kept <= u32::MAX` (checked above), so every offset fits `u32`: the
+    // sums accumulate narrow and are never widened to `usize`.
+    let mut out_offsets: Vec<u32> = Vec::with_capacity(n + 1);
+    let mut in_offsets: Vec<u32> = Vec::with_capacity(n + 1);
     {
-        let mut acc_out = 0usize;
-        let mut acc_in = 0usize;
+        let mut acc_out = 0u32;
+        let mut acc_in = 0u32;
         out_offsets.push(0);
         in_offsets.push(0);
         for v in 0..n {
             acc_out = acc_out
-                .checked_add(out_cnt[v].load(Ordering::Relaxed) as usize)
+                .checked_add(out_cnt[v].load(Ordering::Relaxed))
                 .ok_or(BuildError::OffsetOverflow)?;
             acc_in = acc_in
-                .checked_add(in_cnt[v].load(Ordering::Relaxed) as usize)
+                .checked_add(in_cnt[v].load(Ordering::Relaxed))
                 .ok_or(BuildError::OffsetOverflow)?;
             out_offsets.push(acc_out);
             in_offsets.push(acc_in);
         }
     }
-    let m = out_offsets[n];
+    let m = out_offsets[n] as usize;
     debug_assert_eq!(m as u64, kept);
-    debug_assert_eq!(in_offsets[n], m);
+    debug_assert_eq!(in_offsets[n] as usize, m);
     let mut out_targets = vec![0 as VertexId; m];
     let mut in_sources = vec![0 as VertexId; m];
 
@@ -341,18 +351,18 @@ pub fn build_chunked<S: ChunkedEdges + ?Sized>(
                     return;
                 }
                 let slot = out_cnt[ui].fetch_add(1, Ordering::Relaxed) as usize;
-                let idx = out_offsets[ui] + slot;
+                let idx = out_offsets[ui] as usize + slot;
                 assert!(
-                    idx < out_offsets[ui + 1],
+                    idx < out_offsets[ui + 1] as usize,
                     "pass 2 emitted more out-edges of {u} than pass 1"
                 );
                 // SAFETY: idx is inside vertex u's run (checked above) and
                 // uniquely claimed by the fetch_add.
                 unsafe { out_slots.write(idx, v) };
                 let slot = in_cnt[vi].fetch_add(1, Ordering::Relaxed) as usize;
-                let idx = in_offsets[vi] + slot;
+                let idx = in_offsets[vi] as usize + slot;
                 assert!(
-                    idx < in_offsets[vi + 1],
+                    idx < in_offsets[vi + 1] as usize,
                     "pass 2 emitted more in-edges of {v} than pass 1"
                 );
                 // SAFETY: as above, for the in-direction.
@@ -385,13 +395,13 @@ pub fn build_chunked<S: ChunkedEdges + ?Sized>(
                 // vertex, and each vertex belongs to exactly one block.
                 unsafe {
                     let run = std::slice::from_raw_parts_mut(
-                        out_ptr.base().add(out_offsets[v]),
-                        out_offsets[v + 1] - out_offsets[v],
+                        out_ptr.base().add(out_offsets[v] as usize),
+                        (out_offsets[v + 1] - out_offsets[v]) as usize,
                     );
                     run.sort_unstable();
                     let run = std::slice::from_raw_parts_mut(
-                        in_ptr.base().add(in_offsets[v]),
-                        in_offsets[v + 1] - in_offsets[v],
+                        in_ptr.base().add(in_offsets[v] as usize),
+                        (in_offsets[v + 1] - in_offsets[v]) as usize,
                     );
                     run.sort_unstable();
                 }
@@ -411,13 +421,26 @@ pub fn build_chunked<S: ChunkedEdges + ?Sized>(
         compact_runs(&mut in_offsets, &mut in_sources);
         debug_assert_eq!(out_targets.len(), in_sources.len());
         duplicates_removed = (before - out_targets.len()) as u64;
+        // Return the compaction slack to the allocator — the dead
+        // capacity is 8 bytes per removed duplicate across the two flat
+        // arrays, and `heap_bytes` (deliberately) charges capacity. At
+        // paper scale these are multi-MB blocks, which glibc shrinks in
+        // place via mremap rather than copying.
+        out_targets.shrink_to_fit();
+        in_sources.shrink_to_fit();
     }
 
     let transient_bytes = 2 * n * std::mem::size_of::<AtomicU32>();
     drop(out_cnt);
     drop(in_cnt);
 
-    let graph = Graph::from_csr_parts(n, out_offsets, out_targets, in_offsets, in_sources);
+    let graph = Graph::from_csr_parts(
+        n,
+        Offsets::U32(out_offsets),
+        out_targets,
+        Offsets::U32(in_offsets),
+        in_sources,
+    );
     let csr_bytes = graph.heap_bytes();
     let report = IngestReport {
         raw_edges,
@@ -435,12 +458,15 @@ pub fn build_chunked<S: ChunkedEdges + ?Sized>(
 /// but not shrunk — reallocating to reclaim the slack would transiently
 /// hold two copies, defeating the footprint goal; the slack equals the
 /// duplicate count (4 bytes each), negligible for generator streams.
-fn compact_runs(offsets: &mut [usize], flat: &mut Vec<VertexId>) {
+/// Offsets are narrow `u32` — both callers (streamed full-graph ingest and
+/// shard-resident ingest) cap kept edges at `u32` range. Shared with
+/// [`crate::shard`].
+pub(crate) fn compact_runs(offsets: &mut [u32], flat: &mut Vec<VertexId>) {
     let n = offsets.len() - 1;
     let mut w = 0usize;
-    let mut run_start = offsets[0];
+    let mut run_start = offsets[0] as usize;
     for v in 0..n {
-        let run_end = offsets[v + 1];
+        let run_end = offsets[v + 1] as usize;
         let mut prev: Option<VertexId> = None;
         for i in run_start..run_end {
             let t = flat[i];
@@ -451,7 +477,7 @@ fn compact_runs(offsets: &mut [usize], flat: &mut Vec<VertexId>) {
             }
         }
         run_start = run_end;
-        offsets[v + 1] = w;
+        offsets[v + 1] = w as u32;
     }
     flat.truncate(w);
 }

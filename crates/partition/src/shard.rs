@@ -151,6 +151,16 @@ impl ShardPlacement {
         self.core.masters[local as usize]
     }
 
+    /// Resident heap bytes of this replica: the compacted placement state
+    /// plus the per-local movement-cost inputs. Summed over shards this
+    /// is the placement-plane footprint of a sharded run — the quantity
+    /// the shard-resident ingest path keeps per-node instead of global.
+    pub fn heap_bytes(&self) -> usize {
+        self.core.heap_bytes()
+            + self.locations.capacity() * std::mem::size_of::<DcId>()
+            + self.data_sizes.capacity() * std::mem::size_of::<u64>()
+    }
+
     /// The replica's current objective under `env` — equals the global
     /// objective whenever the loads are in sync.
     pub fn objective(&self, env: &CloudEnv) -> Objective {
@@ -337,5 +347,21 @@ mod tests {
             let local = p.evaluate_all_moves(&env, &view, u, &mut ls).to_vec();
             assert_eq!(global, local, "vertex {u} diverged after resync");
         }
+    }
+
+    #[test]
+    fn replica_heap_bytes_track_the_local_working_set() {
+        let (geo, env) = setup();
+        let profile = TrafficProfile::uniform(geo.num_vertices(), 8.0);
+        let state = HybridState::from_masters(&geo, &env, geo.locations.clone(), 8, profile, 10.0);
+        let spec = ShardSpec::contiguous(geo.num_vertices(), 4);
+        let view = ShardView::build(&geo.graph, &spec, 0);
+        let p = replica(&state, &geo, &view);
+        let locals = view.num_locals();
+        // Floor: the compacted core plus locations (DcId) and sizes (u64).
+        assert!(p.heap_bytes() >= locals * (std::mem::size_of::<DcId>() + 8));
+        // The replica's placement plane is a strict fraction of the global
+        // state's — that is the point of shard residency.
+        assert!(p.heap_bytes() < state.core().heap_bytes());
     }
 }

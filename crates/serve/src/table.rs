@@ -138,6 +138,17 @@ impl RoutingTable {
     /// placement the next fault window will resume from. Dead DCs are
     /// also stripped from every replica set.
     ///
+    /// Resident heap bytes of this table: the three per-vertex planes
+    /// (master `DcId`, replica bitmask `u64`, degree-class `bool`). This
+    /// is what one published epoch pins while readers hold it — the
+    /// serving daemon's steady-state footprint is `heap_bytes` times the
+    /// number of epochs still referenced.
+    pub fn heap_bytes(&self) -> usize {
+        self.masters.capacity() * std::mem::size_of::<DcId>()
+            + self.replicas.capacity() * std::mem::size_of::<u64>()
+            + self.high.capacity() * std::mem::size_of::<bool>()
+    }
+
     /// # Panics
     /// If `dead` does not cover the DC count, `homes` does not cover the
     /// vertices, or every DC is dead.
@@ -240,5 +251,15 @@ mod tests {
         let all_live = vec![false; geo.num_dcs];
         let noop = t.evacuated(&all_live, &geo.locations);
         assert_eq!(noop.masters(), t.masters());
+    }
+
+    #[test]
+    fn heap_bytes_covers_all_three_planes() {
+        let geo = small_geo();
+        let n = geo.num_vertices();
+        let t = RoutingTable::from_homes(0, &geo.locations, geo.num_dcs);
+        // masters: n × DcId, replicas: n × u64, high: n × bool — capacity
+        // may exceed length, so the exact sizes are a floor.
+        assert!(t.heap_bytes() >= n * std::mem::size_of::<DcId>() + n * 8 + n);
     }
 }

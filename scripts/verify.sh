@@ -121,14 +121,22 @@ cargo test -q -p integration-tests --test streaming
 
 echo "==> paper-scale substrate bench smoke run (BENCH_scale.json)"
 # CI-sized streamed build + scan-capped training window. Gates: the CSR
-# stays <= 14 bytes per directed edge and the streamed build peaks at
-# <= 1.25x the final CSR (no O(E) staging copy in the ingest path).
+# stays <= 9.0 bytes per directed edge (narrow u32 offsets — measured
+# 8.62; the old usize-offset substrate measured 9.25+ and would fail),
+# the streamed build peaks at <= 1.25x the final CSR (no O(E) staging
+# copy in the ingest path), and the shard-resident ingest at 4
+# edge-balanced shards keeps every shard's peak (view + transients)
+# under half the full CSR while cross-checking each streamed view
+# bit-identical to the staged build.
 cargo run --release -p geobench --bin bench_scale -- \
   --scale 0.002 --steps 2 --threads 2 \
   --out EXPERIMENTS-data/BENCH_scale.json \
-  --assert-max-bytes-per-edge 14 --assert-build-ratio 1.25
+  --assert-max-bytes-per-edge 9.0 --assert-build-ratio 1.25 \
+  --shards 4 --assert-shard-peak-frac 0.5
 grep -q '"build_peak_over_final_ratio"' EXPERIMENTS-data/BENCH_scale.json \
   || { echo "BENCH_scale.json is missing the build-ratio field"; exit 1; }
+grep -q '"shard_peak_frac_max"' EXPERIMENTS-data/BENCH_scale.json \
+  || { echo "BENCH_scale.json is missing the shard-resident gate fields"; exit 1; }
 
 # The full Table II LiveJournal preset (4.8M vertices / ~69M directed
 # edges) needs ~2 GB of headroom for the CSR + compressed twin + placement
@@ -140,7 +148,8 @@ if [ "$MEM_AVAILABLE_KB" -ge 6291456 ]; then
   cargo run --release -p geobench --bin bench_scale -- \
     --scale 1.0 --steps 2 \
     --out EXPERIMENTS-data/BENCH_scale_full.json \
-    --assert-max-bytes-per-edge 14 --assert-build-ratio 1.25
+    --assert-max-bytes-per-edge 9.0 --assert-build-ratio 1.25 \
+    --shards 4 --assert-shard-peak-frac 0.5
 else
   echo "    SKIPPING full-scale LiveJournal run EXPLICITLY: MemAvailable is ${MEM_AVAILABLE_KB} kB, need >= 6291456 kB (6 GB)"
 fi

@@ -5,8 +5,8 @@
 
 use geograph::generators::{rmat_streamed, RmatConfig};
 use geograph::{
-    build_chunked, ChunkedEdges, CompressPolicy, CompressedGraph, Graph, GraphBuilder, ScopedPool,
-    StreamConfig, VertexId,
+    build_chunked, ChunkedEdges, CompressPolicy, CompressedGraph, Graph, GraphBuilder, OffsetWidth,
+    ScopedPool, ShardSpec, ShardView, StreamConfig, VertexId,
 };
 use proptest::prelude::*;
 
@@ -109,6 +109,89 @@ proptest! {
                 prop_assert_eq!(&iterated[..], graph.in_neighbors(v));
             }
             prop_assert_eq!(&compressed.to_graph(), &graph);
+        }
+    }
+
+    /// Offset width is representation, not content: a graph force-widened
+    /// to u64 offsets is equal (value semantics) to its narrow twin, the
+    /// widened twin round-trips back to narrow bit-for-bit, both encode to
+    /// the identical canonical wire blob, and every derived view — staged,
+    /// streamed at any chunking/threading, compressed — agrees regardless
+    /// of which width it was built from.
+    #[test]
+    fn narrow_equals_wide_across_every_path((n, edges) in arb_edges()) {
+        let narrow = Graph::from_edges(n, &edges);
+        prop_assert_eq!(narrow.offset_width(), OffsetWidth::U32);
+        let wide = narrow.clone().with_offset_width(OffsetWidth::U64).expect("widening");
+        prop_assert_eq!(wide.offset_width(), OffsetWidth::U64);
+        prop_assert_eq!(&wide, &narrow);
+        let renarrowed = wide.clone().with_offset_width(OffsetWidth::U32).expect("re-narrowing");
+        prop_assert_eq!(renarrowed.offset_width(), OffsetWidth::U32);
+        prop_assert_eq!(&renarrowed, &narrow);
+        let mut wide_blob = Vec::new();
+        let mut narrow_blob = Vec::new();
+        geograph::wire::encode_graph(&wide, &mut wide_blob);
+        geograph::wire::encode_graph(&narrow, &mut narrow_blob);
+        prop_assert_eq!(wide_blob, narrow_blob);
+        for num_chunks in [1usize, 3, 7] {
+            let src = VecChunks::split(n, &edges, num_chunks);
+            for threads in [1usize, 2, 4, 8] {
+                let (streamed, _) =
+                    build_chunked(&src, StreamConfig::verbatim(), &ScopedPool(threads))
+                        .expect("streamed build");
+                prop_assert_eq!(
+                    &streamed, &wide,
+                    "streamed vs wide diverged at {} chunks / {} threads", num_chunks, threads
+                );
+            }
+        }
+        let from_narrow = CompressedGraph::from_graph(&narrow, CompressPolicy::auto());
+        let from_wide = CompressedGraph::from_graph(&wide, CompressPolicy::auto());
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for v in 0..n as VertexId {
+            prop_assert_eq!(
+                from_narrow.out_neighbors(v, &mut a),
+                from_wide.out_neighbors(v, &mut b)
+            );
+        }
+        prop_assert_eq!(&from_wide.to_graph(), &narrow);
+    }
+
+    /// The shard-resident ingest contract at property-test scale: for any
+    /// edge list, cleaning mode, and shard count, `ShardView::build_streamed`
+    /// over the chunked source equals `ShardView::build` over the staged
+    /// graph — structural equality covers the local CSR, the owned range,
+    /// and the sorted ghost fringe.
+    #[test]
+    fn shard_streamed_matches_staged_views((n, edges) in arb_edges()) {
+        for (cfg, staged) in [
+            (StreamConfig::verbatim(), Graph::from_edges(n, &edges)),
+            (StreamConfig::cleaned(), {
+                let mut b = GraphBuilder::new(n);
+                for &(u, v) in &edges {
+                    if u != v {
+                        b.add_edge(u, v);
+                    }
+                }
+                b.build()
+            }),
+        ] {
+            let src = VecChunks::split(n, &edges, 3);
+            for shards in [1usize, 2, 4, 8] {
+                let spec = ShardSpec::contiguous(n, shards);
+                for s in 0..shards {
+                    let (view, report) =
+                        ShardView::build_streamed(&src, cfg, &spec, s, &ScopedPool(2))
+                            .expect("shard-resident build");
+                    let reference = ShardView::build(&staged, &spec, s);
+                    prop_assert_eq!(
+                        &view, &reference,
+                        "shard {}/{} diverged (dedup={})", s, shards, cfg.dedup
+                    );
+                    prop_assert!(view.heap_bytes() <= report.peak_bytes());
+                }
+            }
         }
     }
 }
